@@ -1,0 +1,80 @@
+// Command incll-ycsb runs one YCSB workload against one of the four
+// systems (MT, MT+, INCLL, LOGGING) and prints the measurement: the
+// single-run building block incll-bench composes into figures.
+//
+// Usage:
+//
+//	incll-ycsb -mode INCLL -workload A -dist zipfian -size 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"incll/internal/harness"
+	"incll/internal/ycsb"
+)
+
+func main() {
+	mode := flag.String("mode", "INCLL", "MT | MT+ | INCLL | LOGGING")
+	workload := flag.String("workload", "A", "A | B | C | E")
+	dist := flag.String("dist", "uniform", "uniform | zipfian")
+	size := flag.Uint64("size", 200_000, "tree size (keys)")
+	threads := flag.Int("threads", 4, "worker threads")
+	ops := flag.Int("ops", 200_000, "operations per thread")
+	interval := flag.Duration("interval", 64*time.Millisecond, "epoch interval")
+	fence := flag.Duration("fence", 0, "emulated NVM latency after each fence")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := harness.RunConfig{
+		TreeSize:      *size,
+		Threads:       *threads,
+		OpsPerThread:  *ops,
+		EpochInterval: *interval,
+		FenceDelay:    *fence,
+		Seed:          *seed,
+	}
+	switch *mode {
+	case "MT":
+		cfg.Mode = harness.MT
+	case "MT+":
+		cfg.Mode = harness.MTPlus
+	case "INCLL":
+		cfg.Mode = harness.INCLL
+	case "LOGGING":
+		cfg.Mode = harness.LOGGING
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	switch *workload {
+	case "A":
+		cfg.Workload = ycsb.A
+	case "B":
+		cfg.Workload = ycsb.B
+	case "C":
+		cfg.Workload = ycsb.C
+	case "E":
+		cfg.Workload = ycsb.E
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+	switch *dist {
+	case "uniform":
+		cfg.Dist = ycsb.Uniform
+	case "zipfian":
+		cfg.Dist = ycsb.Zipfian
+	default:
+		log.Fatalf("unknown distribution %q", *dist)
+	}
+
+	r := harness.Run(cfg)
+	fmt.Printf("%s %s %s: %d ops in %v = %.3f Mops/s\n",
+		cfg.Mode, cfg.Workload, cfg.Dist, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput/1e6)
+	if cfg.Mode == harness.INCLL || cfg.Mode == harness.LOGGING {
+		fmt.Printf("  epochs=%d loggedNodes=%d inCLLperm=%d inCLLval=%d fences=%d linesFlushed=%d\n",
+			r.Advances, r.LoggedNodes, r.InCLLPerm, r.InCLLVal, r.Fences, r.FlushedLines)
+	}
+}

@@ -1,0 +1,99 @@
+// Crash-recovery demo: four workers append events to a durable ledger
+// while the checkpointer ticks every 10ms, then the power fails.
+//
+// Fine-Grained Checkpointing guarantees the recovered state is exactly the
+// state at the last committed epoch boundary. For an append-only ledger
+// that means every worker's recovered events form a contiguous *prefix* of
+// what it wrote — nothing torn, nothing reordered, at most one epoch lost.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"incll"
+)
+
+const (
+	workers       = 4
+	eventsPerWkr  = 60_000 // appended while the checkpointer runs
+	burst         = 5_000  // appended after the last checkpoint (will be lost)
+	totalWritten  = eventsPerWkr + burst
+	eventKeySpace = 1 << 32
+)
+
+// eventKey gives each worker a disjoint key range.
+func eventKey(worker int, seq uint64) []byte {
+	return incll.Key(uint64(worker)*eventKeySpace + seq)
+}
+
+// eventValue is a cheap integrity checksum so torn values would be caught.
+func eventValue(worker int, seq uint64) uint64 {
+	return seq*2654435761 + uint64(worker)
+}
+
+func main() {
+	db, _ := incll.Open(incll.Options{
+		Workers:       workers,
+		EpochInterval: 10 * time.Millisecond,
+	})
+	db.StartCheckpointer()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := db.Handle(w)
+			for seq := uint64(0); seq < eventsPerWkr; seq++ {
+				h.Put(eventKey(w, seq), eventValue(w, seq))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// One last burst that no checkpoint will ever cover: the ticker is
+	// stopped, so these appends live only in the (transient) cache.
+	db.StopCheckpointer()
+	for w := 0; w < workers; w++ {
+		h := db.Handle(w)
+		for seq := uint64(eventsPerWkr); seq < totalWritten; seq++ {
+			h.Put(eventKey(w, seq), eventValue(w, seq))
+		}
+	}
+
+	// Lights out mid-epoch: the burst above is at the crash's mercy.
+	db.SimulateCrash(0.4, time.Now().UnixNano()%997)
+	db, info := db.Reopen()
+	fmt.Printf("recovered: %v (replayed %d log pre-images)\n", info.Status, info.LogEntriesApplied)
+
+	for w := 0; w < workers; w++ {
+		// Walk the worker's range in order; events must be a contiguous,
+		// checksum-valid prefix of the written sequence.
+		var count uint64
+		bad := ""
+		db.Scan(eventKey(w, 0), -1, func(k []byte, v uint64) bool {
+			if string(k) >= string(eventKey(w+1, 0)) {
+				return false // end of this worker's range
+			}
+			if string(k) != string(eventKey(w, count)) {
+				bad = "gap in sequence: not a prefix"
+				return false
+			}
+			if v != eventValue(w, count) {
+				bad = "checksum mismatch: torn event"
+				return false
+			}
+			count++
+			return count < totalWritten
+		})
+		if bad != "" {
+			panic(fmt.Sprintf("worker %d: %s", w, bad))
+		}
+		lost := totalWritten - count
+		fmt.Printf("worker %d: %d/%d events durable (%d lost to the failed epoch)\n",
+			w, count, uint64(totalWritten), lost)
+	}
+	fmt.Println("every ledger recovered to a clean prefix — no tearing, no reordering")
+}

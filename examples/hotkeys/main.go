@@ -1,0 +1,59 @@
+// hotkeys demonstrates *why* In-Cache-Line Logging wins: the same skewed
+// update workload runs once with InCLL enabled and once in LOGGING mode
+// (external log only), and the persistence-operation counters are compared.
+//
+// With InCLL, a hot key updated many times per epoch is logged once in its
+// own cache line and never again; in LOGGING mode every first touch per
+// node per epoch writes a 40-word pre-image, write-back, and fence.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"incll"
+)
+
+func run(disableInCLL bool) (loggedNodes, inCLL, fences int64, elapsed time.Duration) {
+	db, _ := incll.Open(incll.Options{
+		DisableInCLL:  disableInCLL,
+		EpochInterval: 5 * time.Millisecond,
+		FenceDelay:    300 * time.Nanosecond, // emulated NVM latency
+	})
+	const keys = 50_000
+	for i := uint64(0); i < keys; i++ {
+		db.Put(incll.Key(i), i)
+	}
+	db.Checkpoint()
+	nvm0 := db.NVMStats()
+
+	db.StartCheckpointer()
+	t0 := time.Now()
+	// Zipf-flavoured updates: a few keys take most of the writes.
+	for i := uint64(0); i < 400_000; i++ {
+		k := (i * i) % 97 // ~97 hot keys
+		if i%10 == 0 {
+			k = i % keys // plus a uniform trickle
+		}
+		db.Put(incll.Key(k), i)
+	}
+	elapsed = time.Since(t0)
+	db.StopCheckpointer()
+
+	st := db.Stats()
+	d := db.NVMStats().Sub(nvm0)
+	return st.LoggedNodes.Load(), st.InCLLPerm.Load() + st.InCLLVal.Load(), d.Fences, elapsed
+}
+
+func main() {
+	fmt.Println("400k skewed updates over 50k keys, 5ms epochs, 300ns emulated NVM latency")
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"INCLL  ", false}, {"LOGGING", true}} {
+		logged, inCLL, fences, elapsed := run(mode.disable)
+		fmt.Printf("%s  loggedNodes=%-8d inCLLcaptures=%-8d fences=%-8d elapsed=%v\n",
+			mode.name, logged, inCLL, fences, elapsed.Round(time.Millisecond))
+	}
+	fmt.Println("InCLL absorbs the hot keys in-line; the external log (and its fences) nearly vanish")
+}

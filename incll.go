@@ -1,0 +1,179 @@
+// Package incll is a Go reproduction of "Fine-Grain Checkpointing with
+// In-Cache-Line Logging" (Cohen, Aksun, Avni, Larus — ASPLOS 2019): a
+// durable Masstree over (simulated) non-volatile memory whose normal-path
+// mutations never flush or fence.
+//
+// Because Go exposes no cache-flush intrinsics and no layout control, all
+// durable state lives in a simulated NVM arena with an explicit cache
+// model (see internal/nvm and DESIGN.md). The simulation is faithful to
+// the PCSO persistence model the paper assumes, and power failures can be
+// injected at any quiesced point with an arbitrary subset of dirty cache
+// lines surviving.
+//
+// Quick start:
+//
+//	db, _ := incll.Open(incll.Options{})
+//	db.Put(incll.Key(1), 100)
+//	db.Checkpoint()                  // commit epoch (normally a 64ms ticker)
+//	db.SimulateCrash(0.5, 42)        // power failure, half the cache survives
+//	db, _ = db.Reopen()              // recovery
+//	v, ok := db.Get(incll.Key(1))    // 100, true
+package incll
+
+import (
+	"time"
+
+	"incll/internal/core"
+	"incll/internal/epoch"
+	"incll/internal/nvm"
+)
+
+// Options sizes and parameterizes a DB.
+type Options struct {
+	// ArenaWords is the simulated NVM size in 8-byte words (default 2^24,
+	// i.e. 128 MiB of simulated NVM).
+	ArenaWords uint64
+	// Workers is the number of concurrent worker threads that will use
+	// Handle(i) (default 1).
+	Workers int
+	// HeapWords is the durable heap region size (default: half the arena).
+	HeapWords uint64
+	// LogSegWords is the per-worker external log segment (default 2^20).
+	LogSegWords uint64
+	// EpochInterval is the checkpoint cadence used by StartCheckpointer
+	// (default 64ms, the paper's setting).
+	EpochInterval time.Duration
+	// FenceDelay emulates NVM write latency after each fence.
+	FenceDelay time.Duration
+	// DisableInCLL turns off in-cache-line logging (the paper's LOGGING
+	// ablation): strictly more external logging, same crash guarantees.
+	DisableInCLL bool
+}
+
+func (o *Options) setDefaults() {
+	if o.ArenaWords == 0 {
+		o.ArenaWords = 1 << 24
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.HeapWords == 0 {
+		o.HeapWords = o.ArenaWords / 2
+	}
+	if o.LogSegWords == 0 {
+		o.LogSegWords = 1 << 20
+	}
+	if o.EpochInterval == 0 {
+		o.EpochInterval = 64 * time.Millisecond
+	}
+}
+
+// RecoveryInfo describes what Open found.
+type RecoveryInfo struct {
+	// Status is fresh-start, clean-restart, or crash-recovered.
+	Status epoch.Status
+	// LogEntriesApplied is the number of external-log pre-images replayed.
+	LogEntriesApplied int
+	// FailedEpochs is the cumulative number of epochs that ever failed on
+	// this arena.
+	FailedEpochs int
+}
+
+// Handle is a per-worker handle; see Options.Workers. Handles are not safe
+// for concurrent use, but distinct handles are.
+type Handle = core.Handle
+
+// Key renders a uint64 as an 8-byte big-endian key, so integer order
+// equals key order.
+func Key(v uint64) []byte { return core.EncodeUint64(v) }
+
+// DB is a durable Masstree over one simulated NVM arena.
+type DB struct {
+	arena *nvm.Arena
+	store *core.Store
+	opts  Options
+}
+
+// Open creates a DB over a fresh simulated NVM arena.
+func Open(opts Options) (*DB, RecoveryInfo) {
+	opts.setDefaults()
+	arena := nvm.New(nvm.Config{Words: opts.ArenaWords, FenceDelay: opts.FenceDelay})
+	return attach(arena, opts)
+}
+
+func attach(arena *nvm.Arena, opts Options) (*DB, RecoveryInfo) {
+	store, status := core.Open(arena, core.Config{
+		Workers:      opts.Workers,
+		LogSegWords:  opts.LogSegWords,
+		HeapWords:    opts.HeapWords,
+		DisableInCLL: opts.DisableInCLL,
+	})
+	info := RecoveryInfo{
+		Status:            status,
+		LogEntriesApplied: store.RecoveredLogEntries(),
+		FailedEpochs:      store.Epochs().FailedCount(),
+	}
+	return &DB{arena: arena, store: store, opts: opts}, info
+}
+
+// Handle returns worker i's handle (i < Options.Workers).
+func (db *DB) Handle(i int) Handle { return db.store.Handle(i) }
+
+// Get returns the value stored under k.
+func (db *DB) Get(k []byte) (uint64, bool) { return db.store.Get(k) }
+
+// Put stores v under k; reports whether k was newly inserted.
+func (db *DB) Put(k []byte, v uint64) bool { return db.store.Put(k, v) }
+
+// Delete removes k; reports whether it was present.
+func (db *DB) Delete(k []byte) bool { return db.store.Delete(k) }
+
+// Scan visits up to max keys ≥ start in ascending order (max < 0 means
+// unlimited), until fn returns false. Returns the number visited.
+func (db *DB) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	return db.store.Scan(start, max, fn)
+}
+
+// Len returns the number of live keys tracked this execution (transient;
+// call RebuildLen after a restart if an exact count is needed).
+func (db *DB) Len() int { return db.store.Len() }
+
+// RebuildLen recomputes Len with one full scan.
+func (db *DB) RebuildLen() int { return db.store.RebuildLen() }
+
+// Checkpoint ends the current epoch: quiesces workers, flushes the cache,
+// and commits everything written so far. Returns the number of cache
+// lines flushed. Equivalent to one tick of the background checkpointer.
+func (db *DB) Checkpoint() int { return db.store.Advance() }
+
+// StartCheckpointer begins advancing epochs every Options.EpochInterval
+// in the background, like the paper's 64 ms timer.
+func (db *DB) StartCheckpointer() { db.store.StartTicker(db.opts.EpochInterval) }
+
+// StopCheckpointer stops the background checkpointer.
+func (db *DB) StopCheckpointer() { db.store.StopTicker() }
+
+// Close checkpoints and durably marks a clean shutdown.
+func (db *DB) Close() { db.store.Shutdown() }
+
+// SimulateCrash injects a power failure: each dirty cache line survives
+// with probability persistFraction, everything else is lost, and the DB
+// becomes unusable until Reopen. All handles must be quiescent.
+func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
+	db.store.StopTicker()
+	db.arena.Crash(nvm.RandomPolicy(persistFraction, seed))
+}
+
+// Reopen recovers the DB from the arena contents after SimulateCrash (or
+// after Close, to model a clean restart).
+func (db *DB) Reopen() (*DB, RecoveryInfo) {
+	db.arena.ResetReservations()
+	return attach(db.arena, db.opts)
+}
+
+// Stats exposes the store's counters (logging, InCLL usage, recovery).
+func (db *DB) Stats() *core.Stats { return db.store.Stats() }
+
+// NVMStats exposes the simulated memory subsystem's counters (writebacks,
+// fences, flushed lines, crash outcomes).
+func (db *DB) NVMStats() nvm.StatsSnapshot { return db.arena.Stats().Snapshot() }

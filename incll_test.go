@@ -1,0 +1,98 @@
+package incll
+
+import (
+	"testing"
+
+	"incll/internal/epoch"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	db, info := Open(Options{})
+	if info.Status != epoch.FreshStart {
+		t.Fatalf("status %v", info.Status)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		db.Put(Key(i), i*2)
+	}
+	db.Checkpoint()
+	// Doomed work.
+	for i := uint64(0); i < 1000; i++ {
+		db.Put(Key(i), 0xDEAD)
+	}
+	db.SimulateCrash(0.5, 7)
+	db2, info2 := db.Reopen()
+	if info2.Status != epoch.CrashRecovered {
+		t.Fatalf("reopen status %v", info2.Status)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := db2.Get(Key(i)); !ok || v != i*2 {
+			t.Fatalf("key %d = %d,%v want %d", i, v, ok, i*2)
+		}
+	}
+}
+
+func TestFacadeCleanClose(t *testing.T) {
+	db, _ := Open(Options{})
+	db.Put([]byte("durable"), 1)
+	db.Close()
+	db.SimulateCrash(0, 1) // total power loss after clean shutdown
+	db2, info := db.Reopen()
+	if info.Status != epoch.CleanRestart {
+		t.Fatalf("status %v", info.Status)
+	}
+	if v, ok := db2.Get([]byte("durable")); !ok || v != 1 {
+		t.Fatalf("value lost: %d,%v", v, ok)
+	}
+	if n := db2.RebuildLen(); n != 1 {
+		t.Fatalf("RebuildLen = %d", n)
+	}
+}
+
+func TestFacadeScanAndHandles(t *testing.T) {
+	db, _ := Open(Options{Workers: 2})
+	h0, h1 := db.Handle(0), db.Handle(1)
+	done := make(chan struct{})
+	go func() {
+		for i := uint64(0); i < 500; i++ {
+			h0.Put(Key(i), i)
+		}
+		close(done)
+	}()
+	for i := uint64(500); i < 1000; i++ {
+		h1.Put(Key(i), i)
+	}
+	<-done
+	var n uint64
+	db.Scan(nil, -1, func(k []byte, v uint64) bool {
+		if v != n {
+			t.Fatalf("scan value %d at position %d", v, n)
+		}
+		n++
+		return true
+	})
+	if n != 1000 {
+		t.Fatalf("scan visited %d", n)
+	}
+}
+
+func TestFacadeCheckpointerTicker(t *testing.T) {
+	db, _ := Open(Options{EpochInterval: 2e6})
+	db.StartCheckpointer()
+	for i := uint64(0); i < 50000; i++ {
+		db.Put(Key(i%1000), i)
+	}
+	db.StopCheckpointer()
+	if db.Stats().Puts.Load() != 50000 {
+		t.Fatalf("puts = %d", db.Stats().Puts.Load())
+	}
+}
+
+func TestFacadeNVMStats(t *testing.T) {
+	db, _ := Open(Options{})
+	db.Put(Key(1), 1)
+	db.Checkpoint()
+	s := db.NVMStats()
+	if s.GlobalFlushes == 0 || s.LinesPersisted == 0 {
+		t.Fatalf("stats: %v", s)
+	}
+}

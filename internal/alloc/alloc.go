@@ -1,0 +1,434 @@
+// Package alloc implements the paper's durable memory allocator (§5): a
+// set of per-size-class free lists that live entirely in NVM and are made
+// crash-consistent with Fine-Grained Checkpointing and In-Cache-Line
+// Logging, so that allocation and deallocation never issue a write-back or
+// fence on the critical path.
+//
+// Three ideas from the paper:
+//
+//  1. The allocator is just another durable data structure (a set of free
+//     chunks); checkpointing rolls it back to the start of a failed epoch.
+//  2. Each object's header embeds an undo copy of its free-list next
+//     pointer (InCLLn) in the same cache line as the pointer itself, so
+//     pushing and popping objects needs no logging I/O.
+//  3. Epoch-Based Reclamation: freed objects go to a limbo list and only
+//     become allocatable at the next epoch boundary. An object can be
+//     allocated only if it was free at the start of the epoch, so its
+//     *contents* never need logging — if the epoch fails, the object
+//     returns to the free list where its contents are irrelevant.
+//
+// The 16-byte header (§5.1): both header words pack a 44-bit pointer, a
+// 2-bit wrap counter, and 16 bits of the 32-bit epoch (the `next` word
+// carries the low half, the `nextInCLL` word the high half). Recovery
+// reconstructs the epoch only if the two counters match; mismatched
+// counters mean the crash interrupted the two-word update, in which case
+// `next` is restored from `nextInCLL` unconditionally.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"incll/internal/epoch"
+	"incll/internal/nvm"
+)
+
+// Size classes in words, header included. Payload capacity is two words
+// less. Objects are 16-byte aligned like the paper's allocations, and every
+// refill starts on a cache-line boundary so objects never straddle lines
+// unnecessarily (class sizes are powers of two up to a line, or multiples
+// of a line beyond it).
+var classWords = []uint64{4, 8, 16, 32, 64, 128}
+
+// NumClasses is the number of general size classes.
+const NumClasses = 6
+
+// The node class is special: tree nodes need (a) a cache-line-aligned
+// payload, because their layout assigns fields to specific lines, and
+// (b) a header that does not overlap the payload, because the tree
+// overwrites every payload word and would corrupt an embedded free-list
+// header. Node objects are therefore NodeClassWords long with the payload
+// a full line past the object base.
+const (
+	nodeClass         = NumClasses // per-shard head index of the node class
+	totalClasses      = NumClasses + 1
+	NodeClassWords    = 48
+	nodePayloadOffset = 8
+)
+
+func classSize(c int) uint64 {
+	if c == nodeClass {
+		return NodeClassWords
+	}
+	return classWords[c]
+}
+
+const (
+	headerWords = 2 // next + nextInCLL
+
+	// Per-shard, per-class durable head line layout (one cache line):
+	chHead      = 0 // allocatable list head (word offset of object, 0 = empty)
+	chHeadInCLL = 1 // undo copy of chHead at epoch start
+	chLimbo     = 2 // limbo list head (freed this epoch)
+	chLimboInCL = 3 // undo copy of chLimbo at epoch start
+	chEpoch     = 4 // epoch tag guarding the two InCLLs above
+
+	// Wilderness header line layout:
+	wBump      = 0 // first unused word of the heap region
+	wBumpInCLL = 1 // undo copy at epoch start
+	wEpoch     = 2 // epoch tag
+
+	refillObjects = 64 // objects carved from the wilderness per refill
+)
+
+// Allocator manages a durable heap region. Each worker thread uses its own
+// Handle (shard); shards have independent durable free lists, so the fast
+// path is lock-free with respect to other threads.
+type Allocator struct {
+	arena *nvm.Arena
+	mgr   *epoch.Manager
+
+	metaOff   uint64 // shard class-head lines, then wilderness line
+	heapOff   uint64 // first object word
+	heapEnd   uint64
+	wildOff   uint64 // wilderness header line
+	numShards int
+
+	wildMu sync.Mutex
+
+	shards []Handle
+}
+
+// MetaWords returns the metadata region size (reserve target) for the
+// given shard count.
+func MetaWords(shards int) uint64 {
+	return uint64(shards)*totalClasses*nvm.WordsPerLine + nvm.WordsPerLine
+}
+
+// New creates (or, after a crash, re-attaches) an allocator whose metadata
+// lives at metaOff (MetaWords(shards) words) and whose heap is
+// [heapOff, heapOff+heapWords). Both regions must have been reserved by
+// the caller at deterministic offsets so a recovering process finds them
+// again. Recovery of the durable heads happens here, eagerly; object
+// headers are recovered lazily as they are popped.
+func New(a *nvm.Arena, m *epoch.Manager, metaOff, heapOff, heapWords uint64, shards int) *Allocator {
+	if shards <= 0 {
+		panic("alloc: shards must be > 0")
+	}
+	al := &Allocator{
+		arena:     a,
+		mgr:       m,
+		metaOff:   metaOff,
+		heapOff:   (heapOff + nvm.WordsPerLine - 1) &^ (nvm.WordsPerLine - 1), // line align
+		heapEnd:   heapOff + heapWords,
+		wildOff:   metaOff + uint64(shards)*totalClasses*nvm.WordsPerLine,
+		numShards: shards,
+	}
+	// Initialize or recover the wilderness bump pointer.
+	if a.Load(al.wildOff+wBump) == 0 {
+		a.Store(al.wildOff+wBump, al.heapOff)
+		a.Store(al.wildOff+wBumpInCLL, al.heapOff)
+		a.Store(al.wildOff+wEpoch, m.Current())
+	} else if m.IsFailed(a.Load(al.wildOff + wEpoch)) {
+		a.Store(al.wildOff+wBump, a.Load(al.wildOff+wBumpInCLL))
+		a.Store(al.wildOff+wEpoch, m.Current())
+	}
+	// Initialize or recover every shard's class heads.
+	al.shards = make([]Handle, shards)
+	for s := 0; s < shards; s++ {
+		al.shards[s] = Handle{al: al, shard: s}
+		for c := 0; c < totalClasses; c++ {
+			off := al.classOff(s, c)
+			if m.IsFailed(a.Load(off + chEpoch)) {
+				a.Store(off+chHead, a.Load(off+chHeadInCLL))
+				a.Store(off+chLimbo, a.Load(off+chLimboInCL))
+				a.Store(off+chEpoch, m.Current())
+			}
+		}
+	}
+	m.OnAdvance(al.spliceLimbo)
+	return al
+}
+
+func (al *Allocator) classOff(shard, class int) uint64 {
+	return al.metaOff + uint64(shard*totalClasses+class)*nvm.WordsPerLine
+}
+
+// Handle returns shard i's allocation handle. Each concurrent worker must
+// use a distinct handle; handles are not safe for concurrent use.
+func (al *Allocator) Handle(i int) *Handle { return &al.shards[i] }
+
+// Shards returns the number of shards.
+func (al *Allocator) Shards() int { return al.numShards }
+
+// ClassFor returns the size class index for a payload of the given words,
+// or -1 if the payload exceeds the largest class.
+func ClassFor(payloadWords uint64) int {
+	need := payloadWords + headerWords
+	for c, w := range classWords {
+		if need <= w {
+			return c
+		}
+	}
+	return -1
+}
+
+// ClassPayloadWords returns the payload capacity of class c.
+func ClassPayloadWords(c int) uint64 { return classWords[c] - headerWords }
+
+// spliceLimbo runs at every epoch boundary (world stopped): freed objects
+// from the finished epoch become allocatable, per Epoch-Based Reclamation.
+func (al *Allocator) spliceLimbo(newEpoch uint64) {
+	a := al.arena
+	for s := 0; s < al.numShards; s++ {
+		for c := 0; c < totalClasses; c++ {
+			off := al.classOff(s, c)
+			limbo := a.Load(off + chLimbo)
+			if limbo == 0 {
+				continue
+			}
+			// Walk to the limbo tail and hang the allocatable list off it.
+			// This runs in the *new* epoch, so every mutation below is
+			// InCLL-protected like any other epoch's first mutation.
+			tail := limbo
+			for {
+				next := al.loadNext(tail)
+				if next == 0 {
+					break
+				}
+				tail = next
+			}
+			head := a.Load(off + chHead)
+			if head != 0 {
+				al.storeNext(tail, head, newEpoch)
+			}
+			al.logClassHeads(off, newEpoch)
+			a.Store(off+chHead, limbo)
+			a.Store(off+chLimbo, 0)
+		}
+	}
+}
+
+// logClassHeads performs the InCLLp-style first-touch logging of a class
+// head line for the given epoch: save undo copies, then tag. All five
+// words share a cache line, so PCSO orders the writes for free.
+func (al *Allocator) logClassHeads(off, cur uint64) {
+	a := al.arena
+	if a.Load(off+chEpoch) == cur {
+		return
+	}
+	a.Store(off+chHeadInCLL, a.Load(off+chHead))
+	a.Store(off+chLimboInCL, a.Load(off+chLimbo))
+	a.Store(off+chEpoch, cur)
+}
+
+// ---- object header encoding (§5.1) ----
+//
+// word: bits 0-1 wrap counter | bits 2-45 pointer (word offset >> 1) |
+// bits 48-63 one half of the 32-bit epoch.
+
+func packHeader(ptr uint64, counter uint64, epochHalf uint64) uint64 {
+	return (counter & 3) | (ptr >> 1 << 2) | (epochHalf&0xFFFF)<<48
+}
+
+func headerPtr(w uint64) uint64     { return w >> 2 & (1<<44 - 1) << 1 }
+func headerCounter(w uint64) uint64 { return w & 3 }
+func headerEpoch16(w uint64) uint64 { return w >> 48 & 0xFFFF }
+
+// reconstructEpoch rebuilds the 32-bit header epoch and widens it to the
+// 64-bit epoch space by assuming it lies at most 2^32 epochs in the past —
+// the paper makes the same 8-year assumption for its 32-bit indices.
+func (al *Allocator) reconstructEpoch(next, inCLL uint64) (uint64, bool) {
+	if headerCounter(next) != headerCounter(inCLL) {
+		return 0, false // torn header update
+	}
+	e32 := headerEpoch16(next) | headerEpoch16(inCLL)<<16
+	cur := al.mgr.Current()
+	high := cur &^ 0xFFFFFFFF
+	cand := high | e32
+	if cand > cur {
+		if cand < 1<<32 {
+			// An epoch from the future can only be a torn or garbage
+			// header; report it as torn so the caller restores from the
+			// in-line undo copy.
+			return 0, false
+		}
+		cand -= 1 << 32
+		if cand > cur {
+			return 0, false
+		}
+	}
+	return cand, true
+}
+
+// loadNext reads an object's free-list next pointer, lazily recovering the
+// header if it was last written in a failed or torn epoch.
+func (al *Allocator) loadNext(obj uint64) uint64 {
+	a := al.arena
+	next := a.Load(obj)
+	inCLL := a.Load(obj + 1)
+	e, ok := al.reconstructEpoch(next, inCLL)
+	if !ok || al.mgr.IsFailed(e) {
+		// Restore from the in-line undo copy. Persisting this repair is
+		// not required: if we crash again the same repair reapplies.
+		next = packHeader(headerPtr(inCLL), headerCounter(inCLL), headerEpoch16(next))
+		a.Store(obj, next)
+	}
+	return headerPtr(next)
+}
+
+// storeNext updates an object's next pointer in epoch cur, logging the old
+// value into the same cache line on the first touch of the epoch.
+func (al *Allocator) storeNext(obj, next, cur uint64) {
+	a := al.arena
+	oldNext := a.Load(obj)
+	oldInCLL := a.Load(obj + 1)
+	e, ok := al.reconstructEpoch(oldNext, oldInCLL)
+	if !ok || al.mgr.IsFailed(e) {
+		oldNext = packHeader(headerPtr(oldInCLL), headerCounter(oldInCLL), headerEpoch16(oldNext))
+		e, _ = al.reconstructEpoch(oldNext, oldInCLL)
+	}
+	if e != cur { // first touch this epoch
+		ctr := (headerCounter(oldNext) + 1) & 3
+		// Undo copy first, then the mutation — same line, PCSO-ordered.
+		a.Store(obj+1, packHeader(headerPtr(oldNext), ctr, cur>>16&0xFFFF))
+		a.Store(obj, packHeader(next, ctr, cur&0xFFFF))
+		return
+	}
+	a.Store(obj, packHeader(next, headerCounter(oldNext), cur&0xFFFF))
+}
+
+// refill carves refillObjects objects of class c from the wilderness and
+// returns them as a linked list (head offset), or 0 if the heap is full.
+func (al *Allocator) refill(c int, cur uint64) uint64 {
+	al.wildMu.Lock()
+	defer al.wildMu.Unlock()
+	a := al.arena
+	size := classSize(c)
+	bump := a.Load(al.wildOff + wBump)
+	// Start every refill run on a line boundary so line-sized-or-larger
+	// objects are line-aligned and sub-line objects never straddle lines.
+	bump = (bump + nvm.WordsPerLine - 1) &^ uint64(nvm.WordsPerLine-1)
+	n := uint64(refillObjects)
+	if bump+size*n > al.heapEnd {
+		n = (al.heapEnd - bump) / size
+		if n == 0 {
+			return 0
+		}
+	}
+	// InCLL-log the bump pointer on first touch of this epoch.
+	if a.Load(al.wildOff+wEpoch) != cur {
+		a.Store(al.wildOff+wBumpInCLL, bump)
+		a.Store(al.wildOff+wEpoch, cur)
+	}
+	a.Store(al.wildOff+wBump, bump+size*n)
+	// Link the fresh objects. Their headers are zero (fresh NVM), so we
+	// write full headers tagged with the current epoch; if this epoch
+	// fails, the bump pointer rolls back and the contents are irrelevant.
+	for i := uint64(0); i < n; i++ {
+		obj := bump + i*size
+		next := uint64(0)
+		if i+1 < n {
+			next = obj + size
+		}
+		a.Store(obj+1, packHeader(0, 0, cur>>16&0xFFFF))
+		a.Store(obj, packHeader(next, 0, cur&0xFFFF))
+	}
+	return bump
+}
+
+// Handle is a single shard's allocation interface. Not safe for concurrent
+// use; give each worker its own handle.
+type Handle struct {
+	al    *Allocator
+	shard int
+}
+
+// Alloc returns the payload offset of a fresh object able to hold
+// payloadWords words, or 0 if the heap is exhausted or the size exceeds
+// the largest class. The fast path touches only cached NVM lines: no
+// write-back, no fence.
+func (h *Handle) Alloc(payloadWords uint64) uint64 {
+	c := ClassFor(payloadWords)
+	if c < 0 {
+		return 0
+	}
+	obj := h.allocFrom(c)
+	if obj == 0 {
+		return 0
+	}
+	return obj + headerWords
+}
+
+// AllocNode returns a cache-line-aligned node payload of NodeWords-class
+// size, or 0 when the heap is exhausted.
+func (h *Handle) AllocNode() uint64 {
+	obj := h.allocFrom(nodeClass)
+	if obj == 0 {
+		return 0
+	}
+	return obj + nodePayloadOffset
+}
+
+// FreeNode returns a node payload obtained from AllocNode to the limbo
+// list.
+func (h *Handle) FreeNode(payload uint64) {
+	h.freeTo(nodeClass, payload-nodePayloadOffset)
+}
+
+func (h *Handle) allocFrom(c int) uint64 {
+	al, a := h.al, h.al.arena
+	cur := al.mgr.Current()
+	off := al.classOff(h.shard, c)
+	head := a.Load(off + chHead)
+	if head == 0 {
+		head = al.refill(c, cur)
+		if head == 0 {
+			return 0
+		}
+		al.logClassHeads(off, cur)
+		a.Store(off+chHead, head)
+	}
+	next := al.loadNext(head)
+	al.logClassHeads(off, cur)
+	a.Store(off+chHead, next)
+	return head
+}
+
+// Free returns the object owning payload to this shard's limbo list; it
+// becomes allocatable at the next epoch boundary (EBR). payloadWords must
+// match the Alloc size (it selects the class).
+func (h *Handle) Free(payload uint64, payloadWords uint64) {
+	c := ClassFor(payloadWords)
+	if c < 0 {
+		panic(fmt.Sprintf("alloc: Free of oversized payload (%d words)", payloadWords))
+	}
+	h.freeTo(c, payload-headerWords)
+}
+
+func (h *Handle) freeTo(c int, obj uint64) {
+	al, a := h.al, h.al.arena
+	cur := al.mgr.Current()
+	off := al.classOff(h.shard, c)
+	al.logClassHeads(off, cur)
+	al.storeNext(obj, a.Load(off+chLimbo), cur)
+	a.Store(off+chLimbo, obj)
+}
+
+// FreeListLen walks shard s's class-c allocatable list; test helper.
+func (al *Allocator) FreeListLen(s, c int) int {
+	n := 0
+	for obj := al.arena.Load(al.classOff(s, c) + chHead); obj != 0; obj = al.loadNext(obj) {
+		n++
+	}
+	return n
+}
+
+// LimboLen walks shard s's class-c limbo list; test helper.
+func (al *Allocator) LimboLen(s, c int) int {
+	n := 0
+	for obj := al.arena.Load(al.classOff(s, c) + chLimbo); obj != 0; obj = al.loadNext(obj) {
+		n++
+	}
+	return n
+}

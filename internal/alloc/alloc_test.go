@@ -1,0 +1,446 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incll/internal/epoch"
+	"incll/internal/nvm"
+)
+
+type fixture struct {
+	arena *nvm.Arena
+	mgr   *epoch.Manager
+	al    *Allocator
+	meta  uint64
+	heap  uint64
+}
+
+const testHeapWords = 1 << 16
+
+func build(a *nvm.Arena, shards int) *fixture {
+	// Deterministic layout: epoch header, then alloc meta, then heap.
+	// The same Reserve sequence re-derives it after a crash.
+	eOff := a.Reserve(epoch.HeaderWords)
+	meta := a.Reserve(MetaWords(shards))
+	heap := a.Reserve(testHeapWords)
+	mgr, _ := epoch.Open(a, eOff)
+	al := New(a, mgr, meta, heap, testHeapWords, shards)
+	return &fixture{arena: a, mgr: mgr, al: al, meta: meta, heap: heap}
+}
+
+func newFixture(t testing.TB, shards int) *fixture {
+	t.Helper()
+	return build(nvm.New(nvm.Config{Words: 1 << 20}), shards)
+}
+
+// rebuild simulates process restart on the same NVM image: the reserve
+// sequence replays and re-derives the same region offsets.
+func (f *fixture) rebuild() *fixture {
+	f.arena.ResetReservations()
+	return build(f.arena, f.al.Shards())
+}
+
+func TestAllocReturnsDistinctAlignedPayloads(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		p := h.Alloc(2)
+		if p == 0 {
+			t.Fatal("alloc failed with plenty of heap")
+		}
+		if p%2 != 0 {
+			t.Fatalf("payload %d not 16-byte aligned", p)
+		}
+		if seen[p] {
+			t.Fatalf("payload %d handed out twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		payload uint64
+		class   int
+	}{
+		{1, 0}, {2, 0}, {3, 1}, {6, 1}, {7, 2}, {14, 2}, {126, 5}, {127, -1}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := ClassFor(c.payload); got != c.class {
+			t.Errorf("ClassFor(%d) = %d, want %d", c.payload, got, c.class)
+		}
+	}
+}
+
+func TestFreeGoesToLimboNotFreeList(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	p := h.Alloc(2)
+	before := f.al.FreeListLen(0, 0)
+	h.Free(p, 2)
+	if got := f.al.LimboLen(0, 0); got != 1 {
+		t.Fatalf("limbo len = %d, want 1", got)
+	}
+	if got := f.al.FreeListLen(0, 0); got != before {
+		t.Fatalf("free list changed by Free: %d -> %d", before, got)
+	}
+}
+
+func TestEBRFreedObjectNotReusedSameEpoch(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	p := h.Alloc(2)
+	h.Free(p, 2)
+	// Drain the entire free list this epoch; p must never come back.
+	for {
+		q := h.Alloc(2)
+		if q == 0 {
+			break
+		}
+		if q == p {
+			t.Fatal("freed object reused within the same epoch (EBR violation)")
+		}
+	}
+}
+
+func TestLimboSplicedAtEpochBoundary(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	p := h.Alloc(2)
+	h.Free(p, 2)
+	f.mgr.Advance()
+	if got := f.al.LimboLen(0, 0); got != 0 {
+		t.Fatalf("limbo not spliced: len=%d", got)
+	}
+	// Now p is allocatable again.
+	seen := false
+	for {
+		q := h.Alloc(2)
+		if q == 0 {
+			break
+		}
+		if q == p {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Fatal("freed object never became allocatable after the epoch boundary")
+	}
+}
+
+func TestAllocNeverFencesOnFastPath(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	h.Alloc(2) // warm up (refill may touch the wilderness)
+	s0 := f.arena.Stats().Snapshot()
+	for i := 0; i < 50; i++ {
+		p := h.Alloc(2)
+		h.Free(p, 2)
+	}
+	d := f.arena.Stats().Snapshot().Sub(s0)
+	if d.Fences != 0 || d.Writebacks != 0 {
+		t.Fatalf("alloc/free fast path issued persistence ops: %v", d)
+	}
+}
+
+func TestHeapExhaustionReturnsZero(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	eOff := a.Reserve(epoch.HeaderWords)
+	meta := a.Reserve(MetaWords(1))
+	heap := a.Reserve(256) // tiny heap: 64 class-0 objects
+	mgr, _ := epoch.Open(a, eOff)
+	al := New(a, mgr, meta, heap, 256, 1)
+	h := al.Handle(0)
+	n := 0
+	for h.Alloc(2) != 0 {
+		n++
+		if n > 10000 {
+			t.Fatal("allocation never exhausted a 2 KiB heap")
+		}
+	}
+	if n == 0 {
+		t.Fatal("no allocation succeeded")
+	}
+	if got := h.Alloc(2); got != 0 {
+		t.Fatalf("alloc after exhaustion = %d, want 0", got)
+	}
+}
+
+func TestCrashRollsBackAllocations(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	// Commit a known state: one allocation, then a boundary.
+	p0 := h.Alloc(2)
+	f.mgr.Advance()
+	committedFree := f.al.FreeListLen(0, 0)
+
+	// Allocate more in the doomed epoch.
+	var doomed []uint64
+	for i := 0; i < 10; i++ {
+		doomed = append(doomed, h.Alloc(2))
+	}
+	f.arena.Crash(nvm.RandomPolicy(0.5, 7))
+
+	f2 := f.rebuild()
+	if got := f2.al.FreeListLen(0, 0); got != committedFree {
+		t.Fatalf("free list after crash = %d objects, want %d", got, committedFree)
+	}
+	// The committed allocation p0 must not be on the free list.
+	h2 := f2.al.Handle(0)
+	for {
+		q := h2.Alloc(2)
+		if q == 0 {
+			break
+		}
+		if q == p0 {
+			t.Fatal("committed allocation resurfaced on the free list")
+		}
+	}
+	_ = doomed
+}
+
+func TestCrashRollsBackFrees(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	p := h.Alloc(2)
+	f.mgr.Advance() // commit: p is allocated
+	h.Free(p, 2)    // doomed free
+	f.arena.Crash(nvm.RandomPolicy(0.5, 11))
+
+	f2 := f.rebuild()
+	// p must still be allocated: draining every class-0 object never
+	// yields p.
+	h2 := f2.al.Handle(0)
+	for {
+		q := h2.Alloc(2)
+		if q == 0 {
+			break
+		}
+		if q == p {
+			t.Fatal("doomed free survived the crash: object leaked back to the free list")
+		}
+	}
+}
+
+func TestCommittedStateSurvivesManyCrashPolicies(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := newFixture(t, 1)
+		h := f.al.Handle(0)
+		var live []uint64
+		for i := 0; i < 20; i++ {
+			live = append(live, h.Alloc(2))
+		}
+		f.mgr.Advance()
+		want := f.al.FreeListLen(0, 0) // committed free count
+
+		// Doomed epoch churn.
+		for i := 0; i < 15; i++ {
+			h.Free(live[i], 2)
+			h.Alloc(2)
+		}
+		f.arena.Crash(nvm.RandomPolicy(0.5, seed))
+		f2 := f.rebuild()
+		if got := f2.al.FreeListLen(0, 0); got != want {
+			t.Fatalf("seed %d: free list = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestShardsAreIndependent(t *testing.T) {
+	f := newFixture(t, 4)
+	ps := map[uint64]bool{}
+	for s := 0; s < 4; s++ {
+		h := f.al.Handle(s)
+		for i := 0; i < 50; i++ {
+			p := h.Alloc(2)
+			if p == 0 {
+				t.Fatal("alloc failed")
+			}
+			if ps[p] {
+				t.Fatalf("shards handed out the same object %d", p)
+			}
+			ps[p] = true
+		}
+	}
+}
+
+func TestHeaderPackingRoundTrip(t *testing.T) {
+	f := func(ptr uint64, ctr uint64, e uint64) bool {
+		ptr = ptr & (1<<44 - 1) << 1 // 2-word aligned, 45-bit range
+		w := packHeader(ptr, ctr, e)
+		return headerPtr(w) == ptr && headerCounter(w) == ctr&3 && headerEpoch16(w) == e&0xFFFF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructEpochCounterMismatch(t *testing.T) {
+	f := newFixture(t, 1)
+	// Advance so that epoch 5 is in the past.
+	for f.mgr.Current() < 6 {
+		f.mgr.Advance()
+	}
+	next := packHeader(16, 1, 0x0005)
+	inCLL := packHeader(32, 2, 0x0000) // different counter: torn
+	if _, ok := f.al.reconstructEpoch(next, inCLL); ok {
+		t.Fatal("mismatched counters must be reported as torn")
+	}
+	inCLL2 := packHeader(32, 1, 0x0000)
+	e, ok := f.al.reconstructEpoch(next, inCLL2)
+	if !ok || e != 5 {
+		t.Fatalf("reconstructed epoch = %d/%v, want 5/true", e, ok)
+	}
+	// A header claiming a future epoch is garbage and must read as torn.
+	future := packHeader(16, 1, 0x7FFF)
+	if _, ok := f.al.reconstructEpoch(future, inCLL2); ok {
+		t.Fatal("future epoch must be reported as torn")
+	}
+}
+
+func TestTornHeaderRecoversFromInCLL(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	p := h.Alloc(2)
+	obj := p - headerWords
+	// Manufacture a torn header: next has a bumped counter, inCLL is old.
+	inCLL := f.arena.Load(obj + 1)
+	f.arena.Store(obj, packHeader(12345*2, headerCounter(inCLL)+1, 0))
+	if got := f.al.loadNext(obj); got != headerPtr(inCLL) {
+		t.Fatalf("torn header recovered to %d, want inCLL ptr %d", got, headerPtr(inCLL))
+	}
+}
+
+// Property: alternating churn with boundaries and crashes never loses or
+// duplicates objects: free-list + limbo + live set always partitions the
+// carved heap.
+func TestPropertyNoLeakNoDup(t *testing.T) {
+	fprop := func(seed int64) bool {
+		f := newFixture(t, 1)
+		h := f.al.Handle(0)
+		rng := rand.New(rand.NewSource(seed))
+		live := map[uint64]bool{}
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				f.mgr.Advance()
+			case 1, 2, 3:
+				if len(live) > 0 {
+					for p := range live {
+						h.Free(p, 2)
+						delete(live, p)
+						break
+					}
+				}
+			default:
+				p := h.Alloc(2)
+				if p == 0 {
+					continue
+				}
+				if live[p] {
+					return false // double allocation
+				}
+				live[p] = true
+			}
+		}
+		// Account: every object carved from the wilderness is either
+		// live, allocatable, or in limbo.
+		carved := (f.arena.Load(f.al.wildOff+wBump) - f.al.heapOff) / classWords[0]
+		total := uint64(len(live)) + uint64(f.al.FreeListLen(0, 0)) + uint64(f.al.LimboLen(0, 0))
+		return carved == total
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		if !fprop(seed) {
+			t.Fatalf("object accounting broken for seed %d", seed)
+		}
+	}
+}
+
+func TestAllocNodeIsLineAlignedAndDisjoint(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		n := h.AllocNode()
+		if n == 0 {
+			t.Fatal("AllocNode failed")
+		}
+		if n%nvm.WordsPerLine != 0 {
+			t.Fatalf("node %d not cache-line aligned", n)
+		}
+		// Node payloads must not overlap each other or their headers.
+		for off := n; off < n+40; off++ {
+			if seen[off] {
+				t.Fatalf("node word %d handed out twice", off)
+			}
+			seen[off] = true
+		}
+	}
+}
+
+func TestNodeHeaderSurvivesPayloadWrites(t *testing.T) {
+	// The free-list header must live outside the node payload: writing
+	// every payload word and then freeing/re-splicing must not corrupt
+	// the list.
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	nodes := make([]uint64, 50)
+	for i := range nodes {
+		nodes[i] = h.AllocNode()
+		for w := uint64(0); w < 40; w++ {
+			f.arena.Store(nodes[i]+w, ^uint64(0)) // worst-case garbage
+		}
+	}
+	for _, n := range nodes {
+		h.FreeNode(n)
+	}
+	f.mgr.Advance() // splice limbo
+	// Every node must come back exactly once.
+	back := map[uint64]int{}
+	for {
+		n := h.AllocNode()
+		if n == 0 {
+			break
+		}
+		back[n]++
+	}
+	for _, n := range nodes {
+		if back[n] != 1 {
+			t.Fatalf("node %d came back %d times", n, back[n])
+		}
+	}
+}
+
+func TestNodeAllocCrashRollback(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.al.Handle(0)
+	n1 := h.AllocNode()
+	f.mgr.Advance() // commit: n1 allocated
+	var doomed []uint64
+	for i := 0; i < 10; i++ {
+		doomed = append(doomed, h.AllocNode())
+	}
+	f.arena.Crash(nvm.RandomPolicy(0.5, 99))
+	f2 := f.rebuild()
+	h2 := f2.al.Handle(0)
+	got := map[uint64]bool{}
+	for {
+		n := h2.AllocNode()
+		if n == 0 {
+			break
+		}
+		if n == n1 {
+			t.Fatal("committed node allocation resurfaced on the free list")
+		}
+		got[n] = true
+	}
+	for _, d := range doomed {
+		if !got[d] {
+			t.Fatalf("doomed node %d leaked (not allocatable after crash)", d)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+// This file implements the paper's logging decision logic (§4.1, Listing 3)
+// and lazy recovery (§4.3, Listing 4):
+//
+//   - beforePermChange runs before an insert or remove modifies the
+//     permutation word, maintaining InCLLp (nodeEpoch, permutationInCLL,
+//     insAllowed, logged).
+//   - beforeValUpdate runs before an update overwrites a value pointer,
+//     maintaining InCLL1/InCLL2 — including the mid-epoch claim of an
+//     unused ValInCLL that the paper's §4.1.3 describes.
+//   - logLeaf / logInterior fall back to the external object log.
+//   - lazyRecoverLeaf / lazyRecoverInterior repair a node on its first
+//     access after a crash, under transient recovery locks.
+//
+// Persistence-ordering arguments are local to each cache line: the InCLLp
+// fields share line 0 with the permutation, and each ValInCLL shares its
+// line with the value words it can log, so "undo copy before mutation" in
+// program order is enough under PCSO — no flushes on these paths.
+
+// beforePermChange prepares the leaf for a permutation change in the
+// current epoch. isInsert distinguishes insertion (which a prior removal in
+// the same epoch forbids from using the InCLL) from removal (which is
+// always InCLL-compatible but forbids later insertions).
+func (h Handle) beforePermChange(n nodeRef, isInsert bool) {
+	s := h.s
+	cur := s.mgr.Current()
+	w := n.load(fEpoch)
+	if epochOf(w) == cur {
+		if loggedBit(w) {
+			return // fully covered by the external log this epoch
+		}
+		if isInsert {
+			if !insAllowedBit(w) {
+				// Remove-then-insert in one epoch could overwrite an
+				// entry that recovery must restore: external log.
+				h.logLeaf(n, cur)
+			}
+			return
+		}
+		// A removal forbids later InCLL insertions this epoch.
+		if insAllowedBit(w) {
+			n.store(fEpoch, packEpochWord(cur, false, false))
+		}
+		return
+	}
+	// First modification of this node in the current epoch.
+	if s.cfg.DisableInCLL || cur>>16 != epochOf(w)>>16 {
+		// LOGGING mode, or the 16-bit low-epoch encoding in the ValInCLLs
+		// would be ambiguous (happens about once an hour at 64 ms epochs).
+		h.logLeaf(n, cur)
+		return
+	}
+	n.store(fPermInCLL, uint64(n.perm()))
+	n.store(fInCLL1, invalidValInCLL(cur))
+	n.store(fInCLL2, invalidValInCLL(cur))
+	// Same cache line as the two stores above and the permutation that the
+	// caller is about to modify: PCSO orders everything for free.
+	n.store(fEpoch, packEpochWord(cur, isInsert, false))
+	s.stats.InCLLPerm.Add(1)
+}
+
+// beforeValUpdate prepares the leaf for overwriting vals[idx] in the
+// current epoch, logging the old pointer in the ValInCLL that shares its
+// cache line.
+func (h Handle) beforeValUpdate(n nodeRef, idx int) {
+	s := h.s
+	cur := s.mgr.Current()
+	w := n.load(fEpoch)
+	line := valLine(idx)
+	if epochOf(w) != cur {
+		// First modification this epoch.
+		if s.cfg.DisableInCLL || cur>>16 != epochOf(w)>>16 {
+			h.logLeaf(n, cur)
+			return
+		}
+		n.store(fPermInCLL, uint64(n.perm()))
+		vc := packValInCLL(n.val(idx), idx, cur)
+		if line == 0 {
+			n.store(fInCLL1, vc)
+			n.store(fInCLL2, invalidValInCLL(cur))
+		} else {
+			n.store(fInCLL1, invalidValInCLL(cur))
+			n.store(fInCLL2, vc)
+		}
+		n.store(fEpoch, packEpochWord(cur, true, false))
+		s.stats.InCLLVal.Add(1)
+		return
+	}
+	if loggedBit(w) {
+		return
+	}
+	ic := n.load(inCLLOff(line))
+	switch valInCLLIdx(ic) {
+	case idx:
+		// This slot's epoch-start value is already captured.
+		return
+	case invalidIdx:
+		// Claim the unused ValInCLL mid-epoch: idx was not modified yet
+		// this epoch (a same-epoch remove would have forced logging, and a
+		// same-epoch insert of this slot makes its value irrelevant after
+		// rollback), so its current value is the epoch-start value.
+		n.store(inCLLOff(line), packValInCLL(n.val(idx), idx, cur))
+		s.stats.InCLLVal.Add(1)
+		return
+	default:
+		// Two hot slots in one cache line: external log.
+		h.logLeaf(n, cur)
+	}
+}
+
+// logLeaf records the leaf's pre-image in the external log (once per
+// epoch) and marks it logged. The entry is durable when this returns.
+func (h Handle) logLeaf(n nodeRef, cur uint64) {
+	w := n.load(fEpoch)
+	if epochOf(w) == cur && loggedBit(w) {
+		return
+	}
+	if !h.lw.LogObject(n.off, NodeWords) {
+		panic("core: external log segment full; increase Config.LogSegWords or shorten epochs")
+	}
+	n.store(fEpoch, packEpochWord(cur, true, true))
+	h.s.stats.LoggedNodes.Add(1)
+}
+
+// logInterior records an interior node's pre-image (once per epoch).
+func (h Handle) logInterior(n nodeRef, cur uint64) {
+	if n.load(fLogEpoch) == cur {
+		return
+	}
+	if !h.lw.LogObject(n.off, NodeWords) {
+		panic("core: external log segment full; increase Config.LogSegWords or shorten epochs")
+	}
+	n.store(fLogEpoch, cur)
+	h.s.stats.LoggedNodes.Add(1)
+}
+
+// logNode dispatches on the node type.
+func (h Handle) logNode(n nodeRef, cur uint64) {
+	if n.isLeaf() {
+		h.logLeaf(n, cur)
+	} else {
+		h.logInterior(n, cur)
+	}
+}
+
+// ---- lazy recovery (Listing 4) ----
+
+// lazyRecoverLeaf repairs a leaf on its first access after a restart:
+// apply InCLLp and the ValInCLLs for failed epochs, refresh the in-line
+// undo state, and reinitialize the transient version word (the lock may
+// have crashed in a held state).
+func (s *Store) lazyRecoverLeaf(n nodeRef) {
+	execBase := s.mgr.CurrentExec()
+	w := n.load(fEpoch)
+	if epochOf(w) >= execBase {
+		return
+	}
+	lk := &s.recLocks[n.off%uint64(len(s.recLocks))]
+	lk.Lock()
+	defer lk.Unlock()
+	w = n.load(fEpoch)
+	ne := epochOf(w)
+	if ne >= execBase {
+		return
+	}
+	if s.mgr.IsFailed(ne) {
+		n.store(fPerm, n.load(fPermInCLL))
+	}
+	high := ne >> 16 << 16
+	for l := 0; l < 2; l++ {
+		ic := n.load(inCLLOff(l))
+		if idx := valInCLLIdx(ic); idx != invalidIdx && idx < LeafWidth {
+			if s.mgr.IsFailed(high | valInCLLEp16(ic)) {
+				n.store(valOff(idx), valInCLLPtr(ic))
+			}
+		}
+	}
+	// Reset the in-line logs so a crash in the current execution restores
+	// exactly this repaired state.
+	n.store(fPermInCLL, uint64(n.perm()))
+	n.store(fInCLL1, invalidValInCLL(execBase))
+	n.store(fInCLL2, invalidValInCLL(execBase))
+	n.store(fEpoch, packEpochWord(execBase, true, false))
+	n.store(fVersion, 0) // the lock state did not survive the crash
+	s.stats.LazyRecoveries.Add(1)
+}
+
+// lazyRecoverInterior reinitializes an interior node's transient state on
+// first access after a restart. Interior *content* was repaired eagerly by
+// the external log; only the version word needs care.
+func (s *Store) lazyRecoverInterior(n nodeRef) {
+	execBase := s.mgr.CurrentExec()
+	if n.load(fTouch) >= execBase {
+		return
+	}
+	lk := &s.recLocks[n.off%uint64(len(s.recLocks))]
+	lk.Lock()
+	defer lk.Unlock()
+	if n.load(fTouch) >= execBase {
+		return
+	}
+	n.store(fVersion, 0)
+	n.store(fTouch, execBase)
+	s.stats.LazyRecoveries.Add(1)
+}
+
+// lazyRecover dispatches on node type.
+func (s *Store) lazyRecover(n nodeRef) {
+	if n.isLeaf() {
+		s.lazyRecoverLeaf(n)
+	} else {
+		s.lazyRecoverInterior(n)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incll/internal/alloc"
+	"incll/internal/epoch"
+	"incll/internal/extlog"
+	"incll/internal/nvm"
+)
+
+// Config sizes and parameterizes a Store.
+type Config struct {
+	// Workers is the number of concurrent worker threads; each worker must
+	// use its own Handle. Sizes the allocator shards and log segments.
+	Workers int
+
+	// LogSegWords is the per-worker external-log segment size in words.
+	// Must be large enough for one epoch's worth of logged nodes.
+	LogSegWords uint64
+
+	// HeapWords is the durable heap size in words (nodes, value buffers,
+	// layer anchors all live there).
+	HeapWords uint64
+
+	// DisableInCLL switches the store to the paper's LOGGING ablation:
+	// every first modification per node per epoch goes to the external log
+	// instead of the in-cache-line logs (used by Figures 7 and 8).
+	DisableInCLL bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.LogSegWords == 0 {
+		c.LogSegWords = 1 << 20
+	}
+	if c.HeapWords == 0 {
+		c.HeapWords = 1 << 24
+	}
+}
+
+// Stats counts store-level events.
+type Stats struct {
+	LoggedNodes    atomic.Int64 // external-log entries written (Figure 7's metric)
+	InCLLPerm      atomic.Int64 // InCLLp first-touch captures
+	InCLLVal       atomic.Int64 // ValInCLL captures (first-touch or claimed)
+	LazyRecoveries atomic.Int64 // nodes repaired lazily after a restart
+	Puts           atomic.Int64
+	Gets           atomic.Int64
+	Deletes        atomic.Int64
+	Scans          atomic.Int64
+}
+
+// Tree-header root cell layout (one line).
+const (
+	tRoot      = 0
+	tRootInCLL = 1
+	tRootEpoch = 2
+	// tFingerprint guards against reopening with a layout-changing config:
+	// the arena's region offsets are derived from Workers and LogSegWords,
+	// so those must match across restarts.
+	tFingerprint = 3
+)
+
+// Layer-anchor payload layout (one line-resident object).
+const (
+	aRoot              = 0
+	aRootInCLL         = 1
+	aRootEpoch         = 2
+	anchorPayloadWords = 6
+)
+
+// Store is a durable Masstree plus all of its substrates: the epoch
+// manager, durable allocator, and external log, all over one NVM arena.
+type Store struct {
+	arena *nvm.Arena
+	mgr   *epoch.Manager
+	alloc *alloc.Allocator
+	log   *extlog.Log
+	cfg   Config
+
+	hdrOff   uint64 // tree-header root cell
+	recLocks []sync.Mutex
+
+	handles   []Handle
+	size      atomic.Int64
+	recovered int
+
+	stats Stats
+}
+
+// Open attaches a Store to the arena, reserving (or re-deriving, after a
+// restart) its regions, and performs full recovery: epoch analysis, root
+// and allocator head repair, external-log replay. Nodes are then repaired
+// lazily on first access. The returned status tells whether this was a
+// fresh start, a clean restart, or a crash recovery.
+//
+// The caller must have called arena.ResetReservations before re-opening an
+// arena that carries a previous execution's state.
+func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
+	cfg.setDefaults()
+	eOff := a.Reserve(epoch.HeaderWords)
+	hdr := a.Reserve(nvm.WordsPerLine)
+	metaOff := a.Reserve(alloc.MetaWords(cfg.Workers))
+	logOff := a.Reserve(extlog.RegionWords(cfg.LogSegWords, cfg.Workers))
+	heapOff := a.Reserve(cfg.HeapWords)
+
+	mgr, status := epoch.Open(a, eOff)
+	fp := cfg.Workers<<32 | int(cfg.LogSegWords&0xFFFFFFFF)
+	if old := a.Load(hdr + tFingerprint); old != 0 && old != uint64(fp) {
+		panic(fmt.Sprintf("core: arena was created with a different layout "+
+			"(Workers/LogSegWords fingerprint %#x, now %#x); reopen with the original Config", old, fp))
+	}
+	s := &Store{
+		arena:    a,
+		mgr:      mgr,
+		cfg:      cfg,
+		hdrOff:   hdr,
+		recLocks: make([]sync.Mutex, 1024),
+	}
+	// Repair the root cell eagerly (a single line).
+	if mgr.IsFailed(a.Load(hdr + tRootEpoch)) {
+		a.Store(hdr+tRoot, a.Load(hdr+tRootInCLL))
+		a.Store(hdr+tRootEpoch, mgr.Current())
+	}
+	// Stamp the layout fingerprint durably on first open. Sharing the epoch
+	// header's fence keeps this off any hot path.
+	if a.Load(hdr+tFingerprint) == 0 {
+		a.Store(hdr+tFingerprint, uint64(fp))
+		a.Writeback(hdr)
+		a.Fence()
+	}
+	s.alloc = alloc.New(a, mgr, metaOff, heapOff, cfg.HeapWords, cfg.Workers)
+	s.log = extlog.New(a, mgr, logOff, cfg.LogSegWords, cfg.Workers)
+	// Replay pre-images of the failed epoch, flush the repaired state, and
+	// retire the log generation. Also persists the root/allocator repairs
+	// above. Everything else recovers lazily.
+	s.recovered = s.log.Recover()
+
+	s.handles = make([]Handle, cfg.Workers)
+	for i := range s.handles {
+		s.handles[i] = Handle{
+			s:  s,
+			lw: s.log.Writer(i),
+			ah: s.alloc.Handle(i),
+		}
+	}
+	return s, status
+}
+
+// RebuildLen walks the tree once to rebuild the transient Len counter
+// after a restart. Optional: recovery itself is lazy and does not need it,
+// so it is not part of Open (the paper's recovery cost excludes any full
+// walk). Returns the recomputed count.
+func (s *Store) RebuildLen() int {
+	var n int64
+	s.handles[0].Scan(nil, -1, func([]byte, uint64) bool {
+		n++
+		return true
+	})
+	s.size.Store(n)
+	return int(n)
+}
+
+// RecoveredLogEntries reports how many external-log pre-images the last
+// Open applied.
+func (s *Store) RecoveredLogEntries() int { return s.recovered }
+
+// Handle returns worker i's handle. Each concurrent worker must use its
+// own handle (it owns a log writer segment and an allocator shard).
+func (s *Store) Handle(i int) Handle { return s.handles[i] }
+
+// Arena returns the underlying simulated NVM.
+func (s *Store) Arena() *nvm.Arena { return s.arena }
+
+// Epochs returns the epoch manager.
+func (s *Store) Epochs() *epoch.Manager { return s.mgr }
+
+// Log returns the external log.
+func (s *Store) Log() *extlog.Log { return s.log }
+
+// Stats returns the store's counters.
+func (s *Store) Stats() *Stats { return &s.stats }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return int(s.size.Load()) }
+
+// Advance ends the current epoch: quiesce, flush, begin the next. Returns
+// the number of cache lines flushed.
+func (s *Store) Advance() int { return s.mgr.Advance() }
+
+// StartTicker advances epochs every interval (the paper uses 64 ms).
+func (s *Store) StartTicker(interval time.Duration) { s.mgr.StartTicker(interval) }
+
+// StopTicker stops the background ticker.
+func (s *Store) StopTicker() { s.mgr.StopTicker() }
+
+// Shutdown flushes everything and marks a clean shutdown.
+func (s *Store) Shutdown() { s.mgr.Shutdown() }
+
+// Convenience single-threaded API on worker 0's handle.
+
+// Get returns the value stored under k.
+func (s *Store) Get(k []byte) (uint64, bool) { return s.handles[0].Get(k) }
+
+// Put stores v under k; reports whether k was newly inserted.
+func (s *Store) Put(k []byte, v uint64) bool { return s.handles[0].Put(k, v) }
+
+// Delete removes k; reports whether it was present.
+func (s *Store) Delete(k []byte) bool { return s.handles[0].Delete(k) }
+
+// Scan visits up to max keys ≥ start in order.
+func (s *Store) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	return s.handles[0].Scan(start, max, fn)
+}
+
+// ---- root cells ----
+
+// rootCell is an InCLL-protected root pointer: the tree header for layer 0
+// and one allocated anchor object per deeper layer. All three words share
+// a cache line, so the undo-copy → tag → mutate sequence is PCSO-ordered.
+type rootCell struct {
+	s   *Store
+	off uint64
+}
+
+func (c rootCell) root() uint64 {
+	c.lazyRecover()
+	return c.s.arena.Load(c.off + tRoot)
+}
+
+// lazyRecover repairs an anchor cell on first access after a restart (the
+// layer-0 header is repaired eagerly in Open, and this is then a no-op).
+func (c rootCell) lazyRecover() {
+	a := c.s.arena
+	tag := a.Load(c.off + tRootEpoch)
+	if tag >= c.s.mgr.CurrentExec() {
+		return
+	}
+	lk := &c.s.recLocks[c.off%uint64(len(c.s.recLocks))]
+	lk.Lock()
+	defer lk.Unlock()
+	tag = a.Load(c.off + tRootEpoch)
+	if tag >= c.s.mgr.CurrentExec() {
+		return
+	}
+	if c.s.mgr.IsFailed(tag) {
+		a.Store(c.off+tRoot, a.Load(c.off+tRootInCLL))
+	}
+	a.Store(c.off+tRootInCLL, a.Load(c.off+tRoot))
+	a.Store(c.off+tRootEpoch, c.s.mgr.CurrentExec())
+}
+
+// logCell captures the cell's undo state for the current epoch (first
+// touch only).
+func (c rootCell) logCell(cur uint64) {
+	a := c.s.arena
+	if a.Load(c.off+tRootEpoch) != cur {
+		a.Store(c.off+tRootInCLL, a.Load(c.off+tRoot))
+		a.Store(c.off+tRootEpoch, cur)
+	}
+}
+
+// setRoot updates the root pointer with InCLL protection. Callers
+// serialize structurally (the old root's lock is held during splits).
+func (c rootCell) setRoot(newRoot, cur uint64) {
+	c.logCell(cur)
+	c.s.arena.Store(c.off+tRoot, newRoot)
+}
+
+// casRoot installs the first root of an empty cell.
+func (c rootCell) casRoot(old, newRoot, cur uint64) bool {
+	c.logCell(cur)
+	return c.s.arena.CompareAndSwap(c.off+tRoot, old, newRoot)
+}

@@ -1,0 +1,585 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"incll/internal/alloc"
+	"incll/internal/extlog"
+)
+
+// Key slicing, identical to internal/masstree: each trie layer indexes an
+// 8-byte big-endian slice; kind 0..8 means the key ends here with that many
+// bytes, kindLayer means it continues in a next-layer tree.
+const kindLayer = 9
+
+func ikeyOf(k []byte) (uint64, uint8) {
+	var buf [8]byte
+	n := copy(buf[:], k)
+	ik := binary.BigEndian.Uint64(buf[:])
+	if len(k) > 8 {
+		return ik, kindLayer
+	}
+	return ik, uint8(n)
+}
+
+// EncodeUint64 renders v as an 8-byte big-endian key (integer order equals
+// key order), the form the YCSB workloads use.
+func EncodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// Handle is one worker's interface to the durable tree. Handles are not
+// safe for concurrent use; give each worker its own (they own an external
+// log segment and an allocator shard).
+type Handle struct {
+	s  *Store
+	lw *extlog.Writer
+	ah *alloc.Handle
+}
+
+func (h Handle) ref(off uint64) nodeRef { return nodeRef{a: h.s.arena, off: off} }
+
+func (h Handle) rootCell0() rootCell { return rootCell{s: h.s, off: h.s.hdrOff} }
+
+// ---- node construction ----
+
+func (h Handle) newLeaf(cur uint64) nodeRef {
+	off := h.ah.AllocNode()
+	if off == 0 {
+		panic("core: durable heap exhausted (increase Config.HeapWords)")
+	}
+	n := h.ref(off)
+	n.store(fVersion, 0)
+	n.store(fParent, 0)
+	n.store(fMeta, metaLeaf)
+	n.store(fNext, 0)
+	// Born logged: a crash in the birth epoch reclaims the node through
+	// the allocator's rollback, so no undo state is needed this epoch.
+	n.store(fEpoch, packEpochWord(cur, true, true))
+	n.store(fPermInCLL, uint64(permIdentity))
+	n.store(fPerm, uint64(permIdentity))
+	n.store(fHikey, ^uint64(0))
+	n.store(fKinds, 0)
+	n.store(fInCLL1, invalidValInCLL(cur))
+	n.store(fInCLL2, invalidValInCLL(cur))
+	return n
+}
+
+func (h Handle) newInterior(cur uint64) nodeRef {
+	off := h.ah.AllocNode()
+	if off == 0 {
+		panic("core: durable heap exhausted (increase Config.HeapWords)")
+	}
+	n := h.ref(off)
+	n.store(fVersion, 0)
+	n.store(fParent, 0)
+	n.store(fMeta, 0)
+	n.store(fLogEpoch, cur) // born logged, same argument as newLeaf
+	n.store(fTouch, cur)
+	n.store(fNkeys, 0)
+	return n
+}
+
+func (h Handle) newValue(data uint64) uint64 {
+	off := h.ah.Alloc(2)
+	if off == 0 {
+		panic("core: durable heap exhausted (increase Config.HeapWords)")
+	}
+	h.s.arena.Store(off, data)
+	return off
+}
+
+func (h Handle) newAnchor() uint64 {
+	off := h.ah.Alloc(anchorPayloadWords)
+	if off == 0 {
+		panic("core: durable heap exhausted (increase Config.HeapWords)")
+	}
+	a := h.s.arena
+	cur := h.s.mgr.Current()
+	a.Store(off+aRoot, 0)
+	a.Store(off+aRootInCLL, 0)
+	a.Store(off+aRootEpoch, cur)
+	return off
+}
+
+// ---- descent ----
+
+// descend walks from root to the leaf that should cover ik, running lazy
+// recovery gates along the way.
+func (h Handle) descend(rootOff uint64, ik uint64) nodeRef {
+	root := h.ref(rootOff)
+	n := root
+	for {
+		if n.isLeaf() {
+			h.s.lazyRecoverLeaf(n)
+			return n
+		}
+		h.s.lazyRecoverInterior(n)
+		v := n.stable()
+		c := n.interiorChild(ik)
+		if n.changed(v) || c == 0 {
+			n = root
+			continue
+		}
+		n = h.ref(c)
+	}
+}
+
+// ---- Get ----
+
+// Get returns the value stored under k.
+func (h Handle) Get(k []byte) (uint64, bool) {
+	h.s.mgr.Enter()
+	defer h.s.mgr.Exit()
+	h.s.stats.Gets.Add(1)
+	return h.layerGet(h.rootCell0(), k)
+}
+
+func (h Handle) layerGet(cell rootCell, k []byte) (uint64, bool) {
+	ik, kind := ikeyOf(k)
+retry:
+	rootOff := cell.root()
+	if rootOff == 0 {
+		return 0, false
+	}
+	n := h.descend(rootOff, ik)
+readLeaf:
+	v := n.stable()
+	if ik >= n.hikey() {
+		nn := n.next()
+		if n.changed(v) {
+			goto retry
+		}
+		if nn != 0 {
+			n = h.ref(nn)
+			h.s.lazyRecoverLeaf(n)
+			goto readLeaf
+		}
+	}
+	p := n.perm()
+	pos, found := n.leafSearch(ik, kind, p)
+	if !found {
+		if n.changed(v) {
+			goto retry
+		}
+		return 0, false
+	}
+	slot := p.slot(pos)
+	vw := n.val(slot)
+	if n.changed(v) {
+		goto retry
+	}
+	if kind == kindLayer {
+		return h.layerGet(rootCell{s: h.s, off: vw}, k[8:])
+	}
+	data := h.s.arena.Load(vw)
+	if n.changed(v) {
+		goto retry
+	}
+	return data, true
+}
+
+// ---- Put ----
+
+// Put stores v under k; reports whether k was newly inserted.
+func (h Handle) Put(k []byte, v uint64) bool {
+	h.s.mgr.Enter()
+	defer h.s.mgr.Exit()
+	h.s.stats.Puts.Add(1)
+	inserted := h.layerPut(h.rootCell0(), k, v)
+	if inserted {
+		h.s.size.Add(1)
+	}
+	return inserted
+}
+
+func (h Handle) layerPut(cell rootCell, k []byte, val uint64) bool {
+	ik, kind := ikeyOf(k)
+retry:
+	rootOff := cell.root()
+	if rootOff == 0 {
+		cur := h.s.mgr.Current()
+		fresh := h.newLeaf(cur)
+		if !cell.casRoot(0, fresh.off, cur) {
+			h.ah.FreeNode(fresh.off)
+		}
+		goto retry
+	}
+	n := h.descend(rootOff, ik)
+	n = h.lockCovering(n, ik)
+	p := n.perm()
+	pos, found := n.leafSearch(ik, kind, p)
+	if found {
+		slot := p.slot(pos)
+		vw := n.val(slot)
+		if kind == kindLayer {
+			n.unlock()
+			return h.layerPut(rootCell{s: h.s, off: vw}, k[8:], val)
+		}
+		h.beforeValUpdate(n, slot)
+		n.setVal(slot, h.newValue(val))
+		n.unlock()
+		h.ah.Free(vw, 2)
+		return false
+	}
+	// Build the slot payload before exposing it.
+	var valWord uint64
+	if kind == kindLayer {
+		valWord = h.newAnchor()
+		h.layerPut(rootCell{s: h.s, off: valWord}, k[8:], val)
+	} else {
+		valWord = h.newValue(val)
+	}
+	if p.count() < LeafWidth {
+		h.beforePermChange(n, true)
+		slot := p.freeSlot()
+		n.setIkey(slot, ik)
+		n.setKind(slot, kind)
+		n.setVal(slot, valWord)
+		n.markInsert()
+		n.store(fPerm, uint64(p.insert(pos)))
+		n.unlock()
+		return true
+	}
+	h.splitLeafInsert(cell, n, ik, kind, valWord, pos)
+	return true
+}
+
+// lockCovering locks n and walks right until n covers ik (B-link).
+func (h Handle) lockCovering(n nodeRef, ik uint64) nodeRef {
+	n.lock()
+	for ik >= n.hikey() {
+		nn := n.next()
+		if nn == 0 {
+			return n
+		}
+		m := h.ref(nn)
+		h.s.lazyRecoverLeaf(m)
+		m.lock()
+		n.unlock()
+		n = m
+	}
+	return n
+}
+
+// ---- split ----
+
+func (h Handle) splitLeafInsert(cell rootCell, n nodeRef, ik uint64, kind uint8, valWord uint64, pos int) {
+	cur := h.s.mgr.Current()
+	// Splits restructure more than the InCLLs can express: log the whole
+	// pre-image first (§4.2). The fresh sibling needs no log — a failed
+	// birth epoch reclaims it through the allocator.
+	h.logLeaf(n, cur)
+	n.markSplit()
+	nn := h.newLeaf(cur)
+	nn.lock()
+	p := n.perm()
+
+	sp := splitPoint(n, p)
+	moved := 0
+	for i := sp; i < LeafWidth; i++ {
+		s := p.slot(i)
+		nn.setIkey(moved, n.ikey(s))
+		nn.setKind(moved, n.kind(s))
+		nn.setVal(moved, n.val(s))
+		moved++
+	}
+	nn.store(fPerm, uint64(identityPrefix(moved)))
+	splitIkey := nn.ikey(0)
+
+	// Publish the B-link before shrinking n so no key is ever unreachable.
+	nn.store(fHikey, n.hikey())
+	nn.store(fNext, n.next())
+	n.store(fNext, nn.off)
+	n.store(fHikey, splitIkey)
+	n.store(fPerm, uint64(p.truncate(sp)))
+
+	target, tpos := n, pos
+	if ik >= splitIkey {
+		target, tpos = nn, pos-sp
+	}
+	tp := target.perm()
+	slot := tp.freeSlot()
+	target.setIkey(slot, ik)
+	target.setKind(slot, kind)
+	target.setVal(slot, valWord)
+	target.markInsert()
+	target.store(fPerm, uint64(tp.insert(tpos)))
+
+	h.insertUpward(cell, n, nn, splitIkey)
+	nn.unlock()
+	n.unlock()
+}
+
+// splitPoint picks a near-middle position whose boundary ikeys differ, so
+// interior routing by ikey never separates equal ikeys. One ikey occupies
+// at most ten slots (kinds 0..8 plus a layer), so a point always exists.
+func splitPoint(n nodeRef, p perm) int {
+	mid := LeafWidth / 2
+	for d := 0; d < LeafWidth; d++ {
+		for _, sp := range [2]int{mid + d, mid - d} {
+			if sp <= 0 || sp >= p.count() {
+				continue
+			}
+			if n.ikey(p.slot(sp-1)) != n.ikey(p.slot(sp)) {
+				return sp
+			}
+		}
+	}
+	panic("core: no valid split point (more equal ikeys than a leaf can hold)")
+}
+
+// insertUpward installs the separator (splitIkey, right) above the split
+// pair left/right (both locked by the caller; locks retained).
+func (h Handle) insertUpward(cell rootCell, left, right nodeRef, splitIkey uint64) {
+	cur := h.s.mgr.Current()
+	if left.parent() == 0 {
+		nr := h.newInterior(cur)
+		nr.store(fNkeys, 1)
+		nr.setRkey(0, splitIkey)
+		nr.setChild(0, left.off)
+		nr.setChild(1, right.off)
+		// left is already logged (leaf split) or logged by the interior
+		// path; right is freshly allocated.
+		left.store(fParent, nr.off)
+		right.store(fParent, nr.off)
+		cell.setRoot(nr.off, cur)
+		return
+	}
+	p := h.lockParent(left)
+	h.logInterior(p, cur)
+	right.store(fParent, p.off)
+	nk := p.nkeys()
+	pos := 0
+	for pos < nk && splitIkey >= p.rkey(pos) {
+		pos++
+	}
+	if nk < intWidth {
+		p.markInsert()
+		for i := nk; i > pos; i-- {
+			p.setRkey(i, p.rkey(i-1))
+			p.setChild(i+1, p.child(i))
+		}
+		p.setRkey(pos, splitIkey)
+		p.setChild(pos+1, right.off)
+		p.store(fNkeys, uint64(nk+1))
+		p.unlock()
+		return
+	}
+	h.splitInterior(cell, p, splitIkey, right, pos)
+}
+
+// lockParent locks child's parent, retrying around concurrent parent
+// splits that reassign the pointer.
+func (h Handle) lockParent(child nodeRef) nodeRef {
+	for {
+		poff := child.parent()
+		p := h.ref(poff)
+		h.s.lazyRecoverInterior(p)
+		p.lock()
+		if child.parent() == poff {
+			return p
+		}
+		p.unlock()
+	}
+}
+
+// splitInterior splits the full, locked, already-logged interior p while
+// inserting (key, child) at position pos. Consumes p's lock.
+func (h Handle) splitInterior(cell rootCell, p nodeRef, key uint64, child nodeRef, pos int) {
+	cur := h.s.mgr.Current()
+	p.markSplit()
+	var keys [intWidth + 1]uint64
+	var kids [intWidth + 2]uint64
+	for i := 0; i < intWidth; i++ {
+		keys[i] = p.rkey(i)
+	}
+	for i := 0; i <= intWidth; i++ {
+		kids[i] = p.child(i)
+	}
+	copy(keys[pos+1:], keys[pos:intWidth])
+	keys[pos] = key
+	copy(kids[pos+2:], kids[pos+1:intWidth+1])
+	kids[pos+1] = child.off
+
+	half := (intWidth + 1) / 2
+	promoted := keys[half]
+
+	pp := h.newInterior(cur)
+	pp.lock()
+	rn := 0
+	for i := half + 1; i < intWidth+1; i++ {
+		pp.setRkey(rn, keys[i])
+		rn++
+	}
+	for i := half + 1; i < intWidth+2; i++ {
+		c := h.ref(kids[i])
+		pp.setChild(i-half-1, c.off)
+		// Reassigning a child's parent pointer mutates that child: log its
+		// pre-image first so the pointer rolls back with everything else.
+		h.logNode(c, cur)
+		c.store(fParent, pp.off)
+	}
+	pp.store(fNkeys, uint64(rn))
+
+	for i := 0; i < half; i++ {
+		p.setRkey(i, keys[i])
+	}
+	for i := 0; i <= half; i++ {
+		p.setChild(i, kids[i])
+	}
+	p.store(fNkeys, uint64(half))
+
+	h.insertUpward(cell, p, pp, promoted)
+	pp.unlock()
+	p.unlock()
+}
+
+// ---- Delete ----
+
+// Delete removes k; reports whether it was present. Emptied leaves remain
+// in the tree, as in the transient baseline.
+func (h Handle) Delete(k []byte) bool {
+	h.s.mgr.Enter()
+	defer h.s.mgr.Exit()
+	h.s.stats.Deletes.Add(1)
+	removed := h.layerDelete(h.rootCell0(), k)
+	if removed {
+		h.s.size.Add(-1)
+	}
+	return removed
+}
+
+func (h Handle) layerDelete(cell rootCell, k []byte) bool {
+	ik, kind := ikeyOf(k)
+	rootOff := cell.root()
+	if rootOff == 0 {
+		return false
+	}
+	n := h.descend(rootOff, ik)
+	n = h.lockCovering(n, ik)
+	p := n.perm()
+	pos, found := n.leafSearch(ik, kind, p)
+	if !found {
+		n.unlock()
+		return false
+	}
+	slot := p.slot(pos)
+	vw := n.val(slot)
+	if kind == kindLayer {
+		n.unlock()
+		return h.layerDelete(rootCell{s: h.s, off: vw}, k[8:])
+	}
+	h.beforePermChange(n, false)
+	n.markInsert()
+	n.store(fPerm, uint64(p.remove(pos)))
+	n.unlock()
+	h.ah.Free(vw, 2)
+	return true
+}
+
+// ---- Scan ----
+
+type scanEntry struct {
+	ikey uint64
+	kind uint8
+	vw   uint64
+}
+
+// Scan visits keys ≥ start in ascending order until fn returns false or
+// max pairs are visited (max < 0 means unlimited). Returns the number of
+// pairs visited.
+func (h Handle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	h.s.mgr.Enter()
+	defer h.s.mgr.Exit()
+	h.s.stats.Scans.Add(1)
+	visited := 0
+	h.scanLayer(h.rootCell0(), nil, start, max, &visited, fn)
+	return visited
+}
+
+func (h Handle) scanLayer(cell rootCell, prefix, start []byte, max int, visited *int, fn func([]byte, uint64) bool) bool {
+	rootOff := cell.root()
+	if rootOff == 0 {
+		return true
+	}
+	var startIk uint64
+	var startKind uint8
+	if len(start) > 0 {
+		startIk, startKind = ikeyOf(start)
+	}
+	n := h.descend(rootOff, startIk)
+
+	var entries []scanEntry
+	for n.valid() {
+	again:
+		v := n.stable()
+		if startIk >= n.hikey() {
+			nn := n.next()
+			if n.changed(v) {
+				goto again
+			}
+			if nn != 0 {
+				n = h.ref(nn)
+				h.s.lazyRecoverLeaf(n)
+				goto again
+			}
+		}
+		entries = entries[:0]
+		p := n.perm()
+		for i := 0; i < p.count(); i++ {
+			s := p.slot(i)
+			entries = append(entries, scanEntry{n.ikey(s), n.kind(s), n.val(s)})
+		}
+		next := n.next()
+		if n.changed(v) {
+			goto again
+		}
+
+		for _, e := range entries {
+			if len(start) > 0 && keyCmp(e.ikey, e.kind, startIk, startKind) < 0 {
+				if !(e.kind == kindLayer && e.ikey == startIk) {
+					continue
+				}
+			}
+			if max >= 0 && *visited >= max {
+				return false
+			}
+			kb := appendIkey(append([]byte(nil), prefix...), e.ikey, e.kind)
+			if e.kind == kindLayer {
+				var rest []byte
+				if len(start) > 8 && e.ikey == startIk && startKind == kindLayer {
+					rest = start[8:]
+				}
+				if !h.scanLayer(rootCell{s: h.s, off: e.vw}, kb, rest, max, visited, fn) {
+					return false
+				}
+				continue
+			}
+			*visited++
+			if !fn(kb, h.s.arena.Load(e.vw)) {
+				return false
+			}
+		}
+		n = h.ref(next)
+		if n.valid() {
+			h.s.lazyRecoverLeaf(n)
+		}
+		start = nil
+		startIk, startKind = 0, 0
+	}
+	return true
+}
+
+func appendIkey(dst []byte, ik uint64, kind uint8) []byte {
+	nb := int(kind)
+	if kind == kindLayer {
+		nb = 8
+	}
+	for i := 0; i < nb; i++ {
+		dst = append(dst, byte(ik>>(56-8*uint(i))))
+	}
+	return dst
+}

@@ -1,0 +1,216 @@
+// Package crashtest implements the paper's §5.2 validation methodology:
+// run the durable Masstree under random workloads, crash it at arbitrary
+// points with adversarially chosen subsets of dirty cache lines surviving,
+// restart, and check that the recovered state matches the state at the
+// last committed epoch boundary, exactly.
+//
+// Concurrent workers operate on disjoint key ranges so the reference model
+// is well-defined without serializing the workload.
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"incll/internal/core"
+	"incll/internal/epoch"
+	"incll/internal/nvm"
+)
+
+// Config parameterizes one crash-injection campaign.
+type Config struct {
+	// Keyspace is the number of distinct keys (split across workers).
+	Keyspace uint64
+	// Workers is the number of concurrent mutator goroutines.
+	Workers int
+	// OpsPerEpoch is the number of operations each worker runs per epoch.
+	OpsPerEpoch int
+	// EpochsPerRound is the number of committed epochs before each crash.
+	EpochsPerRound int
+	// Rounds is the number of crash/recover cycles.
+	Rounds int
+	// PersistFraction is the probability a dirty line survives each crash.
+	PersistFraction float64
+	// ArenaWords sizes the simulated NVM.
+	ArenaWords uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.Keyspace == 0 {
+		c.Keyspace = 4000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.OpsPerEpoch <= 0 {
+		c.OpsPerEpoch = 800
+	}
+	if c.EpochsPerRound <= 0 {
+		c.EpochsPerRound = 2
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.PersistFraction == 0 {
+		c.PersistFraction = 0.5
+	}
+	if c.ArenaWords == 0 {
+		c.ArenaWords = 1 << 22
+	}
+}
+
+// Run executes one campaign with the given seed. It returns an error
+// describing the first divergence between the recovered store and the
+// committed reference model, or nil if every crash recovered exactly.
+func Run(cfg Config, seed int64) error {
+	cfg.setDefaults()
+	arena := nvm.New(nvm.Config{Words: cfg.ArenaWords})
+	coreCfg := core.Config{
+		Workers:     cfg.Workers,
+		LogSegWords: 1 << 16,
+		HeapWords:   cfg.ArenaWords / 2,
+	}
+	s, st := core.Open(arena, coreCfg)
+	if st != epoch.FreshStart {
+		return fmt.Errorf("fresh arena opened with status %v", st)
+	}
+
+	committed := map[uint64]uint64{} // state at the last epoch boundary
+	working := map[uint64]uint64{}   // state including the current epoch
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Committed epochs.
+		for e := 0; e < cfg.EpochsPerRound; e++ {
+			runEpoch(s, cfg, working, seed+int64(round*1000+e))
+			s.Advance()
+			committed = cloneModel(working)
+		}
+		// Doomed partial epoch, then crash.
+		runEpoch(s, cfg, working, seed+int64(round*1000+999))
+		arena.Crash(nvm.RandomPolicy(cfg.PersistFraction, seed+int64(round)))
+		arena.ResetReservations()
+		var status epoch.Status
+		s, status = core.Open(arena, coreCfg)
+		if status != epoch.CrashRecovered {
+			return fmt.Errorf("round %d: reopen status %v, want crash-recovered", round, status)
+		}
+		working = cloneModel(committed)
+		if err := verify(s, committed); err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+	}
+	// Final clean shutdown must also preserve everything.
+	runEpoch(s, cfg, working, seed+424242)
+	s.Shutdown()
+	arena.Crash(nvm.PersistNone)
+	arena.ResetReservations()
+	s, st = core.Open(arena, coreCfg)
+	if st != epoch.CleanRestart {
+		return fmt.Errorf("clean shutdown reopened with status %v", st)
+	}
+	return verify(s, working)
+}
+
+// runEpoch has each worker mutate its own key range, mirroring every
+// mutation into the model.
+func runEpoch(s *core.Store, cfg Config, model map[uint64]uint64, seed int64) {
+	per := cfg.Keyspace / uint64(cfg.Workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		lo := uint64(w) * per
+		wg.Add(1)
+		go func(w int, lo uint64) {
+			defer wg.Done()
+			h := s.Handle(w)
+			rng := rand.New(rand.NewSource(seed*31 + int64(w)))
+			local := map[uint64]uint64{}
+			deleted := map[uint64]bool{}
+			for i := 0; i < cfg.OpsPerEpoch; i++ {
+				k := lo + uint64(rng.Int63n(int64(per)))
+				switch rng.Intn(6) {
+				case 0:
+					h.Delete(core.EncodeUint64(k))
+					delete(local, k)
+					deleted[k] = true
+				case 1:
+					h.Get(core.EncodeUint64(k))
+				default:
+					v := rng.Uint64() % 1_000_000
+					h.Put(core.EncodeUint64(k), v)
+					local[k] = v
+					delete(deleted, k)
+				}
+			}
+			mu.Lock()
+			for k, v := range local {
+				model[k] = v
+			}
+			for k := range deleted {
+				delete(model, k)
+			}
+			mu.Unlock()
+		}(w, lo)
+	}
+	wg.Wait()
+}
+
+// verify checks the store against the model by point lookups and one full
+// ordered scan.
+func verify(s *core.Store, model map[uint64]uint64) error {
+	for k, v := range model {
+		got, ok := s.Get(core.EncodeUint64(k))
+		if !ok {
+			return fmt.Errorf("committed key %d missing after recovery", k)
+		}
+		if got != v {
+			return fmt.Errorf("key %d = %d after recovery, committed value %d", k, got, v)
+		}
+	}
+	count := 0
+	var prev uint64
+	var scanErr error
+	s.Scan(nil, -1, func(kb []byte, v uint64) bool {
+		k := deKey(kb)
+		if count > 0 && k <= prev {
+			scanErr = fmt.Errorf("scan order violated at key %d", k)
+			return false
+		}
+		prev = k
+		count++
+		want, ok := model[k]
+		if !ok {
+			scanErr = fmt.Errorf("scan found uncommitted key %d after recovery", k)
+			return false
+		}
+		if want != v {
+			scanErr = fmt.Errorf("scan key %d = %d, committed %d", k, v, want)
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if count != len(model) {
+		return fmt.Errorf("scan found %d keys, model has %d", count, len(model))
+	}
+	return nil
+}
+
+func cloneModel(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func deKey(b []byte) uint64 {
+	var k uint64
+	for _, c := range b {
+		k = k<<8 | uint64(c)
+	}
+	return k
+}

@@ -1,0 +1,41 @@
+package crashtest
+
+import "testing"
+
+func TestCampaignSingleWorker(t *testing.T) {
+	cfg := Config{Workers: 1, Keyspace: 2000, OpsPerEpoch: 600, Rounds: 3}
+	for seed := int64(0); seed < 4; seed++ {
+		if err := Run(cfg, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCampaignConcurrentWorkers(t *testing.T) {
+	cfg := Config{Workers: 4, Keyspace: 4000, OpsPerEpoch: 500, Rounds: 3}
+	for seed := int64(0); seed < 3; seed++ {
+		if err := Run(cfg, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCampaignHarshPersistence(t *testing.T) {
+	// Almost nothing survives each crash.
+	cfg := Config{PersistFraction: 0.02, Rounds: 3}
+	if err := Run(cfg, 11); err != nil {
+		t.Fatal(err)
+	}
+	// Almost everything survives (the failed epoch must still roll back).
+	cfg.PersistFraction = 0.98
+	if err := Run(cfg, 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignManySmallEpochs(t *testing.T) {
+	cfg := Config{EpochsPerRound: 5, OpsPerEpoch: 150, Rounds: 4}
+	if err := Run(cfg, 21); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package epoch implements Fine-Grained Checkpointing's epoch machinery:
+// execution is partitioned into short epochs (the paper uses 64 ms); at
+// every epoch boundary all mutators are quiesced and the entire cache is
+// flushed to NVM, so NVM always holds a consistent image of the state at
+// the end of the most recently committed epoch.
+//
+// The manager owns a small durable header in the arena:
+//
+//	word 0: magic
+//	word 1: current epoch (monotonically increasing, never reused)
+//	word 2: phase (running / flushing / clean shutdown)
+//	word 3: number of failed epochs recorded
+//	words 8…: the failed-epoch list
+//
+// The epoch and phase words share one cache line, so a crash exposes either
+// the old or the new (epoch, phase) pair, never a mix — the same PCSO
+// granularity argument that InCLL itself relies on.
+//
+// Crash semantics: an epoch E is committed once the header records an epoch
+// greater than E with phase "running" (that header write is explicitly
+// written back and fenced after the global flush). If the process dies at
+// any other moment, the epoch named by the durable header is the failed
+// epoch: all of its effects must be rolled back by the caller using the
+// external log and the InCLLs.
+package epoch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incll/internal/nvm"
+)
+
+const (
+	magic = 0x19c11c4ec49017 // header magic ("incll checkpoint v1")
+
+	phaseRunning  = 1
+	phaseFlushing = 2
+	phaseShutdown = 3
+
+	hdrMagic  = 0
+	hdrEpoch  = 1
+	hdrPhase  = 2
+	hdrNFail  = 3
+	failBase  = nvm.WordsPerLine // failed list starts on the next line
+	failWords = 1024             // capacity of the failed-epoch list
+
+	// HeaderWords is the arena region size a Manager needs.
+	HeaderWords = failBase + failWords
+)
+
+// Status describes what Open found in the arena.
+type Status int
+
+const (
+	// FreshStart: the arena held no header; a new history begins.
+	FreshStart Status = iota
+	// CleanRestart: the previous execution shut down cleanly; nothing to
+	// roll back.
+	CleanRestart
+	// CrashRecovered: the previous execution died mid-epoch; the failed
+	// epoch has been recorded and its effects must be rolled back.
+	CrashRecovered
+)
+
+func (s Status) String() string {
+	switch s {
+	case FreshStart:
+		return "fresh-start"
+	case CleanRestart:
+		return "clean-restart"
+	case CrashRecovered:
+		return "crash-recovered"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Manager drives epochs over one arena. Workers bracket every structure
+// operation with Enter/Exit; Advance stops the world, flushes the cache,
+// and begins the next epoch.
+type Manager struct {
+	arena *nvm.Arena
+	off   uint64 // header region offset
+
+	world sync.RWMutex // held (read) by workers, (write) by Advance
+
+	current  atomic.Uint64 // volatile mirror of the durable epoch word
+	execBase uint64        // first epoch of this execution
+	failed   map[uint64]bool
+	failedMu sync.RWMutex
+
+	onAdvance []func(newEpoch uint64)
+
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+
+	advances atomic.Int64
+}
+
+// Open attaches a Manager to the header region at off (HeaderWords words,
+// reserved by the caller) and performs epoch-level crash analysis: if the
+// previous execution did not shut down cleanly, its current epoch is added
+// to the durable failed-epoch set. Structure-level rollback (external log,
+// InCLLs) is the caller's job and is driven by IsFailed / CurrentExec.
+func Open(a *nvm.Arena, off uint64) (*Manager, Status) {
+	m := &Manager{arena: a, off: off, failed: make(map[uint64]bool)}
+
+	status := FreshStart
+	var resume uint64 = 0 // last epoch of previous history
+	if a.Load(off+hdrMagic) == magic {
+		prevEpoch := a.Load(off + hdrEpoch)
+		phase := a.Load(off + hdrPhase)
+		n := a.Load(off + hdrNFail)
+		if n > failWords {
+			panic("epoch: corrupt failed-epoch count")
+		}
+		for i := uint64(0); i < n; i++ {
+			m.failed[a.Load(off+failBase+i)] = true
+		}
+		resume = prevEpoch
+		if phase == phaseShutdown {
+			status = CleanRestart
+		} else {
+			status = CrashRecovered
+			m.recordFailed(prevEpoch, n)
+		}
+	}
+
+	// Begin a new execution in a fresh epoch, one past anything the old
+	// history used, and make that durable before any mutation.
+	next := resume + 1
+	m.execBase = next
+	m.current.Store(next)
+	a.Store(off+hdrMagic, magic)
+	a.Store(off+hdrEpoch, next)
+	a.Store(off+hdrPhase, phaseRunning)
+	a.Writeback(off)
+	a.Fence()
+	return m, status
+}
+
+// recordFailed appends e to the durable failed-epoch list. Called during
+// Open, before mutators exist.
+func (m *Manager) recordFailed(e, n uint64) {
+	if n >= failWords {
+		panic("epoch: failed-epoch list full (increase failWords)")
+	}
+	m.failed[e] = true
+	m.arena.Store(m.off+failBase+n, e)
+	m.arena.Store(m.off+hdrNFail, n+1)
+	m.arena.Writeback(m.off + failBase + n)
+	m.arena.Writeback(m.off)
+	m.arena.Fence()
+}
+
+// Current returns the running epoch. Cheap; callable from any goroutine.
+func (m *Manager) Current() uint64 { return m.current.Load() }
+
+// CurrentExec returns the first epoch of this execution. A node whose
+// epoch field is older than this has not been touched since before the
+// last restart and may need lazy recovery.
+func (m *Manager) CurrentExec() uint64 { return m.execBase }
+
+// IsFailed reports whether e is a failed epoch whose effects must be
+// discarded during recovery. Epoch 0 (pre-history) is never failed.
+func (m *Manager) IsFailed(e uint64) bool {
+	if e == 0 {
+		return false
+	}
+	m.failedMu.RLock()
+	v := m.failed[e]
+	m.failedMu.RUnlock()
+	return v
+}
+
+// FailedCount returns the number of failed epochs in the durable set.
+func (m *Manager) FailedCount() int {
+	m.failedMu.RLock()
+	defer m.failedMu.RUnlock()
+	return len(m.failed)
+}
+
+// Enter marks the calling goroutine as inside a structure operation.
+// Advance waits for all entered goroutines to Exit.
+func (m *Manager) Enter() { m.world.RLock() }
+
+// Exit ends the critical region begun by Enter.
+func (m *Manager) Exit() { m.world.RUnlock() }
+
+// OnAdvance registers a callback invoked at every epoch boundary while the
+// world is stopped, after the flush, with the new epoch as argument.
+// Callbacks typically splice allocator limbo lists and reset log cursors.
+// Must be called before mutators start.
+func (m *Manager) OnAdvance(f func(newEpoch uint64)) {
+	m.onAdvance = append(m.onAdvance, f)
+}
+
+// Advance ends the current epoch: it stops the world, flushes every dirty
+// line to NVM (committing the epoch), durably records the next epoch, runs
+// the registered callbacks, and resumes the world. Returns the number of
+// lines flushed.
+func (m *Manager) Advance() int {
+	m.world.Lock()
+	defer m.world.Unlock()
+	a, off := m.arena, m.off
+
+	cur := m.current.Load()
+
+	// 1. Mark the boundary so a crash during the flush is attributed to
+	//    the epoch being flushed.
+	a.Store(off+hdrPhase, phaseFlushing)
+	a.Writeback(off)
+	a.Fence()
+
+	// 2. Commit: everything written during `cur` becomes durable.
+	n := a.FlushAll()
+
+	// 3. Begin the next epoch. Epoch and phase share a line, so this
+	//    record is atomic with respect to crashes.
+	next := cur + 1
+	a.Store(off+hdrEpoch, next)
+	a.Store(off+hdrPhase, phaseRunning)
+	a.Writeback(off)
+	a.Fence()
+
+	m.current.Store(next)
+	for _, f := range m.onAdvance {
+		f(next)
+	}
+	m.advances.Add(1)
+	return n
+}
+
+// Advances returns how many epoch boundaries this Manager has executed.
+func (m *Manager) Advances() int64 { return m.advances.Load() }
+
+// Shutdown flushes everything and durably marks a clean shutdown. After
+// Shutdown the Manager must not be used.
+func (m *Manager) Shutdown() {
+	m.StopTicker()
+	m.world.Lock()
+	defer m.world.Unlock()
+	a, off := m.arena, m.off
+	a.Store(off+hdrPhase, phaseFlushing)
+	a.Writeback(off)
+	a.Fence()
+	a.FlushAll()
+	a.Store(off+hdrPhase, phaseShutdown)
+	a.Writeback(off)
+	a.Fence()
+}
+
+// StartTicker advances epochs every interval from a background goroutine,
+// mirroring the paper's 64 ms timer. Stop with StopTicker or Shutdown.
+func (m *Manager) StartTicker(interval time.Duration) {
+	if m.tickerStop != nil {
+		panic("epoch: ticker already running")
+	}
+	m.tickerStop = make(chan struct{})
+	m.tickerDone = make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		defer close(m.tickerDone)
+		for {
+			select {
+			case <-t.C:
+				m.Advance()
+			case <-m.tickerStop:
+				return
+			}
+		}
+	}()
+}
+
+// StopTicker stops the background ticker, if running.
+func (m *Manager) StopTicker() {
+	if m.tickerStop == nil {
+		return
+	}
+	close(m.tickerStop)
+	<-m.tickerDone
+	m.tickerStop, m.tickerDone = nil, nil
+}
+
+// Quiesce runs f with the world stopped, without advancing the epoch.
+// Used by the crash-injection framework to take consistent snapshots.
+func (m *Manager) Quiesce(f func()) {
+	m.world.Lock()
+	defer m.world.Unlock()
+	f()
+}

@@ -1,0 +1,236 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"incll/internal/nvm"
+)
+
+func newManager(t testing.TB) (*nvm.Arena, *Manager, Status) {
+	t.Helper()
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	m, st := Open(a, off)
+	return a, m, st
+}
+
+func TestFreshStartBeginsAtEpochOne(t *testing.T) {
+	_, m, st := newManager(t)
+	if st != FreshStart {
+		t.Fatalf("status = %v, want fresh-start", st)
+	}
+	if m.Current() != 1 || m.CurrentExec() != 1 {
+		t.Fatalf("Current=%d CurrentExec=%d, want 1,1", m.Current(), m.CurrentExec())
+	}
+	if m.FailedCount() != 0 {
+		t.Fatalf("fresh start has %d failed epochs", m.FailedCount())
+	}
+}
+
+func TestAdvanceIncrementsAndCommits(t *testing.T) {
+	a, m, _ := newManager(t)
+	off := a.Reserve(8)
+	a.Store(off, 99)
+	m.Advance()
+	if m.Current() != 2 {
+		t.Fatalf("Current = %d after one advance, want 2", m.Current())
+	}
+	// The advance committed the store.
+	a.Crash(nvm.PersistNone)
+	if got := a.Load(off); got != 99 {
+		t.Fatalf("store lost across advance+crash: %d", got)
+	}
+}
+
+func TestCrashMidEpochIsDetectedAndRecorded(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	m, _ := Open(a, off)
+	m.Advance() // epoch 2
+	a.Crash(nvm.RandomPolicy(0.5, 42))
+
+	m2, st := Open(a, off)
+	if st != CrashRecovered {
+		t.Fatalf("status = %v, want crash-recovered", st)
+	}
+	if !m2.IsFailed(2) {
+		t.Fatal("epoch 2 should be failed")
+	}
+	if m2.IsFailed(1) {
+		t.Fatal("epoch 1 was committed by the advance; must not be failed")
+	}
+	if m2.Current() != 3 || m2.CurrentExec() != 3 {
+		t.Fatalf("new execution at %d/%d, want 3/3", m2.Current(), m2.CurrentExec())
+	}
+}
+
+func TestCleanShutdownHasNoFailedEpoch(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	m, _ := Open(a, off)
+	m.Advance()
+	m.Shutdown()
+	a.Crash(nvm.PersistNone) // power loss after shutdown is harmless
+
+	m2, st := Open(a, off)
+	if st != CleanRestart {
+		t.Fatalf("status = %v, want clean-restart", st)
+	}
+	if m2.FailedCount() != 0 {
+		t.Fatalf("%d failed epochs after clean shutdown", m2.FailedCount())
+	}
+	if m2.Current() != 3 {
+		t.Fatalf("resume epoch = %d, want 3", m2.Current())
+	}
+}
+
+func TestFailedSetSurvivesMultipleCrashes(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	var failed []uint64
+	for i := 0; i < 5; i++ {
+		m, _ := Open(a, off)
+		cur := m.Current()
+		m.Advance()
+		m.Advance()
+		failed = append(failed, m.Current())
+		_ = cur
+		a.Crash(nvm.RandomPolicy(0.3, int64(i)))
+	}
+	m, st := Open(a, off)
+	if st != CrashRecovered {
+		t.Fatalf("status = %v", st)
+	}
+	for _, e := range failed {
+		if !m.IsFailed(e) {
+			t.Fatalf("failed epoch %d forgotten (set: %d entries)", e, m.FailedCount())
+		}
+	}
+	if m.FailedCount() != len(failed) {
+		t.Fatalf("FailedCount = %d, want %d", m.FailedCount(), len(failed))
+	}
+}
+
+func TestEpochsNeverReused(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	seen := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		m, _ := Open(a, off)
+		for j := 0; j < 3; j++ {
+			e := m.Current()
+			if seen[e] {
+				t.Fatalf("epoch %d reused", e)
+			}
+			seen[e] = true
+			m.Advance()
+		}
+		a.Crash(nvm.PersistAll)
+	}
+}
+
+func TestIsFailedZeroEpoch(t *testing.T) {
+	_, m, _ := newManager(t)
+	if m.IsFailed(0) {
+		t.Fatal("epoch 0 (pre-history) must never be failed")
+	}
+}
+
+func TestOnAdvanceCallbackRuns(t *testing.T) {
+	_, m, _ := newManager(t)
+	var got []uint64
+	m.OnAdvance(func(e uint64) { got = append(got, e) })
+	m.Advance()
+	m.Advance()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("callback epochs = %v, want [2 3]", got)
+	}
+}
+
+func TestEnterExitBlocksAdvance(t *testing.T) {
+	_, m, _ := newManager(t)
+	m.Enter()
+	done := make(chan struct{})
+	go func() {
+		m.Advance()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Advance completed while a worker was inside Enter/Exit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Exit()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Advance never completed after Exit")
+	}
+}
+
+func TestConcurrentWorkersAndAdvances(t *testing.T) {
+	a, m, _ := newManager(t)
+	off := a.Reserve(1 << 10)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Enter()
+				a.Store(off+uint64(w)*nvm.WordsPerLine, i)
+				m.Exit()
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		m.Advance()
+	}
+	close(stop)
+	wg.Wait()
+	if m.Current() != 51 {
+		t.Fatalf("Current = %d after 50 advances, want 51", m.Current())
+	}
+}
+
+func TestTickerAdvances(t *testing.T) {
+	_, m, _ := newManager(t)
+	m.StartTicker(2 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	m.StopTicker()
+	if m.Advances() == 0 {
+		t.Fatal("ticker never advanced the epoch")
+	}
+}
+
+func TestQuiesceRunsStopped(t *testing.T) {
+	a, m, _ := newManager(t)
+	ran := false
+	m.Quiesce(func() {
+		ran = true
+		// While quiesced we can safely inspect the persistent image.
+		_ = a.DirtyLines()
+	})
+	if !ran {
+		t.Fatal("Quiesce did not run f")
+	}
+}
+
+func TestAdvanceCountsFlushedLines(t *testing.T) {
+	a, m, _ := newManager(t)
+	off := a.Reserve(1 << 10)
+	for i := uint64(0); i < 10; i++ {
+		a.Store(off+i*nvm.WordsPerLine, i+1)
+	}
+	if n := m.Advance(); n < 10 {
+		t.Fatalf("Advance flushed %d lines, want >= 10", n)
+	}
+}

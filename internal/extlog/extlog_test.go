@@ -1,0 +1,278 @@
+package extlog
+
+import (
+	"testing"
+
+	"incll/internal/epoch"
+	"incll/internal/nvm"
+)
+
+type fixture struct {
+	arena *nvm.Arena
+	mgr   *epoch.Manager
+	log   *Log
+	obj   uint64 // a 16-word durable object used as the logging target
+}
+
+const segWords = 1 << 12
+
+func build(a *nvm.Arena, writers int) *fixture {
+	eOff := a.Reserve(epoch.HeaderWords)
+	lOff := a.Reserve(RegionWords(segWords, writers))
+	obj := a.Reserve(16)
+	mgr, _ := epoch.Open(a, eOff)
+	log := New(a, mgr, lOff, segWords, writers)
+	return &fixture{arena: a, mgr: mgr, log: log, obj: obj}
+}
+
+func newFixture(t testing.TB, writers int) *fixture {
+	t.Helper()
+	return build(nvm.New(nvm.Config{Words: 1 << 18}), writers)
+}
+
+func (f *fixture) rebuild() *fixture {
+	f.arena.ResetReservations()
+	return build(f.arena, len(f.log.writers))
+}
+
+func (f *fixture) setObj(vals ...uint64) {
+	for i, v := range vals {
+		f.arena.Store(f.obj+uint64(i), v)
+	}
+}
+
+func (f *fixture) readObj(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = f.arena.Load(f.obj + uint64(i))
+	}
+	return out
+}
+
+func TestLogThenCrashRestoresPreImage(t *testing.T) {
+	f := newFixture(t, 1)
+	f.setObj(1, 2, 3, 4)
+	f.mgr.Advance() // commit the pre-image
+
+	w := f.log.Writer(0)
+	if !w.LogObject(f.obj, 4) {
+		t.Fatal("LogObject failed")
+	}
+	f.setObj(9, 9, 9, 9) // doomed mutation
+	f.arena.Crash(nvm.RandomPolicy(0.5, 3))
+
+	f2 := f.rebuild()
+	if n := f2.log.Recover(); n != 1 {
+		t.Fatalf("Recover applied %d entries, want 1", n)
+	}
+	got := f2.readObj(4)
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("obj[%d] = %d, want %d (pre-image)", i, got[i], want)
+		}
+	}
+}
+
+func TestCommittedEpochEntriesNotApplied(t *testing.T) {
+	f := newFixture(t, 1)
+	f.setObj(1, 2)
+	w := f.log.Writer(0)
+	w.LogObject(f.obj, 2)
+	f.setObj(5, 6)
+	f.mgr.Advance() // commits the mutation; log entry is now stale
+	f.arena.Crash(nvm.PersistNone)
+
+	f2 := f.rebuild()
+	if n := f2.log.Recover(); n != 0 {
+		t.Fatalf("Recover applied %d stale entries, want 0", n)
+	}
+	got := f2.readObj(2)
+	if got[0] != 5 || got[1] != 6 {
+		t.Fatalf("committed state lost: %v", got)
+	}
+}
+
+func TestEntryIsDurableBeforeReturn(t *testing.T) {
+	f := newFixture(t, 1)
+	f.setObj(7, 8)
+	f.mgr.Advance()
+	w := f.log.Writer(0)
+	w.LogObject(f.obj, 2)
+	f.setObj(1, 1)
+	// Worst case: nothing dirty survives. The fenced log entry must.
+	f.arena.Crash(nvm.PersistNone)
+	f2 := f.rebuild()
+	if n := f2.log.Recover(); n != 1 {
+		t.Fatalf("fenced entry lost: applied %d", n)
+	}
+	got := f2.readObj(2)
+	if got[0] != 7 || got[1] != 8 {
+		t.Fatalf("pre-image not restored: %v", got)
+	}
+}
+
+func TestTornEntryIsSkippedSafely(t *testing.T) {
+	f := newFixture(t, 1)
+	f.setObj(1, 2)
+	f.mgr.Advance()
+	w := f.log.Writer(0)
+	w.LogObject(f.obj, 2)
+	// Corrupt the entry's checksum in the persistent image by rewriting
+	// one content word without refreshing the checksum, then crash so the
+	// corruption persists.
+	f.arena.Store(w.base+eContent, 0xDEAD)
+	f.arena.Crash(nvm.PersistAll)
+
+	f2 := f.rebuild()
+	if n := f2.log.Recover(); n != 0 {
+		t.Fatalf("torn entry applied: %d", n)
+	}
+}
+
+func TestRecoveryIsIdempotentAcrossSecondCrash(t *testing.T) {
+	f := newFixture(t, 1)
+	f.setObj(1, 2, 3)
+	f.mgr.Advance()
+	w := f.log.Writer(0)
+	w.LogObject(f.obj, 3)
+	f.setObj(9, 9, 9)
+	f.arena.Crash(nvm.RandomPolicy(0.5, 1))
+
+	// First recovery attempt: crash again immediately after the apply
+	// loop would have run — simulate by recovering and then crashing with
+	// PersistNone *before* anything else happens. Recover itself flushes,
+	// so the repair is durable; the generation bump is fenced too. A
+	// crash after Recover must leave the repaired image.
+	f2 := f.rebuild()
+	f2.log.Recover()
+	f2.arena.Crash(nvm.PersistNone)
+
+	f3 := f2.rebuild()
+	if n := f3.log.Recover(); n != 0 {
+		t.Fatalf("second recovery replayed %d entries from a retired generation", n)
+	}
+	got := f3.readObj(3)
+	for i, want := range []uint64{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("obj[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestStaleGenerationEntriesNeverReplay(t *testing.T) {
+	// The corruption scenario: epoch E fails, its entries are applied,
+	// execution resumes, and a *second* crash happens. Entries from the
+	// first failed epoch are still physically present but must not
+	// replay, or they would roll the object back to an ancient state.
+	f := newFixture(t, 1)
+	f.setObj(1, 1)
+	f.mgr.Advance()
+	w := f.log.Writer(0)
+	w.LogObject(f.obj, 2)
+	f.setObj(2, 2)
+	f.arena.Crash(nvm.PersistAll) // first crash
+
+	f2 := f.rebuild()
+	f2.log.Recover() // restores (1,1), retires generation
+	f2.setObj(3, 3)
+	f2.mgr.Advance()               // commit (3,3)
+	f2.arena.Crash(nvm.PersistAll) // second crash, no new log entries
+
+	f3 := f2.rebuild()
+	f3.log.Recover()
+	got := f3.readObj(2)
+	if got[0] != 3 || got[1] != 3 {
+		t.Fatalf("object rolled back to ancient state: %v, want [3 3]", got)
+	}
+}
+
+func TestSegmentFullReturnsFalse(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	eOff := a.Reserve(epoch.HeaderWords)
+	lOff := a.Reserve(RegionWords(64, 1)) // tiny segment: 64 words
+	obj := a.Reserve(16)
+	mgr, _ := epoch.Open(a, eOff)
+	log := New(a, mgr, lOff, 64, 1)
+	w := log.Writer(0)
+	ok1 := w.LogObject(obj, 16)
+	ok2 := w.LogObject(obj, 16)
+	ok3 := w.LogObject(obj, 16)
+	if !ok1 || !ok2 {
+		t.Fatal("first two entries should fit")
+	}
+	if ok3 {
+		t.Fatal("third entry should overflow a 64-word segment")
+	}
+}
+
+func TestCursorResetsAtEpochBoundary(t *testing.T) {
+	f := newFixture(t, 1)
+	w := f.log.Writer(0)
+	for i := 0; i < 10; i++ {
+		w.LogObject(f.obj, 4)
+	}
+	c := w.cursor
+	if c == 0 {
+		t.Fatal("cursor did not advance")
+	}
+	f.mgr.Advance()
+	if w.cursor != 0 {
+		t.Fatalf("cursor = %d after epoch boundary, want 0", w.cursor)
+	}
+}
+
+func TestMultipleWritersIndependentSegments(t *testing.T) {
+	f := newFixture(t, 3)
+	objs := make([]uint64, 3)
+	for i := range objs {
+		objs[i] = f.arena.Reserve(8)
+		f.arena.Store(objs[i], uint64(100+i))
+	}
+	f.mgr.Advance()
+	for i := 0; i < 3; i++ {
+		f.log.Writer(i).LogObject(objs[i], 1)
+		f.arena.Store(objs[i], 999)
+	}
+	f.arena.Crash(nvm.PersistNone)
+	f.arena.ResetReservations()
+	a := f.arena
+	eOff := a.Reserve(epoch.HeaderWords)
+	lOff := a.Reserve(RegionWords(segWords, 3))
+	_ = a.Reserve(16) // original f.obj slot
+	robjs := make([]uint64, 3)
+	for i := range robjs {
+		robjs[i] = a.Reserve(8)
+	}
+	mgr, _ := epoch.Open(a, eOff)
+	log := New(a, mgr, lOff, segWords, 3)
+	if n := log.Recover(); n != 3 {
+		t.Fatalf("Recover applied %d entries, want 3", n)
+	}
+	for i := range robjs {
+		if got := a.Load(robjs[i]); got != uint64(100+i) {
+			t.Fatalf("writer %d object = %d, want %d", i, got, 100+i)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	f := newFixture(t, 1)
+	w := f.log.Writer(0)
+	w.LogObject(f.obj, 4)
+	w.LogObject(f.obj, 2)
+	if f.log.Entries() != 2 || f.log.ContentWords() != 6 {
+		t.Fatalf("entries=%d words=%d, want 2,6", f.log.Entries(), f.log.ContentWords())
+	}
+}
+
+func TestChecksumDetectsSingleBitFlips(t *testing.T) {
+	sum := checksumSeed(1, 2, 3, 4)
+	sum = checksumStep(sum, 0x1234)
+	for bit := 0; bit < 64; bit++ {
+		s2 := checksumSeed(1, 2, 3, 4)
+		s2 = checksumStep(s2, 0x1234^1<<bit)
+		if s2 == sum {
+			t.Fatalf("bit %d flip not detected", bit)
+		}
+	}
+}

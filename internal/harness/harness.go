@@ -1,0 +1,301 @@
+// Package harness builds and drives the four systems the paper evaluates —
+// MT (transient Masstree, heap allocation), MT+ (transient Masstree, pool
+// allocation + global epoch barrier), INCLL (the durable Masstree of this
+// repository), and LOGGING (INCLL with in-cache-line logging disabled) —
+// under the YCSB workloads of §6, and regenerates every figure of the
+// evaluation section.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"incll/internal/core"
+	"incll/internal/masstree"
+	"incll/internal/nvm"
+	"incll/internal/ycsb"
+)
+
+// Mode selects the system under test.
+type Mode int
+
+const (
+	// MT is unmodified transient Masstree with heap allocation.
+	MT Mode = iota
+	// MTPlus is transient Masstree with the pool allocator and the
+	// per-epoch global barrier (the paper's strengthened baseline).
+	MTPlus
+	// INCLL is the durable Masstree with In-Cache-Line Logging.
+	INCLL
+	// LOGGING is INCLL with InCLL disabled: every first touch per node
+	// per epoch uses the external log (the paper's ablation).
+	LOGGING
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case MT:
+		return "MT"
+	case MTPlus:
+		return "MT+"
+	case INCLL:
+		return "INCLL"
+	case LOGGING:
+		return "LOGGING"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// RunConfig parameterizes one measurement run.
+type RunConfig struct {
+	Mode     Mode
+	Workload ycsb.Workload
+	Dist     ycsb.Distribution
+
+	// TreeSize is the number of keys preloaded (the paper uses 20M; the
+	// default suite scales this down — see EXPERIMENTS.md).
+	TreeSize uint64
+	// Threads is the number of worker threads (the paper's default is 8).
+	Threads int
+	// OpsPerThread is the number of operations each worker executes.
+	OpsPerThread int
+
+	// EpochInterval is the checkpoint interval (default 64 ms).
+	EpochInterval time.Duration
+	// FenceDelay emulates NVM write latency after sfence (Figures 3, 8).
+	FenceDelay time.Duration
+
+	// DirtyCapacity, when > 0, bounds the simulated cache's dirty set and
+	// enables background eviction (ablation; 0 = unbounded).
+	DirtyCapacity int
+
+	Seed int64
+}
+
+func (c *RunConfig) setDefaults() {
+	if c.TreeSize == 0 {
+		c.TreeSize = 200_000
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.OpsPerThread <= 0 {
+		c.OpsPerThread = 200_000
+	}
+	if c.EpochInterval == 0 {
+		c.EpochInterval = 64 * time.Millisecond
+	}
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Config     RunConfig
+	Elapsed    time.Duration
+	Ops        int64
+	Throughput float64 // operations per second
+
+	// Durable-mode extras (zero for MT / MT+).
+	LoggedNodes  int64
+	InCLLPerm    int64
+	InCLLVal     int64
+	Fences       int64
+	FlushedLines int64
+	Evictions    int64
+	Advances     int64
+	FlushTime    time.Duration // cumulative wall time inside global flushes
+}
+
+// Run executes one measurement: build, preload, run, collect.
+func Run(cfg RunConfig) Result {
+	cfg.setDefaults()
+	switch cfg.Mode {
+	case MT, MTPlus:
+		return runTransient(cfg)
+	default:
+		return runDurable(cfg)
+	}
+}
+
+// opValue derives a distinct value for each write.
+func opValue(thread, i int) uint64 { return uint64(thread)<<32 | uint64(i) }
+
+// ---- transient modes ----
+
+func runTransient(cfg RunConfig) Result {
+	var tr *masstree.Tree
+	var barrier *masstree.Barrier
+	if cfg.Mode == MTPlus {
+		barrier = masstree.NewBarrier()
+		pool := masstree.NewPool(cfg.Threads, barrier)
+		tr = masstree.NewWithPool(pool, barrier)
+	} else {
+		tr = masstree.New()
+	}
+
+	parallelLoad(cfg, func(w int, k uint64) {
+		tr.Handle(w).Put(masstree.EncodeUint64(k), k)
+	})
+
+	stopTick := make(chan struct{})
+	var tickDone sync.WaitGroup
+	if barrier != nil {
+		tickDone.Add(1)
+		go func() {
+			defer tickDone.Done()
+			t := time.NewTicker(cfg.EpochInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					barrier.Advance()
+				case <-stopTick:
+					return
+				}
+			}
+		}()
+	}
+
+	elapsed := runWorkers(cfg, func(w int, op ycsb.Op, i int) {
+		h := tr.Handle(w)
+		switch op.Kind {
+		case ycsb.OpPut:
+			h.Put(masstree.EncodeUint64(op.Key), opValue(w, i))
+		case ycsb.OpGet:
+			h.Get(masstree.EncodeUint64(op.Key))
+		case ycsb.OpScan:
+			h.Scan(masstree.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
+		}
+	})
+
+	close(stopTick)
+	tickDone.Wait()
+
+	ops := int64(cfg.Threads) * int64(cfg.OpsPerThread)
+	return Result{
+		Config:     cfg,
+		Elapsed:    elapsed,
+		Ops:        ops,
+		Throughput: float64(ops) / elapsed.Seconds(),
+	}
+}
+
+// ---- durable modes ----
+
+// SizeArena returns a generous arena size (words) for a durable run.
+func SizeArena(cfg RunConfig) (arenaWords, heapWords, segWords uint64) {
+	heapWords = cfg.TreeSize*12 + 1<<22
+	segWords = uint64(1<<25) / uint64(cfg.Threads)
+	if segWords < 1<<20 {
+		segWords = 1 << 20
+	}
+	if segWords > 1<<23 {
+		segWords = 1 << 23
+	}
+	arenaWords = heapWords + segWords*uint64(cfg.Threads) + 1<<21
+	return
+}
+
+func runDurable(cfg RunConfig) Result {
+	arenaWords, heapWords, segWords := SizeArena(cfg)
+	a := nvm.New(nvm.Config{
+		Words:         arenaWords,
+		FenceDelay:    cfg.FenceDelay,
+		DirtyCapacity: cfg.DirtyCapacity,
+		Seed:          cfg.Seed,
+	})
+	s, _ := core.Open(a, core.Config{
+		Workers:      cfg.Threads,
+		LogSegWords:  segWords,
+		HeapWords:    heapWords,
+		DisableInCLL: cfg.Mode == LOGGING,
+	})
+
+	parallelLoad(cfg, func(w int, k uint64) {
+		s.Handle(w).Put(core.EncodeUint64(k), k)
+	})
+	s.Advance() // commit the load and reset counters against a clean epoch
+
+	st0 := s.Stats()
+	logged0 := st0.LoggedNodes.Load()
+	perm0 := st0.InCLLPerm.Load()
+	val0 := st0.InCLLVal.Load()
+	as0 := a.Stats().Snapshot()
+	adv0 := s.Epochs().Advances()
+
+	s.StartTicker(cfg.EpochInterval)
+	elapsed := runWorkers(cfg, func(w int, op ycsb.Op, i int) {
+		h := s.Handle(w)
+		switch op.Kind {
+		case ycsb.OpPut:
+			h.Put(core.EncodeUint64(op.Key), opValue(w, i))
+		case ycsb.OpGet:
+			h.Get(core.EncodeUint64(op.Key))
+		case ycsb.OpScan:
+			h.Scan(core.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
+		}
+	})
+	s.StopTicker()
+
+	as := a.Stats().Snapshot().Sub(as0)
+	ops := int64(cfg.Threads) * int64(cfg.OpsPerThread)
+	_ = as0
+	return Result{
+		Config:       cfg,
+		Elapsed:      elapsed,
+		Ops:          ops,
+		Throughput:   float64(ops) / elapsed.Seconds(),
+		LoggedNodes:  st0.LoggedNodes.Load() - logged0,
+		InCLLPerm:    st0.InCLLPerm.Load() - perm0,
+		InCLLVal:     st0.InCLLVal.Load() - val0,
+		Fences:       as.Fences,
+		FlushedLines: as.LinesPersisted,
+		Evictions:    as.Evictions,
+		Advances:     s.Epochs().Advances() - adv0,
+	}
+}
+
+// parallelLoad inserts keys 0..TreeSize-1 using all workers.
+func parallelLoad(cfg RunConfig, put func(worker int, key uint64)) {
+	var wg sync.WaitGroup
+	per := cfg.TreeSize / uint64(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		lo := uint64(w) * per
+		hi := lo + per
+		if w == cfg.Threads-1 {
+			hi = cfg.TreeSize
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				put(w, k)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// runWorkers executes the measured phase and returns its wall time.
+func runWorkers(cfg RunConfig, do func(worker int, op ycsb.Op, i int)) time.Duration {
+	gens := make([]*ycsb.Generator, cfg.Threads)
+	for w := range gens {
+		gens[w] = ycsb.NewGenerator(cfg.Workload, cfg.Dist, cfg.TreeSize, cfg.Seed+int64(w)*7919)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := gens[w]
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				do(w, g.Next(), i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}

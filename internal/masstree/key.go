@@ -1,0 +1,52 @@
+package masstree
+
+import "encoding/binary"
+
+// Key slicing: each trie layer indexes up to 8 bytes of the key. A key is
+// reduced to (ikey, kind) per layer, where ikey is the big-endian 8-byte
+// slice (zero-padded) and kind encodes how much key remains:
+//
+//	kind 0..8:  the key ends in this layer with that many bytes
+//	kindLayer:  the key continues; the slot holds a next-layer tree
+//
+// Two distinct keys can share an ikey but differ in kind ("abc" vs
+// "abc\x00"); entries order by (ikey, kind), and kindLayer sorts after
+// kind 8 because any continued key is strictly longer than any key that
+// ends in this layer with the same 8 bytes.
+const kindLayer = 9
+
+// ikeyOf returns the layer's 8-byte slice of k, big-endian zero-padded,
+// and the kind.
+func ikeyOf(k []byte) (uint64, uint8) {
+	var buf [8]byte
+	n := copy(buf[:], k)
+	ik := binary.BigEndian.Uint64(buf[:])
+	if len(k) > 8 {
+		return ik, kindLayer
+	}
+	return ik, uint8(n)
+}
+
+// keyCmp orders (ikey, kind) pairs.
+func keyCmp(aIkey uint64, aKind uint8, bIkey uint64, bKind uint8) int {
+	switch {
+	case aIkey < bIkey:
+		return -1
+	case aIkey > bIkey:
+		return 1
+	case aKind < bKind:
+		return -1
+	case aKind > bKind:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// EncodeUint64 renders v as an 8-byte big-endian key, so that integer
+// order equals key order. This is the key form the YCSB workloads use.
+func EncodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}

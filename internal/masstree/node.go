@@ -1,0 +1,175 @@
+package masstree
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	leafWidth = 15 // key/value pairs per transient leaf (the paper's default)
+	intWidth  = 15 // router keys per interior node (intWidth+1 children)
+)
+
+// Version word layout, following Masstree §4.1:
+//
+//	bit 0: locked        bit 1: inserting      bit 2: splitting
+//	bit 3: deleted       bit 4: isRoot (of its layer)
+//	bits 8..23:  vinsert counter
+//	bits 24..62: vsplit counter
+const (
+	vLocked    = 1 << 0
+	vInserting = 1 << 1
+	vSplitting = 1 << 2
+	vDeleted   = 1 << 3
+	vIsRoot    = 1 << 4
+	vInsertLo  = 1 << 8
+	vSplitLo   = 1 << 24
+)
+
+// node is a Masstree node. Leaves and interior nodes share one struct with
+// a discriminator; this wastes some bytes on interior nodes (which are an
+// order of magnitude rarer than leaves) in exchange for a pointer-cast-free
+// implementation. All mutable fields are atomics because optimistic readers
+// inspect them while writers hold only the node lock.
+type node struct {
+	version atomic.Uint64
+	parent  atomic.Pointer[node] // interior node above, nil at layer root
+	isLeaf  bool
+
+	// Leaf state.
+	permutation atomic.Uint64 // a perm word
+	hikey       atomic.Uint64 // first ikey of the right sibling (B-link fence); ^0 when rightmost
+	ikeys       [leafWidth]atomic.Uint64
+	kinds       [leafWidth]atomic.Uint32 // kind per slot (0..8 or kindLayer)
+	vals        [leafWidth]atomic.Pointer[slotVal]
+	next        atomic.Pointer[node]
+	prev        atomic.Pointer[node]
+
+	// Interior state.
+	nkeys    atomic.Uint32
+	rkeys    [intWidth]atomic.Uint64
+	children [intWidth + 1]atomic.Pointer[node]
+}
+
+// slotVal is what a leaf slot points to: either a user value buffer or a
+// next-layer tree root (exactly one is non-nil). Mirrors the paper's
+// "values are pointers to buffers".
+type slotVal struct {
+	buf   *Value
+	layer *layerRoot
+}
+
+// Value is an allocated value buffer. The paper's experiments use 8-byte
+// values in 32-byte buffers carrying extra Masstree fields; Pad mirrors
+// that footprint.
+type Value struct {
+	Data uint64
+	Pad  [3]uint64
+}
+
+// layerRoot anchors a next-layer tree.
+type layerRoot struct {
+	root atomic.Pointer[node]
+}
+
+// stable spins until the node is not mid-insert and not mid-split and
+// returns the version word observed (the lock bit may be set; readers
+// tolerate a held lock, only dirty middles matter).
+func (n *node) stable() uint64 {
+	for {
+		v := n.version.Load()
+		if v&(vInserting|vSplitting) == 0 {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// changed reports whether the node was mutated (insert or split) since the
+// stable version v was observed.
+func (n *node) changed(v uint64) bool {
+	return n.version.Load()&^uint64(vLocked) != v&^uint64(vLocked)
+}
+
+// lock acquires the node's spinlock.
+func (n *node) lock() {
+	for {
+		v := n.version.Load()
+		if v&vLocked == 0 && n.version.CompareAndSwap(v, v|vLocked) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// unlock releases the lock, folding any inserting/splitting marks into the
+// counters so validating readers observe the change.
+func (n *node) unlock() {
+	v := n.version.Load()
+	if v&vInserting != 0 {
+		v += vInsertLo
+	}
+	if v&vSplitting != 0 {
+		v += vSplitLo
+	}
+	v &^= vLocked | vInserting | vSplitting
+	n.version.Store(v)
+}
+
+// markInsert flags an in-progress membership change; must hold the lock.
+func (n *node) markInsert() { n.version.Store(n.version.Load() | vInserting) }
+
+// markSplit flags an in-progress split; must hold the lock.
+func (n *node) markSplit() { n.version.Store(n.version.Load() | vSplitting) }
+
+func (n *node) isRoot() bool { return n.version.Load()&vIsRoot != 0 }
+
+func (n *node) setRoot(on bool) {
+	v := n.version.Load()
+	if on {
+		n.version.Store(v | vIsRoot)
+	} else {
+		n.version.Store(v &^ uint64(vIsRoot))
+	}
+}
+
+// perm returns the leaf's permutation word.
+func (n *node) perm() perm { return perm(n.permutation.Load()) }
+
+// leafSearch finds the key-order position of (ikey, kind) in the leaf.
+// Returns (pos, true) when present, or (insertion position, false).
+func (n *node) leafSearch(ik uint64, kind uint8, p perm) (int, bool) {
+	lo, hi := 0, p.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		s := p.slot(mid)
+		c := keyCmp(ik, kind, n.ikeys[s].Load(), uint8(n.kinds[s].Load()))
+		switch {
+		case c == 0:
+			return mid, true
+		case c < 0:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+// interiorChild returns the child to descend into for ikey.
+func (n *node) interiorChild(ik uint64) *node {
+	nk := int(n.nkeys.Load())
+	if nk > intWidth {
+		nk = intWidth // torn read during an update; version check will retry
+	}
+	lo, hi := 0, nk
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ik < n.rkeys[mid].Load() {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return n.children[lo].Load()
+}

@@ -1,0 +1,90 @@
+// Package masstree implements a transient (non-durable) Masstree: the
+// trie-of-B+trees ordered key-value structure of Mao, Kohler and Morris
+// (EuroSys 2012) that the paper makes durable. This package provides the
+// baselines the paper calls MT (heap allocation) and MT+ (pool allocation
+// plus a per-epoch global barrier); the durable variant lives in
+// internal/core and follows the same algorithm over simulated NVM.
+//
+// Keys are arbitrary byte strings. Each trie layer indexes an 8-byte slice
+// of the key with a B+ tree; keys longer than the current slice descend
+// into a next-layer tree hanging off their slot. Values are opaque uint64s
+// stored in allocated value buffers, mirroring the paper's pointer-to-
+// buffer values.
+package masstree
+
+import "fmt"
+
+// perm is Masstree's leaf permutation word: 4 bits of live-entry count,
+// then 15 4-bit slot indices. The first count() indices are the live slots
+// in key order; the remaining indices are the free slots. Updating a leaf's
+// membership or ordering is therefore a single atomic store of one word —
+// the property In-Cache-Line Logging exploits.
+type perm uint64
+
+// permIdentity is the empty permutation: zero live entries, free slots
+// 0..14 in order.
+const permIdentity perm = 0xEDCBA98765432100
+
+// count returns the number of live entries.
+func (p perm) count() int { return int(p & 0xF) }
+
+// slot returns the leaf slot holding the i-th live entry in key order.
+func (p perm) slot(i int) int { return int(p >> (4 + 4*uint(i)) & 0xF) }
+
+// freeSlot returns a currently unused slot index, valid only if
+// count() < 15.
+func (p perm) freeSlot() int { return p.slot(p.count()) }
+
+// insert returns p with the free slot s placed at key-order position pos
+// and the count incremented. s must be p.freeSlot().
+func (p perm) insert(pos int) perm {
+	n := p.count()
+	s := uint64(p.freeSlot())
+	body := uint64(p) >> 4
+	// Remove the free nibble at position n.
+	low := body & (1<<(4*uint(n)) - 1)
+	high := body >> (4 * uint(n+1)) << (4 * uint(n))
+	body = low | high
+	// Insert s at position pos.
+	low = body & (1<<(4*uint(pos)) - 1)
+	high = body >> (4 * uint(pos)) << (4 * uint(pos+1))
+	body = low | high | s<<(4*uint(pos))
+	return perm(body<<4 | uint64(n+1))
+}
+
+// remove returns p with the live entry at key-order position pos retired
+// to the free region and the count decremented.
+func (p perm) remove(pos int) perm {
+	n := p.count()
+	s := uint64(p.slot(pos))
+	body := uint64(p) >> 4
+	// Remove the nibble at pos.
+	low := body & (1<<(4*uint(pos)) - 1)
+	high := body >> (4 * uint(pos+1)) << (4 * uint(pos))
+	body = low | high
+	// Reinsert it at position n-1 (head of the free region).
+	low = body & (1<<(4*uint(n-1)) - 1)
+	high = body >> (4 * uint(n-1)) << (4 * uint(n))
+	body = low | high | s<<(4*uint(n-1))
+	return perm(body<<4 | uint64(n-1))
+}
+
+// truncate returns p with only the first keep live entries retained; the
+// dropped entries join the free region in their previous order, which is
+// exactly what a split needs after moving the upper half out.
+func (p perm) truncate(keep int) perm {
+	return perm(uint64(p)&^0xF | uint64(keep))
+}
+
+// String renders the permutation for debugging: count then live | free.
+func (p perm) String() string {
+	s := fmt.Sprintf("perm{n=%d live=[", p.count())
+	for i := 0; i < p.count(); i++ {
+		s += fmt.Sprintf("%d ", p.slot(i))
+	}
+	s += "] free=["
+	for i := p.count(); i < 15; i++ {
+		s += fmt.Sprintf("%d ", p.slot(i))
+	}
+	return s + "]}"
+}

@@ -1,0 +1,108 @@
+package masstree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermIdentity(t *testing.T) {
+	p := permIdentity
+	if p.count() != 0 {
+		t.Fatalf("identity count = %d", p.count())
+	}
+	for i := 0; i < 15; i++ {
+		if p.slot(i) != i {
+			t.Fatalf("identity slot(%d) = %d", i, p.slot(i))
+		}
+	}
+	if p.freeSlot() != 0 {
+		t.Fatalf("first free slot = %d", p.freeSlot())
+	}
+}
+
+func TestPermInsertFront(t *testing.T) {
+	p := permIdentity
+	p = p.insert(0) // slot 0 at pos 0
+	if p.count() != 1 || p.slot(0) != 0 {
+		t.Fatalf("after insert: %v", p)
+	}
+	// Next free slot must be 1.
+	if p.freeSlot() != 1 {
+		t.Fatalf("free slot = %d, want 1", p.freeSlot())
+	}
+	p = p.insert(0) // slot 1 at pos 0: live order [1, 0]
+	if p.count() != 2 || p.slot(0) != 1 || p.slot(1) != 0 {
+		t.Fatalf("after second insert: %v", p)
+	}
+}
+
+func TestPermRemoveReturnsSlotToFreeRegion(t *testing.T) {
+	p := permIdentity
+	p = p.insert(0) // live [0]
+	p = p.insert(1) // live [0 1]
+	p = p.remove(0) // live [1], slot 0 free again
+	if p.count() != 1 || p.slot(0) != 1 {
+		t.Fatalf("after remove: %v", p)
+	}
+	// All 15 slots must still be present exactly once.
+	seen := map[int]bool{}
+	for i := 0; i < 15; i++ {
+		seen[p.slot(i)] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("permutation lost slots: %v", p)
+	}
+}
+
+func TestPermTruncate(t *testing.T) {
+	p := permIdentity
+	for i := 0; i < 10; i++ {
+		p = p.insert(i)
+	}
+	p = p.truncate(4)
+	if p.count() != 4 {
+		t.Fatalf("truncate count = %d", p.count())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 15; i++ {
+		seen[p.slot(i)] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("truncate lost slots: %v", p)
+	}
+}
+
+// Property: any sequence of inserts and removes keeps the permutation a
+// bijection over slots 0..14 and keeps count consistent.
+func TestPermPropertyBijection(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := permIdentity
+		live := 0
+		for step := 0; step < 400; step++ {
+			if live < 15 && (live == 0 || rng.Intn(2) == 0) {
+				p = p.insert(rng.Intn(live + 1))
+				live++
+			} else {
+				p = p.remove(rng.Intn(live))
+				live--
+			}
+			if p.count() != live {
+				t.Fatalf("seed %d step %d: count %d != live %d", seed, step, p.count(), live)
+			}
+			seen := 0
+			var mask uint16
+			for i := 0; i < 15; i++ {
+				s := p.slot(i)
+				if s < 0 || s > 14 || mask&(1<<uint(s)) != 0 {
+					t.Fatalf("seed %d step %d: not a bijection: %v", seed, step, p)
+				}
+				mask |= 1 << uint(s)
+				seen++
+			}
+			if seen != 15 {
+				t.Fatalf("seed %d: %v", seed, p)
+			}
+		}
+	}
+}

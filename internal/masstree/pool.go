@@ -1,0 +1,120 @@
+package masstree
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier is the MT+ global epoch barrier: workers hold it shared for the
+// duration of each operation; Advance takes it exclusively, which quiesces
+// the world exactly like the durable tree's checkpoint boundary (minus the
+// cache flush). Pools recycle freed value buffers at Advance, giving the
+// same epoch-based reclamation discipline the paper's allocator uses.
+type Barrier struct {
+	mu        sync.RWMutex
+	callbacks []func()
+	advances  atomic.Int64
+}
+
+// NewBarrier creates a barrier.
+func NewBarrier() *Barrier { return &Barrier{} }
+
+// Enter marks the caller as inside an operation.
+func (b *Barrier) Enter() { b.mu.RLock() }
+
+// Exit ends the caller's operation.
+func (b *Barrier) Exit() { b.mu.RUnlock() }
+
+// OnAdvance registers a callback run at each Advance with the world
+// stopped. Register before mutators start.
+func (b *Barrier) OnAdvance(f func()) { b.callbacks = append(b.callbacks, f) }
+
+// Advance stops the world, runs the registered callbacks, and resumes.
+func (b *Barrier) Advance() {
+	b.mu.Lock()
+	for _, f := range b.callbacks {
+		f()
+	}
+	b.advances.Add(1)
+	b.mu.Unlock()
+}
+
+// Advances returns the number of boundaries executed.
+func (b *Barrier) Advances() int64 { return b.advances.Load() }
+
+// Pool is the MT+ allocator: sharded slab allocation for nodes and
+// epoch-recycled free lists for value buffers, standing in for the paper's
+// mmap-based pool (versus jemalloc for MT).
+type Pool struct {
+	shards []poolShard
+}
+
+type poolShard struct {
+	mu        sync.Mutex
+	nodeSlab  []node
+	valueSlab []Value
+	freeVals  []*Value
+	limboVals []*Value
+	_         [4]uint64 // shard padding to tame false sharing
+}
+
+const slabNodes = 256
+
+// NewPool creates a pool with the given shard count, recycling value
+// buffers at b's epoch boundaries (b may be nil, in which case buffers are
+// never recycled).
+func NewPool(shards int, b *Barrier) *Pool {
+	p := &Pool{shards: make([]poolShard, shards)}
+	if b != nil {
+		b.OnAdvance(p.spliceLimbo)
+	}
+	return p
+}
+
+// spliceLimbo moves limbo buffers to the free lists; runs with the world
+// stopped, so no reader still holds a reference (EBR).
+func (p *Pool) spliceLimbo() {
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.freeVals = append(s.freeVals, s.limboVals...)
+		s.limboVals = s.limboVals[:0]
+		s.mu.Unlock()
+	}
+}
+
+func (p *Pool) allocNode(shard int) *node {
+	s := &p.shards[shard%len(p.shards)]
+	s.mu.Lock()
+	if len(s.nodeSlab) == 0 {
+		s.nodeSlab = make([]node, slabNodes)
+	}
+	n := &s.nodeSlab[0]
+	s.nodeSlab = s.nodeSlab[1:]
+	s.mu.Unlock()
+	return n
+}
+
+func (p *Pool) allocValue(shard int) *Value {
+	s := &p.shards[shard%len(p.shards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.freeVals); n > 0 {
+		v := s.freeVals[n-1]
+		s.freeVals = s.freeVals[:n-1]
+		return v
+	}
+	if len(s.valueSlab) == 0 {
+		s.valueSlab = make([]Value, slabNodes)
+	}
+	v := &s.valueSlab[0]
+	s.valueSlab = s.valueSlab[1:]
+	return v
+}
+
+func (p *Pool) freeValue(shard int, v *Value) {
+	s := &p.shards[shard%len(p.shards)]
+	s.mu.Lock()
+	s.limboVals = append(s.limboVals, v)
+	s.mu.Unlock()
+}

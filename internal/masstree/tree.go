@@ -1,0 +1,587 @@
+package masstree
+
+import (
+	"sync/atomic"
+)
+
+// Tree is a concurrent Masstree. Readers are optimistic (version-validated,
+// lock-free); writers take per-leaf locks and split B-link style, so
+// operations that race with a split simply walk right along leaf next
+// pointers.
+//
+// Use New for the MT baseline (heap allocation) or NewWithPool for the MT+
+// baseline (pool allocation plus a global epoch barrier).
+type Tree struct {
+	root    atomic.Pointer[node]
+	pool    *Pool
+	barrier *Barrier
+	size    atomic.Int64
+}
+
+// New creates an empty MT-style tree: every node and value buffer is a
+// fresh heap allocation (the stand-in for jemalloc).
+func New() *Tree { return &Tree{} }
+
+// NewWithPool creates an empty MT+-style tree: nodes and value buffers come
+// from a sharded pool and freed buffers are recycled at barrier epochs,
+// matching the paper's mmap-pool enhancement.
+func NewWithPool(p *Pool, b *Barrier) *Tree { return &Tree{pool: p, barrier: b} }
+
+// Len returns the number of live keys.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// Handle binds a shard index to the tree; concurrent workers should each
+// use their own handle so pool operations do not contend.
+type Handle struct {
+	t     *Tree
+	shard int
+}
+
+// Handle returns a worker handle for shard i.
+func (t *Tree) Handle(i int) Handle { return Handle{t: t, shard: i} }
+
+// Get returns the value stored under k.
+func (t *Tree) Get(k []byte) (uint64, bool) { return t.Handle(0).Get(k) }
+
+// Put stores v under k, returning true if the key was newly inserted.
+func (t *Tree) Put(k []byte, v uint64) bool { return t.Handle(0).Put(k, v) }
+
+// Delete removes k, returning true if it was present.
+func (t *Tree) Delete(k []byte) bool { return t.Handle(0).Delete(k) }
+
+// Scan visits up to max keys ≥ start in order; see Handle.Scan.
+func (t *Tree) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	return t.Handle(0).Scan(start, max, fn)
+}
+
+// enter/exit bracket an operation with the global barrier, when present.
+func (h Handle) enter() {
+	if h.t.barrier != nil {
+		h.t.barrier.Enter()
+	}
+}
+
+func (h Handle) exit() {
+	if h.t.barrier != nil {
+		h.t.barrier.Exit()
+	}
+}
+
+// ---- allocation ----
+
+func (h Handle) newLeaf() *node {
+	var n *node
+	if h.t.pool != nil {
+		n = h.t.pool.allocNode(h.shard)
+	} else {
+		n = new(node)
+	}
+	n.isLeaf = true
+	n.permutation.Store(uint64(permIdentity))
+	n.hikey.Store(^uint64(0))
+	return n
+}
+
+func (h Handle) newInterior() *node {
+	var n *node
+	if h.t.pool != nil {
+		n = h.t.pool.allocNode(h.shard)
+	} else {
+		n = new(node)
+	}
+	n.isLeaf = false
+	return n
+}
+
+func (h Handle) allocValue(data uint64) *Value {
+	if h.t.pool != nil {
+		v := h.t.pool.allocValue(h.shard)
+		v.Data = data
+		return v
+	}
+	return &Value{Data: data}
+}
+
+func (h Handle) freeValue(v *Value) {
+	if h.t.pool != nil && v != nil {
+		h.t.pool.freeValue(h.shard, v)
+	}
+}
+
+// ---- read path ----
+
+// Get returns the value stored under k.
+func (h Handle) Get(k []byte) (uint64, bool) {
+	h.enter()
+	defer h.exit()
+	return h.layerGet(&h.t.root, k)
+}
+
+func (h Handle) layerGet(rr *atomic.Pointer[node], k []byte) (uint64, bool) {
+	ik, kind := ikeyOf(k)
+retry:
+	n := rr.Load()
+	if n == nil {
+		return 0, false
+	}
+	n = descend(n, ik)
+readLeaf:
+	v := n.stable()
+	if ik >= n.hikey.Load() {
+		nn := n.next.Load()
+		if n.changed(v) {
+			goto retry
+		}
+		if nn != nil {
+			n = nn
+			goto readLeaf
+		}
+	}
+	p := n.perm()
+	pos, found := n.leafSearch(ik, kind, p)
+	if !found {
+		if n.changed(v) {
+			goto retry
+		}
+		return 0, false
+	}
+	sv := n.vals[p.slot(pos)].Load()
+	if n.changed(v) {
+		goto retry
+	}
+	if sv == nil {
+		goto retry // slot mid-update; extremely rare
+	}
+	if sv.layer != nil {
+		return h.layerGet(&sv.layer.root, k[8:])
+	}
+	return sv.buf.Data, true
+}
+
+// descend walks interior nodes to the leaf that should cover ik, validating
+// each interior read against its version.
+func descend(n *node, ik uint64) *node {
+	root := n
+	for !n.isLeaf {
+		v := n.stable()
+		c := n.interiorChild(ik)
+		if n.changed(v) || c == nil {
+			n = root // restart the descent; the leaf B-link catches the rest
+			continue
+		}
+		n = c
+	}
+	return n
+}
+
+// ---- write path ----
+
+// Put stores v under k. Returns true if k was newly inserted, false if an
+// existing value was overwritten.
+func (h Handle) Put(k []byte, v uint64) bool {
+	h.enter()
+	defer h.exit()
+	inserted := h.layerPut(&h.t.root, k, v)
+	if inserted {
+		h.t.size.Add(1)
+	}
+	return inserted
+}
+
+func (h Handle) layerPut(rr *atomic.Pointer[node], k []byte, val uint64) bool {
+	ik, kind := ikeyOf(k)
+retry:
+	n := rr.Load()
+	if n == nil {
+		fresh := h.newLeaf()
+		fresh.setRoot(true)
+		if !rr.CompareAndSwap(nil, fresh) {
+			// Lost the race; fall through to the installed root.
+		}
+		goto retry
+	}
+	n = descend(n, ik)
+	n = lockCovering(n, ik)
+	p := n.perm()
+	pos, found := n.leafSearch(ik, kind, p)
+	if found {
+		slot := p.slot(pos)
+		sv := n.vals[slot].Load()
+		if sv.layer != nil {
+			lr := sv.layer
+			n.unlock()
+			return h.layerPut(&lr.root, k[8:], val)
+		}
+		old := sv.buf
+		n.vals[slot].Store(&slotVal{buf: h.allocValue(val)})
+		n.unlock()
+		h.freeValue(old)
+		return false
+	}
+	// Build the slot payload before exposing it.
+	var sv *slotVal
+	if kind == kindLayer {
+		lr := &layerRoot{}
+		h.layerPut(&lr.root, k[8:], val)
+		sv = &slotVal{layer: lr}
+	} else {
+		sv = &slotVal{buf: h.allocValue(val)}
+	}
+	if p.count() < leafWidth {
+		slot := p.freeSlot()
+		n.ikeys[slot].Store(ik)
+		n.kinds[slot].Store(uint32(kind))
+		n.vals[slot].Store(sv)
+		n.markInsert()
+		n.permutation.Store(uint64(p.insert(pos)))
+		n.unlock()
+		return true
+	}
+	h.splitLeafInsert(rr, n, ik, kind, sv, pos)
+	return true
+}
+
+// lockCovering locks n and walks right until n covers ik (B-link): a
+// concurrent split may have moved the key range rightward between descent
+// and locking.
+func lockCovering(n *node, ik uint64) *node {
+	n.lock()
+	for ik >= n.hikey.Load() {
+		nn := n.next.Load()
+		if nn == nil {
+			return n
+		}
+		nn.lock()
+		n.unlock()
+		n = nn
+	}
+	return n
+}
+
+// splitLeafInsert splits the full, locked leaf n and inserts (ik, kind, sv)
+// at key-order position pos. Consumes n's lock.
+func (h Handle) splitLeafInsert(rr *atomic.Pointer[node], n *node, ik uint64, kind uint8, sv *slotVal, pos int) {
+	n.markSplit()
+	nn := h.newLeaf()
+	nn.lock()
+	p := n.perm() // 15 live entries
+
+	sp := splitPoint(n, p)
+	// Move entries sp..14 into nn's slots 0..(15-sp-1), already in order.
+	moved := 0
+	for i := sp; i < leafWidth; i++ {
+		s := p.slot(i)
+		nn.ikeys[moved].Store(n.ikeys[s].Load())
+		nn.kinds[moved].Store(n.kinds[s].Load())
+		nn.vals[moved].Store(n.vals[s].Load())
+		moved++
+	}
+	nn.permutation.Store(uint64(permIdentity)&^0xF | uint64(moved))
+	splitIkey := nn.ikeys[0].Load()
+
+	// Publish the B-link before shrinking n, so no key is ever unreachable.
+	nn.hikey.Store(n.hikey.Load())
+	succ := n.next.Load()
+	nn.next.Store(succ)
+	nn.prev.Store(n)
+	if succ != nil {
+		succ.prev.Store(nn)
+	}
+	n.next.Store(nn)
+	n.hikey.Store(splitIkey)
+	n.permutation.Store(uint64(p.truncate(sp)))
+
+	// Insert the pending entry into whichever half owns it.
+	target, tpos := n, pos
+	if ik >= splitIkey {
+		target, tpos = nn, pos-sp
+	}
+	tp := target.perm()
+	slot := tp.freeSlot()
+	target.ikeys[slot].Store(ik)
+	target.kinds[slot].Store(uint32(kind))
+	target.vals[slot].Store(sv)
+	target.markInsert()
+	target.permutation.Store(uint64(tp.insert(tpos)))
+
+	h.insertUpward(rr, n, nn, splitIkey)
+	nn.unlock()
+	n.unlock()
+}
+
+// splitPoint picks a key-order position near the middle where the boundary
+// ikeys differ, so interior routing by ikey alone never separates equal
+// ikeys. A valid point always exists because one ikey can occupy at most
+// ten slots (kinds 0..8 plus a layer).
+func splitPoint(n *node, p perm) int {
+	mid := leafWidth / 2
+	for d := 0; d < leafWidth; d++ {
+		for _, sp := range [2]int{mid + d, mid - d} {
+			if sp <= 0 || sp >= p.count() {
+				continue
+			}
+			if n.ikeys[p.slot(sp-1)].Load() != n.ikeys[p.slot(sp)].Load() {
+				return sp
+			}
+		}
+	}
+	panic("masstree: no valid split point (more equal ikeys than a leaf can hold)")
+}
+
+// insertUpward installs the separator (splitIkey, right) above the split
+// pair left/right (both locked by the caller; their locks are retained).
+func (h Handle) insertUpward(rr *atomic.Pointer[node], left, right *node, splitIkey uint64) {
+	if left.isRoot() {
+		nr := h.newInterior()
+		nr.nkeys.Store(1)
+		nr.rkeys[0].Store(splitIkey)
+		nr.children[0].Store(left)
+		nr.children[1].Store(right)
+		nr.setRoot(true)
+		left.setRoot(false)
+		left.parent.Store(nr)
+		right.parent.Store(nr)
+		rr.Store(nr)
+		return
+	}
+	p := lockParent(left)
+	right.parent.Store(p)
+	nk := int(p.nkeys.Load())
+	// Position of left among p's children keys.
+	pos := 0
+	for pos < nk && splitIkey >= p.rkeys[pos].Load() {
+		pos++
+	}
+	if nk < intWidth {
+		p.markInsert()
+		for i := nk; i > pos; i-- {
+			p.rkeys[i].Store(p.rkeys[i-1].Load())
+			p.children[i+1].Store(p.children[i].Load())
+		}
+		p.rkeys[pos].Store(splitIkey)
+		p.children[pos+1].Store(right)
+		p.nkeys.Store(uint32(nk + 1))
+		p.unlock()
+		return
+	}
+	h.splitInterior(rr, p, splitIkey, right, pos)
+}
+
+// lockParent locks child's parent, retrying around concurrent parent
+// splits that reassign the pointer.
+func lockParent(child *node) *node {
+	for {
+		p := child.parent.Load()
+		p.lock()
+		if p == child.parent.Load() {
+			return p
+		}
+		p.unlock()
+	}
+}
+
+// splitInterior splits the full, locked interior p while inserting
+// (key, child) at child-key position pos. Consumes p's lock.
+func (h Handle) splitInterior(rr *atomic.Pointer[node], p *node, key uint64, child *node, pos int) {
+	p.markSplit()
+	// Assemble the 16 keys and 17 children.
+	var keys [intWidth + 1]uint64
+	var kids [intWidth + 2]*node
+	for i := 0; i < intWidth; i++ {
+		keys[i] = p.rkeys[i].Load()
+	}
+	for i := 0; i <= intWidth; i++ {
+		kids[i] = p.children[i].Load()
+	}
+	copy(keys[pos+1:], keys[pos:intWidth])
+	keys[pos] = key
+	copy(kids[pos+2:], kids[pos+1:intWidth+1])
+	kids[pos+1] = child
+
+	half := (intWidth + 1) / 2 // 8: left keeps 8 keys, promote keys[8], right gets 7
+	promoted := keys[half]
+
+	pp := h.newInterior()
+	pp.lock()
+	rn := 0
+	for i := half + 1; i < intWidth+1; i++ {
+		pp.rkeys[rn].Store(keys[i])
+		rn++
+	}
+	for i := half + 1; i < intWidth+2; i++ {
+		c := kids[i]
+		pp.children[i-half-1].Store(c)
+		c.parent.Store(pp)
+	}
+	pp.nkeys.Store(uint32(rn))
+
+	// Shrink p in place.
+	for i := 0; i < half; i++ {
+		p.rkeys[i].Store(keys[i])
+	}
+	for i := 0; i <= half; i++ {
+		p.children[i].Store(kids[i])
+		kids[i].parent.Store(p)
+	}
+	p.nkeys.Store(uint32(half))
+
+	h.insertUpward(rr, p, pp, promoted)
+	pp.unlock()
+	p.unlock()
+}
+
+// ---- delete path ----
+
+// Delete removes k. Emptied leaves stay in the tree (Masstree's rare
+// leaf-collapse path is intentionally omitted; an empty leaf is harmless
+// and its range remains insertable).
+func (h Handle) Delete(k []byte) bool {
+	h.enter()
+	defer h.exit()
+	removed := h.layerDelete(&h.t.root, k)
+	if removed {
+		h.t.size.Add(-1)
+	}
+	return removed
+}
+
+func (h Handle) layerDelete(rr *atomic.Pointer[node], k []byte) bool {
+	ik, kind := ikeyOf(k)
+	n := rr.Load()
+	if n == nil {
+		return false
+	}
+	n = descend(n, ik)
+	n = lockCovering(n, ik)
+	p := n.perm()
+	pos, found := n.leafSearch(ik, kind, p)
+	if !found {
+		n.unlock()
+		return false
+	}
+	slot := p.slot(pos)
+	sv := n.vals[slot].Load()
+	if sv.layer != nil {
+		lr := sv.layer
+		n.unlock()
+		return h.layerDelete(&lr.root, k[8:])
+	}
+	n.markInsert()
+	n.permutation.Store(uint64(p.remove(pos)))
+	n.unlock()
+	h.freeValue(sv.buf)
+	return true
+}
+
+// ---- scan path ----
+
+// KV is one scanned pair.
+type KV struct {
+	Key   []byte
+	Value uint64
+}
+
+// Scan visits keys ≥ start in ascending order, calling fn for each, until
+// fn returns false or max pairs have been visited (max < 0 means no
+// limit). Returns the number of pairs visited. The key slice passed to fn
+// is freshly allocated and may be retained.
+func (h Handle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	h.enter()
+	defer h.exit()
+	visited := 0
+	h.scanLayer(&h.t.root, nil, start, max, &visited, fn)
+	return visited
+}
+
+// scanEntry is a snapshot of one leaf entry taken under version validation.
+type scanEntry struct {
+	ikey uint64
+	kind uint8
+	sv   *slotVal
+}
+
+func (h Handle) scanLayer(rr *atomic.Pointer[node], prefix, start []byte, max int, visited *int, fn func([]byte, uint64) bool) bool {
+	n := rr.Load()
+	if n == nil {
+		return true
+	}
+	var startIk uint64
+	var startKind uint8
+	if len(start) > 0 {
+		startIk, startKind = ikeyOf(start)
+	}
+	n = descend(n, startIk)
+
+	var entries []scanEntry
+	for n != nil {
+		// Snapshot the leaf under optimistic validation.
+	again:
+		v := n.stable()
+		if startIk >= n.hikey.Load() {
+			nn := n.next.Load()
+			if n.changed(v) {
+				goto again
+			}
+			if nn != nil {
+				n = nn
+				goto again
+			}
+		}
+		entries = entries[:0]
+		p := n.perm()
+		for i := 0; i < p.count(); i++ {
+			s := p.slot(i)
+			entries = append(entries, scanEntry{n.ikeys[s].Load(), uint8(n.kinds[s].Load()), n.vals[s].Load()})
+		}
+		next := n.next.Load()
+		if n.changed(v) {
+			goto again
+		}
+
+		for _, e := range entries {
+			if e.sv == nil {
+				continue
+			}
+			if len(start) > 0 && keyCmp(e.ikey, e.kind, startIk, startKind) < 0 {
+				if !(e.kind == kindLayer && e.ikey == startIk) {
+					continue
+				}
+			}
+			if max >= 0 && *visited >= max {
+				return false
+			}
+			kb := appendIkey(append([]byte(nil), prefix...), e.ikey, e.kind)
+			if e.kind == kindLayer {
+				var rest []byte
+				if len(start) > 8 && e.ikey == startIk && startKind == kindLayer {
+					rest = start[8:]
+				}
+				if !h.scanLayer(&e.sv.layer.root, kb, rest, max, visited, fn) {
+					return false
+				}
+				continue
+			}
+			*visited++
+			if !fn(kb, e.sv.buf.Data) {
+				return false
+			}
+		}
+		n = next
+		start = nil
+		startIk, startKind = 0, 0
+	}
+	return true
+}
+
+// appendIkey appends the bytes an (ikey, kind) pair contributes to the
+// full key: kind bytes for terminal entries, all 8 for layer links.
+func appendIkey(dst []byte, ik uint64, kind uint8) []byte {
+	nb := int(kind)
+	if kind == kindLayer {
+		nb = 8
+	}
+	for i := 0; i < nb; i++ {
+		dst = append(dst, byte(ik>>(56-8*uint(i))))
+	}
+	return dst
+}

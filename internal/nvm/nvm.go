@@ -1,0 +1,497 @@
+// Package nvm simulates a byte-addressable non-volatile memory behind a
+// transient CPU cache, following the Persistent Cache Store Order (PCSO)
+// model used by Cohen et al. (ASPLOS 2019).
+//
+// The simulation keeps two images of the same word-addressable arena:
+//
+//   - the volatile image, which mutators read and write (it plays the role
+//     of "memory as seen through the cache hierarchy"), and
+//   - the persistent image, which only receives whole 64-byte cache lines
+//     when a line is written back (explicit writeback+fence, background
+//     eviction, a global flush, or a simulated power failure).
+//
+// Because a line is always persisted atomically with its current contents,
+// two writes to the same cache line can never be observed out of program
+// order in the persistent image: this is exactly the PCSO "granularity"
+// guarantee that In-Cache-Line Logging relies on. Writes to different lines
+// persist in an arbitrary order unless an explicit Writeback/Fence pair
+// intervenes, which is the PCSO "explicit flush" guarantee.
+//
+// A simulated power failure (Crash) persists an arbitrary, policy-chosen
+// subset of the dirty lines and discards the cache, leaving the arena in a
+// state that recovery code must repair — the same challenge real NVM
+// software faces.
+package nvm
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// LineBytes is the size of a simulated cache line.
+	LineBytes = 64
+	// WordsPerLine is the number of 8-byte words per cache line.
+	WordsPerLine = LineBytes / 8
+)
+
+// Per-line state flags.
+const (
+	lineDirty    uint32 = 1 << 0 // written since last persist
+	linePending  uint32 = 1 << 1 // writeback issued, fence not yet executed
+	lineFlushing uint32 = 1 << 2 // background eviction in progress
+)
+
+// Config describes a simulated memory subsystem.
+type Config struct {
+	// Words is the arena size in 8-byte words. Rounded up to a whole
+	// number of cache lines. Must be > 0.
+	Words uint64
+
+	// FenceDelay is an artificial latency injected on every Fence, which
+	// models the NVM round-trip waited on by sfence. Used by the paper's
+	// emulated-latency experiments (Figures 3 and 8).
+	FenceDelay time.Duration
+
+	// FlushBaseCost and FlushLineCost model the cost of a global cache
+	// flush (wbinvd): FlushAll busy-waits FlushBaseCost plus FlushLineCost
+	// per persisted line, in addition to the real cost of copying.
+	FlushBaseCost time.Duration
+	FlushLineCost time.Duration
+
+	// DirtyCapacity, when > 0, bounds the number of dirty lines the
+	// "cache" may hold: crossing the bound triggers background eviction
+	// (write-back of a random dirty line), modelling the cache replacement
+	// traffic that empties part of the cache during an epoch. 0 disables
+	// eviction.
+	DirtyCapacity int
+
+	// Seed seeds the eviction victim selector. Crash policies carry their
+	// own seeds.
+	Seed int64
+}
+
+// Arena is a simulated NVM region. All durable state of the system lives in
+// one Arena and is accessed with Load and Store at word granularity.
+//
+// Concurrency: Load and Store are safe for concurrent use. Writeback and
+// Fence must only be applied to lines the calling goroutine has exclusive
+// write access to (in this codebase they are used on per-thread log buffers
+// and on barrier-protected metadata, which satisfies that). FlushAll and
+// Crash require all mutators to be quiescent, which the epoch manager's
+// global barrier provides.
+type Arena struct {
+	volatile []uint64        // the image mutators see (through the cache)
+	persist  []uint64        // the NVM image
+	flags    []atomic.Uint32 // per-line state
+	summary  []atomic.Uint64 // one bit per line, grouped 64 lines/word
+
+	lines      int
+	evict      bool
+	dirtyCount atomic.Int64
+	capacity   int64
+
+	cfg Config
+
+	mu       sync.Mutex // guards slow paths: Fence, FlushAll, Crash, eviction scan cursor
+	evictPos int
+	rng      *rand.Rand
+
+	pendMu  sync.Mutex
+	pending []int // lines with an outstanding writeback
+
+	reserveOff uint64 // bump cursor for static region carving
+
+	stats Stats
+}
+
+// New creates an arena of cfg.Words words, all zero, fully persistent
+// (clean). Word offset 0 is reserved so that 0 can act as a null "pointer".
+func New(cfg Config) *Arena {
+	if cfg.Words == 0 {
+		panic("nvm: Config.Words must be > 0")
+	}
+	words := (cfg.Words + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+	lines := int(words / WordsPerLine)
+	a := &Arena{
+		volatile: make([]uint64, words),
+		persist:  make([]uint64, words),
+		flags:    make([]atomic.Uint32, lines),
+		summary:  make([]atomic.Uint64, (lines+63)/64),
+		lines:    lines,
+		evict:    cfg.DirtyCapacity > 0,
+		capacity: int64(cfg.DirtyCapacity),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		// Word 0 is never handed out: offset 0 means "null".
+		reserveOff: WordsPerLine,
+	}
+	return a
+}
+
+// Size returns the arena size in words.
+func (a *Arena) Size() uint64 { return uint64(len(a.volatile)) }
+
+// Lines returns the number of cache lines in the arena.
+func (a *Arena) Lines() int { return a.lines }
+
+// Config returns the configuration the arena was built with.
+func (a *Arena) Config() Config { return a.cfg }
+
+// Reserve carves a static region of the given number of words out of the
+// arena, aligned to a cache-line boundary, and returns its word offset.
+// Region layout is decided deterministically at start-up (before any
+// mutation), so a recovering process re-derives the same layout; Reserve is
+// not itself crash-safe and must not be used after mutation begins.
+func (a *Arena) Reserve(words uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	off := a.reserveOff
+	n := (words + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+	if off+n > uint64(len(a.volatile)) {
+		panic(fmt.Sprintf("nvm: arena exhausted: reserve %d words at %d of %d", n, off, len(a.volatile)))
+	}
+	a.reserveOff = off + n
+	return off
+}
+
+// ResetReservations rewinds the Reserve cursor, modelling a process
+// restart: a recovering process replays the same deterministic Reserve
+// sequence and re-derives the same region offsets over the surviving
+// arena contents.
+func (a *Arena) ResetReservations() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reserveOff = WordsPerLine
+}
+
+// Reserved reports how many words have been handed out by Reserve.
+func (a *Arena) Reserved() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reserveOff
+}
+
+// Load reads the word at off as the CPU would: through the cache, seeing
+// the most recent store.
+func (a *Arena) Load(off uint64) uint64 {
+	return atomic.LoadUint64(&a.volatile[off])
+}
+
+// Store writes the word at off through the cache and marks its line dirty.
+// The store becomes durable only when the line is persisted (writeback +
+// fence, eviction, global flush, or a lucky crash).
+func (a *Arena) Store(off uint64, v uint64) {
+	line := int(off / WordsPerLine)
+	if a.evict {
+		// Mark before and after the data store so a concurrent background
+		// eviction that overlaps this store always observes the line as
+		// re-dirtied and discards its (possibly torn) copy.
+		a.markDirty(line)
+		atomic.StoreUint64(&a.volatile[off], v)
+		a.markDirty(line)
+		a.maybeEvict()
+		return
+	}
+	atomic.StoreUint64(&a.volatile[off], v)
+	a.markDirty(line)
+}
+
+func (a *Arena) markDirty(line int) {
+	// Fast path: the line is already dirty. Safe only without background
+	// eviction — eviction relies on the full mark-before/mark-after RMW
+	// protocol to detect stores racing with a line copy; without eviction,
+	// dirty bits are only cleared while mutators are quiesced (FlushAll,
+	// Crash) or on lines the clearing thread owns (Fence).
+	if !a.evict && a.flags[line].Load()&lineDirty != 0 {
+		return
+	}
+	old := orU32(&a.flags[line], lineDirty)
+	if old&lineDirty == 0 {
+		orU64(&a.summary[line>>6], 1<<(uint(line)&63))
+		if a.evict {
+			a.dirtyCount.Add(1)
+		}
+	}
+}
+
+// orU32, orU64 and andU64 are CAS-loop replacements for the value-returning
+// atomic Or/And intrinsics, which miscompile on go1.24.0 (the intrinsic's
+// CMPXCHG loop clobbers a live register). The CAS loop lowers to the same
+// LOCK CMPXCHG without tickling the bug.
+func orU32(x *atomic.Uint32, mask uint32) (old uint32) {
+	for {
+		old = x.Load()
+		if old&mask == mask || x.CompareAndSwap(old, old|mask) {
+			return old
+		}
+	}
+}
+
+func orU64(x *atomic.Uint64, mask uint64) {
+	for {
+		old := x.Load()
+		if old&mask == mask || x.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+func andU64(x *atomic.Uint64, mask uint64) {
+	for {
+		old := x.Load()
+		if old&mask == old || x.CompareAndSwap(old, old&mask) {
+			return
+		}
+	}
+}
+
+// CompareAndSwap atomically replaces the word at off with new if it
+// currently holds old, marking the line dirty on success. Models a CPU
+// CAS on an NVM-backed location.
+func (a *Arena) CompareAndSwap(off uint64, old, new uint64) bool {
+	line := int(off / WordsPerLine)
+	if a.evict {
+		a.markDirty(line)
+		ok := atomic.CompareAndSwapUint64(&a.volatile[off], old, new)
+		a.markDirty(line)
+		return ok
+	}
+	if !atomic.CompareAndSwapUint64(&a.volatile[off], old, new) {
+		return false
+	}
+	a.markDirty(line)
+	return true
+}
+
+// Writeback initiates an asynchronous write-back (clwb/clflushopt) of the
+// line containing off. The line's current contents are only guaranteed to
+// be durable after a subsequent Fence.
+func (a *Arena) Writeback(off uint64) {
+	line := int(off / WordsPerLine)
+	if a.flags[line].Load()&lineDirty != 0 {
+		if orU32(&a.flags[line], linePending)&linePending == 0 {
+			a.pendMu.Lock()
+			a.pending = append(a.pending, line)
+			a.pendMu.Unlock()
+		}
+	}
+	a.stats.Writebacks.Add(1)
+}
+
+// WritebackRange issues Writeback for every line overlapping
+// [off, off+words).
+func (a *Arena) WritebackRange(off, words uint64) {
+	first := off / WordsPerLine
+	last := (off + words - 1) / WordsPerLine
+	for l := first; l <= last; l++ {
+		a.Writeback(l * WordsPerLine)
+	}
+}
+
+// Fence completes all outstanding writebacks (sfence): every line with a
+// pending writeback is persisted with its current contents. Injects the
+// configured FenceDelay to model the NVM round trip.
+func (a *Arena) Fence() {
+	a.pendMu.Lock()
+	pend := a.pending
+	a.pending = nil
+	a.pendMu.Unlock()
+	if len(pend) > 0 {
+		a.mu.Lock()
+		for _, line := range pend {
+			if a.flags[line].Load()&linePending != 0 {
+				a.persistLineLocked(line)
+			}
+		}
+		a.mu.Unlock()
+	}
+	a.stats.Fences.Add(1)
+	spinWait(a.cfg.FenceDelay)
+}
+
+// persistLineLocked copies one line volatile→persist and marks it clean.
+// Caller holds a.mu and guarantees no concurrent writer to this line.
+func (a *Arena) persistLineLocked(line int) {
+	base := uint64(line) * WordsPerLine
+	for i := uint64(0); i < WordsPerLine; i++ {
+		a.persist[base+i] = atomic.LoadUint64(&a.volatile[base+i])
+	}
+	old := a.flags[line].Swap(0)
+	if old&lineDirty != 0 && a.evict {
+		a.dirtyCount.Add(-1)
+	}
+	a.clearSummary(line)
+	a.stats.LinesPersisted.Add(1)
+}
+
+func (a *Arena) clearSummary(line int) {
+	andU64(&a.summary[line>>6], ^(uint64(1) << (uint(line) & 63)))
+}
+
+func andU32(x *atomic.Uint32, mask uint32) {
+	for {
+		old := x.Load()
+		if old&mask == old || x.CompareAndSwap(old, old&mask) {
+			return
+		}
+	}
+}
+
+// maybeEvict persists a victim dirty line when the dirty set exceeds the
+// configured capacity, modelling cache replacement traffic.
+func (a *Arena) maybeEvict() {
+	if a.dirtyCount.Load() <= a.capacity {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dirtyCount.Load() <= a.capacity {
+		return
+	}
+	// Scan from a moving cursor for a dirty line; cheap and avoids bias.
+	for scanned := 0; scanned < len(a.summary); scanned++ {
+		g := a.evictPos % len(a.summary)
+		a.evictPos++
+		w := a.summary[g].Load()
+		if w == 0 {
+			continue
+		}
+		line := g<<6 + trailingZeros(w&(-w))
+		if !a.flags[line].CompareAndSwap(lineDirty, lineFlushing) {
+			continue // pending or being rewritten; pick another victim
+		}
+		base := uint64(line) * WordsPerLine
+		var buf [WordsPerLine]uint64
+		for i := uint64(0); i < WordsPerLine; i++ {
+			buf[i] = atomic.LoadUint64(&a.volatile[base+i])
+		}
+		if a.flags[line].CompareAndSwap(lineFlushing, 0) {
+			// No store raced with the copy: buf is a consistent
+			// point-in-time snapshot of the line; persist it.
+			copy(a.persist[base:base+WordsPerLine], buf[:])
+			a.dirtyCount.Add(-1)
+			a.clearSummary(line)
+			a.stats.Evictions.Add(1)
+			a.stats.LinesPersisted.Add(1)
+		} else {
+			// A writer re-dirtied the line mid-copy; drop the torn copy.
+			andU32(&a.flags[line], ^lineFlushing)
+		}
+		return
+	}
+}
+
+// FlushAll persists every dirty or pending line (wbinvd at an epoch
+// boundary) and returns the number of lines persisted. All mutators must be
+// quiescent. Injects the configured flush cost model.
+func (a *Arena) FlushAll() int {
+	a.mu.Lock()
+	n := 0
+	// Mutators are quiesced, so bulk-copy without per-line atomics: the
+	// hardware analogue is wbinvd streaming the whole dirty set.
+	for g := range a.summary {
+		w := a.summary[g].Load()
+		if w == 0 {
+			continue
+		}
+		for bits := w; bits != 0; {
+			bit := bits & (-bits)
+			bits &^= bit
+			line := g<<6 + trailingZeros(bit)
+			if a.flags[line].Load() == 0 {
+				continue
+			}
+			base := uint64(line) * WordsPerLine
+			copy(a.persist[base:base+WordsPerLine], a.volatile[base:base+WordsPerLine])
+			a.flags[line].Store(0)
+			n++
+		}
+		a.summary[g].Store(0)
+	}
+	if a.evict {
+		a.dirtyCount.Store(0)
+	}
+	a.mu.Unlock()
+	a.stats.LinesPersisted.Add(int64(n))
+	a.stats.GlobalFlushes.Add(1)
+	spinWait(a.cfg.FlushBaseCost + time.Duration(n)*a.cfg.FlushLineCost)
+	return n
+}
+
+// Crash simulates a power failure: every line that is not yet persistent
+// (dirty, pending, or mid-eviction) is either persisted whole or dropped,
+// as decided by the policy; then the cache contents are lost and the
+// volatile image is reloaded from the persistent image. All mutators must
+// be quiescent. After Crash returns, the arena holds exactly the state a
+// recovering process would find in NVM.
+func (a *Arena) Crash(p Policy) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for line := 0; line < a.lines; line++ {
+		f := a.flags[line].Load()
+		if f != 0 {
+			if p.Persist(line) {
+				base := uint64(line) * WordsPerLine
+				copy(a.persist[base:base+WordsPerLine], a.volatile[base:base+WordsPerLine])
+				a.stats.CrashLinesPersisted.Add(1)
+			} else {
+				a.stats.CrashLinesLost.Add(1)
+			}
+			a.flags[line].Store(0)
+			a.clearSummary(line)
+		}
+	}
+	copy(a.volatile, a.persist)
+	a.dirtyCount.Store(0)
+	a.pendMu.Lock()
+	a.pending = nil
+	a.pendMu.Unlock()
+	a.stats.Crashes.Add(1)
+}
+
+// DirtyLines returns the number of lines that are not yet persistent.
+func (a *Arena) DirtyLines() int {
+	n := 0
+	for g := range a.summary {
+		w := a.summary[g].Load()
+		for w != 0 {
+			bit := w & (-w)
+			w &^= bit
+			line := g<<6 + trailingZeros(bit)
+			if a.flags[line].Load() != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// LoadPersisted reads the word at off from the persistent image. Test and
+// validation helper; not part of the simulated machine's ISA.
+func (a *Arena) LoadPersisted(off uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.persist[off]
+}
+
+// Stats returns the arena's counters.
+func (a *Arena) Stats() *Stats { return &a.stats }
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// spinWait busy-waits for roughly d. Sleeping is useless at the sub-
+// microsecond scale the latency model needs, so we spin like the paper's
+// emulation harness does.
+func spinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}

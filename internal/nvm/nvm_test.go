@@ -1,0 +1,441 @@
+package nvm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newArena(t testing.TB, words uint64) *Arena {
+	t.Helper()
+	return New(Config{Words: words})
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(8, 42)
+	if got := a.Load(8); got != 42 {
+		t.Fatalf("Load(8) = %d, want 42", got)
+	}
+	if got := a.LoadPersisted(8); got != 0 {
+		t.Fatalf("LoadPersisted(8) = %d before any flush, want 0", got)
+	}
+}
+
+func TestStoreIsNotDurableWithoutFlush(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(16, 7)
+	a.Crash(PersistNone)
+	if got := a.Load(16); got != 0 {
+		t.Fatalf("after crash with PersistNone, Load(16) = %d, want 0", got)
+	}
+}
+
+func TestWritebackWithoutFenceIsNotGuaranteed(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(16, 7)
+	a.Writeback(16)
+	// No fence: the line may be lost.
+	a.Crash(PersistNone)
+	if got := a.Load(16); got != 0 {
+		t.Fatalf("writeback without fence must not guarantee durability; got %d", got)
+	}
+}
+
+func TestWritebackFenceIsDurable(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(16, 7)
+	a.Writeback(16)
+	a.Fence()
+	a.Crash(PersistNone)
+	if got := a.Load(16); got != 7 {
+		t.Fatalf("after writeback+fence+crash, Load(16) = %d, want 7", got)
+	}
+}
+
+func TestFenceOnlyPersistsPendingLines(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(16, 7)  // line 2
+	a.Store(128, 9) // line 16, never written back
+	a.Writeback(16)
+	a.Fence()
+	a.Crash(PersistNone)
+	if got := a.Load(16); got != 7 {
+		t.Fatalf("fenced line lost: got %d, want 7", got)
+	}
+	if got := a.Load(128); got != 0 {
+		t.Fatalf("unfenced line persisted spuriously: got %d, want 0", got)
+	}
+}
+
+func TestFlushAllPersistsEverything(t *testing.T) {
+	a := newArena(t, 4096)
+	for i := uint64(8); i < 512; i += 8 {
+		a.Store(i, i)
+	}
+	n := a.FlushAll()
+	if n == 0 {
+		t.Fatal("FlushAll persisted no lines")
+	}
+	a.Crash(PersistNone)
+	for i := uint64(8); i < 512; i += 8 {
+		if got := a.Load(i); got != i {
+			t.Fatalf("Load(%d) = %d after FlushAll+crash, want %d", i, got, i)
+		}
+	}
+	if d := a.DirtyLines(); d != 0 {
+		t.Fatalf("DirtyLines() = %d after FlushAll, want 0", d)
+	}
+}
+
+func TestSameLinePCSOOrdering(t *testing.T) {
+	// Two writes to the same line: a crash can never expose the second
+	// without the first, because lines persist whole.
+	for seed := int64(0); seed < 64; seed++ {
+		a := newArena(t, 1024)
+		a.Store(8, 1) // first write, word 1 of line 1
+		a.Store(9, 2) // second write, word 2 of line 1
+		a.Crash(RandomPolicy(0.5, seed))
+		w1, w2 := a.Load(8), a.Load(9)
+		if w2 == 2 && w1 != 1 {
+			t.Fatalf("seed %d: PCSO violated: second same-line write persisted without first (w1=%d w2=%d)", seed, w1, w2)
+		}
+		// Either both persisted or neither did.
+		if (w1 == 1) != (w2 == 2) {
+			t.Fatalf("seed %d: line persisted torn: w1=%d w2=%d", seed, w1, w2)
+		}
+	}
+}
+
+func TestCrossLineOrderIsArbitrary(t *testing.T) {
+	// Writes to different lines may persist in either order; verify both
+	// outcomes are reachable under some crash policy.
+	sawFirstOnly, sawSecondOnly := false, false
+	for seed := int64(0); seed < 256 && !(sawFirstOnly && sawSecondOnly); seed++ {
+		a := newArena(t, 1024)
+		a.Store(8, 1)  // line 1
+		a.Store(16, 2) // line 2
+		a.Crash(RandomPolicy(0.5, seed))
+		first, second := a.Load(8) == 1, a.Load(16) == 2
+		if first && !second {
+			sawFirstOnly = true
+		}
+		if second && !first {
+			sawSecondOnly = true
+		}
+	}
+	if !sawFirstOnly || !sawSecondOnly {
+		t.Fatalf("cross-line reordering not exercised: firstOnly=%v secondOnly=%v", sawFirstOnly, sawSecondOnly)
+	}
+}
+
+func TestCrashPersistAllKeepsEverything(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(8, 11)
+	a.Store(80, 22)
+	a.Crash(PersistAll)
+	if a.Load(8) != 11 || a.Load(80) != 22 {
+		t.Fatalf("PersistAll crash lost data: %d %d", a.Load(8), a.Load(80))
+	}
+}
+
+func TestCrashResetsDirtyState(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(8, 1)
+	a.Crash(PersistNone)
+	if d := a.DirtyLines(); d != 0 {
+		t.Fatalf("DirtyLines() = %d after crash, want 0", d)
+	}
+	// A fresh store after the crash behaves normally.
+	a.Store(8, 5)
+	a.FlushAll()
+	if got := a.LoadPersisted(8); got != 5 {
+		t.Fatalf("post-crash store not durable after flush: %d", got)
+	}
+}
+
+func TestEvenOddPolicyTearsAcrossLines(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(8, 1)  // line 1 (odd)
+	a.Store(16, 2) // line 2 (even)
+	a.Crash(EvenOddPolicy(0))
+	if a.Load(8) != 0 || a.Load(16) != 2 {
+		t.Fatalf("EvenOddPolicy(0): got line1=%d line2=%d, want 0,2", a.Load(8), a.Load(16))
+	}
+}
+
+func TestReserveAlignsAndAdvances(t *testing.T) {
+	a := newArena(t, 4096)
+	r1 := a.Reserve(3)
+	r2 := a.Reserve(10)
+	if r1%WordsPerLine != 0 || r2%WordsPerLine != 0 {
+		t.Fatalf("regions not line-aligned: %d %d", r1, r2)
+	}
+	if r1 == 0 {
+		t.Fatal("Reserve returned the null offset 0")
+	}
+	if r2 <= r1 {
+		t.Fatalf("regions overlap: r1=%d r2=%d", r1, r2)
+	}
+	if r2-r1 < 3 {
+		t.Fatalf("second region overlaps first: r1=%d r2=%d", r1, r2)
+	}
+}
+
+func TestReserveExhaustionPanics(t *testing.T) {
+	a := newArena(t, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arena exhaustion")
+		}
+	}()
+	a.Reserve(1 << 20)
+}
+
+func TestDirtyCapacityTriggersEviction(t *testing.T) {
+	a := New(Config{Words: 1 << 16, DirtyCapacity: 8})
+	for i := uint64(0); i < 100; i++ {
+		a.Store(i*WordsPerLine+WordsPerLine, uint64(i)+1)
+	}
+	if ev := a.Stats().Evictions.Load(); ev == 0 {
+		t.Fatal("expected background evictions with DirtyCapacity=8")
+	}
+	// Evicted lines are durable even if the crash drops everything else.
+	a.Crash(PersistNone)
+	persisted := 0
+	for i := uint64(0); i < 100; i++ {
+		if a.Load(i*WordsPerLine+WordsPerLine) == uint64(i)+1 {
+			persisted++
+		}
+	}
+	if persisted == 0 {
+		t.Fatal("no evicted line survived the crash")
+	}
+}
+
+func TestEvictionKeepsLineConsistent(t *testing.T) {
+	// Hammer one line from two goroutines while eviction churns; the
+	// persistent image must always hold a prefix-consistent pair (the
+	// same-line PCSO guarantee) — w2 set implies w1 set to a value at
+	// least as new.
+	a := New(Config{Words: 1 << 16, DirtyCapacity: 4})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Same line: word 8 then word 9, monotonically.
+			a.Store(8, i)
+			a.Store(9, i)
+		}
+	}()
+	// Churn other lines to force evictions of line 1.
+	for i := uint64(0); i < 5000; i++ {
+		a.Store((i%500)*WordsPerLine+2*WordsPerLine, i)
+	}
+	close(stop)
+	wg.Wait()
+	a.mu.Lock()
+	w1, w2 := a.persist[8], a.persist[9]
+	a.mu.Unlock()
+	if w2 > w1 {
+		t.Fatalf("torn line persisted: w1=%d w2=%d (w2 written after w1 each round)", w1, w2)
+	}
+}
+
+func TestFenceDelayIsInjected(t *testing.T) {
+	a := New(Config{Words: 1024, FenceDelay: 200 * time.Microsecond})
+	a.Store(8, 1)
+	a.Writeback(8)
+	t0 := time.Now()
+	a.Fence()
+	if el := time.Since(t0); el < 150*time.Microsecond {
+		t.Fatalf("fence returned in %v, want >= ~200µs", el)
+	}
+}
+
+func TestFlushCostModelIsInjected(t *testing.T) {
+	a := New(Config{Words: 1024, FlushBaseCost: 300 * time.Microsecond})
+	a.Store(8, 1)
+	t0 := time.Now()
+	a.FlushAll()
+	if el := time.Since(t0); el < 200*time.Microsecond {
+		t.Fatalf("FlushAll returned in %v, want >= ~300µs", el)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(8, 1)
+	a.Writeback(8)
+	a.Fence()
+	a.FlushAll()
+	s := a.Stats().Snapshot()
+	if s.Writebacks != 1 || s.Fences != 1 || s.GlobalFlushes != 1 {
+		t.Fatalf("unexpected stats: %v", s)
+	}
+	if s.LinesPersisted == 0 {
+		t.Fatalf("no lines persisted recorded: %v", s)
+	}
+}
+
+func TestStatsSnapshotSub(t *testing.T) {
+	a := StatsSnapshot{Writebacks: 5, Fences: 3}
+	b := StatsSnapshot{Writebacks: 2, Fences: 1}
+	d := a.Sub(b)
+	if d.Writebacks != 3 || d.Fences != 2 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+// Property: after any sequence of stores and a FlushAll, the persistent
+// image equals the volatile image on every touched word.
+func TestPropertyFlushAllMakesImagesEqual(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		a := New(Config{Words: 1 << 12})
+		rng := rand.New(rand.NewSource(seed))
+		offs := make([]uint64, 0, n)
+		for i := 0; i < int(n); i++ {
+			off := uint64(rng.Intn(1<<12-8)) + 8
+			a.Store(off, rng.Uint64())
+			offs = append(offs, off)
+		}
+		a.FlushAll()
+		for _, off := range offs {
+			if a.Load(off) != a.LoadPersisted(off) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a crash never invents values — every persisted word was stored
+// at some point (here: value equals offset tag or zero).
+func TestPropertyCrashNeverInventsValues(t *testing.T) {
+	f := func(seed int64, n uint8, p float64) bool {
+		if p < 0 || p > 1 {
+			p = 0.5
+		}
+		a := New(Config{Words: 1 << 12})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n); i++ {
+			off := uint64(rng.Intn(1<<12-8)) + 8
+			a.Store(off, off) // tag each word with its offset
+		}
+		a.Crash(RandomPolicy(p, seed))
+		for off := uint64(0); off < 1<<12; off++ {
+			v := a.Load(off)
+			if v != 0 && v != off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStoresDistinctLines(t *testing.T) {
+	a := New(Config{Words: 1 << 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) * 1000 * WordsPerLine
+			for i := uint64(0); i < 1000; i++ {
+				a.Store(base+i*WordsPerLine+WordsPerLine, i+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	a.FlushAll()
+	for g := 0; g < 8; g++ {
+		base := uint64(g) * 1000 * WordsPerLine
+		for i := uint64(0); i < 1000; i++ {
+			if got := a.LoadPersisted(base + i*WordsPerLine + WordsPerLine); got != i+1 {
+				t.Fatalf("g=%d i=%d got %d", g, i, got)
+			}
+		}
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(8, 5)
+	if a.CompareAndSwap(8, 4, 9) {
+		t.Fatal("CAS succeeded with wrong expected value")
+	}
+	if !a.CompareAndSwap(8, 5, 9) {
+		t.Fatal("CAS failed with correct expected value")
+	}
+	if a.Load(8) != 9 {
+		t.Fatalf("Load = %d after CAS", a.Load(8))
+	}
+	// CAS dirties the line like a store.
+	a.FlushAll()
+	if a.LoadPersisted(8) != 9 {
+		t.Fatal("CAS result not flushed")
+	}
+}
+
+func TestWritebackRangeCoversAllLines(t *testing.T) {
+	a := newArena(t, 4096)
+	// Dirty a 5-line span, write back the whole range, fence, crash.
+	for off := uint64(8); off < 8+5*WordsPerLine; off++ {
+		a.Store(off, off)
+	}
+	a.WritebackRange(8, 5*WordsPerLine)
+	a.Fence()
+	a.Crash(PersistNone)
+	for off := uint64(8); off < 8+5*WordsPerLine; off++ {
+		if a.Load(off) != off {
+			t.Fatalf("word %d lost after WritebackRange+Fence", off)
+		}
+	}
+}
+
+func TestFenceIsCheapWhenNothingPending(t *testing.T) {
+	a := newArena(t, 1<<20)
+	for i := uint64(0); i < 1000; i++ {
+		a.Store(i*WordsPerLine+8, i) // dirty many lines, none pending
+	}
+	t0 := time.Now()
+	for i := 0; i < 10000; i++ {
+		a.Fence()
+	}
+	if el := time.Since(t0); el > 500*time.Millisecond {
+		t.Fatalf("10k empty fences took %v; Fence must not scan the arena", el)
+	}
+}
+
+func TestPendingListSurvivesInterleavedStores(t *testing.T) {
+	a := newArena(t, 1024)
+	a.Store(8, 1)
+	a.Writeback(8)
+	a.Store(16, 2) // different line, not written back
+	a.Store(9, 3)  // same line as the pending writeback, after the writeback
+	a.Fence()
+	a.Crash(PersistNone)
+	// The fenced line persists with its latest contents (PCSO: the fence
+	// completes the write-back of whatever the line holds).
+	if a.Load(8) != 1 || a.Load(9) != 3 {
+		t.Fatalf("fenced line = %d,%d want 1,3", a.Load(8), a.Load(9))
+	}
+	if a.Load(16) != 0 {
+		t.Fatal("unfenced line persisted spuriously")
+	}
+}

@@ -1,0 +1,143 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixRatios(t *testing.T) {
+	cases := []struct {
+		w       Workload
+		putFrac float64
+		scan    bool
+	}{
+		{A, 0.50, false},
+		{B, 0.05, false},
+		{C, 0.00, false},
+		{E, 0.00, true},
+	}
+	const n = 200000
+	for _, c := range cases {
+		g := NewGenerator(c.w, Uniform, 1000, 1)
+		puts, scans := 0, 0
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			switch op.Kind {
+			case OpPut:
+				puts++
+			case OpScan:
+				scans++
+			}
+		}
+		frac := float64(puts) / n
+		if math.Abs(frac-c.putFrac) > 0.01 {
+			t.Errorf("%v: put fraction %.3f, want %.2f", c.w, frac, c.putFrac)
+		}
+		if c.scan && scans != n {
+			t.Errorf("%v: %d scans, want all", c.w, scans)
+		}
+		if !c.scan && scans != 0 {
+			t.Errorf("%v: unexpected scans", c.w)
+		}
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Zipfian} {
+		g := NewGenerator(A, d, 5000, 2)
+		for i := 0; i < 100000; i++ {
+			if k := g.NextKey(); k >= 5000 {
+				t.Fatalf("%v: key %d out of range", d, k)
+			}
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	const space = 100000
+	g := NewGenerator(C, Zipfian, space, 3)
+	counts := map[uint64]int{}
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[g.NextKey()]++
+	}
+	// The most popular key should take a few percent of all draws; under
+	// uniform it would take ~0.001%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / n; frac < 0.01 {
+		t.Fatalf("zipfian max-key fraction %.5f, want > 0.01", frac)
+	}
+	// And the draws must still touch a broad set of keys.
+	if len(counts) < space/20 {
+		t.Fatalf("zipfian touched only %d distinct keys", len(counts))
+	}
+}
+
+func TestUniformIsNotSkewed(t *testing.T) {
+	const space = 1000
+	g := NewGenerator(C, Uniform, space, 4)
+	counts := make([]int, space)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[g.NextKey()]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / n
+		if frac > 0.005 { // expected 0.001
+			t.Fatalf("uniform key %d drawn with fraction %.4f", k, frac)
+		}
+	}
+}
+
+func TestScrambleSpreadsHotKeys(t *testing.T) {
+	// Consecutive zipf ranks must not map to consecutive keys.
+	adjacent := 0
+	for i := uint64(0); i < 1000; i++ {
+		a := Scramble(i) % 100000
+		b := Scramble(i+1) % 100000
+		d := int64(a) - int64(b)
+		if d < 0 {
+			d = -d
+		}
+		if d <= 1 {
+			adjacent++
+		}
+	}
+	if adjacent > 5 {
+		t.Fatalf("%d of 1000 scrambled neighbours still adjacent", adjacent)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	g1 := NewGenerator(A, Zipfian, 10000, 7)
+	g2 := NewGenerator(A, Zipfian, 10000, 7)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	g3 := NewGenerator(A, Zipfian, 10000, 8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next() == g3.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical ops", same)
+	}
+}
+
+func TestWorkloadAndDistributionNames(t *testing.T) {
+	if A.String() != "YCSB_A" || E.String() != "YCSB_E" {
+		t.Fatal("workload names wrong")
+	}
+	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" {
+		t.Fatal("distribution names wrong")
+	}
+}
