@@ -211,6 +211,53 @@ func BenchmarkFig8(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling measures the sharded store's scale-out curve:
+// YCSB-A throughput across shard counts and both key distributions, with
+// the coordinated global checkpointer ticking. Uniform keys spread evenly,
+// so throughput should grow with shards on a multi-core runner; zipfian
+// shows how far hot keys cap the win (the hot shard stays contended).
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, d := range []ycsb.Distribution{ycsb.Uniform, ycsb.Zipfian} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, d), func(b *testing.B) {
+				r := harness.Run(harness.RunConfig{
+					Mode: harness.INCLL, Workload: ycsb.A, Dist: d,
+					TreeSize: benchTreeSize, Threads: 8, Shards: shards,
+					OpsPerThread: 50_000, EpochInterval: benchInterval, Seed: 1,
+				})
+				b.ReportMetric(r.Throughput/1e6, "Mops/s")
+				b.ReportMetric(0, "ns/op") // wall-clock measured inside the harness
+			})
+		}
+	}
+}
+
+// BenchmarkShardCheckpoint measures the coordinated global checkpoint cost
+// across shard counts: the same dirty set, flushed by 1 vs N arenas.
+func BenchmarkShardCheckpoint(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db, _ := Open(Options{Shards: shards, ArenaWords: 1 << 22})
+			for i := uint64(0); i < benchTreeSize; i++ {
+				db.Put(Key(i), i)
+			}
+			g := ycsb.NewGenerator(ycsb.A, ycsb.Uniform, benchTreeSize, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < 2000; j++ { // dirty one epoch's worth of lines
+					op := g.Next()
+					if op.Kind == ycsb.OpPut {
+						db.Put(Key(op.Key), op.Key)
+					}
+				}
+				b.StartTimer()
+				db.Checkpoint()
+			}
+		})
+	}
+}
+
 // BenchmarkGlobalFlush measures the epoch-boundary flush (§6.2).
 func BenchmarkGlobalFlush(b *testing.B) {
 	db, _ := Open(Options{ArenaWords: 1 << 24})

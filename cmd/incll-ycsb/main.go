@@ -5,6 +5,7 @@
 // Usage:
 //
 //	incll-ycsb -mode INCLL -workload A -dist zipfian -size 1000000
+//	incll-ycsb -mode INCLL -workload A -shards 4 -threads 8   # sharded scale-out
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	dist := flag.String("dist", "uniform", "uniform | zipfian")
 	size := flag.Uint64("size", 200_000, "tree size (keys)")
 	threads := flag.Int("threads", 4, "worker threads")
+	shards := flag.Int("shards", 1, "keyspace shards with coordinated checkpoints (durable modes)")
 	ops := flag.Int("ops", 200_000, "operations per thread")
 	interval := flag.Duration("interval", 64*time.Millisecond, "epoch interval")
 	fence := flag.Duration("fence", 0, "emulated NVM latency after each fence")
@@ -32,6 +34,7 @@ func main() {
 	cfg := harness.RunConfig{
 		TreeSize:      *size,
 		Threads:       *threads,
+		Shards:        *shards,
 		OpsPerThread:  *ops,
 		EpochInterval: *interval,
 		FenceDelay:    *fence,
@@ -70,11 +73,23 @@ func main() {
 		log.Fatalf("unknown distribution %q", *dist)
 	}
 
+	if *shards > 1 && (cfg.Mode == harness.MT || cfg.Mode == harness.MTPlus) {
+		log.Fatalf("-shards applies to the durable modes (INCLL, LOGGING), not %s", cfg.Mode)
+	}
+
 	r := harness.Run(cfg)
-	fmt.Printf("%s %s %s: %d ops in %v = %.3f Mops/s\n",
-		cfg.Mode, cfg.Workload, cfg.Dist, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput/1e6)
+	label := ""
+	if *shards > 1 {
+		label = fmt.Sprintf(" shards=%d", *shards)
+	}
+	fmt.Printf("%s %s %s%s: %d ops in %v = %.3f Mops/s\n",
+		cfg.Mode, cfg.Workload, cfg.Dist, label, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput/1e6)
 	if cfg.Mode == harness.INCLL || cfg.Mode == harness.LOGGING {
 		fmt.Printf("  epochs=%d loggedNodes=%d inCLLperm=%d inCLLval=%d fences=%d linesFlushed=%d\n",
 			r.Advances, r.LoggedNodes, r.InCLLPerm, r.InCLLVal, r.Fences, r.FlushedLines)
+	}
+	for i, ops := range r.PerShardOps {
+		fmt.Printf("  shard %d: %d ops (%.1f%%) = %.3f Mops/s\n",
+			i, ops, 100*float64(ops)/float64(r.Ops), float64(ops)/r.Elapsed.Seconds()/1e6)
 	}
 }

@@ -4,13 +4,18 @@
 // a restarted server answers its first request in milliseconds instead of
 // rebuilding indexes from a disk image.
 //
-//	go run ./examples/kvserver -addr :8080
+// With -shards N the keyspace is partitioned across N independent
+// store+arena shards with coordinated cross-shard checkpoints: /crash then
+// fails and recovers the whole cluster atomically, and /stats reports the
+// per-shard traffic split next to the aggregate.
+//
+//	go run ./examples/kvserver -addr :8080 -shards 4
 //
 //	PUT  /kv/{key}?v=42     store a value
 //	GET  /kv/{key}          read a value
 //	GET  /range?start=k&n=10  ordered range read
 //	POST /crash?persist=0.5 simulate a power failure + instant recovery
-//	GET  /stats             logging and persistence counters
+//	GET  /stats             logging and persistence counters, per shard
 package main
 
 import (
@@ -39,11 +44,12 @@ func (s *server) withDB(f func(db *incll.DB)) {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 1, "keyspace shards with coordinated checkpoints")
 	flag.Parse()
 
-	db, info := incll.Open(incll.Options{ArenaWords: 1 << 25})
+	db, info := incll.Open(incll.Options{ArenaWords: (1 << 25) / uint64(max(*shards, 1)), Shards: *shards})
 	db.StartCheckpointer()
-	log.Printf("store opened (%v), checkpointing every 64ms", info.Status)
+	log.Printf("store opened (%v, %d shard(s)), checkpointing every 64ms", info.Status, db.Shards())
 	srv := &server{db: db}
 
 	mux := http.NewServeMux()
@@ -104,6 +110,10 @@ func main() {
 		srv.db = ndb
 		fmt.Fprintf(w, "crashed and recovered in %v: %v, replayed %d pre-images\n",
 			time.Since(t0), info.Status, info.LogEntriesApplied)
+		for i, sr := range info.Shards {
+			fmt.Fprintf(w, "  shard %d: %v, %d pre-images, epoch %d\n",
+				i, sr.Status, sr.LogEntriesApplied, sr.Epoch)
+		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		srv.withDB(func(db *incll.DB) {
@@ -113,6 +123,19 @@ func main() {
 			fmt.Fprintf(w, "loggedNodes=%d inCLLperm=%d inCLLval=%d lazyRecoveries=%d\n",
 				st.LoggedNodes.Load(), st.InCLLPerm.Load(), st.InCLLVal.Load(), st.LazyRecoveries.Load())
 			fmt.Fprintf(w, "nvm: %v\n", db.NVMStats())
+			if db.Shards() > 1 {
+				total := st.Puts.Load() + st.Gets.Load() + st.Deletes.Load() + st.Scans.Load()
+				for i := 0; i < db.Shards(); i++ {
+					ss := db.ShardStats(i)
+					ops := ss.Puts.Load() + ss.Gets.Load() + ss.Deletes.Load() + ss.Scans.Load()
+					pct := 0.0
+					if total > 0 {
+						pct = 100 * float64(ops) / float64(total)
+					}
+					fmt.Fprintf(w, "shard %d: puts=%d gets=%d deletes=%d scans=%d (%.1f%% of ops)\n",
+						i, ss.Puts.Load(), ss.Gets.Load(), ss.Deletes.Load(), ss.Scans.Load(), pct)
+				}
+			}
 		})
 	})
 

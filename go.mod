@@ -1,0 +1,3 @@
+module incll
+
+go 1.24

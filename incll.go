@@ -18,6 +18,20 @@
 //	db.SimulateCrash(0.5, 42)        // power failure, half the cache survives
 //	db, _ = db.Reopen()              // recovery
 //	v, ok := db.Get(incll.Key(1))    // 100, true
+//
+// For scale-out, Options.Shards > 1 partitions the keyspace across N
+// independent store+arena shards behind the same API (see internal/shard
+// and DESIGN.md): a deterministic router places each key, scans k-way
+// merge the shards back into one ordered stream, and Checkpoint becomes a
+// coordinated two-phase epoch advance that commits a single global epoch
+// record — a crash never exposes one shard at epoch k and another at k−1.
+//
+//	db, _ := incll.Open(incll.Options{Shards: 4, Workers: 4})
+//	db.Handle(2).Put(incll.Key(7), 7)   // routed to key 7's shard
+//	db.Checkpoint()                     // global two-phase commit
+//	db.SimulateCrash(0.5, 42)           // all shards crash together
+//	db, info := db.Reopen()             // parallel per-shard recovery
+//	_ = info.Shards                     // per-shard recovery detail
 package incll
 
 import (
@@ -26,19 +40,26 @@ import (
 	"incll/internal/core"
 	"incll/internal/epoch"
 	"incll/internal/nvm"
+	"incll/internal/shard"
 )
 
 // Options sizes and parameterizes a DB.
 type Options struct {
 	// ArenaWords is the simulated NVM size in 8-byte words (default 2^24,
-	// i.e. 128 MiB of simulated NVM).
+	// i.e. 128 MiB of simulated NVM). With Shards > 1 this is the size of
+	// each shard's arena.
 	ArenaWords uint64
 	// Workers is the number of concurrent worker threads that will use
 	// Handle(i) (default 1).
 	Workers int
+	// Shards partitions the keyspace across this many independent
+	// store+arena shards with coordinated global checkpoints (default 1,
+	// a single store).
+	Shards int
 	// HeapWords is the durable heap region size (default: half the arena).
 	HeapWords uint64
-	// LogSegWords is the per-worker external log segment (default 2^20).
+	// LogSegWords is the per-worker external log segment (default 2^20,
+	// or 2^16 per shard when sharded).
 	LogSegWords uint64
 	// EpochInterval is the checkpoint cadence used by StartCheckpointer
 	// (default 64ms, the paper's setting).
@@ -51,8 +72,16 @@ type Options struct {
 }
 
 func (o *Options) setDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.ArenaWords == 0 {
 		o.ArenaWords = 1 << 24
+		if o.Shards > 1 {
+			// Keep the default cluster footprint near the single-store
+			// default by splitting it across shards.
+			o.ArenaWords = (1 << 24) / uint64(o.Shards)
+		}
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1
@@ -62,41 +91,86 @@ func (o *Options) setDefaults() {
 	}
 	if o.LogSegWords == 0 {
 		o.LogSegWords = 1 << 20
+		if o.Shards > 1 {
+			o.LogSegWords = 1 << 16
+		}
 	}
 	if o.EpochInterval == 0 {
 		o.EpochInterval = 64 * time.Millisecond
 	}
 }
 
-// RecoveryInfo describes what Open found.
-type RecoveryInfo struct {
+// ShardRecovery describes one shard's recovery in a sharded DB.
+type ShardRecovery struct {
 	// Status is fresh-start, clean-restart, or crash-recovered.
 	Status epoch.Status
-	// LogEntriesApplied is the number of external-log pre-images replayed.
+	// LogEntriesApplied is the number of pre-images this shard replayed.
+	LogEntriesApplied int
+	// Epoch is the shard's running epoch after recovery; identical across
+	// shards (the coordinated checkpoint's invariant).
+	Epoch uint64
+}
+
+// RecoveryInfo describes what Open found.
+type RecoveryInfo struct {
+	// Status is fresh-start, clean-restart, or crash-recovered (for a
+	// sharded DB, the worst outcome across shards).
+	Status epoch.Status
+	// LogEntriesApplied is the number of external-log pre-images replayed
+	// (summed across shards).
 	LogEntriesApplied int
 	// FailedEpochs is the cumulative number of epochs that ever failed on
-	// this arena.
+	// this arena (for a sharded DB, the largest per-shard count).
 	FailedEpochs int
+	// Shards holds per-shard recovery detail; nil for an unsharded DB.
+	Shards []ShardRecovery
 }
 
 // Handle is a per-worker handle; see Options.Workers. Handles are not safe
-// for concurrent use, but distinct handles are.
-type Handle = core.Handle
+// for concurrent use, but distinct handles are. In a sharded DB the handle
+// routes each key to its shard transparently.
+type Handle interface {
+	// Get returns the value stored under k.
+	Get(k []byte) (uint64, bool)
+	// Put stores v under k; reports whether k was newly inserted.
+	Put(k []byte, v uint64) bool
+	// Delete removes k; reports whether it was present.
+	Delete(k []byte) bool
+	// Scan visits up to max keys ≥ start in ascending order (max < 0
+	// means unlimited), until fn returns false. Returns the number
+	// visited.
+	Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int
+}
 
 // Key renders a uint64 as an 8-byte big-endian key, so integer order
 // equals key order.
 func Key(v uint64) []byte { return core.EncodeUint64(v) }
 
-// DB is a durable Masstree over one simulated NVM arena.
+// DB is a durable Masstree over simulated NVM: one store over one arena,
+// or — with Options.Shards > 1 — N independent shards behind the same API
+// with coordinated cross-shard checkpoints.
 type DB struct {
-	arena *nvm.Arena
-	store *core.Store
-	opts  Options
+	arena   *nvm.Arena   // single-store mode
+	store   *core.Store  // single-store mode
+	sharded *shard.Store // sharded mode (Options.Shards > 1)
+	opts    Options
 }
 
-// Open creates a DB over a fresh simulated NVM arena.
+// Open creates a DB over fresh simulated NVM.
 func Open(opts Options) (*DB, RecoveryInfo) {
 	opts.setDefaults()
+	if opts.Shards > 1 {
+		s, sinfo := shard.Open(shard.Config{
+			Shards:       opts.Shards,
+			Workers:      opts.Workers,
+			ArenaWords:   opts.ArenaWords,
+			HeapWords:    opts.HeapWords,
+			LogSegWords:  opts.LogSegWords,
+			DisableInCLL: opts.DisableInCLL,
+			NVM:          nvm.Config{FenceDelay: opts.FenceDelay},
+		})
+		return &DB{sharded: s, opts: opts}, shardInfo(sinfo)
+	}
 	arena := nvm.New(nvm.Config{Words: opts.ArenaWords, FenceDelay: opts.FenceDelay})
 	return attach(arena, opts)
 }
@@ -116,64 +190,184 @@ func attach(arena *nvm.Arena, opts Options) (*DB, RecoveryInfo) {
 	return &DB{arena: arena, store: store, opts: opts}, info
 }
 
+// shardInfo converts the shard package's merged recovery info.
+func shardInfo(si shard.RecoveryInfo) RecoveryInfo {
+	info := RecoveryInfo{
+		Status:            si.Status,
+		LogEntriesApplied: si.LogEntriesApplied,
+		FailedEpochs:      si.FailedEpochs,
+		Shards:            make([]ShardRecovery, len(si.Shards)),
+	}
+	for i, sr := range si.Shards {
+		info.Shards[i] = ShardRecovery{
+			Status:            sr.Status,
+			LogEntriesApplied: sr.LogEntriesApplied,
+			Epoch:             sr.Epoch,
+		}
+	}
+	return info
+}
+
 // Handle returns worker i's handle (i < Options.Workers).
-func (db *DB) Handle(i int) Handle { return db.store.Handle(i) }
+func (db *DB) Handle(i int) Handle {
+	if db.sharded != nil {
+		return db.sharded.Handle(i)
+	}
+	return db.store.Handle(i)
+}
+
+// Shards returns the shard count (1 for an unsharded DB).
+func (db *DB) Shards() int {
+	if db.sharded != nil {
+		return db.sharded.NumShards()
+	}
+	return 1
+}
 
 // Get returns the value stored under k.
-func (db *DB) Get(k []byte) (uint64, bool) { return db.store.Get(k) }
+func (db *DB) Get(k []byte) (uint64, bool) {
+	if db.sharded != nil {
+		return db.sharded.Get(k)
+	}
+	return db.store.Get(k)
+}
 
 // Put stores v under k; reports whether k was newly inserted.
-func (db *DB) Put(k []byte, v uint64) bool { return db.store.Put(k, v) }
+func (db *DB) Put(k []byte, v uint64) bool {
+	if db.sharded != nil {
+		return db.sharded.Put(k, v)
+	}
+	return db.store.Put(k, v)
+}
 
 // Delete removes k; reports whether it was present.
-func (db *DB) Delete(k []byte) bool { return db.store.Delete(k) }
+func (db *DB) Delete(k []byte) bool {
+	if db.sharded != nil {
+		return db.sharded.Delete(k)
+	}
+	return db.store.Delete(k)
+}
 
 // Scan visits up to max keys ≥ start in ascending order (max < 0 means
-// unlimited), until fn returns false. Returns the number visited.
+// unlimited), until fn returns false. Returns the number visited. On a
+// sharded DB the per-shard streams are k-way merged, so iteration order is
+// identical to an unsharded scan.
 func (db *DB) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	if db.sharded != nil {
+		return db.sharded.Scan(start, max, fn)
+	}
 	return db.store.Scan(start, max, fn)
 }
 
 // Len returns the number of live keys tracked this execution (transient;
 // call RebuildLen after a restart if an exact count is needed).
-func (db *DB) Len() int { return db.store.Len() }
+func (db *DB) Len() int {
+	if db.sharded != nil {
+		return db.sharded.Len()
+	}
+	return db.store.Len()
+}
 
 // RebuildLen recomputes Len with one full scan.
-func (db *DB) RebuildLen() int { return db.store.RebuildLen() }
+func (db *DB) RebuildLen() int {
+	if db.sharded != nil {
+		return db.sharded.RebuildLen()
+	}
+	return db.store.RebuildLen()
+}
 
 // Checkpoint ends the current epoch: quiesces workers, flushes the cache,
 // and commits everything written so far. Returns the number of cache
 // lines flushed. Equivalent to one tick of the background checkpointer.
-func (db *DB) Checkpoint() int { return db.store.Advance() }
+// On a sharded DB this is the coordinated two-phase global checkpoint.
+func (db *DB) Checkpoint() int {
+	if db.sharded != nil {
+		return db.sharded.Advance()
+	}
+	return db.store.Advance()
+}
 
 // StartCheckpointer begins advancing epochs every Options.EpochInterval
-// in the background, like the paper's 64 ms timer.
-func (db *DB) StartCheckpointer() { db.store.StartTicker(db.opts.EpochInterval) }
+// in the background, like the paper's 64 ms timer (cluster-wide when
+// sharded).
+func (db *DB) StartCheckpointer() {
+	if db.sharded != nil {
+		db.sharded.StartTicker(db.opts.EpochInterval)
+		return
+	}
+	db.store.StartTicker(db.opts.EpochInterval)
+}
 
 // StopCheckpointer stops the background checkpointer.
-func (db *DB) StopCheckpointer() { db.store.StopTicker() }
+func (db *DB) StopCheckpointer() {
+	if db.sharded != nil {
+		db.sharded.StopTicker()
+		return
+	}
+	db.store.StopTicker()
+}
 
 // Close checkpoints and durably marks a clean shutdown.
-func (db *DB) Close() { db.store.Shutdown() }
+func (db *DB) Close() {
+	if db.sharded != nil {
+		db.sharded.Shutdown()
+		return
+	}
+	db.store.Shutdown()
+}
 
 // SimulateCrash injects a power failure: each dirty cache line survives
 // with probability persistFraction, everything else is lost, and the DB
-// becomes unusable until Reopen. All handles must be quiescent.
+// becomes unusable until Reopen. On a sharded DB every shard arena crashes
+// together (independent per-shard survival policies derived from seed).
+// All handles must be quiescent.
 func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
+	if db.sharded != nil {
+		db.sharded.SimulateCrash(persistFraction, seed)
+		return
+	}
 	db.store.StopTicker()
 	db.arena.Crash(nvm.RandomPolicy(persistFraction, seed))
 }
 
 // Reopen recovers the DB from the arena contents after SimulateCrash (or
-// after Close, to model a clean restart).
+// after Close, to model a clean restart). Sharded recovery runs per shard
+// in parallel.
 func (db *DB) Reopen() (*DB, RecoveryInfo) {
+	if db.sharded != nil {
+		s, sinfo := db.sharded.Reopen()
+		return &DB{sharded: s, opts: db.opts}, shardInfo(sinfo)
+	}
 	db.arena.ResetReservations()
 	return attach(db.arena, db.opts)
 }
 
 // Stats exposes the store's counters (logging, InCLL usage, recovery).
-func (db *DB) Stats() *core.Stats { return db.store.Stats() }
+// For an unsharded DB the returned counters are live; for a sharded DB
+// they are a point-in-time aggregate across shards — call Stats again for
+// fresh values, and use ShardStats for the (live) per-shard view.
+func (db *DB) Stats() *core.Stats {
+	if db.sharded != nil {
+		return db.sharded.Stats()
+	}
+	return db.store.Stats()
+}
+
+// ShardStats returns shard i's live counters (i < Shards()). For an
+// unsharded DB, ShardStats(0) is Stats.
+func (db *DB) ShardStats(i int) *core.Stats {
+	if db.sharded != nil {
+		return db.sharded.ShardStore(i).Stats()
+	}
+	return db.store.Stats()
+}
 
 // NVMStats exposes the simulated memory subsystem's counters (writebacks,
-// fences, flushed lines, crash outcomes).
-func (db *DB) NVMStats() nvm.StatsSnapshot { return db.arena.Stats().Snapshot() }
+// fences, flushed lines, crash outcomes), summed across arenas when
+// sharded.
+func (db *DB) NVMStats() nvm.StatsSnapshot {
+	if db.sharded != nil {
+		return db.sharded.NVMStats()
+	}
+	return db.arena.Stats().Snapshot()
+}

@@ -96,3 +96,102 @@ func TestFacadeNVMStats(t *testing.T) {
 		t.Fatalf("stats: %v", s)
 	}
 }
+
+func TestShardedFacadeCrashRecovery(t *testing.T) {
+	db, info := Open(Options{Shards: 4})
+	if info.Status != epoch.FreshStart || len(info.Shards) != 4 {
+		t.Fatalf("open: status %v, %d shard infos", info.Status, len(info.Shards))
+	}
+	for i := uint64(0); i < 2000; i++ {
+		db.Put(Key(i), i*2)
+	}
+	db.Checkpoint()
+	// Doomed work.
+	for i := uint64(0); i < 2000; i++ {
+		db.Put(Key(i), 0xDEAD)
+	}
+	db.SimulateCrash(0.5, 7)
+	db2, info2 := db.Reopen()
+	if info2.Status != epoch.CrashRecovered {
+		t.Fatalf("reopen status %v", info2.Status)
+	}
+	for i, sr := range info2.Shards {
+		if sr.Epoch != info2.Shards[0].Epoch {
+			t.Fatalf("shard %d recovered to epoch %d, shard 0 to %d", i, sr.Epoch, info2.Shards[0].Epoch)
+		}
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if v, ok := db2.Get(Key(i)); !ok || v != i*2 {
+			t.Fatalf("key %d = %d,%v want %d", i, v, ok, i*2)
+		}
+	}
+}
+
+func TestShardedFacadeScanMergesInOrder(t *testing.T) {
+	db, _ := Open(Options{Shards: 4, Workers: 2})
+	h0, h1 := db.Handle(0), db.Handle(1)
+	done := make(chan struct{})
+	go func() {
+		for i := uint64(0); i < 500; i++ {
+			h0.Put(Key(i), i)
+		}
+		close(done)
+	}()
+	for i := uint64(500); i < 1000; i++ {
+		h1.Put(Key(i), i)
+	}
+	<-done
+	var n uint64
+	db.Scan(nil, -1, func(k []byte, v uint64) bool {
+		if v != n {
+			t.Fatalf("scan value %d at position %d", v, n)
+		}
+		n++
+		return true
+	})
+	if n != 1000 {
+		t.Fatalf("scan visited %d", n)
+	}
+	if db.Shards() != 4 {
+		t.Fatalf("Shards() = %d", db.Shards())
+	}
+}
+
+func TestShardedFacadeCleanClose(t *testing.T) {
+	db, _ := Open(Options{Shards: 2})
+	db.Put([]byte("durable"), 1)
+	db.Close()
+	db2, info := db.Reopen()
+	if info.Status != epoch.CleanRestart {
+		t.Fatalf("status %v", info.Status)
+	}
+	if v, ok := db2.Get([]byte("durable")); !ok || v != 1 {
+		t.Fatalf("value lost: %d,%v", v, ok)
+	}
+	if n := db2.RebuildLen(); n != 1 {
+		t.Fatalf("RebuildLen = %d", n)
+	}
+}
+
+func TestShardedFacadeCheckpointerAndStats(t *testing.T) {
+	db, _ := Open(Options{Shards: 2, EpochInterval: 2e6})
+	db.StartCheckpointer()
+	for i := uint64(0); i < 20000; i++ {
+		db.Put(Key(i%1000), i)
+	}
+	db.StopCheckpointer()
+	if db.Stats().Puts.Load() != 20000 {
+		t.Fatalf("aggregate puts = %d", db.Stats().Puts.Load())
+	}
+	perShard := int64(0)
+	for i := 0; i < db.Shards(); i++ {
+		perShard += db.ShardStats(i).Puts.Load()
+	}
+	if perShard != 20000 {
+		t.Fatalf("per-shard puts sum to %d", perShard)
+	}
+	db.Checkpoint()
+	if s := db.NVMStats(); s.GlobalFlushes == 0 || s.LinesPersisted == 0 {
+		t.Fatalf("stats: %v", s)
+	}
+}

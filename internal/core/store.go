@@ -30,6 +30,15 @@ type Config struct {
 	// every first modification per node per epoch goes to the external log
 	// instead of the in-cache-line logs (used by Figures 7 and 8).
 	DisableInCLL bool
+
+	// Committed is an optional cross-store commit oracle for stores whose
+	// epoch boundaries are driven by a sharding coordinator: it reports
+	// whether epoch e was globally committed even though this store's own
+	// header never recorded the commit (the window between the
+	// coordinator's durable commit record and this store's local header
+	// update). nil means the store commits its own epochs (the default).
+	// See epoch.OpenCoordinated and internal/shard.
+	Committed func(e uint64) bool
 }
 
 func (c *Config) setDefaults() {
@@ -110,7 +119,7 @@ func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 	logOff := a.Reserve(extlog.RegionWords(cfg.LogSegWords, cfg.Workers))
 	heapOff := a.Reserve(cfg.HeapWords)
 
-	mgr, status := epoch.Open(a, eOff)
+	mgr, status := epoch.OpenCoordinated(a, eOff, cfg.Committed)
 	fp := cfg.Workers<<32 | int(cfg.LogSegWords&0xFFFFFFFF)
 	if old := a.Load(hdr + tFingerprint); old != 0 && old != uint64(fp) {
 		panic(fmt.Sprintf("core: arena was created with a different layout "+

@@ -106,6 +106,19 @@ type Manager struct {
 // to the durable failed-epoch set. Structure-level rollback (external log,
 // InCLLs) is the caller's job and is driven by IsFailed / CurrentExec.
 func Open(a *nvm.Arena, off uint64) (*Manager, Status) {
+	return OpenCoordinated(a, off, nil)
+}
+
+// OpenCoordinated is Open with an external commit oracle, for stores whose
+// epoch boundaries are driven by a cross-store coordinator (see
+// internal/shard). A coordinated advance flushes this store (Prepare),
+// durably commits the epoch in the coordinator's own record, and only then
+// updates this header (Commit). A crash in that window leaves the header
+// saying "epoch E, flushing" for an epoch the coordinator already
+// committed; committed(E) tells Open so, and the epoch's effects stand
+// instead of being rolled back. A nil oracle means the store is
+// self-contained: its own header is the commit record (plain Open).
+func OpenCoordinated(a *nvm.Arena, off uint64, committed func(e uint64) bool) (*Manager, Status) {
 	m := &Manager{arena: a, off: off, failed: make(map[uint64]bool)}
 
 	status := FreshStart
@@ -119,6 +132,15 @@ func Open(a *nvm.Arena, off uint64) (*Manager, Status) {
 		}
 		for i := uint64(0); i < n; i++ {
 			m.failed[a.Load(off+failBase+i)] = true
+		}
+		if phase == phaseFlushing && committed != nil && committed(prevEpoch) {
+			// The Prepare flush completed and the coordinator durably
+			// committed prevEpoch before the crash; only this header's
+			// Commit write was lost. Finish the commit: behave exactly as
+			// if the header had read (prevEpoch+1, running). The world was
+			// stopped for the whole window, so the successor epoch is empty
+			// and marking it failed below rolls back nothing.
+			prevEpoch++
 		}
 		resume = prevEpoch
 		if phase == phaseShutdown {
@@ -203,23 +225,42 @@ func (m *Manager) OnAdvance(f func(newEpoch uint64)) {
 // the registered callbacks, and resumes the world. Returns the number of
 // lines flushed.
 func (m *Manager) Advance() int {
+	n := m.Prepare()
+	m.Commit()
+	return n
+}
+
+// Prepare is the first half of Advance: it stops the world, durably marks
+// the boundary, and flushes every dirty line, so the entire effect of the
+// current epoch (including its undo information) is persistent — but the
+// epoch is not yet committed: a crash now still attributes the in-flight
+// epoch as failed and rolls it back. The world stays stopped until Commit,
+// which the caller must invoke next (possibly from another goroutine — a
+// sharding coordinator prepares every store, records the global commit,
+// then commits every store). Returns the number of lines flushed.
+func (m *Manager) Prepare() int {
 	m.world.Lock()
-	defer m.world.Unlock()
 	a, off := m.arena, m.off
 
-	cur := m.current.Load()
-
-	// 1. Mark the boundary so a crash during the flush is attributed to
-	//    the epoch being flushed.
+	// Mark the boundary so a crash during the flush is attributed to the
+	// epoch being flushed.
 	a.Store(off+hdrPhase, phaseFlushing)
 	a.Writeback(off)
 	a.Fence()
 
-	// 2. Commit: everything written during `cur` becomes durable.
-	n := a.FlushAll()
+	// Persist everything written during the current epoch.
+	return a.FlushAll()
+}
 
-	// 3. Begin the next epoch. Epoch and phase share a line, so this
-	//    record is atomic with respect to crashes.
+// Commit is the second half of Advance: it durably begins the next epoch
+// (committing the prepared one from this store's point of view), runs the
+// registered callbacks, and resumes the world. Must follow Prepare.
+func (m *Manager) Commit() {
+	a, off := m.arena, m.off
+	cur := m.current.Load()
+
+	// Begin the next epoch. Epoch and phase share a line, so this record
+	// is atomic with respect to crashes.
 	next := cur + 1
 	a.Store(off+hdrEpoch, next)
 	a.Store(off+hdrPhase, phaseRunning)
@@ -231,7 +272,7 @@ func (m *Manager) Advance() int {
 		f(next)
 	}
 	m.advances.Add(1)
-	return n
+	m.world.Unlock()
 }
 
 // Advances returns how many epoch boundaries this Manager has executed.

@@ -234,3 +234,88 @@ func TestAdvanceCountsFlushedLines(t *testing.T) {
 		t.Fatalf("Advance flushed %d lines, want >= 10", n)
 	}
 }
+
+func TestPrepareCommitEqualsAdvance(t *testing.T) {
+	a, m, _ := newManager(t)
+	off := a.Reserve(8)
+	a.Store(off, 7)
+	n := m.Prepare()
+	if n == 0 {
+		t.Fatal("Prepare flushed nothing")
+	}
+	if m.Current() != 1 {
+		t.Fatalf("Current = %d after Prepare, want still 1", m.Current())
+	}
+	m.Commit()
+	if m.Current() != 2 {
+		t.Fatalf("Current = %d after Commit, want 2", m.Current())
+	}
+	a.Crash(nvm.PersistNone)
+	if got := a.Load(off); got != 7 {
+		t.Fatalf("store lost across prepare+commit+crash: %d", got)
+	}
+}
+
+func TestCrashBetweenPrepareAndCommitFailsEpochWithoutOracle(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	m, _ := Open(a, off)
+	m.Prepare() // epoch 1 fully flushed, not committed
+	a.Crash(nvm.PersistNone)
+
+	m2, st := Open(a, off)
+	if st != CrashRecovered {
+		t.Fatalf("status = %v, want crash-recovered", st)
+	}
+	if !m2.IsFailed(1) {
+		t.Fatal("prepared-but-uncommitted epoch 1 must be failed without an oracle")
+	}
+	if m2.Current() != 2 {
+		t.Fatalf("Current = %d, want 2", m2.Current())
+	}
+}
+
+func TestCoordinatedOracleCompletesInterruptedCommit(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	m, _ := Open(a, off)
+	data := a.Reserve(8)
+	a.Store(data, 55)
+	m.Prepare() // epoch 1 flushed; coordinator committed it elsewhere
+	a.Crash(nvm.PersistNone)
+
+	m2, st := OpenCoordinated(a, off, func(e uint64) bool { return e <= 1 })
+	if st != CrashRecovered {
+		t.Fatalf("status = %v, want crash-recovered", st)
+	}
+	if m2.IsFailed(1) {
+		t.Fatal("globally committed epoch 1 must not be failed")
+	}
+	// The empty successor epoch is marked failed instead; that rolls back
+	// nothing because the world never resumed.
+	if !m2.IsFailed(2) {
+		t.Fatal("empty successor epoch 2 should be recorded failed")
+	}
+	if m2.Current() != 3 {
+		t.Fatalf("Current = %d, want 3 (same as a store whose commit landed)", m2.Current())
+	}
+	if got := a.Load(data); got != 55 {
+		t.Fatalf("committed data lost: %d", got)
+	}
+}
+
+func TestCoordinatedOracleUncommittedStillRollsBack(t *testing.T) {
+	a := nvm.New(nvm.Config{Words: 1 << 14})
+	off := a.Reserve(HeaderWords)
+	m, _ := Open(a, off)
+	m.Prepare()
+	a.Crash(nvm.PersistNone)
+
+	m2, _ := OpenCoordinated(a, off, func(e uint64) bool { return false })
+	if !m2.IsFailed(1) {
+		t.Fatal("epoch the coordinator never committed must be failed")
+	}
+	if m2.Current() != 2 {
+		t.Fatalf("Current = %d, want 2", m2.Current())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"incll/internal/core"
 	"incll/internal/masstree"
 	"incll/internal/nvm"
+	"incll/internal/shard"
 	"incll/internal/ycsb"
 )
 
@@ -63,6 +64,11 @@ type RunConfig struct {
 	// OpsPerThread is the number of operations each worker executes.
 	OpsPerThread int
 
+	// Shards partitions the keyspace across this many independent durable
+	// stores with coordinated global checkpoints (durable modes only;
+	// default 1, the single store the paper evaluates).
+	Shards int
+
 	// EpochInterval is the checkpoint interval (default 64 ms).
 	EpochInterval time.Duration
 	// FenceDelay emulates NVM write latency after sfence (Figures 3, 8).
@@ -106,6 +112,10 @@ type Result struct {
 	Evictions    int64
 	Advances     int64
 	FlushTime    time.Duration // cumulative wall time inside global flushes
+
+	// PerShardOps counts the operations each shard served during the
+	// measured phase (sharded runs only; nil otherwise).
+	PerShardOps []int64
 }
 
 // Run executes one measurement: build, preload, run, collect.
@@ -115,6 +125,9 @@ func Run(cfg RunConfig) Result {
 	case MT, MTPlus:
 		return runTransient(cfg)
 	default:
+		if cfg.Shards > 1 {
+			return runSharded(cfg)
+		}
 		return runDurable(cfg)
 	}
 }
@@ -226,17 +239,7 @@ func runDurable(cfg RunConfig) Result {
 	adv0 := s.Epochs().Advances()
 
 	s.StartTicker(cfg.EpochInterval)
-	elapsed := runWorkers(cfg, func(w int, op ycsb.Op, i int) {
-		h := s.Handle(w)
-		switch op.Kind {
-		case ycsb.OpPut:
-			h.Put(core.EncodeUint64(op.Key), opValue(w, i))
-		case ycsb.OpGet:
-			h.Get(core.EncodeUint64(op.Key))
-		case ycsb.OpScan:
-			h.Scan(core.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
-		}
-	})
+	elapsed := runWorkers(cfg, durableOps(func(w int) kvHandle { return s.Handle(w) }))
 	s.StopTicker()
 
 	as := a.Stats().Snapshot().Sub(as0)
@@ -254,6 +257,97 @@ func runDurable(cfg RunConfig) Result {
 		FlushedLines: as.LinesPersisted,
 		Evictions:    as.Evictions,
 		Advances:     s.Epochs().Advances() - adv0,
+	}
+}
+
+// runSharded measures a sharded cluster: N stores over N arenas behind the
+// key router, checkpointed by the coordinated global ticker.
+func runSharded(cfg RunConfig) Result {
+	// Size each shard's arena for its slice of the keyspace (routing is
+	// hash-spread, so slices are near-even; the slack term absorbs skew).
+	per := cfg
+	per.TreeSize = cfg.TreeSize/uint64(cfg.Shards) + cfg.TreeSize/uint64(4*cfg.Shards)
+	arenaWords, heapWords, segWords := SizeArena(per)
+	s, _ := shard.Open(shard.Config{
+		Shards:       cfg.Shards,
+		Workers:      cfg.Threads,
+		ArenaWords:   arenaWords,
+		HeapWords:    heapWords,
+		LogSegWords:  segWords,
+		DisableInCLL: cfg.Mode == LOGGING,
+		NVM: nvm.Config{
+			FenceDelay:    cfg.FenceDelay,
+			DirtyCapacity: cfg.DirtyCapacity,
+			Seed:          cfg.Seed,
+		},
+	})
+
+	parallelLoad(cfg, func(w int, k uint64) {
+		s.Handle(w).Put(core.EncodeUint64(k), k)
+	})
+	s.Advance() // commit the load against a clean global epoch
+
+	st0 := s.Stats()
+	shardOps0 := make([]int64, cfg.Shards)
+	for i := range shardOps0 {
+		shardOps0[i] = shardOpCount(s.ShardStore(i).Stats())
+	}
+	nv0 := s.NVMStats()
+	adv0 := s.GlobalEpoch()
+
+	s.StartTicker(cfg.EpochInterval)
+	elapsed := runWorkers(cfg, durableOps(func(w int) kvHandle { return s.Handle(w) }))
+	s.StopTicker()
+
+	st := s.Stats()
+	nv := s.NVMStats().Sub(nv0)
+	perShard := make([]int64, cfg.Shards)
+	for i := range perShard {
+		perShard[i] = shardOpCount(s.ShardStore(i).Stats()) - shardOps0[i]
+	}
+	ops := int64(cfg.Threads) * int64(cfg.OpsPerThread)
+	return Result{
+		Config:       cfg,
+		Elapsed:      elapsed,
+		Ops:          ops,
+		Throughput:   float64(ops) / elapsed.Seconds(),
+		LoggedNodes:  st.LoggedNodes.Load() - st0.LoggedNodes.Load(),
+		InCLLPerm:    st.InCLLPerm.Load() - st0.InCLLPerm.Load(),
+		InCLLVal:     st.InCLLVal.Load() - st0.InCLLVal.Load(),
+		Fences:       nv.Fences,
+		FlushedLines: nv.LinesPersisted,
+		Evictions:    nv.Evictions,
+		Advances:     int64(s.GlobalEpoch() - adv0),
+		PerShardOps:  perShard,
+	}
+}
+
+// shardOpCount sums one store's operation counters.
+func shardOpCount(st *core.Stats) int64 {
+	return st.Puts.Load() + st.Gets.Load() + st.Deletes.Load() + st.Scans.Load()
+}
+
+// kvHandle is the worker-op surface shared by core.Handle and
+// shard.Handle.
+type kvHandle interface {
+	Put(k []byte, v uint64) bool
+	Get(k []byte) (uint64, bool)
+	Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int
+}
+
+// durableOps builds the measured-phase op dispatcher over per-worker
+// handles (shared by the single-store and sharded durable runs).
+func durableOps(handle func(w int) kvHandle) func(w int, op ycsb.Op, i int) {
+	return func(w int, op ycsb.Op, i int) {
+		h := handle(w)
+		switch op.Kind {
+		case ycsb.OpPut:
+			h.Put(core.EncodeUint64(op.Key), opValue(w, i))
+		case ycsb.OpGet:
+			h.Get(core.EncodeUint64(op.Key))
+		case ycsb.OpScan:
+			h.Scan(core.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
+		}
 	}
 }
 

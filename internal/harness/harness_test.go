@@ -126,3 +126,29 @@ func TestFlushCostExperimentShape(t *testing.T) {
 		t.Fatalf("flush fraction %.4f out of plausible range", row.Values["fraction"])
 	}
 }
+
+func TestShardedRunCountsEveryOpOnSomeShard(t *testing.T) {
+	cfg := quickCfg(INCLL, ycsb.A, ycsb.Uniform)
+	cfg.Shards = 4
+	cfg.EpochInterval = time.Millisecond // quick run must still cross boundaries
+	r := Run(cfg)
+	if r.Throughput <= 0 {
+		t.Fatalf("sharded throughput %f", r.Throughput)
+	}
+	if len(r.PerShardOps) != 4 {
+		t.Fatalf("PerShardOps has %d entries", len(r.PerShardOps))
+	}
+	var total int64
+	for i, n := range r.PerShardOps {
+		if n == 0 {
+			t.Fatalf("shard %d served no operations; router not spreading", i)
+		}
+		total += n
+	}
+	if total != r.Ops {
+		t.Fatalf("per-shard ops sum to %d, ran %d", total, r.Ops)
+	}
+	if r.Advances == 0 {
+		t.Fatal("global ticker never advanced")
+	}
+}

@@ -46,6 +46,20 @@ type StatsSnapshot struct {
 	CrashLinesLost      int64
 }
 
+// Add returns s + o, field by field (aggregating multi-arena clusters).
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Writebacks:          s.Writebacks + o.Writebacks,
+		Fences:              s.Fences + o.Fences,
+		LinesPersisted:      s.LinesPersisted + o.LinesPersisted,
+		Evictions:           s.Evictions + o.Evictions,
+		GlobalFlushes:       s.GlobalFlushes + o.GlobalFlushes,
+		Crashes:             s.Crashes + o.Crashes,
+		CrashLinesPersisted: s.CrashLinesPersisted + o.CrashLinesPersisted,
+		CrashLinesLost:      s.CrashLinesLost + o.CrashLinesLost,
+	}
+}
+
 // Sub returns s - o, field by field.
 func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{

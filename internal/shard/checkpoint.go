@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incll/internal/core"
+)
+
+// Advance runs one coordinated global checkpoint — the paper's 64 ms epoch
+// boundary generalized to N stores — and returns the total number of cache
+// lines flushed. Two phases:
+//
+//  1. Prepare: every shard stops its world, durably marks its boundary,
+//     and flushes its whole arena. After this phase the entire effect of
+//     the epoch (including all undo information) is persistent on every
+//     shard, but the epoch is still uncommitted everywhere: a crash now
+//     rolls it back on every shard, to the previous global boundary.
+//
+//  2. Commit: one fenced write of the coordinator record (a single cache
+//     line, so atomic under PCSO) commits the epoch globally; then every
+//     shard commits locally and resumes. A crash between the record write
+//     and a shard's local commit is repaired at reopen by the commit
+//     oracle (epoch.OpenCoordinated): the flush already completed, so the
+//     shard's epoch stands.
+//
+// Either way, recovery lands every shard on the same boundary; there is no
+// crash point at which shard A exposes epoch k and shard B epoch k−1.
+func (s *Store) Advance() int {
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+
+	// Phase 1: prepare every shard (parallel — flushing dominates).
+	var flushed atomic.Int64
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *core.Store) {
+			defer wg.Done()
+			flushed.Add(int64(sh.Epochs().Prepare()))
+		}(sh)
+	}
+	wg.Wait()
+
+	// Global commit point: one line, written back and fenced.
+	s.commitRecord(s.shards[0].Epochs().Current())
+
+	// Phase 2: locally commit every shard and resume its world.
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *core.Store) {
+			defer wg.Done()
+			sh.Epochs().Commit()
+		}(sh)
+	}
+	wg.Wait()
+	return int(flushed.Load())
+}
+
+// commitRecord durably records e as the last globally committed epoch.
+func (s *Store) commitRecord(e uint64) {
+	s.coord.Store(s.coordOff+cEpoch, e)
+	s.coord.Writeback(s.coordOff)
+	s.coord.Fence()
+}
+
+// Shutdown commits a final global checkpoint and durably marks every shard
+// cleanly shut down. The store must not be used afterwards.
+func (s *Store) Shutdown() {
+	s.StopTicker()
+	s.Advance()
+	for _, sh := range s.shards {
+		sh.Shutdown()
+	}
+}
+
+// StartTicker advances global epochs every interval from a background
+// goroutine, like the paper's 64 ms timer but cluster-wide. The per-shard
+// tickers must stay off; the coordinator owns the cadence.
+func (s *Store) StartTicker(interval time.Duration) {
+	if s.tickerStop != nil {
+		panic("shard: ticker already running")
+	}
+	s.tickerStop = make(chan struct{})
+	s.tickerDone = make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		defer close(s.tickerDone)
+		for {
+			select {
+			case <-t.C:
+				s.Advance()
+			case <-s.tickerStop:
+				return
+			}
+		}
+	}()
+}
+
+// StopTicker stops the background ticker, if running.
+func (s *Store) StopTicker() {
+	if s.tickerStop == nil {
+		return
+	}
+	close(s.tickerStop)
+	<-s.tickerDone
+	s.tickerStop, s.tickerDone = nil, nil
+}

@@ -1,0 +1,24 @@
+package shard
+
+import "incll/internal/ycsb"
+
+// Route deterministically maps key k to a shard in [0, shards): the key
+// bytes are folded FNV-1a style into 64 bits and then passed through the
+// fixed-point scramble the YCSB generator already uses (splitmix64's
+// finalizer), so sequential and common-prefix keys spread evenly instead
+// of clustering on one shard. Routing is a pure function of the bytes — a
+// recovering process re-derives the same placement.
+func Route(k []byte, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range k {
+		h = (h ^ uint64(c)) * prime
+	}
+	return int(ycsb.Scramble(h) % uint64(shards))
+}
