@@ -5,6 +5,8 @@
 // Usage:
 //
 //	incll-crash -seeds 20 -workers 4 -rounds 5
+//	incll-crash -shards 4 -seeds 10      # cross-shard recovery, incl. crashes
+//	                                     # inside the two-phase checkpoint
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 10, "number of independent campaigns")
 	workers := flag.Int("workers", 2, "concurrent mutator goroutines")
+	shards := flag.Int("shards", 1, "keyspace shards with coordinated checkpoints (1 = single store)")
 	rounds := flag.Int("rounds", 4, "crash/recover cycles per campaign")
 	keyspace := flag.Uint64("keyspace", 4000, "distinct keys")
 	ops := flag.Int("ops", 800, "operations per worker per epoch")
@@ -26,6 +29,7 @@ func main() {
 
 	cfg := crashtest.Config{
 		Workers:         *workers,
+		Shards:          *shards,
 		Rounds:          *rounds,
 		Keyspace:        *keyspace,
 		OpsPerEpoch:     *ops,

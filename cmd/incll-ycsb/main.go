@@ -6,6 +6,7 @@
 //
 //	incll-ycsb -mode INCLL -workload A -dist zipfian -size 1000000
 //	incll-ycsb -mode INCLL -workload A -shards 4 -threads 8   # sharded scale-out
+//	incll-ycsb -mode INCLL -workload A -txn transfer          # k-key bank transfers
 package main
 
 import (
@@ -26,6 +27,8 @@ func main() {
 	threads := flag.Int("threads", 4, "worker threads")
 	shards := flag.Int("shards", 1, "keyspace shards with coordinated checkpoints (durable modes)")
 	ops := flag.Int("ops", 200_000, "operations per thread")
+	txnMode := flag.String("txn", "none", "none | rmw | transfer (durable modes): run multi-key transactions over the mix")
+	txnKeys := flag.Int("txnkeys", 4, "accounts touched per bank transfer")
 	interval := flag.Duration("interval", 64*time.Millisecond, "epoch interval")
 	fence := flag.Duration("fence", 0, "emulated NVM latency after each fence")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -36,9 +39,19 @@ func main() {
 		Threads:       *threads,
 		Shards:        *shards,
 		OpsPerThread:  *ops,
+		TxnKeys:       *txnKeys,
 		EpochInterval: *interval,
 		FenceDelay:    *fence,
 		Seed:          *seed,
+	}
+	switch *txnMode {
+	case "none":
+	case "rmw":
+		cfg.TxnMode = harness.TxnRMW
+	case "transfer":
+		cfg.TxnMode = harness.TxnTransfer
+	default:
+		log.Fatalf("unknown txn mode %q", *txnMode)
 	}
 	switch *mode {
 	case "MT":
@@ -76,17 +89,29 @@ func main() {
 	if *shards > 1 && (cfg.Mode == harness.MT || cfg.Mode == harness.MTPlus) {
 		log.Fatalf("-shards applies to the durable modes (INCLL, LOGGING), not %s", cfg.Mode)
 	}
+	if cfg.TxnMode != harness.TxnNone && cfg.Mode != harness.INCLL && cfg.Mode != harness.LOGGING {
+		log.Fatalf("-txn applies to the durable modes (INCLL, LOGGING), not %s", cfg.Mode)
+	}
 
 	r := harness.Run(cfg)
 	label := ""
 	if *shards > 1 {
 		label = fmt.Sprintf(" shards=%d", *shards)
 	}
+	if cfg.TxnMode != harness.TxnNone {
+		label += fmt.Sprintf(" txn=%s", cfg.TxnMode)
+	}
 	fmt.Printf("%s %s %s%s: %d ops in %v = %.3f Mops/s\n",
 		cfg.Mode, cfg.Workload, cfg.Dist, label, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput/1e6)
 	if cfg.Mode == harness.INCLL || cfg.Mode == harness.LOGGING {
 		fmt.Printf("  epochs=%d loggedNodes=%d inCLLperm=%d inCLLval=%d fences=%d linesFlushed=%d\n",
 			r.Advances, r.LoggedNodes, r.InCLLPerm, r.InCLLVal, r.Fences, r.FlushedLines)
+	}
+	if cfg.TxnMode != harness.TxnNone {
+		fmt.Printf("  committed=%d conflicts=%d = %.3f Ktxn/s\n", r.Txns, r.TxnConflicts, r.TxnThroughput/1e3)
+		if cfg.TxnMode == harness.TxnTransfer {
+			fmt.Printf("  transfer invariant conserved: %v\n", r.SumConserved)
+		}
 	}
 	for i, ops := range r.PerShardOps {
 		fmt.Printf("  shard %d: %d ops (%.1f%%) = %.3f Mops/s\n",

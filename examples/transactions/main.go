@@ -1,0 +1,65 @@
+// Command transactions demonstrates crash-atomic multi-key transactions:
+// a bank of accounts, a transfer committed across shards, a power failure
+// that loses every dirty cache line before any checkpoint — and recovery
+// replaying the committed transfer from its intent record, conserving the
+// bank's total balance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incll"
+)
+
+func main() {
+	db, _ := incll.Open(incll.Options{Shards: 4})
+
+	// A bank of 8 accounts with 1000 each, committed by a checkpoint.
+	const accounts, initBal = 8, uint64(1000)
+	for i := uint64(0); i < accounts; i++ {
+		db.Put(incll.Key(i), initBal)
+	}
+	db.Checkpoint()
+
+	// Transfer 250 from account 0 to accounts 1 and 2, atomically. The
+	// three keys land on different shards; Commit is still one atomic,
+	// immediately durable step.
+	t := db.Begin()
+	a0, _ := t.Get(incll.Key(0))
+	a1, _ := t.Get(incll.Key(1))
+	a2, _ := t.Get(incll.Key(2))
+	t.Put(incll.Key(0), a0-250)
+	t.Put(incll.Key(1), a1+150)
+	t.Put(incll.Key(2), a2+100)
+	if err := t.Commit(); err != nil {
+		log.Fatalf("commit: %v", err)
+	}
+	fmt.Println("committed a 3-account transfer; no checkpoint since")
+
+	// Power failure with nothing surviving from the cache: every plain
+	// write since the last checkpoint is lost, but the committed transfer
+	// is replayed from its fenced intent record.
+	db.Put(incll.Key(7), 9999) // uncommitted plain write: will be lost
+	db.SimulateCrash(0, 42)
+	db, info := db.Reopen()
+	fmt.Printf("recovered: status=%v transactions replayed=%d\n", info.Status, info.TxnsReplayed)
+
+	var sum uint64
+	for i := uint64(0); i < accounts; i++ {
+		v, _ := db.Get(incll.Key(i))
+		fmt.Printf("  account %d: %d\n", i, v)
+		sum += v
+	}
+	fmt.Printf("total: %d (conserved: %v)\n", sum, sum == accounts*initBal)
+
+	// One-shot batches use the same machinery.
+	b := &incll.Batch{}
+	b.Put(incll.Key(100), 1)
+	b.Put(incll.Key(101), 2)
+	if err := db.Apply(b); err != nil {
+		log.Fatalf("apply: %v", err)
+	}
+	fmt.Println("applied a one-shot batch atomically")
+	db.Close()
+}

@@ -32,6 +32,17 @@
 //	db.SimulateCrash(0.5, 42)           // all shards crash together
 //	db, info := db.Reopen()             // parallel per-shard recovery
 //	_ = info.Shards                     // per-shard recovery detail
+//
+// Multi-key transactions (see internal/txn and DESIGN.md) are crash-atomic
+// and durable at commit: a fenced intent record plus the epoch machinery
+// guarantee that a power failure at any instruction of Commit leaves
+// either every write or none, even across shards.
+//
+//	t := db.Begin()
+//	a, _ := t.Get(incll.Key(1))
+//	t.Put(incll.Key(1), a-10)
+//	t.Put(incll.Key(2), 10)
+//	err := t.Commit()                   // durable now; ErrConflict = retry
 package incll
 
 import (
@@ -41,6 +52,7 @@ import (
 	"incll/internal/epoch"
 	"incll/internal/nvm"
 	"incll/internal/shard"
+	"incll/internal/txn"
 )
 
 // Options sizes and parameterizes a DB.
@@ -61,6 +73,10 @@ type Options struct {
 	// LogSegWords is the per-worker external log segment (default 2^20,
 	// or 2^16 per shard when sharded).
 	LogSegWords uint64
+	// TxnSegWords is the per-worker transaction intent segment (default
+	// 2^14, or 2^12 per shard when sharded). Bounds the write-set bytes
+	// one worker can commit per epoch.
+	TxnSegWords uint64
 	// EpochInterval is the checkpoint cadence used by StartCheckpointer
 	// (default 64ms, the paper's setting).
 	EpochInterval time.Duration
@@ -95,6 +111,12 @@ func (o *Options) setDefaults() {
 			o.LogSegWords = 1 << 16
 		}
 	}
+	if o.TxnSegWords == 0 {
+		o.TxnSegWords = 1 << 14
+		if o.Shards > 1 {
+			o.TxnSegWords = 1 << 12
+		}
+	}
 	if o.EpochInterval == 0 {
 		o.EpochInterval = 64 * time.Millisecond
 	}
@@ -122,6 +144,9 @@ type RecoveryInfo struct {
 	// FailedEpochs is the cumulative number of epochs that ever failed on
 	// this arena (for a sharded DB, the largest per-shard count).
 	FailedEpochs int
+	// TxnsReplayed is the number of committed transactions whose intent
+	// records recovery re-applied (their commit outlived their epoch).
+	TxnsReplayed int
 	// Shards holds per-shard recovery detail; nil for an unsharded DB.
 	Shards []ShardRecovery
 }
@@ -153,6 +178,7 @@ type DB struct {
 	arena   *nvm.Arena   // single-store mode
 	store   *core.Store  // single-store mode
 	sharded *shard.Store // sharded mode (Options.Shards > 1)
+	txns    *txn.Manager
 	opts    Options
 }
 
@@ -166,10 +192,14 @@ func Open(opts Options) (*DB, RecoveryInfo) {
 			ArenaWords:   opts.ArenaWords,
 			HeapWords:    opts.HeapWords,
 			LogSegWords:  opts.LogSegWords,
+			TxnSegWords:  opts.TxnSegWords,
 			DisableInCLL: opts.DisableInCLL,
 			NVM:          nvm.Config{FenceDelay: opts.FenceDelay},
 		})
-		return &DB{sharded: s, opts: opts}, shardInfo(sinfo)
+		db := &DB{sharded: s, opts: opts}
+		info := shardInfo(sinfo)
+		info.TxnsReplayed = db.initTxns()
+		return db, info
 	}
 	arena := nvm.New(nvm.Config{Words: opts.ArenaWords, FenceDelay: opts.FenceDelay})
 	return attach(arena, opts)
@@ -179,15 +209,30 @@ func attach(arena *nvm.Arena, opts Options) (*DB, RecoveryInfo) {
 	store, status := core.Open(arena, core.Config{
 		Workers:      opts.Workers,
 		LogSegWords:  opts.LogSegWords,
+		TxnSegWords:  opts.TxnSegWords,
 		HeapWords:    opts.HeapWords,
 		DisableInCLL: opts.DisableInCLL,
 	})
+	db := &DB{arena: arena, store: store, opts: opts}
 	info := RecoveryInfo{
 		Status:            status,
 		LogEntriesApplied: store.RecoveredLogEntries(),
 		FailedEpochs:      store.Epochs().FailedCount(),
 	}
-	return &DB{arena: arena, store: store, opts: opts}, info
+	info.TxnsReplayed = db.initTxns()
+	return db, info
+}
+
+// initTxns builds the transaction manager over the open store(s), running
+// intent recovery; returns the number of transactions replayed.
+func (db *DB) initTxns() int {
+	var replayed int
+	if db.sharded != nil {
+		db.txns, replayed = txn.ForCluster(db.sharded)
+	} else {
+		db.txns, replayed = txn.ForStore(db.store)
+	}
+	return replayed
 }
 
 // shardInfo converts the shard package's merged recovery info.
@@ -280,35 +325,26 @@ func (db *DB) RebuildLen() int {
 // and commits everything written so far. Returns the number of cache
 // lines flushed. Equivalent to one tick of the background checkpointer.
 // On a sharded DB this is the coordinated two-phase global checkpoint.
+// Excluded against in-flight transaction commits.
 func (db *DB) Checkpoint() int {
-	if db.sharded != nil {
-		return db.sharded.Advance()
-	}
-	return db.store.Advance()
+	return db.txns.Advance()
 }
 
 // StartCheckpointer begins advancing epochs every Options.EpochInterval
 // in the background, like the paper's 64 ms timer (cluster-wide when
-// sharded).
+// sharded, and always excluded against transaction commits).
 func (db *DB) StartCheckpointer() {
-	if db.sharded != nil {
-		db.sharded.StartTicker(db.opts.EpochInterval)
-		return
-	}
-	db.store.StartTicker(db.opts.EpochInterval)
+	db.txns.StartTicker(db.opts.EpochInterval)
 }
 
 // StopCheckpointer stops the background checkpointer.
 func (db *DB) StopCheckpointer() {
-	if db.sharded != nil {
-		db.sharded.StopTicker()
-		return
-	}
-	db.store.StopTicker()
+	db.txns.StopTicker()
 }
 
 // Close checkpoints and durably marks a clean shutdown.
 func (db *DB) Close() {
+	db.txns.StopTicker()
 	if db.sharded != nil {
 		db.sharded.Shutdown()
 		return
@@ -322,6 +358,7 @@ func (db *DB) Close() {
 // together (independent per-shard survival policies derived from seed).
 // All handles must be quiescent.
 func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
+	db.txns.StopTicker()
 	if db.sharded != nil {
 		db.sharded.SimulateCrash(persistFraction, seed)
 		return
@@ -336,7 +373,10 @@ func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
 func (db *DB) Reopen() (*DB, RecoveryInfo) {
 	if db.sharded != nil {
 		s, sinfo := db.sharded.Reopen()
-		return &DB{sharded: s, opts: db.opts}, shardInfo(sinfo)
+		db2 := &DB{sharded: s, opts: db.opts}
+		info := shardInfo(sinfo)
+		info.TxnsReplayed = db2.initTxns()
+		return db2, info
 	}
 	db.arena.ResetReservations()
 	return attach(db.arena, db.opts)
@@ -370,4 +410,96 @@ func (db *DB) NVMStats() nvm.StatsSnapshot {
 		return db.sharded.NVMStats()
 	}
 	return db.arena.Stats().Snapshot()
+}
+
+// ---- transactions ----
+
+// ErrConflict is returned by Txn.Commit when a validated read changed
+// since the transaction observed it; rebuild the transaction and retry.
+var ErrConflict = txn.ErrConflict
+
+// Txn is a crash-atomic multi-key transaction: writes are buffered and
+// applied atomically at Commit, reads are cached and validated at Commit
+// (optimistic concurrency). A successful Commit is durable immediately —
+// unlike single-key operations, it does not wait for the next checkpoint.
+// A Txn belongs to the worker that began it; one live Txn per worker.
+type Txn struct{ t *txn.Txn }
+
+// Begin starts a transaction on worker 0.
+func (db *DB) Begin() *Txn { return db.BeginWorker(0) }
+
+// BeginWorker starts a transaction on worker i (i < Options.Workers).
+func (db *DB) BeginWorker(i int) *Txn { return &Txn{t: db.txns.Begin(i)} }
+
+// Get reads k: the transaction's own pending write if any, else a cached
+// prior read, else the store.
+func (t *Txn) Get(k []byte) (uint64, bool) { return t.t.Get(k) }
+
+// Put buffers a write of v under k.
+func (t *Txn) Put(k []byte, v uint64) { t.t.Put(k, v) }
+
+// Delete buffers a deletion of k.
+func (t *Txn) Delete(k []byte) { t.t.Delete(k) }
+
+// Commit atomically applies the write set; nil means durably committed,
+// ErrConflict means a validated read changed (retry).
+func (t *Txn) Commit() error { return t.t.Commit() }
+
+// Abort discards the transaction.
+func (t *Txn) Abort() { t.t.Abort() }
+
+// Batch is a one-shot atomic write set for DB.Apply.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	k   []byte
+	v   uint64
+	del bool
+}
+
+// Put adds a write of v under k to the batch.
+func (b *Batch) Put(k []byte, v uint64) {
+	b.ops = append(b.ops, batchOp{k: append([]byte(nil), k...), v: v})
+}
+
+// Delete adds a deletion of k to the batch.
+func (b *Batch) Delete(k []byte) {
+	b.ops = append(b.ops, batchOp{k: append([]byte(nil), k...), del: true})
+}
+
+// Apply commits the batch as one crash-atomic, immediately durable
+// transaction on worker 0.
+func (db *DB) Apply(b *Batch) error {
+	t := db.txns.Begin(0)
+	for _, op := range b.ops {
+		if op.del {
+			t.Delete(op.k)
+		} else {
+			t.Put(op.k, op.v)
+		}
+	}
+	return t.Commit()
+}
+
+// TxnStats reports transaction counters for this execution.
+type TxnStats struct {
+	// Committed is the number of transactions whose Commit succeeded.
+	Committed int64
+	// Conflicts is the number of commits rejected by read validation.
+	Conflicts int64
+	// Replayed is the number of committed transactions recovery re-applied
+	// at the last Open/Reopen.
+	Replayed int64
+}
+
+// TxnStats returns the transaction counters.
+func (db *DB) TxnStats() TxnStats {
+	s := db.txns.Stats()
+	return TxnStats{
+		Committed: s.Committed.Load(),
+		Conflicts: s.Conflicts.Load(),
+		Replayed:  s.Replays.Load(),
+	}
 }

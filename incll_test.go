@@ -195,3 +195,108 @@ func TestShardedFacadeCheckpointerAndStats(t *testing.T) {
 		t.Fatalf("stats: %v", s)
 	}
 }
+
+func TestFacadeTxnCommitDurableAcrossCrash(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		db, _ := Open(Options{Shards: shards})
+		for i := uint64(0); i < 8; i++ {
+			db.Put(Key(i), 100)
+		}
+		db.Checkpoint()
+
+		tx := db.Begin()
+		a, _ := tx.Get(Key(0))
+		b, _ := tx.Get(Key(1))
+		tx.Put(Key(0), a-30)
+		tx.Put(Key(1), b+30)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("shards=%d: commit: %v", shards, err)
+		}
+		if st := db.TxnStats(); st.Committed != 1 {
+			t.Fatalf("shards=%d: committed = %d", shards, st.Committed)
+		}
+
+		db.SimulateCrash(0, 3) // lose every dirty line; no checkpoint ran
+		db2, info := db.Reopen()
+		if info.TxnsReplayed != 1 {
+			t.Fatalf("shards=%d: replayed %d, want 1", shards, info.TxnsReplayed)
+		}
+		if v, _ := db2.Get(Key(0)); v != 70 {
+			t.Fatalf("shards=%d: key 0 = %d, want 70", shards, v)
+		}
+		if v, _ := db2.Get(Key(1)); v != 130 {
+			t.Fatalf("shards=%d: key 1 = %d, want 130", shards, v)
+		}
+	}
+}
+
+func TestFacadeApplyBatchAndAbort(t *testing.T) {
+	db, _ := Open(Options{Shards: 2})
+	b := &Batch{}
+	b.Put(Key(1), 11)
+	b.Put(Key(2), 22)
+	b.Delete(Key(3))
+	if err := db.Apply(b); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if v, _ := db.Get(Key(1)); v != 11 {
+		t.Fatalf("key 1 = %d", v)
+	}
+	if v, _ := db.Get(Key(2)); v != 22 {
+		t.Fatalf("key 2 = %d", v)
+	}
+
+	tx := db.Begin()
+	tx.Put(Key(9), 9)
+	tx.Abort()
+	if _, ok := db.Get(Key(9)); ok {
+		t.Fatal("aborted write visible")
+	}
+}
+
+func TestFacadeTxnConflict(t *testing.T) {
+	db, _ := Open(Options{Workers: 2})
+	db.Put(Key(1), 5)
+	tx := db.BeginWorker(0)
+	v, _ := tx.Get(Key(1))
+	tx.Put(Key(1), v+1)
+
+	tx2 := db.BeginWorker(1)
+	tx2.Put(Key(1), 50)
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("tx2: %v", err)
+	}
+	if err := tx.Commit(); err != ErrConflict {
+		t.Fatalf("commit = %v, want ErrConflict", err)
+	}
+	if st := db.TxnStats(); st.Conflicts != 1 {
+		t.Fatalf("conflicts = %d", st.Conflicts)
+	}
+}
+
+func TestFacadeTxnWithCheckpointerRunning(t *testing.T) {
+	db, _ := Open(Options{Shards: 2, EpochInterval: 1e6})
+	for i := uint64(0); i < 16; i++ {
+		db.Put(Key(i), 1000)
+	}
+	db.StartCheckpointer()
+	for i := 0; i < 2000; i++ {
+		tx := db.Begin()
+		a, _ := tx.Get(Key(uint64(i % 16)))
+		b, _ := tx.Get(Key(uint64((i + 1) % 16)))
+		tx.Put(Key(uint64(i%16)), a-1)
+		tx.Put(Key(uint64((i+1)%16)), b+1)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	db.StopCheckpointer()
+	var sum uint64
+	for i := uint64(0); i < 16; i++ {
+		v, _ := db.Get(Key(i))
+		sum += v
+	}
+	if sum != 16*1000 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

@@ -22,6 +22,11 @@ type Config struct {
 	// Must be large enough for one epoch's worth of logged nodes.
 	LogSegWords uint64
 
+	// TxnSegWords is the per-worker transaction intent segment size in
+	// words (see internal/txn). Must be large enough for one epoch's worth
+	// of committed write sets per worker.
+	TxnSegWords uint64
+
 	// HeapWords is the durable heap size in words (nodes, value buffers,
 	// layer anchors all live there).
 	HeapWords uint64
@@ -48,6 +53,9 @@ func (c *Config) setDefaults() {
 	if c.LogSegWords == 0 {
 		c.LogSegWords = 1 << 20
 	}
+	if c.TxnSegWords == 0 {
+		c.TxnSegWords = 1 << 14
+	}
 	if c.HeapWords == 0 {
 		c.HeapWords = 1 << 24
 	}
@@ -63,6 +71,27 @@ type Stats struct {
 	Gets           atomic.Int64
 	Deletes        atomic.Int64
 	Scans          atomic.Int64
+}
+
+// layoutFingerprint hashes the config fields the arena's region offsets
+// are derived from (FNV-1a), so reopening with any layout-changing change
+// — not just one that happens to collide in a bit-packing — panics.
+func layoutFingerprint(cfg Config) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range [3]uint64{uint64(cfg.Workers), cfg.LogSegWords, cfg.TxnSegWords} {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xFF)) * prime
+			v >>= 8
+		}
+	}
+	if h == 0 {
+		h = 1 // 0 is the "unstamped" sentinel
+	}
+	return h
 }
 
 // Tree-header root cell layout (one line).
@@ -87,11 +116,12 @@ const (
 // Store is a durable Masstree plus all of its substrates: the epoch
 // manager, durable allocator, and external log, all over one NVM arena.
 type Store struct {
-	arena *nvm.Arena
-	mgr   *epoch.Manager
-	alloc *alloc.Allocator
-	log   *extlog.Log
-	cfg   Config
+	arena   *nvm.Arena
+	mgr     *epoch.Manager
+	alloc   *alloc.Allocator
+	log     *extlog.Log
+	intents *extlog.IntentLog
+	cfg     Config
 
 	hdrOff   uint64 // tree-header root cell
 	recLocks []sync.Mutex
@@ -117,13 +147,14 @@ func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 	hdr := a.Reserve(nvm.WordsPerLine)
 	metaOff := a.Reserve(alloc.MetaWords(cfg.Workers))
 	logOff := a.Reserve(extlog.RegionWords(cfg.LogSegWords, cfg.Workers))
+	txnOff := a.Reserve(extlog.IntentRegionWords(cfg.TxnSegWords, cfg.Workers))
 	heapOff := a.Reserve(cfg.HeapWords)
 
 	mgr, status := epoch.OpenCoordinated(a, eOff, cfg.Committed)
-	fp := cfg.Workers<<32 | int(cfg.LogSegWords&0xFFFFFFFF)
-	if old := a.Load(hdr + tFingerprint); old != 0 && old != uint64(fp) {
+	fp := layoutFingerprint(cfg)
+	if old := a.Load(hdr + tFingerprint); old != 0 && old != fp {
 		panic(fmt.Sprintf("core: arena was created with a different layout "+
-			"(Workers/LogSegWords fingerprint %#x, now %#x); reopen with the original Config", old, fp))
+			"(Workers/LogSegWords/TxnSegWords fingerprint %#x, now %#x); reopen with the original Config", old, fp))
 	}
 	s := &Store{
 		arena:    a,
@@ -140,12 +171,13 @@ func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 	// Stamp the layout fingerprint durably on first open. Sharing the epoch
 	// header's fence keeps this off any hot path.
 	if a.Load(hdr+tFingerprint) == 0 {
-		a.Store(hdr+tFingerprint, uint64(fp))
+		a.Store(hdr+tFingerprint, fp)
 		a.Writeback(hdr)
 		a.Fence()
 	}
 	s.alloc = alloc.New(a, mgr, metaOff, heapOff, cfg.HeapWords, cfg.Workers)
 	s.log = extlog.New(a, mgr, logOff, cfg.LogSegWords, cfg.Workers)
+	s.intents = extlog.NewIntentLog(a, mgr, txnOff, cfg.TxnSegWords, cfg.Workers)
 	// Replay pre-images of the failed epoch, flush the repaired state, and
 	// retire the log generation. Also persists the root/allocator repairs
 	// above. Everything else recovers lazily.
@@ -192,6 +224,10 @@ func (s *Store) Epochs() *epoch.Manager { return s.mgr }
 
 // Log returns the external log.
 func (s *Store) Log() *extlog.Log { return s.log }
+
+// Intents returns the transaction intent log (see internal/txn). The store
+// itself never writes to it; the transaction manager owns its protocol.
+func (s *Store) Intents() *extlog.IntentLog { return s.intents }
 
 // Stats returns the store's counters.
 func (s *Store) Stats() *Stats { return &s.stats }

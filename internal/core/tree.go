@@ -133,6 +133,13 @@ func (h Handle) descend(rootOff uint64, ik uint64) nodeRef {
 func (h Handle) Get(k []byte) (uint64, bool) {
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
+	return h.GetLocked(k)
+}
+
+// GetLocked is Get for a caller that already holds the epoch guard
+// (Store.Epochs().Enter) or otherwise excludes an epoch advance — the
+// transaction manager's commit path.
+func (h Handle) GetLocked(k []byte) (uint64, bool) {
 	h.s.stats.Gets.Add(1)
 	return h.layerGet(h.rootCell0(), k)
 }
@@ -187,6 +194,12 @@ readLeaf:
 func (h Handle) Put(k []byte, v uint64) bool {
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
+	return h.PutLocked(k, v)
+}
+
+// PutLocked is Put for a caller that already holds the epoch guard
+// (Store.Epochs().Enter) or otherwise excludes an epoch advance.
+func (h Handle) PutLocked(k []byte, v uint64) bool {
 	h.s.stats.Puts.Add(1)
 	inserted := h.layerPut(h.rootCell0(), k, v)
 	if inserted {
@@ -444,6 +457,12 @@ func (h Handle) splitInterior(cell rootCell, p nodeRef, key uint64, child nodeRe
 func (h Handle) Delete(k []byte) bool {
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
+	return h.DeleteLocked(k)
+}
+
+// DeleteLocked is Delete for a caller that already holds the epoch guard
+// (Store.Epochs().Enter) or otherwise excludes an epoch advance.
+func (h Handle) DeleteLocked(k []byte) bool {
 	h.s.stats.Deletes.Add(1)
 	removed := h.layerDelete(h.rootCell0(), k)
 	if removed {

@@ -24,6 +24,10 @@ type Config struct {
 	Keyspace uint64
 	// Workers is the number of concurrent mutator goroutines.
 	Workers int
+	// Shards, when > 1, runs the campaign against a sharded cluster with
+	// coordinated checkpoints instead of a single store; crashes then also
+	// strike inside the two-phase global checkpoint.
+	Shards int
 	// OpsPerEpoch is the number of operations each worker runs per epoch.
 	OpsPerEpoch int
 	// EpochsPerRound is the number of committed epochs before each crash.
@@ -65,6 +69,9 @@ func (c *Config) setDefaults() {
 // committed reference model, or nil if every crash recovered exactly.
 func Run(cfg Config, seed int64) error {
 	cfg.setDefaults()
+	if cfg.Shards > 1 {
+		return runSharded(cfg, seed)
+	}
 	arena := nvm.New(nvm.Config{Words: cfg.ArenaWords})
 	coreCfg := core.Config{
 		Workers:     cfg.Workers,

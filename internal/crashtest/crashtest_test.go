@@ -2,7 +2,7 @@ package crashtest
 
 import "testing"
 
-func TestCampaignSingleWorker(t *testing.T) {
+func TestCrashCampaignSingleWorker(t *testing.T) {
 	cfg := Config{Workers: 1, Keyspace: 2000, OpsPerEpoch: 600, Rounds: 3}
 	for seed := int64(0); seed < 4; seed++ {
 		if err := Run(cfg, seed); err != nil {
@@ -11,7 +11,7 @@ func TestCampaignSingleWorker(t *testing.T) {
 	}
 }
 
-func TestCampaignConcurrentWorkers(t *testing.T) {
+func TestCrashCampaignConcurrentWorkers(t *testing.T) {
 	cfg := Config{Workers: 4, Keyspace: 4000, OpsPerEpoch: 500, Rounds: 3}
 	for seed := int64(0); seed < 3; seed++ {
 		if err := Run(cfg, seed); err != nil {
@@ -20,7 +20,7 @@ func TestCampaignConcurrentWorkers(t *testing.T) {
 	}
 }
 
-func TestCampaignHarshPersistence(t *testing.T) {
+func TestCrashCampaignHarshPersistence(t *testing.T) {
 	// Almost nothing survives each crash.
 	cfg := Config{PersistFraction: 0.02, Rounds: 3}
 	if err := Run(cfg, 11); err != nil {
@@ -33,9 +33,18 @@ func TestCampaignHarshPersistence(t *testing.T) {
 	}
 }
 
-func TestCampaignManySmallEpochs(t *testing.T) {
+func TestCrashCampaignManySmallEpochs(t *testing.T) {
 	cfg := Config{EpochsPerRound: 5, OpsPerEpoch: 150, Rounds: 4}
 	if err := Run(cfg, 21); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCrashShardedCampaignsRecoverExactly(t *testing.T) {
+	cfg := Config{Shards: 4, Workers: 2, Rounds: 3, Keyspace: 2000, OpsPerEpoch: 400}
+	for seed := int64(0); seed < 3; seed++ {
+		if err := Run(cfg, seed); err != nil {
+			t.Fatalf("sharded seed %d: %v", seed, err)
+		}
 	}
 }

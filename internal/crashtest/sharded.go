@@ -1,0 +1,164 @@
+package crashtest
+
+// The sharded campaign: the same §5.2 methodology run against a cluster
+// with coordinated checkpoints. Crashes strike either mid-epoch (every
+// shard's cache torn independently) or inside the two-phase global
+// checkpoint, where the all-or-nothing boundary is the coordinator's
+// fenced commit record rather than any one shard's header.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"incll/internal/core"
+	"incll/internal/epoch"
+	"incll/internal/shard"
+)
+
+func runSharded(cfg Config, seed int64) error {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ed))
+	s, info := shard.Open(shard.Config{
+		Shards:     cfg.Shards,
+		Workers:    cfg.Workers,
+		ArenaWords: cfg.ArenaWords / uint64(cfg.Shards),
+	})
+	if info.Status != epoch.FreshStart {
+		return fmt.Errorf("fresh cluster opened with status %v", info.Status)
+	}
+
+	committed := map[uint64]uint64{} // state at the last global boundary
+	working := map[uint64]uint64{}   // state including the running epoch
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for e := 0; e < cfg.EpochsPerRound; e++ {
+			runShardedEpoch(s, cfg, working, seed+int64(round*1000+e))
+			s.Advance()
+			committed = cloneModel(working)
+		}
+		// Doomed partial epoch, then a crash: plain mid-epoch, inside
+		// phase 1 (must roll back everywhere), or inside phase 2 after the
+		// global record (must stand everywhere).
+		runShardedEpoch(s, cfg, working, seed+int64(round*1000+999))
+		switch rng.Intn(3) {
+		case 0:
+			s.SimulateCrash(cfg.PersistFraction, seed+int64(round))
+		case 1:
+			s.CrashDuringAdvance(rng.Intn(cfg.Shards+1), 0, false, cfg.PersistFraction, seed+int64(round))
+		case 2:
+			s.CrashDuringAdvance(cfg.Shards, rng.Intn(cfg.Shards+1), true, cfg.PersistFraction, seed+int64(round))
+			committed = cloneModel(working)
+		}
+
+		var info shard.RecoveryInfo
+		s, info = s.Reopen()
+		if info.Status != epoch.CrashRecovered {
+			return fmt.Errorf("round %d: reopen status %v, want crash-recovered", round, info.Status)
+		}
+		for i, sr := range info.Shards {
+			if sr.Epoch != info.Shards[0].Epoch {
+				return fmt.Errorf("round %d: shard %d recovered to epoch %d, shard 0 to %d",
+					round, i, sr.Epoch, info.Shards[0].Epoch)
+			}
+		}
+		working = cloneModel(committed)
+		if err := verifySharded(s, committed); err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+	}
+	// Final clean shutdown must also preserve everything.
+	runShardedEpoch(s, cfg, working, seed+424242)
+	s.Shutdown()
+	s, info = s.Reopen()
+	if info.Status != epoch.CleanRestart {
+		return fmt.Errorf("clean shutdown reopened with status %v", info.Status)
+	}
+	return verifySharded(s, working)
+}
+
+// runShardedEpoch has each worker mutate its own key range through the
+// cluster façade, mirroring every mutation into the model.
+func runShardedEpoch(s *shard.Store, cfg Config, model map[uint64]uint64, seed int64) {
+	per := cfg.Keyspace / uint64(cfg.Workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		lo := uint64(w) * per
+		wg.Add(1)
+		go func(w int, lo uint64) {
+			defer wg.Done()
+			h := s.Handle(w)
+			rng := rand.New(rand.NewSource(seed*31 + int64(w)))
+			local := map[uint64]uint64{}
+			deleted := map[uint64]bool{}
+			for i := 0; i < cfg.OpsPerEpoch; i++ {
+				k := lo + uint64(rng.Int63n(int64(per)))
+				switch rng.Intn(6) {
+				case 0:
+					h.Delete(core.EncodeUint64(k))
+					delete(local, k)
+					deleted[k] = true
+				case 1:
+					h.Get(core.EncodeUint64(k))
+				default:
+					v := rng.Uint64() % 1_000_000
+					h.Put(core.EncodeUint64(k), v)
+					local[k] = v
+					delete(deleted, k)
+				}
+			}
+			mu.Lock()
+			for k, v := range local {
+				model[k] = v
+			}
+			for k := range deleted {
+				delete(model, k)
+			}
+			mu.Unlock()
+		}(w, lo)
+	}
+	wg.Wait()
+}
+
+// verifySharded checks the cluster against the model by routed point
+// lookups and one merged ordered scan.
+func verifySharded(s *shard.Store, model map[uint64]uint64) error {
+	for k, v := range model {
+		got, ok := s.Get(core.EncodeUint64(k))
+		if !ok {
+			return fmt.Errorf("committed key %d missing after recovery", k)
+		}
+		if got != v {
+			return fmt.Errorf("key %d = %d after recovery, committed value %d", k, got, v)
+		}
+	}
+	count := 0
+	var prev uint64
+	var scanErr error
+	s.Scan(nil, -1, func(kb []byte, v uint64) bool {
+		k := deKey(kb)
+		if count > 0 && k <= prev {
+			scanErr = fmt.Errorf("merged scan order violated at key %d", k)
+			return false
+		}
+		prev = k
+		count++
+		want, ok := model[k]
+		if !ok {
+			scanErr = fmt.Errorf("scan found uncommitted key %d after recovery", k)
+			return false
+		}
+		if want != v {
+			scanErr = fmt.Errorf("scan key %d = %d, committed %d", k, v, want)
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if count != len(model) {
+		return fmt.Errorf("scan found %d keys, model has %d", count, len(model))
+	}
+	return nil
+}

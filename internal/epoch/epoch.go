@@ -94,8 +94,7 @@ type Manager struct {
 
 	onAdvance []func(newEpoch uint64)
 
-	tickerStop chan struct{}
-	tickerDone chan struct{}
+	ticker Ticker
 
 	advances atomic.Int64
 }
@@ -297,35 +296,11 @@ func (m *Manager) Shutdown() {
 // StartTicker advances epochs every interval from a background goroutine,
 // mirroring the paper's 64 ms timer. Stop with StopTicker or Shutdown.
 func (m *Manager) StartTicker(interval time.Duration) {
-	if m.tickerStop != nil {
-		panic("epoch: ticker already running")
-	}
-	m.tickerStop = make(chan struct{})
-	m.tickerDone = make(chan struct{})
-	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		defer close(m.tickerDone)
-		for {
-			select {
-			case <-t.C:
-				m.Advance()
-			case <-m.tickerStop:
-				return
-			}
-		}
-	}()
+	m.ticker.Start(interval, func() { m.Advance() })
 }
 
 // StopTicker stops the background ticker, if running.
-func (m *Manager) StopTicker() {
-	if m.tickerStop == nil {
-		return
-	}
-	close(m.tickerStop)
-	<-m.tickerDone
-	m.tickerStop, m.tickerDone = nil, nil
-}
+func (m *Manager) StopTicker() { m.ticker.Stop() }
 
 // Quiesce runs f with the world stopped, without advancing the epoch.
 // Used by the crash-injection framework to take consistent snapshots.

@@ -1,0 +1,46 @@
+package epoch
+
+import "time"
+
+// Ticker runs a callback on a fixed interval from a background goroutine —
+// the paper's 64 ms checkpoint timer, shared by the single-store manager,
+// the shard coordinator, and the transaction manager (each supplies its
+// own advance function). Zero value is ready; not safe for concurrent
+// Start/Stop.
+type Ticker struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start begins invoking tick every interval. Panics if already running.
+func (t *Ticker) Start(interval time.Duration, tick func()) {
+	if t.stop != nil {
+		panic("epoch: ticker already running")
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		defer close(done)
+		for {
+			select {
+			case <-tk.C:
+				tick()
+			case <-stop:
+				return
+			}
+		}
+	}(t.stop, t.done)
+}
+
+// Stop halts the ticker and waits for the goroutine to exit; a no-op when
+// not running.
+func (t *Ticker) Stop() {
+	if t.stop == nil {
+		return
+	}
+	close(t.stop)
+	<-t.done
+	t.stop, t.done = nil, nil
+}

@@ -1,0 +1,332 @@
+// Intent log: the durable redo side of multi-key transactions (see
+// internal/txn and DESIGN.md "Crash-atomic transactions").
+//
+// Where the undo log (extlog.Log) records pre-images so a failed epoch can
+// be rolled back, the intent log records a transaction's *post-images* —
+// its full write set — so a transaction whose fenced commit mark reached
+// NVM can be replayed after the epoch it ran in is rolled back. The two
+// logs share the same segment discipline: one region per arena, split into
+// per-writer segments appended without any cross-thread coordination,
+// cursors reset at every epoch boundary (the global flush makes applied
+// writes durable, retiring the epoch's intents), and a generation counter
+// that recovery bumps so replayed records can never replay twice.
+//
+// Record layout (header line, then line-aligned content):
+//
+//	word 0: seq       — cluster-wide commit sequence number (0 = virgin)
+//	word 1: epoch     — epoch the commit executed in
+//	word 2: meta      — content words (low 32) | generation (high 32)
+//	word 3: shardSet  — bitmask of shards the write set touches
+//	word 4: checksum  — FNV-1a over header fields and content words
+//	word 5: mark      — 0 while pending; == seq once committed
+//	words 8…: ops     — see AppendIntent
+//
+// The mark shares the header's cache line, so marking commits a record
+// with a single PCSO-atomic line write; its writeback+fence is the
+// transaction's durability point.
+package extlog
+
+import (
+	"sync/atomic"
+
+	"incll/internal/epoch"
+	"incll/internal/nvm"
+)
+
+const (
+	iSeq      = 0
+	iEpoch    = 1
+	iMeta     = 2
+	iShardSet = 3
+	iChecksum = 4
+	iMark     = 5
+	iContent  = nvm.WordsPerLine // content starts on the second line
+
+	// op encoding, within content
+	opDelete = 1 << 16 // kind bit in the op header word; low 16 bits = key length
+
+	// MaxIntentKeyLen bounds one key's byte length in an intent record.
+	MaxIntentKeyLen = 1 << 16
+)
+
+// IntentOp is one operation of a transaction's write set.
+type IntentOp struct {
+	Key    []byte
+	Val    uint64
+	Delete bool
+}
+
+// IntentRecord is one decoded intent, as recovery sees it.
+type IntentRecord struct {
+	Seq      uint64
+	Epoch    uint64
+	ShardSet uint64
+	// Committed reports whether the fenced commit mark reached NVM: a
+	// committed record is replayed if its epoch failed; an uncommitted one
+	// is ignored (the epoch rollback already undid any partial application).
+	Committed bool
+	Ops       []IntentOp
+}
+
+// IntentLog is an intent region over one arena: a generation header line
+// followed by one segment per writer.
+type IntentLog struct {
+	arena *nvm.Arena
+	mgr   *epoch.Manager
+
+	off      uint64
+	segWords uint64
+	writers  []IntentWriter
+
+	generation uint64
+
+	appended atomic.Int64
+
+	// Hook, when non-nil, is invoked at the two durability points inside
+	// AppendIntent and MarkCommitted ("intent-written", "mark-written"),
+	// after the writeback is issued but before the fence. Crash-injection
+	// tests panic out of it to stop the protocol exactly there. Never set
+	// outside tests.
+	Hook func(point string)
+}
+
+// IntentRegionWords returns the region size needed for the given per-writer
+// segment size and writer count.
+func IntentRegionWords(segWords uint64, writers int) uint64 {
+	return RegionWords(segWords, writers)
+}
+
+// NewIntentLog attaches an intent log to the region at off
+// (IntentRegionWords(segWords, writers) words). Like the undo log, cursors
+// reset at every epoch boundary; the caller drives recovery (ScanIntents /
+// RetireIntents) after all stores are attached.
+func NewIntentLog(a *nvm.Arena, m *epoch.Manager, off, segWords uint64, writers int) *IntentLog {
+	seg := (segWords + nvm.WordsPerLine - 1) / nvm.WordsPerLine * nvm.WordsPerLine
+	l := &IntentLog{
+		arena:      a,
+		mgr:        m,
+		off:        off,
+		segWords:   seg,
+		generation: a.Load(off + hGeneration),
+	}
+	l.writers = make([]IntentWriter, writers)
+	for i := range l.writers {
+		l.writers[i] = IntentWriter{log: l, base: off + nvm.WordsPerLine + uint64(i)*seg}
+	}
+	m.OnAdvance(func(uint64) { l.resetCursors() })
+	return l
+}
+
+// resetCursors discards the log at an epoch boundary: the global flush has
+// just made every applied write durable, so the epoch's intents are spent.
+func (l *IntentLog) resetCursors() {
+	for i := range l.writers {
+		l.writers[i].cursor = 0
+	}
+}
+
+// Writer returns writer i's interface. Commits racing on one writer are
+// serialized by the transaction manager's per-shard commit locks.
+func (l *IntentLog) Writer(i int) *IntentWriter { return &l.writers[i] }
+
+// Appended returns the number of intents appended during this execution.
+func (l *IntentLog) Appended() int64 { return l.appended.Load() }
+
+// IntentWriter appends intents to one segment.
+type IntentWriter struct {
+	log    *IntentLog
+	base   uint64
+	cursor uint64
+}
+
+// intentContentWords returns the content footprint of a write set.
+func intentContentWords(ops []IntentOp) uint64 {
+	var n uint64
+	for _, op := range ops {
+		n++ // op header word
+		n += (uint64(len(op.Key)) + 7) / 8
+		if !op.Delete {
+			n++ // value word
+		}
+	}
+	return n
+}
+
+// IntentFits reports whether a write set can ever be appended: every key
+// within the encoding's length bound and the whole record within one
+// segment. Callers turn a permanent misfit into an error instead of
+// retrying after an epoch advance.
+func (l *IntentLog) IntentFits(ops []IntentOp) bool {
+	for _, op := range ops {
+		if len(op.Key) >= MaxIntentKeyLen {
+			return false
+		}
+	}
+	return iContent+intentContentWords(ops) <= l.segWords
+}
+
+// AppendIntent writes the intent record for a pending transaction — seq,
+// epoch, shard set and the full write set — and makes it durable
+// (writeback + fence) before returning. The record's commit mark is still
+// zero: the transaction is not yet committed. Returns the record's arena
+// offset, or ok=false if the segment is full (the caller must force an
+// epoch boundary, which resets the cursor, and retry).
+func (w *IntentWriter) AppendIntent(seq, epochNum, shardSet uint64, ops []IntentOp) (entry uint64, ok bool) {
+	l := w.log
+	a := l.arena
+	content := intentContentWords(ops)
+	need := intentEntryWords(content)
+	if w.cursor+need > l.segWords {
+		return 0, false
+	}
+	e := w.base + w.cursor
+
+	sum := checksumSeed(seq, epochNum, content|l.generation<<32, shardSet)
+	pos := e + iContent
+	store := func(v uint64) {
+		a.Store(pos, v)
+		sum = checksumStep(sum, v)
+		pos++
+	}
+	for _, op := range ops {
+		if len(op.Key) >= MaxIntentKeyLen {
+			// Callers gate on IntentFits, which rejects oversize keys.
+			panic("extlog: intent key too long (caller skipped IntentFits)")
+		}
+		hdr := uint64(len(op.Key))
+		if op.Delete {
+			hdr |= opDelete
+		}
+		store(hdr)
+		for i := 0; i < len(op.Key); i += 8 {
+			var word uint64
+			for j := 0; j < 8 && i+j < len(op.Key); j++ {
+				word |= uint64(op.Key[i+j]) << (56 - 8*uint(j))
+			}
+			store(word)
+		}
+		if !op.Delete {
+			store(op.Val)
+		}
+	}
+
+	a.Store(e+iMark, 0)
+	a.Store(e+iEpoch, epochNum)
+	a.Store(e+iMeta, content|l.generation<<32)
+	a.Store(e+iShardSet, shardSet)
+	a.Store(e+iChecksum, sum)
+	a.Store(e+iSeq, seq)
+	a.WritebackRange(e, need)
+	if l.Hook != nil {
+		l.Hook("intent-written")
+	}
+	a.Fence()
+	w.cursor += need
+	l.appended.Add(1)
+	return e, true
+}
+
+// MarkCommitted durably sets the record's commit mark: the transaction's
+// single fenced commit point. The mark shares the header line, so the
+// write is PCSO-atomic with the rest of the header.
+func (l *IntentLog) MarkCommitted(entry uint64) {
+	a := l.arena
+	a.Store(entry+iMark, a.Load(entry+iSeq))
+	a.Writeback(entry)
+	if l.Hook != nil {
+		l.Hook("mark-written")
+	}
+	a.Fence()
+}
+
+// intentEntryWords returns the line-aligned footprint of a record with the
+// given content size.
+func intentEntryWords(content uint64) uint64 {
+	n := iContent + content
+	return (n + nvm.WordsPerLine - 1) / nvm.WordsPerLine * nvm.WordsPerLine
+}
+
+// ScanIntents decodes every checksum-valid record of the current
+// generation, in segment order per writer. A torn or stale record stops
+// that segment's scan (everything past it predates the segment's reuse).
+// The caller decides replay: a Committed record whose epoch failed must be
+// re-applied; every other record is inert.
+func (l *IntentLog) ScanIntents() []IntentRecord {
+	a := l.arena
+	var recs []IntentRecord
+	for i := range l.writers {
+		base := l.writers[i].base
+		cursor := uint64(0)
+		for cursor < l.segWords {
+			e := base + cursor
+			seq := a.Load(e + iSeq)
+			meta := a.Load(e + iMeta)
+			content := meta & 0xFFFFFFFF
+			gen := meta >> 32
+			if seq == 0 || gen != l.generation || intentEntryWords(content) > l.segWords-cursor {
+				break // virgin space, stale generation, or garbage length
+			}
+			epochNum := a.Load(e + iEpoch)
+			shardSet := a.Load(e + iShardSet)
+			sum := checksumSeed(seq, epochNum, meta, shardSet)
+			for j := uint64(0); j < content; j++ {
+				sum = checksumStep(sum, a.Load(e+iContent+j))
+			}
+			if sum != a.Load(e+iChecksum) {
+				break // torn record: its transaction never reached its commit point
+			}
+			rec := IntentRecord{
+				Seq:       seq,
+				Epoch:     epochNum,
+				ShardSet:  shardSet,
+				Committed: a.Load(e+iMark) == seq,
+			}
+			pos := e + iContent
+			end := pos + content
+			valid := true
+			for pos < end {
+				hdr := a.Load(pos)
+				pos++
+				klen := hdr & 0xFFFF
+				kw := (klen + 7) / 8
+				del := hdr&opDelete != 0
+				needW := kw
+				if !del {
+					needW++
+				}
+				if pos+needW > end {
+					valid = false
+					break
+				}
+				key := make([]byte, klen)
+				for b := uint64(0); b < klen; b++ {
+					key[b] = byte(a.Load(pos+b/8) >> (56 - 8*(b%8)))
+				}
+				pos += kw
+				op := IntentOp{Key: key, Delete: del}
+				if !del {
+					op.Val = a.Load(pos)
+					pos++
+				}
+				rec.Ops = append(rec.Ops, op)
+			}
+			if !valid {
+				break
+			}
+			recs = append(recs, rec)
+			cursor += intentEntryWords(content)
+		}
+	}
+	return recs
+}
+
+// RetireIntents durably bumps the generation, so records replayed by this
+// recovery can never replay again. The caller must first make the replayed
+// state durable (a full checkpoint), exactly like Log.Recover's flush-
+// before-bump ordering.
+func (l *IntentLog) RetireIntents() {
+	l.generation++
+	l.arena.Store(l.off+hGeneration, l.generation)
+	l.arena.Writeback(l.off)
+	l.arena.Fence()
+}

@@ -1,0 +1,106 @@
+package extlog
+
+import (
+	"bytes"
+	"testing"
+
+	"incll/internal/epoch"
+	"incll/internal/nvm"
+)
+
+func intentFixture(t *testing.T, segWords uint64, writers int) (*nvm.Arena, *epoch.Manager, *IntentLog) {
+	t.Helper()
+	a := nvm.New(nvm.Config{Words: 1 << 16})
+	eOff := a.Reserve(epoch.HeaderWords)
+	off := a.Reserve(IntentRegionWords(segWords, writers))
+	m, _ := epoch.Open(a, eOff)
+	return a, m, NewIntentLog(a, m, off, segWords, writers)
+}
+
+func TestIntentRoundTrip(t *testing.T) {
+	_, m, l := intentFixture(t, 1<<10, 2)
+	ops := []IntentOp{
+		{Key: []byte{1, 2, 3}, Val: 77},                                 // short key
+		{Key: []byte{9, 8, 7, 6, 5, 4, 3, 2}, Val: 88},                  // exactly one word
+		{Key: []byte("a long key spanning words"), Delete: true},        // multi-word delete
+		{Key: []byte{0xFF, 0, 0xAA, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Val: 3}, // 12 bytes
+	}
+	entry, ok := l.Writer(1).AppendIntent(42, m.Current(), 0b101, ops)
+	if !ok {
+		t.Fatal("append failed on an empty segment")
+	}
+
+	recs := l.ScanIntents()
+	if len(recs) != 1 {
+		t.Fatalf("scan found %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Seq != 42 || r.Epoch != m.Current() || r.ShardSet != 0b101 {
+		t.Fatalf("header mismatch: %+v", r)
+	}
+	if r.Committed {
+		t.Fatal("record committed before MarkCommitted")
+	}
+	if len(r.Ops) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(r.Ops), len(ops))
+	}
+	for i, op := range r.Ops {
+		if !bytes.Equal(op.Key, ops[i].Key) || op.Val != ops[i].Val || op.Delete != ops[i].Delete {
+			t.Fatalf("op %d = %+v, want %+v", i, op, ops[i])
+		}
+	}
+
+	l.MarkCommitted(entry)
+	if recs = l.ScanIntents(); !recs[0].Committed {
+		t.Fatal("record not committed after MarkCommitted")
+	}
+}
+
+func TestIntentRetireHidesRecords(t *testing.T) {
+	_, m, l := intentFixture(t, 1<<10, 1)
+	e, _ := l.Writer(0).AppendIntent(1, m.Current(), 1, []IntentOp{{Key: []byte{1}, Val: 1}})
+	l.MarkCommitted(e)
+	l.RetireIntents()
+	if recs := l.ScanIntents(); len(recs) != 0 {
+		t.Fatalf("scan found %d records after retire, want 0", len(recs))
+	}
+}
+
+func TestIntentSegmentFullAndCursorReset(t *testing.T) {
+	_, m, l := intentFixture(t, 2*nvm.WordsPerLine, 1) // room for exactly one small record
+	small := []IntentOp{{Key: []byte{1}, Val: 1}}
+	if _, ok := l.Writer(0).AppendIntent(1, m.Current(), 1, small); !ok {
+		t.Fatal("first append should fit")
+	}
+	if _, ok := l.Writer(0).AppendIntent(2, m.Current(), 1, small); ok {
+		t.Fatal("second append should report a full segment")
+	}
+	m.Advance() // boundary resets the cursor
+	if _, ok := l.Writer(0).AppendIntent(3, m.Current(), 1, small); !ok {
+		t.Fatal("append after advance should fit again")
+	}
+}
+
+func TestIntentTornRecordIgnored(t *testing.T) {
+	a, m, l := intentFixture(t, 1<<10, 1)
+	e, _ := l.Writer(0).AppendIntent(7, m.Current(), 1, []IntentOp{{Key: []byte{1, 2, 3, 4}, Val: 9}})
+	// Corrupt one content word, as a torn line would.
+	a.Store(e+iContent, a.Load(e+iContent)^0xDEAD)
+	if recs := l.ScanIntents(); len(recs) != 0 {
+		t.Fatalf("scan accepted a torn record: %+v", recs)
+	}
+}
+
+func TestIntentFits(t *testing.T) {
+	_, _, l := intentFixture(t, 2*nvm.WordsPerLine, 1)
+	if !l.IntentFits([]IntentOp{{Key: []byte{1}, Val: 1}}) {
+		t.Fatal("small op should fit")
+	}
+	big := make([]IntentOp, 64)
+	for i := range big {
+		big[i] = IntentOp{Key: []byte{byte(i)}, Val: 1}
+	}
+	if l.IntentFits(big) {
+		t.Fatal("64 ops cannot fit a two-line segment")
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"incll/internal/ycsb"
+)
+
+// BenchRecord is one machine-readable measurement, the unit of the
+// BENCH_*.json files cmd/incll-bench emits so the performance trajectory
+// is tracked PR over PR.
+type BenchRecord struct {
+	Workload   string  `json:"workload"`
+	Mode       string  `json:"mode"`
+	Dist       string  `json:"dist"`
+	Shards     int     `json:"shards"`
+	TxnMode    string  `json:"txn_mode"`
+	Threads    int     `json:"threads"`
+	TreeSize   uint64  `json:"tree_size"`
+	Ops        int64   `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Txns       int64   `json:"txns"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// record converts one run's result.
+func record(r Result) BenchRecord {
+	shards := r.Config.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return BenchRecord{
+		Workload:   r.Config.Workload.String(),
+		Mode:       r.Config.Mode.String(),
+		Dist:       r.Config.Dist.String(),
+		Shards:     shards,
+		TxnMode:    r.Config.TxnMode.String(),
+		Threads:    r.Config.Threads,
+		TreeSize:   r.Config.TreeSize,
+		Ops:        r.Ops,
+		OpsPerSec:  r.Throughput,
+		Txns:       r.Txns,
+		TxnsPerSec: r.TxnThroughput,
+		ElapsedMS:  float64(r.Elapsed.Microseconds()) / 1000,
+	}
+}
+
+// BenchSuite runs the tracked benchmark matrix — the four YCSB workloads
+// on the durable store, a sharded scale-out point, and the two
+// transactional modes — and returns the records. Each record also prints
+// one line to w as it lands.
+func BenchSuite(w io.Writer, p Params) []BenchRecord {
+	p.setDefaults()
+	base := RunConfig{
+		TreeSize:     p.TreeSize,
+		Threads:      p.Threads,
+		OpsPerThread: p.Ops,
+		Seed:         p.Seed,
+		Mode:         INCLL,
+		Dist:         ycsb.Uniform,
+	}
+	var cfgs []RunConfig
+	for _, wl := range []ycsb.Workload{ycsb.A, ycsb.B, ycsb.C, ycsb.E} {
+		c := base
+		c.Workload = wl
+		cfgs = append(cfgs, c)
+	}
+	sharded := base
+	sharded.Workload = ycsb.A
+	sharded.Shards = 4
+	cfgs = append(cfgs, sharded)
+
+	rmw := base
+	rmw.Workload = ycsb.A
+	rmw.TxnMode = TxnRMW
+	cfgs = append(cfgs, rmw)
+
+	transfer := base
+	transfer.Workload = ycsb.A
+	transfer.TxnMode = TxnTransfer
+	cfgs = append(cfgs, transfer)
+
+	xfer4 := transfer
+	xfer4.Shards = 4
+	cfgs = append(cfgs, xfer4)
+
+	recs := make([]BenchRecord, 0, len(cfgs))
+	for _, c := range cfgs {
+		r := Run(c)
+		rec := record(r)
+		recs = append(recs, rec)
+		fmt.Fprintf(w, "%-7s %-6s shards=%d txn=%-8s %10.0f ops/s", rec.Workload, rec.Mode, rec.Shards, rec.TxnMode, rec.OpsPerSec)
+		if rec.Txns > 0 {
+			fmt.Fprintf(w, " %10.0f txn/s", rec.TxnsPerSec)
+		}
+		if c.TxnMode == TxnTransfer && !r.SumConserved {
+			fmt.Fprintf(w, "  INVARIANT VIOLATED")
+		}
+		fmt.Fprintln(w)
+	}
+	return recs
+}
+
+// WriteBenchJSON marshals the records, indented, to w.
+func WriteBenchJSON(w io.Writer, recs []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -7,7 +7,9 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"incll/internal/masstree"
 	"incll/internal/nvm"
 	"incll/internal/shard"
+	"incll/internal/txn"
 	"incll/internal/ycsb"
 )
 
@@ -50,11 +53,49 @@ func (m Mode) String() string {
 	}
 }
 
+// TxnMode selects the transactional workload layered over the YCSB mix
+// (durable modes only).
+type TxnMode int
+
+const (
+	// TxnNone runs the plain single-key operation stream.
+	TxnNone TxnMode = iota
+	// TxnRMW turns every generated put into a read-modify-write
+	// transaction (read the key, write a derived value, commit); reads and
+	// scans stay plain.
+	TxnRMW
+	// TxnTransfer turns every generated op into a k-key bank transfer:
+	// debit the generated key, credit k-1 other accounts, commit. The
+	// total balance is a conserved invariant the run verifies at the end.
+	TxnTransfer
+)
+
+// String names the transactional mode.
+func (m TxnMode) String() string {
+	switch m {
+	case TxnRMW:
+		return "rmw"
+	case TxnTransfer:
+		return "transfer"
+	default:
+		return "none"
+	}
+}
+
+// InitBalance is the preloaded per-account balance in transfer mode.
+const InitBalance = 1000
+
 // RunConfig parameterizes one measurement run.
 type RunConfig struct {
 	Mode     Mode
 	Workload ycsb.Workload
 	Dist     ycsb.Distribution
+
+	// TxnMode layers a transactional workload over the mix (INCLL and
+	// LOGGING only).
+	TxnMode TxnMode
+	// TxnKeys is the number of accounts one transfer touches (default 4).
+	TxnKeys int
 
 	// TreeSize is the number of keys preloaded (the paper uses 20M; the
 	// default suite scales this down — see EXPERIMENTS.md).
@@ -91,6 +132,9 @@ func (c *RunConfig) setDefaults() {
 	if c.OpsPerThread <= 0 {
 		c.OpsPerThread = 200_000
 	}
+	if c.TxnKeys <= 1 {
+		c.TxnKeys = 4
+	}
 	if c.EpochInterval == 0 {
 		c.EpochInterval = 64 * time.Millisecond
 	}
@@ -116,6 +160,14 @@ type Result struct {
 	// PerShardOps counts the operations each shard served during the
 	// measured phase (sharded runs only; nil otherwise).
 	PerShardOps []int64
+
+	// Transactional-mode extras (zero when TxnMode is TxnNone).
+	Txns          int64   // transactions committed
+	TxnConflicts  int64   // commits retried after read validation failed
+	TxnThroughput float64 // committed transactions per second
+	// SumConserved reports whether the bank's total balance survived the
+	// run exactly (transfer mode only; true is the invariant holding).
+	SumConserved bool
 }
 
 // Run executes one measurement: build, preload, run, collect.
@@ -211,25 +263,48 @@ func SizeArena(cfg RunConfig) (arenaWords, heapWords, segWords uint64) {
 	return
 }
 
+// txnSegWords is the per-worker intent segment a transactional run uses:
+// large enough to absorb one epoch of commit traffic without forcing early
+// boundaries.
+const txnSegWords = 1 << 17
+
+// preloadValue is what the loader stores under key k.
+func preloadValue(cfg RunConfig, k uint64) uint64 {
+	if cfg.TxnMode == TxnTransfer {
+		return InitBalance
+	}
+	return k
+}
+
 func runDurable(cfg RunConfig) Result {
 	arenaWords, heapWords, segWords := SizeArena(cfg)
+	coreCfg := core.Config{
+		Workers:      cfg.Threads,
+		LogSegWords:  segWords,
+		HeapWords:    heapWords,
+		DisableInCLL: cfg.Mode == LOGGING,
+	}
+	if cfg.TxnMode != TxnNone {
+		coreCfg.TxnSegWords = txnSegWords
+		arenaWords += txnSegWords*uint64(cfg.Threads) + 1<<18
+	}
 	a := nvm.New(nvm.Config{
 		Words:         arenaWords,
 		FenceDelay:    cfg.FenceDelay,
 		DirtyCapacity: cfg.DirtyCapacity,
 		Seed:          cfg.Seed,
 	})
-	s, _ := core.Open(a, core.Config{
-		Workers:      cfg.Threads,
-		LogSegWords:  segWords,
-		HeapWords:    heapWords,
-		DisableInCLL: cfg.Mode == LOGGING,
-	})
+	s, _ := core.Open(a, coreCfg)
 
 	parallelLoad(cfg, func(w int, k uint64) {
-		s.Handle(w).Put(core.EncodeUint64(k), k)
+		s.Handle(w).Put(core.EncodeUint64(k), preloadValue(cfg, k))
 	})
 	s.Advance() // commit the load and reset counters against a clean epoch
+
+	var m *txn.Manager
+	if cfg.TxnMode != TxnNone {
+		m, _ = txn.ForStore(s)
+	}
 
 	st0 := s.Stats()
 	logged0 := st0.LoggedNodes.Load()
@@ -238,14 +313,25 @@ func runDurable(cfg RunConfig) Result {
 	as0 := a.Stats().Snapshot()
 	adv0 := s.Epochs().Advances()
 
-	s.StartTicker(cfg.EpochInterval)
-	elapsed := runWorkers(cfg, durableOps(func(w int) kvHandle { return s.Handle(w) }))
-	s.StopTicker()
+	handle := func(w int) kvHandle { return s.Handle(w) }
+	do := durableOps(handle)
+	if m != nil {
+		do = durableTxnOps(cfg, m, handle)
+		m.StartTicker(cfg.EpochInterval)
+	} else {
+		s.StartTicker(cfg.EpochInterval)
+	}
+	elapsed := runWorkers(cfg, do)
+	if m != nil {
+		m.StopTicker()
+	} else {
+		s.StopTicker()
+	}
 
 	as := a.Stats().Snapshot().Sub(as0)
 	ops := int64(cfg.Threads) * int64(cfg.OpsPerThread)
 	_ = as0
-	return Result{
+	r := Result{
 		Config:       cfg,
 		Elapsed:      elapsed,
 		Ops:          ops,
@@ -258,6 +344,8 @@ func runDurable(cfg RunConfig) Result {
 		Evictions:    as.Evictions,
 		Advances:     s.Epochs().Advances() - adv0,
 	}
+	fillTxnResult(&r, cfg, m, elapsed, handle(0))
+	return r
 }
 
 // runSharded measures a sharded cluster: N stores over N arenas behind the
@@ -268,7 +356,7 @@ func runSharded(cfg RunConfig) Result {
 	per := cfg
 	per.TreeSize = cfg.TreeSize/uint64(cfg.Shards) + cfg.TreeSize/uint64(4*cfg.Shards)
 	arenaWords, heapWords, segWords := SizeArena(per)
-	s, _ := shard.Open(shard.Config{
+	shardCfg := shard.Config{
 		Shards:       cfg.Shards,
 		Workers:      cfg.Threads,
 		ArenaWords:   arenaWords,
@@ -280,12 +368,22 @@ func runSharded(cfg RunConfig) Result {
 			DirtyCapacity: cfg.DirtyCapacity,
 			Seed:          cfg.Seed,
 		},
-	})
+	}
+	if cfg.TxnMode != TxnNone {
+		shardCfg.TxnSegWords = txnSegWords
+		shardCfg.ArenaWords += txnSegWords*uint64(cfg.Threads) + 1<<18
+	}
+	s, _ := shard.Open(shardCfg)
 
 	parallelLoad(cfg, func(w int, k uint64) {
-		s.Handle(w).Put(core.EncodeUint64(k), k)
+		s.Handle(w).Put(core.EncodeUint64(k), preloadValue(cfg, k))
 	})
 	s.Advance() // commit the load against a clean global epoch
+
+	var m *txn.Manager
+	if cfg.TxnMode != TxnNone {
+		m, _ = txn.ForCluster(s)
+	}
 
 	st0 := s.Stats()
 	shardOps0 := make([]int64, cfg.Shards)
@@ -295,9 +393,20 @@ func runSharded(cfg RunConfig) Result {
 	nv0 := s.NVMStats()
 	adv0 := s.GlobalEpoch()
 
-	s.StartTicker(cfg.EpochInterval)
-	elapsed := runWorkers(cfg, durableOps(func(w int) kvHandle { return s.Handle(w) }))
-	s.StopTicker()
+	handle := func(w int) kvHandle { return s.Handle(w) }
+	do := durableOps(handle)
+	if m != nil {
+		do = durableTxnOps(cfg, m, handle)
+		m.StartTicker(cfg.EpochInterval)
+	} else {
+		s.StartTicker(cfg.EpochInterval)
+	}
+	elapsed := runWorkers(cfg, do)
+	if m != nil {
+		m.StopTicker()
+	} else {
+		s.StopTicker()
+	}
 
 	st := s.Stats()
 	nv := s.NVMStats().Sub(nv0)
@@ -306,7 +415,7 @@ func runSharded(cfg RunConfig) Result {
 		perShard[i] = shardOpCount(s.ShardStore(i).Stats()) - shardOps0[i]
 	}
 	ops := int64(cfg.Threads) * int64(cfg.OpsPerThread)
-	return Result{
+	r := Result{
 		Config:       cfg,
 		Elapsed:      elapsed,
 		Ops:          ops,
@@ -319,6 +428,94 @@ func runSharded(cfg RunConfig) Result {
 		Evictions:    nv.Evictions,
 		Advances:     int64(s.GlobalEpoch() - adv0),
 		PerShardOps:  perShard,
+	}
+	fillTxnResult(&r, cfg, m, elapsed, handle(0))
+	return r
+}
+
+// fillTxnResult reads the manager's counters into the result and, in
+// transfer mode, verifies the conserved-sum invariant with one full scan.
+func fillTxnResult(r *Result, cfg RunConfig, m *txn.Manager, elapsed time.Duration, h kvHandle) {
+	if m == nil {
+		return
+	}
+	st := m.Stats()
+	r.Txns = st.Committed.Load()
+	r.TxnConflicts = st.Conflicts.Load()
+	r.TxnThroughput = float64(r.Txns) / elapsed.Seconds()
+	if cfg.TxnMode == TxnTransfer {
+		var sum uint64
+		h.Scan(nil, -1, func(_ []byte, v uint64) bool {
+			sum += v
+			return true
+		})
+		r.SumConserved = sum == cfg.TreeSize*InitBalance
+	}
+}
+
+// durableTxnOps builds the transactional measured-phase dispatcher. RMW
+// turns each generated put into a read-modify-write commit; transfer turns
+// every generated op into a TxnKeys-account transfer debiting the
+// generated key. Conflicted commits retry until they land.
+func durableTxnOps(cfg RunConfig, m *txn.Manager, handle func(w int) kvHandle) func(w int, op ycsb.Op, i int) {
+	plain := durableOps(handle)
+	rngs := make([]*rand.Rand, cfg.Threads)
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewSource(cfg.Seed ^ int64(w+1)*104729))
+	}
+	credits := uint64(cfg.TxnKeys - 1)
+	return func(w int, op ycsb.Op, i int) {
+		switch cfg.TxnMode {
+		case TxnRMW:
+			if op.Kind != ycsb.OpPut {
+				plain(w, op, i)
+				return
+			}
+			kb := core.EncodeUint64(op.Key)
+			for {
+				t := m.Begin(w)
+				v, _ := t.Get(kb)
+				t.Put(kb, v+1)
+				err := t.Commit()
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, txn.ErrConflict) {
+					panic(fmt.Sprintf("harness: rmw commit: %v", err))
+				}
+			}
+		case TxnTransfer:
+			rng := rngs[w]
+			from := op.Key % cfg.TreeSize
+			debit := core.EncodeUint64(from)
+			for {
+				t := m.Begin(w)
+				fv, ok := t.Get(debit)
+				if !ok || fv < credits {
+					t.Abort() // broke account: skip, conserving the sum
+					return
+				}
+				t.Put(debit, fv-credits)
+				for credited := uint64(0); credited < credits; {
+					ck := uint64(rng.Int63n(int64(cfg.TreeSize)))
+					if ck == from {
+						continue
+					}
+					ckb := core.EncodeUint64(ck)
+					if cv, ok := t.Get(ckb); ok {
+						t.Put(ckb, cv+1)
+						credited++
+					}
+				}
+				err := t.Commit()
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, txn.ErrConflict) {
+					panic(fmt.Sprintf("harness: transfer commit: %v", err))
+				}
+			}
+		}
 	}
 }
 

@@ -79,32 +79,8 @@ func (s *Store) Shutdown() {
 // goroutine, like the paper's 64 ms timer but cluster-wide. The per-shard
 // tickers must stay off; the coordinator owns the cadence.
 func (s *Store) StartTicker(interval time.Duration) {
-	if s.tickerStop != nil {
-		panic("shard: ticker already running")
-	}
-	s.tickerStop = make(chan struct{})
-	s.tickerDone = make(chan struct{})
-	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		defer close(s.tickerDone)
-		for {
-			select {
-			case <-t.C:
-				s.Advance()
-			case <-s.tickerStop:
-				return
-			}
-		}
-	}()
+	s.ticker.Start(interval, func() { s.Advance() })
 }
 
 // StopTicker stops the background ticker, if running.
-func (s *Store) StopTicker() {
-	if s.tickerStop == nil {
-		return
-	}
-	close(s.tickerStop)
-	<-s.tickerDone
-	s.tickerStop, s.tickerDone = nil, nil
-}
+func (s *Store) StopTicker() { s.ticker.Stop() }

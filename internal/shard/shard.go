@@ -38,6 +38,9 @@ type Config struct {
 	HeapWords uint64
 	// LogSegWords is the per-worker external-log segment size per shard.
 	LogSegWords uint64
+	// TxnSegWords is the per-worker transaction intent segment size per
+	// shard (see internal/txn).
+	TxnSegWords uint64
 	// DisableInCLL switches every shard to the LOGGING ablation.
 	DisableInCLL bool
 	// NVM carries the rest of the per-arena cache model (fence latency,
@@ -60,6 +63,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.LogSegWords == 0 {
 		c.LogSegWords = 1 << 16
+	}
+	if c.TxnSegWords == 0 {
+		c.TxnSegWords = 1 << 12
 	}
 }
 
@@ -109,8 +115,7 @@ type Store struct {
 
 	advMu sync.Mutex // serializes global advances
 
-	tickerStop chan struct{}
-	tickerDone chan struct{}
+	ticker epoch.Ticker
 }
 
 // Open creates a sharded store over fresh arenas.
@@ -170,6 +175,7 @@ func attach(coord *nvm.Arena, arenas []*nvm.Arena, cfg Config) (*Store, Recovery
 			st, status := core.Open(arenas[i], core.Config{
 				Workers:      cfg.Workers,
 				LogSegWords:  cfg.LogSegWords,
+				TxnSegWords:  cfg.TxnSegWords,
 				HeapWords:    cfg.HeapWords,
 				DisableInCLL: cfg.DisableInCLL,
 				Committed:    committed,

@@ -1,0 +1,29 @@
+package txn
+
+import (
+	"incll/internal/core"
+	"incll/internal/shard"
+)
+
+// ForStore assembles a Manager over one unsharded store and runs intent
+// recovery, returning the number of transactions replayed.
+func ForStore(s *core.Store) (*Manager, int) {
+	return New(Config{Stores: []*core.Store{s}})
+}
+
+// ForCluster assembles a Manager over a sharded cluster — its per-shard
+// stores, the deterministic router, and the coordinated two-phase advance
+// — and runs intent recovery, returning the number of transactions
+// replayed. Rebuild after every Reopen.
+func ForCluster(s *shard.Store) (*Manager, int) {
+	stores := make([]*core.Store, s.NumShards())
+	for i := range stores {
+		stores[i] = s.ShardStore(i)
+	}
+	n := s.NumShards()
+	return New(Config{
+		Stores:  stores,
+		Route:   func(k []byte) int { return shard.Route(k, n) },
+		Advance: s.Advance,
+	})
+}

@@ -1,0 +1,280 @@
+package txn
+
+// The issue's acceptance property: with a crash injected at every point
+// inside Txn.Commit — before/after the intent fence, between every
+// applied write, before/after the commit-mark fence — and with the dirty
+// cache surviving fully, partially, or not at all, recovery must observe
+// either all of the transaction's writes or none, and the bank's total
+// balance must be conserved. Run for a single store and for a 4-shard
+// cluster whose transfer spans shards.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"incll/internal/nvm"
+	"incll/internal/shard"
+)
+
+const (
+	bankAccounts = 16
+	bankInitBal  = 1000
+)
+
+// bank abstracts the single-store and sharded fixtures behind the pieces
+// the property needs.
+type bank interface {
+	manager() *Manager
+	get(k []byte) (uint64, bool)
+	// crash injects a power failure where each dirty line survives with
+	// probability persist, reopens, and returns the replay count.
+	crash(persist float64, seed int64) int
+	// transferKeys returns the debit account and two credit accounts (for
+	// the sharded bank, guaranteed to span at least two shards).
+	transferKeys() [3]uint64
+}
+
+// ---- single-store bank ----
+
+type singleBank struct{ f *singleFixture }
+
+func newSingleBank(t *testing.T) *singleBank {
+	f := newSingle(t)
+	for k := uint64(0); k < bankAccounts; k++ {
+		f.store.Put(key(k), bankInitBal)
+	}
+	f.store.Advance()
+	return &singleBank{f: f}
+}
+
+func (b *singleBank) manager() *Manager            { return b.f.m }
+func (b *singleBank) get(k []byte) (uint64, bool)  { return b.f.store.Get(k) }
+func (b *singleBank) transferKeys() [3]uint64      { return [3]uint64{0, 1, 2} }
+func (b *singleBank) crash(p float64, s int64) int { return b.f.crash(nvm.RandomPolicy(p, s)) }
+
+// ---- sharded bank ----
+
+type shardBank struct {
+	cluster *shard.Store
+	m       *Manager
+}
+
+func newShardBank(t *testing.T) *shardBank {
+	cluster, _ := shard.Open(shard.Config{Shards: 4, Workers: 2, ArenaWords: 1 << 20})
+	for k := uint64(0); k < bankAccounts; k++ {
+		cluster.Put(key(k), bankInitBal)
+	}
+	cluster.Advance()
+	return &shardBank{cluster: cluster, m: managerFor(cluster)}
+}
+
+func (b *shardBank) manager() *Manager           { return b.m }
+func (b *shardBank) get(k []byte) (uint64, bool) { return b.cluster.Get(k) }
+
+func (b *shardBank) transferKeys() [3]uint64 {
+	// Pick accounts so the write set spans at least two shards.
+	first := shard.Route(key(0), 4)
+	for k := uint64(1); k < bankAccounts; k++ {
+		if shard.Route(key(k), 4) != first {
+			return [3]uint64{0, k, (k % (bankAccounts - 1)) + 1}
+		}
+	}
+	panic("router sent every account to one shard")
+}
+
+func (b *shardBank) crash(p float64, s int64) int {
+	b.cluster.SimulateCrash(p, s)
+	var replayed int
+	b.cluster, _ = b.cluster.Reopen()
+	b.m, replayed = ForCluster(b.cluster)
+	return replayed
+}
+
+// ---- the property ----
+
+func TestPropertyBankTransferCrashInjection(t *testing.T) {
+	t.Run("single-shard", func(t *testing.T) {
+		t.Parallel()
+		runTransferInjection(t, func() bank { return newSingleBank(t) })
+	})
+	t.Run("cross-shard", func(t *testing.T) {
+		t.Parallel()
+		runTransferInjection(t, func() bank { return newShardBank(t) })
+	})
+}
+
+func runTransferInjection(t *testing.T, fresh func() bank) {
+	for _, persist := range []float64{0, 0.5, 1} {
+		for point := 0; ; point++ {
+			completed := runOneInjection(t, fresh(), point, persist)
+			if completed {
+				break // the hook never reached this index: commit finished
+			}
+		}
+	}
+}
+
+// runOneInjection builds a fresh bank, runs one transfer whose commit is
+// stopped at hook point index `point`, crashes, recovers, and checks the
+// property. Returns true when the commit completed because the protocol
+// has fewer than `point` points.
+func runOneInjection(t *testing.T, b bank, point int, persist float64) bool {
+	t.Helper()
+	ks := b.transferKeys()
+	debit, credit1, credit2 := key(ks[0]), key(ks[1]), key(ks[2])
+
+	fired := 0
+	var stoppedAt string
+	b.manager().SetHook(func(p string) {
+		if fired == point {
+			stoppedAt = p
+			panic(InjectedCrash{Point: p})
+		}
+		fired++
+	})
+
+	// Read-modify-write transfer: move 10+7 out of the debit account.
+	tx := b.manager().Begin(0)
+	dv, _ := tx.Get(debit)
+	c1, _ := tx.Get(credit1)
+	c2, _ := tx.Get(credit2)
+	tx.Put(debit, dv-17)
+	tx.Put(credit1, c1+10)
+	tx.Put(credit2, c2+7)
+	err := tx.Commit()
+	b.manager().SetHook(nil)
+	if err == nil {
+		return true
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("point %d: commit = %v, want ErrInjected", point, err)
+	}
+
+	replayed := b.crash(persist, int64(point)*1000+int64(persist*10))
+
+	// Conservation: the total balance never changes.
+	var sum uint64
+	for k := uint64(0); k < bankAccounts; k++ {
+		v, ok := b.get(key(k))
+		if !ok {
+			t.Fatalf("point %q persist %.1f: account %d missing after recovery", stoppedAt, persist, k)
+		}
+		sum += v
+	}
+	if sum != bankAccounts*bankInitBal {
+		t.Fatalf("point %q persist %.1f: sum = %d, want %d (conservation violated)",
+			stoppedAt, persist, sum, bankAccounts*bankInitBal)
+	}
+
+	// Atomicity: the recovered balances are exactly pre-state or exactly
+	// post-state, never a mix.
+	got := [3]uint64{}
+	for i, k := range [3][]byte{debit, credit1, credit2} {
+		got[i], _ = b.get(k)
+	}
+	pre := [3]uint64{bankInitBal, bankInitBal, bankInitBal}
+	post := [3]uint64{bankInitBal - 17, bankInitBal + 10, bankInitBal + 7}
+	applied := got == post
+	if !applied && got != pre {
+		t.Fatalf("point %q persist %.1f: balances %v are neither pre %v nor post %v",
+			stoppedAt, persist, got, pre, post)
+	}
+
+	// Sharper expectations where the protocol pins the outcome: anything
+	// before the mark write must roll back; a crash after the mark fence
+	// must replay.
+	switch {
+	case stoppedAt == "commit-durable":
+		if !applied || replayed != 1 {
+			t.Fatalf("crash after the mark fence: applied=%v replayed=%d, want full replay", applied, replayed)
+		}
+	case stoppedAt != "mark-written":
+		if applied || replayed != 0 {
+			t.Fatalf("crash at %q (before the mark): applied=%v replayed=%d, want rollback", stoppedAt, applied, replayed)
+		}
+	case persist == 0:
+		if applied {
+			t.Fatalf("unfenced mark with no line surviving: transaction must roll back")
+		}
+	case persist == 1:
+		if !applied {
+			t.Fatalf("unfenced mark with every line surviving: transaction must replay")
+		}
+	}
+	return false
+}
+
+// TestPropertyBankTransferConcurrent runs many concurrent conflicting
+// transfers with retries across random crashes and checks conservation
+// after every recovery — the transfer invariant under real contention.
+func TestPropertyBankTransferConcurrent(t *testing.T) {
+	const (
+		workers   = 2
+		rounds    = 3
+		transfers = 120
+	)
+	cluster, _ := shard.Open(shard.Config{Shards: 4, Workers: workers, ArenaWords: 1 << 20})
+	for k := uint64(0); k < bankAccounts; k++ {
+		cluster.Put(key(k), bankInitBal)
+	}
+	cluster.Advance()
+	m := managerFor(cluster)
+
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int, seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				for i := 0; i < transfers; i++ {
+					from := uint64(r.Intn(bankAccounts))
+					to := uint64(r.Intn(bankAccounts))
+					if from == to {
+						continue
+					}
+					amt := uint64(r.Intn(5) + 1)
+					for {
+						tx := m.Begin(w)
+						fv, _ := tx.Get(key(from))
+						tv, _ := tx.Get(key(to))
+						if fv < amt {
+							tx.Abort()
+							break
+						}
+						tx.Put(key(from), fv-amt)
+						tx.Put(key(to), tv+amt)
+						err := tx.Commit()
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, ErrConflict) {
+							panic(fmt.Sprintf("worker %d: commit: %v", w, err))
+						}
+					}
+				}
+			}(w, rng.Int63())
+		}
+		wg.Wait()
+
+		cluster.SimulateCrash(rng.Float64(), rng.Int63())
+		cluster, _ = cluster.Reopen()
+		m, _ = ForCluster(cluster)
+
+		var sum uint64
+		for k := uint64(0); k < bankAccounts; k++ {
+			v, ok := cluster.Get(key(k))
+			if !ok {
+				t.Fatalf("round %d: account %d missing", round, k)
+			}
+			sum += v
+		}
+		if sum != bankAccounts*bankInitBal {
+			t.Fatalf("round %d: sum = %d, want %d", round, sum, bankAccounts*bankInitBal)
+		}
+	}
+}

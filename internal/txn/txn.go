@@ -1,0 +1,451 @@
+// Package txn adds crash-atomic multi-key transactions on top of the
+// durable store(s): a Txn buffers reads and writes, and Commit applies the
+// whole write set so that a power failure at *any* instruction leaves
+// either every write or none — and a transaction whose Commit returned is
+// durable immediately, without waiting for the next 64 ms checkpoint.
+//
+// The protocol leans on the two mechanisms the repository already has:
+//
+//   - Epoch atomicity. Commit runs entirely inside one epoch (the commit
+//     guard excludes epoch advances for its duration), so if the crash
+//     arrives before the commit mark is durable, the epoch's rollback —
+//     InCLL undo state plus the external undo log — removes any partial
+//     application wholesale. Nothing transaction-specific is needed on the
+//     undo side.
+//
+//   - Intent redo records. Before applying, Commit writes the full write
+//     set into a per-writer intent segment (extlog.IntentLog) and fences
+//     it; after applying, one fenced line write sets the record's commit
+//     mark. Recovery replays committed intents whose epoch failed, in
+//     commit-sequence order, re-running the writes the rollback undid.
+//
+// Cross-shard commits need no extra coordination: the shard coordinator's
+// fenced record (see internal/shard) already decides, for every shard at
+// once, whether the commit's epoch survived — the same single-line
+// linearization point the coordinated checkpoint uses. The intent carries
+// the shard set, and recovery's replay decision consults the home shard's
+// epoch state, which the coordinator record made identical on every shard.
+//
+// Isolation: conflicting commits (overlapping shard sets) serialize on
+// per-shard commit locks, and Commit validates the transaction's read set
+// under those locks, returning ErrConflict when a read value changed since
+// the transaction observed it (optimistic concurrency; callers retry).
+// Non-transactional single-key operations remain unaffected and
+// uncoordinated — they become durable at the next checkpoint, as before.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incll/internal/core"
+	"incll/internal/epoch"
+	"incll/internal/extlog"
+)
+
+// Commit errors.
+var (
+	// ErrConflict means read-set validation failed: another transaction
+	// committed a conflicting write first. The caller should rebuild the
+	// transaction and retry.
+	ErrConflict = errors.New("txn: read-set conflict")
+	// ErrTooLarge means the write set cannot fit one intent segment even
+	// after an epoch boundary; raise Config.TxnSegWords.
+	ErrTooLarge = errors.New("txn: write set exceeds the intent segment")
+	// ErrLogFull means the intent segment stayed full across retried epoch
+	// boundaries (pathological commit pressure).
+	ErrLogFull = errors.New("txn: intent segment full after retries")
+	// ErrInjected is returned when the test hook aborted the commit
+	// mid-protocol (crash-injection tests only).
+	ErrInjected = errors.New("txn: crash injected by test hook")
+)
+
+// InjectedCrash is the panic payload a test hook throws to stop a commit at
+// an exact protocol point; Commit converts it to ErrInjected after
+// releasing its locks without touching NVM again.
+type InjectedCrash struct{ Point string }
+
+// Config assembles a Manager over one store or a sharded cluster.
+type Config struct {
+	// Stores is the shard list (length 1 for an unsharded store). At most
+	// 64 shards (the intent record's shard set is one word).
+	Stores []*core.Store
+	// Route maps a key to its shard index; nil means a single store. Must
+	// be the cluster's real router (shard.Route) so recovery re-applies
+	// every write on the shard that owns it.
+	Route func(k []byte) int
+	// Advance runs one cluster-wide epoch advance and returns the number
+	// of lines flushed — core.Store.Advance for one store, the coordinated
+	// shard.Store.Advance for a cluster. The Manager wraps it with the
+	// commit guard; callers must go through Manager.Advance from then on.
+	Advance func() int
+}
+
+// Stats counts transaction outcomes.
+type Stats struct {
+	Committed atomic.Int64 // transactions whose Commit succeeded
+	Conflicts atomic.Int64 // commits rejected by read validation
+	Replays   atomic.Int64 // intents re-applied by recovery (this Open)
+}
+
+// Manager owns the transaction machinery for one store or cluster. One
+// Manager per open DB; rebuild it after every reopen (its New runs intent
+// recovery).
+type Manager struct {
+	stores  []*core.Store
+	route   func(k []byte) int
+	advance func() int
+
+	// guard serializes commits against epoch advances: commits hold it
+	// shared for the whole intent→apply→mark window (so the epoch cannot
+	// change mid-commit, and multi-shard Enter cannot deadlock against the
+	// coordinated two-phase advance), advances hold it exclusively.
+	guard sync.RWMutex
+
+	// commitMu[i] serializes commits that touch shard i. Locks are taken
+	// in ascending shard order, so conflicting commits — which share at
+	// least one shard — are totally ordered, and that order matches their
+	// commit sequence numbers (seq is drawn while the locks are held).
+	commitMu []sync.Mutex
+
+	seq   atomic.Uint64
+	stats Stats
+
+	hook func(point string) // crash-injection test hook; nil in production
+
+	ticker epoch.Ticker
+}
+
+// New builds a Manager and runs intent recovery: every committed intent
+// whose epoch failed is replayed in commit order, the replay is committed
+// with one cluster checkpoint, and the intent generation is retired.
+// Returns the number of transactions replayed. Must run after the stores
+// are open and before any mutator starts.
+func New(cfg Config) (*Manager, int) {
+	if len(cfg.Stores) == 0 {
+		panic("txn: no stores")
+	}
+	if len(cfg.Stores) > 64 {
+		panic("txn: at most 64 shards (intent shard set is one word)")
+	}
+	m := &Manager{
+		stores:   cfg.Stores,
+		route:    cfg.Route,
+		advance:  cfg.Advance,
+		commitMu: make([]sync.Mutex, len(cfg.Stores)),
+	}
+	if m.route == nil {
+		m.route = func([]byte) int { return 0 }
+	}
+	if m.advance == nil {
+		m.advance = cfg.Stores[0].Advance
+	}
+	return m, m.recover()
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// SetHook installs the crash-injection test hook, invoked at every named
+// protocol point inside Commit (including the pre-fence points inside the
+// intent log). The hook stops the protocol by panicking with
+// InjectedCrash. Never use outside tests.
+func (m *Manager) SetHook(h func(point string)) {
+	m.hook = h
+	for _, s := range m.stores {
+		s.Intents().Hook = h
+	}
+}
+
+// Advance runs one cluster-wide epoch advance (a checkpoint), excluded
+// against in-flight commits by the commit guard. All checkpoints of a
+// transactional store must go through here.
+func (m *Manager) Advance() int {
+	m.guard.Lock()
+	defer m.guard.Unlock()
+	return m.advance()
+}
+
+// StartTicker advances epochs every interval in the background, like the
+// paper's 64 ms timer, via the guard-aware Advance.
+func (m *Manager) StartTicker(interval time.Duration) {
+	m.ticker.Start(interval, func() { m.Advance() })
+}
+
+// StopTicker stops the background ticker, if running.
+func (m *Manager) StopTicker() { m.ticker.Stop() }
+
+func (m *Manager) shardOf(k []byte) int { return m.route(k) }
+
+// readVal is one read-set observation.
+type readVal struct {
+	val   uint64
+	found bool
+}
+
+// Txn is one transaction: buffered writes, cached reads, one Commit or
+// Abort. A Txn belongs to the worker that began it and is not safe for
+// concurrent use.
+type Txn struct {
+	m      *Manager
+	worker int
+
+	reads  map[string]readVal
+	writes []extlog.IntentOp
+	windex map[string]int
+	done   bool
+}
+
+// Begin starts a transaction on worker index worker (the same index used
+// for Store handles; one live transaction per worker at a time).
+func (m *Manager) Begin(worker int) *Txn {
+	return &Txn{
+		m:      m,
+		worker: worker,
+		reads:  make(map[string]readVal),
+		windex: make(map[string]int),
+	}
+}
+
+func (t *Txn) check() {
+	if t.done {
+		panic("txn: use after Commit/Abort")
+	}
+}
+
+// Get reads k: the transaction's own pending write if any, else a cached
+// prior read, else the store. Reads are validated at Commit; a change
+// between here and Commit fails the transaction with ErrConflict.
+func (t *Txn) Get(k []byte) (uint64, bool) {
+	t.check()
+	if i, ok := t.windex[string(k)]; ok {
+		op := t.writes[i]
+		if op.Delete {
+			return 0, false
+		}
+		return op.Val, true
+	}
+	if rv, ok := t.reads[string(k)]; ok {
+		return rv.val, rv.found
+	}
+	v, ok := t.m.stores[t.m.shardOf(k)].Handle(t.worker).Get(k)
+	t.reads[string(k)] = readVal{v, ok}
+	return v, ok
+}
+
+// Put buffers a write of v under k (applied atomically at Commit).
+func (t *Txn) Put(k []byte, v uint64) {
+	t.check()
+	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Val: v})
+}
+
+// Delete buffers a deletion of k (applied atomically at Commit).
+func (t *Txn) Delete(k []byte) {
+	t.check()
+	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Delete: true})
+}
+
+// write records op, collapsing repeated writes to one key into the last.
+func (t *Txn) write(op extlog.IntentOp) {
+	if i, ok := t.windex[string(op.Key)]; ok {
+		t.writes[i] = op
+		return
+	}
+	t.windex[string(op.Key)] = len(t.writes)
+	t.writes = append(t.writes, op)
+}
+
+// Abort discards the transaction. Nothing was applied or logged.
+func (t *Txn) Abort() {
+	t.check()
+	t.done = true
+}
+
+// Commit atomically applies the write set. On return with nil error the
+// transaction is durable: a crash at any later point preserves every
+// write. ErrConflict means a validated read changed; rebuild and retry.
+// A read-only transaction writes nothing but still validates: a nil
+// return certifies that every read came from one consistent committed
+// state.
+func (t *Txn) Commit() error {
+	t.check()
+	t.done = true
+	if len(t.writes) == 0 {
+		if len(t.reads) == 0 {
+			return nil
+		}
+		return t.m.validateOnly(t)
+	}
+	return t.m.commit(t)
+}
+
+// commit runs the protocol, retrying around a full intent segment (an
+// epoch boundary resets the cursors).
+func (m *Manager) commit(t *Txn) error {
+	var wset, lockSet uint64
+	for _, op := range t.writes {
+		wset |= 1 << uint(m.shardOf(op.Key))
+	}
+	lockSet = wset
+	for k := range t.reads {
+		lockSet |= 1 << uint(m.shardOf([]byte(k)))
+	}
+	home := bits.TrailingZeros64(wset)
+	if !m.stores[home].Intents().IntentFits(t.writes) {
+		return ErrTooLarge
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		done, err := m.tryCommit(t, wset, lockSet, home)
+		if done {
+			return err
+		}
+		// Intent segment full: force an epoch boundary, which both commits
+		// the segment's records and resets its cursor, then retry.
+		m.Advance()
+	}
+	return ErrLogFull
+}
+
+// commitLocks tracks what tryCommit holds so both the normal path and the
+// injected-crash unwind release exactly once, in reverse order.
+type commitLocks struct {
+	m        *Manager
+	lockSet  uint64
+	released bool
+}
+
+func (cl *commitLocks) release() {
+	if cl.released {
+		return
+	}
+	cl.released = true
+	for s := cl.lockSet; s != 0; {
+		i := bits.TrailingZeros64(s)
+		s &^= 1 << uint(i)
+		cl.m.stores[i].Epochs().Exit()
+		cl.m.commitMu[i].Unlock()
+	}
+	cl.m.guard.RUnlock()
+}
+
+// acquire takes the commit-window locks for the given shard set. Lock
+// order: commit guard (shared) → per-shard commit locks, ascending →
+// per-shard epoch guards. Advances take the commit guard exclusively, so
+// an epoch boundary can never interleave with the window, and the
+// multi-shard Enter cannot deadlock against a coordinated advance.
+func (m *Manager) acquire(lockSet uint64) *commitLocks {
+	m.guard.RLock()
+	for s := lockSet; s != 0; {
+		i := bits.TrailingZeros64(s)
+		s &^= 1 << uint(i)
+		m.commitMu[i].Lock()
+		m.stores[i].Epochs().Enter()
+	}
+	return &commitLocks{m: m, lockSet: lockSet}
+}
+
+// validateLocked re-reads the transaction's read set under the commit
+// locks and reports whether every observation still holds.
+func (m *Manager) validateLocked(t *Txn) bool {
+	for k, rv := range t.reads {
+		kb := []byte(k)
+		cur, ok := m.stores[m.shardOf(kb)].Handle(t.worker).GetLocked(kb)
+		if ok != rv.found || cur != rv.val {
+			return false
+		}
+	}
+	return true
+}
+
+// validateOnly certifies a read-only transaction: under the commit locks
+// of every read shard, every cached read must still hold — so the reads
+// together form one consistent committed snapshot.
+func (m *Manager) validateOnly(t *Txn) error {
+	var lockSet uint64
+	for k := range t.reads {
+		lockSet |= 1 << uint(m.shardOf([]byte(k)))
+	}
+	cl := m.acquire(lockSet)
+	ok := m.validateLocked(t)
+	cl.release()
+	if !ok {
+		m.stats.Conflicts.Add(1)
+		return ErrConflict
+	}
+	return nil
+}
+
+// tryCommit runs one attempt: validate, intent, apply, mark. done=false
+// (only) when the intent segment is full and the caller should advance the
+// epoch and retry.
+func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, err error) {
+	cl := m.acquire(lockSet)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(InjectedCrash); ok {
+				// Leave NVM exactly as the hook saw it; only release the
+				// volatile locks so the test can crash and reopen.
+				cl.release()
+				done, err = true, ErrInjected
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Validate the read set under the locks: conflicting commits are
+	// excluded, so a passing validation holds through the apply below.
+	if !m.validateLocked(t) {
+		cl.release()
+		m.stats.Conflicts.Add(1)
+		return true, ErrConflict
+	}
+
+	m.point("commit-start")
+
+	// Sequence and intent. seq is drawn under the commit locks, so for
+	// conflicting transactions seq order equals commit order — the order
+	// recovery replays in.
+	seq := m.seq.Add(1)
+	epochNum := m.stores[home].Epochs().Current()
+	entry, ok := m.stores[home].Intents().Writer(t.worker).AppendIntent(seq, epochNum, wset, t.writes)
+	if !ok {
+		cl.release()
+		return false, nil
+	}
+	m.point("intent-durable")
+
+	// Apply through the normal InCLL path. A crash anywhere in here rolls
+	// the whole epoch — and with it every partial write — back, and the
+	// unmarked intent is ignored.
+	for i, op := range t.writes {
+		h := m.stores[m.shardOf(op.Key)].Handle(t.worker)
+		if op.Delete {
+			h.DeleteLocked(op.Key)
+		} else {
+			h.PutLocked(op.Key, op.Val)
+		}
+		if m.hook != nil {
+			m.hook(fmt.Sprintf("applied-%d", i))
+		}
+	}
+
+	// The fenced commit mark: the transaction's durability point.
+	m.stores[home].Intents().MarkCommitted(entry)
+	m.point("commit-durable")
+
+	cl.release()
+	m.stats.Committed.Add(1)
+	return true, nil
+}
+
+// point fires the crash-injection hook, if installed.
+func (m *Manager) point(p string) {
+	if m.hook != nil {
+		m.hook(p)
+	}
+}
