@@ -25,6 +25,7 @@ func main() {
 	keyspace := flag.Uint64("keyspace", 4000, "distinct keys")
 	ops := flag.Int("ops", 800, "operations per worker per epoch")
 	persist := flag.Float64("persist", 0.5, "probability a dirty line survives each crash")
+	valueBytes := flag.Int("valuebytes", 0, "store random byte values up to this size (0 = uint64 values); exercises the value heap")
 	flag.Parse()
 
 	cfg := crashtest.Config{
@@ -34,6 +35,7 @@ func main() {
 		Keyspace:        *keyspace,
 		OpsPerEpoch:     *ops,
 		PersistFraction: *persist,
+		ValueBytes:      *valueBytes,
 	}
 	for seed := int64(0); seed < int64(*seeds); seed++ {
 		if err := crashtest.Run(cfg, seed); err != nil {

@@ -7,6 +7,8 @@
 //	incll-ycsb -mode INCLL -workload A -dist zipfian -size 1000000
 //	incll-ycsb -mode INCLL -workload A -shards 4 -threads 8   # sharded scale-out
 //	incll-ycsb -mode INCLL -workload A -txn transfer          # k-key bank transfers
+//	incll-ycsb -workload A -valuesize 1024                    # 1 KiB byte values, MB/s
+//	incll-ycsb -workload A -valuesize 1024 -shards 4          # same, sharded
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 	ops := flag.Int("ops", 200_000, "operations per thread")
 	txnMode := flag.String("txn", "none", "none | rmw | transfer (durable modes): run multi-key transactions over the mix")
 	txnKeys := flag.Int("txnkeys", 4, "accounts touched per bank transfer")
+	valueSize := flag.Int("valuesize", 0, "byte-value payload size (durable modes): > 0 switches to PutBytes/GetBytes values and reports MB/s")
+	valueDist := flag.String("valuedist", "constant", "constant | zipfian payload-size distribution (with -valuesize)")
 	interval := flag.Duration("interval", 64*time.Millisecond, "epoch interval")
 	fence := flag.Duration("fence", 0, "emulated NVM latency after each fence")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -40,9 +44,18 @@ func main() {
 		Shards:        *shards,
 		OpsPerThread:  *ops,
 		TxnKeys:       *txnKeys,
+		ValueSize:     *valueSize,
 		EpochInterval: *interval,
 		FenceDelay:    *fence,
 		Seed:          *seed,
+	}
+	switch *valueDist {
+	case "constant":
+		cfg.ValueDist = ycsb.SizeConstant
+	case "zipfian":
+		cfg.ValueDist = ycsb.SizeZipfian
+	default:
+		log.Fatalf("unknown value-size distribution %q", *valueDist)
 	}
 	switch *txnMode {
 	case "none":
@@ -92,6 +105,14 @@ func main() {
 	if cfg.TxnMode != harness.TxnNone && cfg.Mode != harness.INCLL && cfg.Mode != harness.LOGGING {
 		log.Fatalf("-txn applies to the durable modes (INCLL, LOGGING), not %s", cfg.Mode)
 	}
+	if cfg.ValueSize > 0 {
+		if cfg.Mode != harness.INCLL && cfg.Mode != harness.LOGGING {
+			log.Fatalf("-valuesize applies to the durable modes (INCLL, LOGGING), not %s", cfg.Mode)
+		}
+		if cfg.TxnMode != harness.TxnNone {
+			log.Fatalf("-valuesize and -txn are mutually exclusive (transfers are uint64 accounts)")
+		}
+	}
 
 	r := harness.Run(cfg)
 	label := ""
@@ -101,11 +122,17 @@ func main() {
 	if cfg.TxnMode != harness.TxnNone {
 		label += fmt.Sprintf(" txn=%s", cfg.TxnMode)
 	}
+	if cfg.ValueSize > 0 {
+		label += fmt.Sprintf(" valuesize=%d/%s", cfg.ValueSize, cfg.ValueDist)
+	}
 	fmt.Printf("%s %s %s%s: %d ops in %v = %.3f Mops/s\n",
 		cfg.Mode, cfg.Workload, cfg.Dist, label, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput/1e6)
 	if cfg.Mode == harness.INCLL || cfg.Mode == harness.LOGGING {
 		fmt.Printf("  epochs=%d loggedNodes=%d inCLLperm=%d inCLLval=%d fences=%d linesFlushed=%d\n",
 			r.Advances, r.LoggedNodes, r.InCLLPerm, r.InCLLVal, r.Fences, r.FlushedLines)
+	}
+	if cfg.ValueSize > 0 {
+		fmt.Printf("  valueBytes=%d = %.1f MB/s\n", r.ValueBytes, r.MBPerSec)
 	}
 	if cfg.TxnMode != harness.TxnNone {
 		fmt.Printf("  committed=%d conflicts=%d = %.3f Ktxn/s\n", r.Txns, r.TxnConflicts, r.TxnThroughput/1e3)

@@ -19,6 +19,12 @@
 //	db, _ = db.Reopen()              // recovery
 //	v, ok := db.Get(incll.Key(1))    // 100, true
 //
+// Values are variable-length byte strings up to MaxValueBytes
+// (PutBytes/GetBytes/ScanBytes), stored on a crash-consistent value heap;
+// values of at most five bytes live inline in the tree leaf. The uint64
+// methods are a view over the same store (see Handle), and small uint64s
+// take the inline, allocation-free fast path.
+//
 // For scale-out, Options.Shards > 1 partitions the keyspace across N
 // independent store+arena shards behind the same API (see internal/shard
 // and DESIGN.md): a deterministic router places each key, scans k-way
@@ -54,6 +60,19 @@ import (
 	"incll/internal/shard"
 	"incll/internal/txn"
 )
+
+// MaxShards is the largest supported Options.Shards: the transaction
+// manager encodes shard sets as single-word bitmasks, so the keyspace can
+// split at most 64 ways. Larger requests are clamped.
+const MaxShards = 64
+
+// MaxValueBytes is the largest byte value PutBytes accepts (the payload of
+// the value heap's largest size class).
+const MaxValueBytes = core.MaxValueBytes
+
+// minShardArenaWords floors the shard-divided default arena size so a
+// large shard count cannot underflow the per-shard regions.
+const minShardArenaWords = 1 << 18
 
 // Options sizes and parameterizes a DB.
 type Options struct {
@@ -91,12 +110,23 @@ func (o *Options) setDefaults() {
 	if o.Shards <= 0 {
 		o.Shards = 1
 	}
+	if o.Shards > MaxShards {
+		// internal/txn encodes shard lock/write sets as one-word bitmasks;
+		// a 65th shard would silently alias bit 0 and break commit
+		// ordering, so the count is clamped instead.
+		o.Shards = MaxShards
+	}
 	if o.ArenaWords == 0 {
 		o.ArenaWords = 1 << 24
 		if o.Shards > 1 {
 			// Keep the default cluster footprint near the single-store
-			// default by splitting it across shards.
+			// default by splitting it across shards, but never divide the
+			// per-shard arena below a floor that still fits the epoch
+			// header, allocator metadata, log segments, and a usable heap.
 			o.ArenaWords = (1 << 24) / uint64(o.Shards)
+			if o.ArenaWords < minShardArenaWords {
+				o.ArenaWords = minShardArenaWords
+			}
 		}
 	}
 	if o.Workers <= 0 {
@@ -154,17 +184,34 @@ type RecoveryInfo struct {
 // Handle is a per-worker handle; see Options.Workers. Handles are not safe
 // for concurrent use, but distinct handles are. In a sharded DB the handle
 // routes each key to its shard transparently.
+//
+// Values are byte strings up to MaxValueBytes; values of at most five
+// bytes live inline in the leaf. The uint64 methods are a view over the
+// same store: Put(k, v) stores v's minimal big-endian encoding (inline —
+// and allocation-free — whenever v < 2^40) and Get decodes the stored
+// bytes back; GetBytes after Put(k, 258) returns {1, 2}.
 type Handle interface {
-	// Get returns the value stored under k.
+	// Get returns the uint64 view of the value stored under k.
 	Get(k []byte) (uint64, bool)
+	// GetBytes returns a copy of the byte value stored under k.
+	GetBytes(k []byte) ([]byte, bool)
+	// AppendGet appends k's value bytes to dst: the allocation-free form
+	// of GetBytes.
+	AppendGet(dst []byte, k []byte) ([]byte, bool)
 	// Put stores v under k; reports whether k was newly inserted.
 	Put(k []byte, v uint64) bool
+	// PutBytes stores the byte value v (len ≤ MaxValueBytes) under k;
+	// reports whether k was newly inserted.
+	PutBytes(k []byte, v []byte) bool
 	// Delete removes k; reports whether it was present.
 	Delete(k []byte) bool
 	// Scan visits up to max keys ≥ start in ascending order (max < 0
 	// means unlimited), until fn returns false. Returns the number
 	// visited.
 	Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int
+	// ScanBytes is Scan delivering byte values; the value slice is only
+	// valid during the callback.
+	ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int
 }
 
 // Key renders a uint64 as an 8-byte big-endian key, so integer order
@@ -269,12 +316,20 @@ func (db *DB) Shards() int {
 	return 1
 }
 
-// Get returns the value stored under k.
+// Get returns the uint64 view of the value stored under k.
 func (db *DB) Get(k []byte) (uint64, bool) {
 	if db.sharded != nil {
 		return db.sharded.Get(k)
 	}
 	return db.store.Get(k)
+}
+
+// GetBytes returns a copy of the byte value stored under k.
+func (db *DB) GetBytes(k []byte) ([]byte, bool) {
+	if db.sharded != nil {
+		return db.sharded.GetBytes(k)
+	}
+	return db.store.GetBytes(k)
 }
 
 // Put stores v under k; reports whether k was newly inserted.
@@ -283,6 +338,15 @@ func (db *DB) Put(k []byte, v uint64) bool {
 		return db.sharded.Put(k, v)
 	}
 	return db.store.Put(k, v)
+}
+
+// PutBytes stores the byte value v (len ≤ MaxValueBytes) under k; reports
+// whether k was newly inserted.
+func (db *DB) PutBytes(k []byte, v []byte) bool {
+	if db.sharded != nil {
+		return db.sharded.PutBytes(k, v)
+	}
+	return db.store.PutBytes(k, v)
 }
 
 // Delete removes k; reports whether it was present.
@@ -302,6 +366,15 @@ func (db *DB) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int 
 		return db.sharded.Scan(start, max, fn)
 	}
 	return db.store.Scan(start, max, fn)
+}
+
+// ScanBytes is Scan delivering byte values; the value slice is only valid
+// during the callback.
+func (db *DB) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
+	if db.sharded != nil {
+		return db.sharded.ScanBytes(start, max, fn)
+	}
+	return db.store.ScanBytes(start, max, fn)
 }
 
 // Len returns the number of live keys tracked this execution (transient;
@@ -431,12 +504,18 @@ func (db *DB) Begin() *Txn { return db.BeginWorker(0) }
 // BeginWorker starts a transaction on worker i (i < Options.Workers).
 func (db *DB) BeginWorker(i int) *Txn { return &Txn{t: db.txns.Begin(i)} }
 
-// Get reads k: the transaction's own pending write if any, else a cached
-// prior read, else the store.
+// Get reads the uint64 view of k: the transaction's own pending write if
+// any, else a cached prior read, else the store.
 func (t *Txn) Get(k []byte) (uint64, bool) { return t.t.Get(k) }
+
+// GetBytes is Get returning a copy of the byte value.
+func (t *Txn) GetBytes(k []byte) ([]byte, bool) { return t.t.GetBytes(k) }
 
 // Put buffers a write of v under k.
 func (t *Txn) Put(k []byte, v uint64) { t.t.Put(k, v) }
+
+// PutBytes buffers a write of the byte value v under k.
+func (t *Txn) PutBytes(k []byte, v []byte) { t.t.PutBytes(k, v) }
 
 // Delete buffers a deletion of k.
 func (t *Txn) Delete(k []byte) { t.t.Delete(k) }
@@ -455,13 +534,21 @@ type Batch struct {
 
 type batchOp struct {
 	k   []byte
-	v   uint64
+	v   []byte
 	del bool
 }
 
 // Put adds a write of v under k to the batch.
 func (b *Batch) Put(k []byte, v uint64) {
-	b.ops = append(b.ops, batchOp{k: append([]byte(nil), k...), v: v})
+	b.PutBytes(k, core.EncodeValue(v))
+}
+
+// PutBytes adds a write of the byte value v under k to the batch.
+func (b *Batch) PutBytes(k []byte, v []byte) {
+	b.ops = append(b.ops, batchOp{
+		k: append([]byte(nil), k...),
+		v: append([]byte(nil), v...),
+	})
 }
 
 // Delete adds a deletion of k to the batch.
@@ -477,7 +564,7 @@ func (db *DB) Apply(b *Batch) error {
 		if op.del {
 			t.Delete(op.k)
 		} else {
-			t.Put(op.k, op.v)
+			t.PutBytes(op.k, op.v)
 		}
 	}
 	return t.Commit()

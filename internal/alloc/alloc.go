@@ -37,11 +37,14 @@ import (
 // less. Objects are 16-byte aligned like the paper's allocations, and every
 // refill starts on a cache-line boundary so objects never straddle lines
 // unnecessarily (class sizes are powers of two up to a line, or multiples
-// of a line beyond it).
-var classWords = []uint64{4, 8, 16, 32, 64, 128}
+// of a line beyond it). The classes above 128 serve the value heap's
+// out-of-place byte values (core's PutBytes), up to ~8 KiB per value; the
+// intermediate line multiples (192, 384, 768) keep worst-case internal
+// fragmentation at 1.5× instead of 2× for the common KB-scale objects.
+var classWords = []uint64{4, 8, 16, 32, 64, 128, 192, 256, 384, 512, 768, 1024}
 
 // NumClasses is the number of general size classes.
-const NumClasses = 6
+const NumClasses = 12
 
 // The node class is special: tree nodes need (a) a cache-line-aligned
 // payload, because their layout assigns fields to specific lines, and
@@ -78,8 +81,23 @@ const (
 	wBumpInCLL = 1 // undo copy at epoch start
 	wEpoch     = 2 // epoch tag
 
-	refillObjects = 64 // objects carved from the wilderness per refill
+	refillObjects = 64   // objects carved from the wilderness per refill (small classes)
+	refillBudget  = 4096 // words carved per refill for classes past a line
 )
+
+// refillCount returns how many class-c objects one refill carves: 64 for
+// the sub-line classes (the seed behavior), fewer for the large value-heap
+// classes so a refill never claims more than refillBudget words at once.
+func refillCount(size uint64) uint64 {
+	n := uint64(refillBudget) / size
+	if n > refillObjects {
+		n = refillObjects
+	}
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
 
 // Allocator manages a durable heap region. Each worker thread uses its own
 // Handle (shard); shards have independent durable free lists, so the fast
@@ -146,6 +164,16 @@ func New(a *nvm.Arena, m *epoch.Manager, metaOff, heapOff, heapWords uint64, sha
 			}
 		}
 	}
+	// Splice any surviving limbo into the free lists. The boundary splice
+	// runs inside the successor epoch, so when that epoch fails its splice
+	// is rolled back with everything else — without this recovery splice, a
+	// crash-heavy history (every splice chased by a failed epoch) would
+	// grow limbo without bound. Post-rollback limbo holds only blocks freed
+	// in committed epochs, so making them allocatable is EBR-safe; the
+	// mutations are tagged with the fresh execution epoch and persisted by
+	// recovery's flush (extlog.Log.Recover), and a crash before that flush
+	// simply re-runs the same splice.
+	al.spliceLimbo(m.Current())
 	m.OnAdvance(al.spliceLimbo)
 	return al
 }
@@ -160,6 +188,15 @@ func (al *Allocator) Handle(i int) *Handle { return &al.shards[i] }
 
 // Shards returns the number of shards.
 func (al *Allocator) Shards() int { return al.numShards }
+
+// Used reports the words ever carved from the wilderness: the heap's
+// high-water mark. Recycling through the free lists keeps it flat, so a
+// monotonically growing Used under a steady workload means leaked objects.
+func (al *Allocator) Used() uint64 {
+	al.wildMu.Lock()
+	defer al.wildMu.Unlock()
+	return al.arena.Load(al.wildOff+wBump) - al.heapOff
+}
 
 // ClassFor returns the size class index for a payload of the given words,
 // or -1 if the payload exceeds the largest class.
@@ -309,7 +346,7 @@ func (al *Allocator) refill(c int, cur uint64) uint64 {
 	// Start every refill run on a line boundary so line-sized-or-larger
 	// objects are line-aligned and sub-line objects never straddle lines.
 	bump = (bump + nvm.WordsPerLine - 1) &^ uint64(nvm.WordsPerLine-1)
-	n := uint64(refillObjects)
+	n := refillCount(size)
 	if bump+size*n > al.heapEnd {
 		n = (al.heapEnd - bump) / size
 		if n == 0 {

@@ -66,7 +66,8 @@ func TestClassFor(t *testing.T) {
 		payload uint64
 		class   int
 	}{
-		{1, 0}, {2, 0}, {3, 1}, {6, 1}, {7, 2}, {14, 2}, {126, 5}, {127, -1}, {1000, -1},
+		{1, 0}, {2, 0}, {3, 1}, {6, 1}, {7, 2}, {14, 2}, {126, 5},
+		{127, 6}, {190, 6}, {254, 7}, {382, 8}, {1000, 11}, {1022, 11}, {1023, -1},
 	}
 	for _, c := range cases {
 		if got := ClassFor(c.payload); got != c.class {

@@ -6,9 +6,10 @@ package core
 //   - beforePermChange runs before an insert or remove modifies the
 //     permutation word, maintaining InCLLp (nodeEpoch, permutationInCLL,
 //     insAllowed, logged).
-//   - beforeValUpdate runs before an update overwrites a value pointer,
-//     maintaining InCLL1/InCLL2 — including the mid-epoch claim of an
-//     unused ValInCLL that the paper's §4.1.3 describes.
+//   - beforeValUpdate runs before an update overwrites a value word
+//     (inline value or heap-block pointer — see value.go), maintaining
+//     InCLL1/InCLL2 — including the mid-epoch claim of an unused ValInCLL
+//     that the paper's §4.1.3 describes.
 //   - logLeaf / logInterior fall back to the external object log.
 //   - lazyRecoverLeaf / lazyRecoverInterior repair a node on its first
 //     access after a crash, under transient recovery locks.
@@ -172,7 +173,7 @@ func (s *Store) lazyRecoverLeaf(n nodeRef) {
 		ic := n.load(inCLLOff(l))
 		if idx := valInCLLIdx(ic); idx != invalidIdx && idx < LeafWidth {
 			if s.mgr.IsFailed(high | valInCLLEp16(ic)) {
-				n.store(valOff(idx), valInCLLPtr(ic))
+				n.store(valOff(idx), valInCLLWord(ic))
 			}
 		}
 	}

@@ -113,16 +113,24 @@ func insAllowedBit(w uint64) bool { return w&epInsAllowed != 0 }
 // ---- ValInCLL packing (paper §4.1.3) ----
 //
 // bits 0..3:  protected index (0xF = invalid)
-// bits 4..47: value word-offset >> 1 (values are 2-word / 16-byte aligned)
+// bits 4..47: the protected value word's low 44 bits, verbatim
 // bits 48..63: low 16 bits of the epoch the InCLL was written in
+//
+// The captured field holds the tagged value word of value.go — an inline
+// value (≤44 bits by construction) or a heap/anchor pointer (arena offsets
+// are far below 2^44 words, asserted in Open) — so the capture round-trips
+// every legal value word exactly.
 
-const invalidIdx = 0xF
+const (
+	invalidIdx   = 0xF
+	valInCLLMask = 1<<44 - 1
+)
 
-func packValInCLL(ptr uint64, idx int, epoch uint64) uint64 {
-	return uint64(idx)&0xF | ptr>>1<<4&(1<<48-1) | (epoch&0xFFFF)<<48
+func packValInCLL(vw uint64, idx int, epoch uint64) uint64 {
+	return uint64(idx)&0xF | (vw&valInCLLMask)<<4 | (epoch&0xFFFF)<<48
 }
 
-func valInCLLPtr(w uint64) uint64  { return w >> 4 & (1<<44 - 1) << 1 }
+func valInCLLWord(w uint64) uint64 { return w >> 4 & valInCLLMask }
 func valInCLLIdx(w uint64) int     { return int(w & 0xF) }
 func valInCLLEp16(w uint64) uint64 { return w >> 48 }
 

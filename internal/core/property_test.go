@@ -58,13 +58,52 @@ func TestPropertyCrashEqualsCommittedModel(t *testing.T) {
 	}
 }
 
-// Property: ValInCLL packing round-trips for all valid inputs.
+// Property: ValInCLL packing round-trips every 44-bit value word — heap
+// pointers and tagged inline values alike.
 func TestPropertyValInCLLRoundTrip(t *testing.T) {
-	f := func(ptr uint64, idx uint8, epoch uint64) bool {
-		ptr = ptr % (1 << 44) << 1 // 16-byte aligned, 45-bit range
+	f := func(vw uint64, idx uint8, epoch uint64) bool {
+		vw &= valInCLLMask
 		i := int(idx % 15)
-		w := packValInCLL(ptr, i, epoch)
-		return valInCLLPtr(w) == ptr && valInCLLIdx(w) == i && valInCLLEp16(w) == epoch&0xFFFF
+		w := packValInCLL(vw, i, epoch)
+		return valInCLLWord(w) == vw && valInCLLIdx(w) == i && valInCLLEp16(w) == epoch&0xFFFF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inline value words round-trip any payload of 0..5 bytes and
+// always fit the ValInCLL capture field.
+func TestPropertyInlineValueWordRoundTrip(t *testing.T) {
+	f := func(data [MaxInlineBytes]byte, n uint8) bool {
+		b := data[:n%(MaxInlineBytes+1)]
+		w := inlineVW(b)
+		if !vwIsInline(w) || w&valInCLLMask != w {
+			return false
+		}
+		if vwInlineLen(w) != len(b) {
+			return false
+		}
+		for i, c := range b {
+			if byte(w>>(vwInlineData+8*uint(i))) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the uint64↔bytes value convention is a bijection on uint64s.
+func TestPropertyValueEncodingRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := EncodeValue(v)
+		if v < 1<<40 && len(b) > MaxInlineBytes {
+			return false // the uint64 fast path must stay inline
+		}
+		return DecodeValue(b) == v
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -143,6 +143,12 @@ type Store struct {
 // arena that carries a previous execution's state.
 func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 	cfg.setDefaults()
+	if a.Size() >= 1<<44 {
+		// The ValInCLL captures value words in 44 bits (see layout.go);
+		// a 128 TiB simulated arena is far beyond anything this process
+		// could host anyway.
+		panic("core: arena exceeds the 2^44-word value-word address space")
+	}
 	eOff := a.Reserve(epoch.HeaderWords)
 	hdr := a.Reserve(nvm.WordsPerLine)
 	metaOff := a.Reserve(alloc.MetaWords(cfg.Workers))
@@ -235,6 +241,11 @@ func (s *Store) Stats() *Stats { return &s.stats }
 // Len returns the number of live keys.
 func (s *Store) Len() int { return int(s.size.Load()) }
 
+// HeapUsed reports the words the durable heap has ever carved from its
+// wilderness. It plateaus once the working set recycles through the free
+// lists — the signal the value-heap leak tests watch.
+func (s *Store) HeapUsed() uint64 { return s.alloc.Used() }
+
 // Advance ends the current epoch: quiesce, flush, begin the next. Returns
 // the number of cache lines flushed.
 func (s *Store) Advance() int { return s.mgr.Advance() }
@@ -253,8 +264,15 @@ func (s *Store) Shutdown() { s.mgr.Shutdown() }
 // Get returns the value stored under k.
 func (s *Store) Get(k []byte) (uint64, bool) { return s.handles[0].Get(k) }
 
+// GetBytes returns a copy of the byte value stored under k.
+func (s *Store) GetBytes(k []byte) ([]byte, bool) { return s.handles[0].GetBytes(k) }
+
 // Put stores v under k; reports whether k was newly inserted.
 func (s *Store) Put(k []byte, v uint64) bool { return s.handles[0].Put(k, v) }
+
+// PutBytes stores the byte value v under k; reports whether k was newly
+// inserted.
+func (s *Store) PutBytes(k []byte, v []byte) bool { return s.handles[0].PutBytes(k, v) }
 
 // Delete removes k; reports whether it was present.
 func (s *Store) Delete(k []byte) bool { return s.handles[0].Delete(k) }
@@ -262,6 +280,11 @@ func (s *Store) Delete(k []byte) bool { return s.handles[0].Delete(k) }
 // Scan visits up to max keys ≥ start in order.
 func (s *Store) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
 	return s.handles[0].Scan(start, max, fn)
+}
+
+// ScanBytes is Scan delivering byte values.
+func (s *Store) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
+	return s.handles[0].ScanBytes(start, max, fn)
 }
 
 // ---- root cells ----

@@ -82,15 +82,6 @@ func (h Handle) newInterior(cur uint64) nodeRef {
 	return n
 }
 
-func (h Handle) newValue(data uint64) uint64 {
-	off := h.ah.Alloc(2)
-	if off == 0 {
-		panic("core: durable heap exhausted (increase Config.HeapWords)")
-	}
-	h.s.arena.Store(off, data)
-	return off
-}
-
 func (h Handle) newAnchor() uint64 {
 	off := h.ah.Alloc(anchorPayloadWords)
 	if off == 0 {
@@ -129,7 +120,8 @@ func (h Handle) descend(rootOff uint64, ik uint64) nodeRef {
 
 // ---- Get ----
 
-// Get returns the value stored under k.
+// Get returns the uint64 view of the value stored under k (see
+// DecodeValue for the byte↔uint64 convention).
 func (h Handle) Get(k []byte) (uint64, bool) {
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
@@ -141,9 +133,39 @@ func (h Handle) Get(k []byte) (uint64, bool) {
 // transaction manager's commit path.
 func (h Handle) GetLocked(k []byte) (uint64, bool) {
 	h.s.stats.Gets.Add(1)
-	return h.layerGet(h.rootCell0(), k)
+	vw, ok := h.layerGet(h.rootCell0(), k)
+	if !ok {
+		return 0, false
+	}
+	return h.vwUint64(vw), true
 }
 
+// GetBytes returns a copy of the byte value stored under k.
+func (h Handle) GetBytes(k []byte) ([]byte, bool) {
+	return h.AppendGet(nil, k)
+}
+
+// AppendGet appends k's value bytes to dst, returning the extended slice;
+// the allocation-free form of GetBytes.
+func (h Handle) AppendGet(dst []byte, k []byte) ([]byte, bool) {
+	h.s.mgr.Enter()
+	defer h.s.mgr.Exit()
+	return h.AppendGetLocked(dst, k)
+}
+
+// AppendGetLocked is AppendGet under a caller-held epoch guard.
+func (h Handle) AppendGetLocked(dst []byte, k []byte) ([]byte, bool) {
+	h.s.stats.Gets.Add(1)
+	vw, ok := h.layerGet(h.rootCell0(), k)
+	if !ok {
+		return dst, false
+	}
+	return h.appendValue(dst, vw), true
+}
+
+// layerGet resolves k to its value word. Dereferencing the word after the
+// leaf's version check is safe while the epoch guard is held: published
+// heap blocks are immutable and freed ones survive until the next boundary.
 func (h Handle) layerGet(cell rootCell, k []byte) (uint64, bool) {
 	ik, kind := ikeyOf(k)
 retry:
@@ -181,25 +203,35 @@ readLeaf:
 	if kind == kindLayer {
 		return h.layerGet(rootCell{s: h.s, off: vw}, k[8:])
 	}
-	data := h.s.arena.Load(vw)
-	if n.changed(v) {
-		goto retry
-	}
-	return data, true
+	return vw, true
 }
 
 // ---- Put ----
 
-// Put stores v under k; reports whether k was newly inserted.
+// Put stores v under k (as its minimal big-endian byte value — inline in
+// the leaf whenever v < 2^40); reports whether k was newly inserted.
 func (h Handle) Put(k []byte, v uint64) bool {
-	h.s.mgr.Enter()
-	defer h.s.mgr.Exit()
-	return h.PutLocked(k, v)
+	var buf [8]byte
+	return h.PutBytes(k, AppendValueUint64(buf[:0], v))
 }
 
 // PutLocked is Put for a caller that already holds the epoch guard
 // (Store.Epochs().Enter) or otherwise excludes an epoch advance.
 func (h Handle) PutLocked(k []byte, v uint64) bool {
+	var buf [8]byte
+	return h.PutBytesLocked(k, AppendValueUint64(buf[:0], v))
+}
+
+// PutBytes stores the byte value v (len ≤ MaxValueBytes) under k; reports
+// whether k was newly inserted.
+func (h Handle) PutBytes(k []byte, v []byte) bool {
+	h.s.mgr.Enter()
+	defer h.s.mgr.Exit()
+	return h.PutBytesLocked(k, v)
+}
+
+// PutBytesLocked is PutBytes under a caller-held epoch guard.
+func (h Handle) PutBytesLocked(k []byte, v []byte) bool {
 	h.s.stats.Puts.Add(1)
 	inserted := h.layerPut(h.rootCell0(), k, v)
 	if inserted {
@@ -208,7 +240,7 @@ func (h Handle) PutLocked(k []byte, v uint64) bool {
 	return inserted
 }
 
-func (h Handle) layerPut(cell rootCell, k []byte, val uint64) bool {
+func (h Handle) layerPut(cell rootCell, k []byte, val []byte) bool {
 	ik, kind := ikeyOf(k)
 retry:
 	rootOff := cell.root()
@@ -232,9 +264,9 @@ retry:
 			return h.layerPut(rootCell{s: h.s, off: vw}, k[8:], val)
 		}
 		h.beforeValUpdate(n, slot)
-		n.setVal(slot, h.newValue(val))
+		n.setVal(slot, h.newValueWord(val))
 		n.unlock()
-		h.ah.Free(vw, 2)
+		h.freeValueWord(vw)
 		return false
 	}
 	// Build the slot payload before exposing it.
@@ -243,7 +275,7 @@ retry:
 		valWord = h.newAnchor()
 		h.layerPut(rootCell{s: h.s, off: valWord}, k[8:], val)
 	} else {
-		valWord = h.newValue(val)
+		valWord = h.newValueWord(val)
 	}
 	if p.count() < LeafWidth {
 		h.beforePermChange(n, true)
@@ -495,7 +527,7 @@ func (h Handle) layerDelete(cell rootCell, k []byte) bool {
 	n.markInsert()
 	n.store(fPerm, uint64(p.remove(pos)))
 	n.unlock()
-	h.ah.Free(vw, 2)
+	h.freeValueWord(vw)
 	return true
 }
 
@@ -508,9 +540,28 @@ type scanEntry struct {
 }
 
 // Scan visits keys ≥ start in ascending order until fn returns false or
-// max pairs are visited (max < 0 means unlimited). Returns the number of
-// pairs visited.
+// max pairs are visited (max < 0 means unlimited), delivering the uint64
+// view of each value. Returns the number of pairs visited.
 func (h Handle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	return h.scanWords(start, max, func(k []byte, vw uint64) bool {
+		return fn(k, h.vwUint64(vw))
+	})
+}
+
+// ScanBytes is Scan delivering byte values. The value slice is only valid
+// during the callback.
+func (h Handle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
+	var buf []byte
+	return h.scanWords(start, max, func(k []byte, vw uint64) bool {
+		buf = h.appendValue(buf[:0], vw)
+		return fn(k, buf)
+	})
+}
+
+// scanWords drives the walk, delivering raw value words. The whole scan
+// runs under one epoch guard, so dereferencing buffered value words stays
+// safe for its duration.
+func (h Handle) scanWords(start []byte, max int, fn func(k []byte, vw uint64) bool) int {
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
 	h.s.stats.Scans.Add(1)
@@ -578,7 +629,7 @@ func (h Handle) scanLayer(cell rootCell, prefix, start []byte, max int, visited 
 				continue
 			}
 			*visited++
-			if !fn(kb, h.s.arena.Load(e.vw)) {
+			if !fn(kb, e.vw) {
 				return false
 			}
 		}

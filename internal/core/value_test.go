@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"incll/internal/nvm"
+	"incll/internal/testutil"
+)
+
+// patternValue builds a deterministic payload so torn recoveries are
+// detectable byte-by-byte.
+var patternValue = testutil.Pattern
+
+func TestBytesRoundTripAllSizes(t *testing.T) {
+	_, s := newStore(t)
+	sizes := []int{0, 1, 2, 5, 6, 7, 8, 9, 63, 64, 100, 1000, 1024, 4096, MaxValueBytes}
+	for i, n := range sizes {
+		k := EncodeUint64(uint64(i))
+		v := patternValue(uint64(i), n)
+		if !s.PutBytes(k, v) {
+			t.Fatalf("size %d: not inserted", n)
+		}
+		got, ok := s.GetBytes(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("size %d: roundtrip mismatch (%d bytes, ok=%v)", n, len(got), ok)
+		}
+	}
+	// Overwrites across representation boundaries: inline→block,
+	// block→inline, block→different class.
+	k := EncodeUint64(999)
+	s.PutBytes(k, []byte("seed"))
+	for _, n := range []int{3, 2000, 4, 100, 8168, 0, 700} {
+		v := patternValue(uint64(n), n)
+		if s.PutBytes(k, v) {
+			t.Fatalf("size %d: overwrite reported insert", n)
+		}
+		if got, _ := s.GetBytes(k); !bytes.Equal(got, v) {
+			t.Fatalf("size %d: overwrite mismatch", n)
+		}
+	}
+	if !s.Delete(k) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.GetBytes(k); ok {
+		t.Fatal("deleted key still present")
+	}
+	// ScanBytes returns every remaining value exactly.
+	seen := 0
+	s.ScanBytes(nil, -1, func(kb, v []byte) bool {
+		i := deVK(kb)
+		if !bytes.Equal(v, patternValue(i, sizes[i])) {
+			t.Fatalf("scan key %d: value mismatch", i)
+		}
+		seen++
+		return true
+	})
+	if seen != len(sizes) {
+		t.Fatalf("scan saw %d keys, want %d", seen, len(sizes))
+	}
+}
+
+func deVK(b []byte) uint64 {
+	var k uint64
+	for _, c := range b {
+		k = k<<8 | uint64(c)
+	}
+	return k
+}
+
+func TestPutBytesOversizePanics(t *testing.T) {
+	_, s := newStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PutBytes beyond MaxValueBytes did not panic")
+		}
+	}()
+	s.PutBytes(EncodeUint64(1), make([]byte, MaxValueBytes+1))
+}
+
+// TestLargeValueCrashAtEveryOp is the crash-at-every-point property for
+// large-value Put / overwrite / Delete: a committed prefix, then exactly
+// p doomed operations for every prefix length p, then a crash under three
+// adversarial persistence policies. Recovery must expose the committed
+// values byte-exactly — all-or-nothing, never torn.
+func TestLargeValueCrashAtEveryOp(t *testing.T) {
+	const keys = 6
+	type op struct {
+		k   uint64
+		n   int  // value size; -1 = delete
+		del bool
+	}
+	var script []op
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 24; i++ {
+		k := uint64(rng.Intn(keys))
+		switch rng.Intn(5) {
+		case 0:
+			script = append(script, op{k: k, del: true})
+		default:
+			script = append(script, op{k: k, n: []int{3, 40, 900, 2000, 8168}[rng.Intn(5)]})
+		}
+	}
+
+	for points := 0; points <= len(script); points++ {
+		for policy := 0; policy < 3; policy++ {
+			a := nvm.New(nvm.Config{Words: testArenaWords})
+			s, _ := Open(a, testConfig())
+
+			committed := map[uint64][]byte{}
+			for i := uint64(0); i < keys; i++ {
+				v := patternValue(i+1000, 1500)
+				s.PutBytes(EncodeUint64(i), v)
+				committed[i] = v
+			}
+			s.Advance()
+
+			// Doomed suffix: the first `points` ops of the script.
+			for i, o := range script[:points] {
+				if o.del {
+					s.Delete(EncodeUint64(o.k))
+				} else {
+					s.PutBytes(EncodeUint64(o.k), patternValue(uint64(i)*31+o.k, o.n))
+				}
+			}
+			switch policy {
+			case 0:
+				a.Crash(nvm.PersistNone)
+			case 1:
+				a.Crash(nvm.RandomPolicy(0.5, int64(points)))
+			case 2:
+				a.Crash(nvm.EvenOddPolicy(points % 2))
+			}
+			s2 := reopen(t, a, testConfig())
+			for k, v := range committed {
+				got, ok := s2.GetBytes(EncodeUint64(k))
+				if !ok {
+					t.Fatalf("point %d policy %d: committed key %d missing", points, policy, k)
+				}
+				if !bytes.Equal(got, v) {
+					t.Fatalf("point %d policy %d: key %d torn (%d bytes)", points, policy, k, len(got))
+				}
+			}
+			if n := s2.Scan(nil, -1, func([]byte, uint64) bool { return true }); n != keys {
+				t.Fatalf("point %d policy %d: scan saw %d keys", points, policy, n)
+			}
+		}
+	}
+}
+
+// Property: random byte-valued op sequences with random crash points
+// recover the committed model byte-exactly.
+func TestPropertyByteValuesCrashEqualsCommittedModel(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		a := nvm.New(nvm.Config{Words: testArenaWords})
+		s, _ := Open(a, testConfig())
+		rng := rand.New(rand.NewSource(seed))
+		committed := map[uint64]string{}
+		working := map[uint64]string{}
+		for i := 0; i < 900; i++ {
+			k := uint64(rng.Intn(300))
+			switch rng.Intn(6) {
+			case 0:
+				s.Delete(EncodeUint64(k))
+				delete(working, k)
+			default:
+				v := patternValue(uint64(i)<<16|k, rng.Intn(2500))
+				s.PutBytes(EncodeUint64(k), v)
+				working[k] = string(v)
+			}
+			if i%37 == 0 {
+				s.Advance()
+				committed = map[uint64]string{}
+				for k, v := range working {
+					committed[k] = v
+				}
+			}
+		}
+		a.Crash(nvm.RandomPolicy(float64(seed%5)/4, seed))
+		s2 := reopen(t, a, testConfig())
+		for k, v := range committed {
+			got, ok := s2.GetBytes(EncodeUint64(k))
+			if !ok || string(got) != v {
+				t.Fatalf("seed %d: key %d mismatch after recovery (ok=%v, %d vs %d bytes)",
+					seed, k, ok, len(got), len(v))
+			}
+		}
+		if n := s2.Scan(nil, -1, func([]byte, uint64) bool { return true }); n != len(committed) {
+			t.Fatalf("seed %d: scan saw %d keys, committed %d", seed, n, len(committed))
+		}
+	}
+}
+
+// TestValueHeapNoLeakAcrossCrashRounds runs 100 crash/recover rounds of
+// large-value overwrites. Freed blocks must recycle through the limbo
+// lists, so the heap's wilderness high-water mark plateaus. Crash-timing
+// randomness lets the steady-state pool wobble by a refill or two, but a
+// genuine leak (superseded or orphaned blocks never reclaimed) grows by
+// ~keys blocks per round and blows through the slack within a few rounds.
+func TestValueHeapNoLeakAcrossCrashRounds(t *testing.T) {
+	const (
+		keys   = 40
+		rounds = 100
+		warmup = 30
+		slack  = 8192 // words: two wilderness refills of headroom
+	)
+	a := nvm.New(nvm.Config{Words: testArenaWords})
+	cfg := testConfig()
+	s, _ := Open(a, cfg)
+
+	var used uint64
+	for round := 0; round < rounds; round++ {
+		for i := uint64(0); i < keys; i++ {
+			// Same size class every round, fresh contents: each overwrite
+			// allocates a new block and frees the old one.
+			s.PutBytes(EncodeUint64(i), patternValue(uint64(round)<<16|i, 1200))
+		}
+		s.Advance() // commit: superseded blocks splice into the free lists
+		// Doomed overwrites, then a crash: the rolled-back epoch's fresh
+		// blocks must be reclaimed by the allocator rollback.
+		for i := uint64(0); i < keys; i++ {
+			s.PutBytes(EncodeUint64(i), patternValue(uint64(round)<<17|i, 1200))
+		}
+		a.Crash(nvm.RandomPolicy(0.5, int64(round)))
+		s = reopen(t, a, cfg)
+		if round == warmup {
+			used = s.HeapUsed()
+		}
+		if round > warmup {
+			if got := s.HeapUsed(); got > used+slack {
+				t.Fatalf("round %d: heap high-water mark grew %d → %d words (leak)",
+					round, used, got)
+			}
+		}
+	}
+	// The committed values are still intact after the churn.
+	for i := uint64(0); i < keys; i++ {
+		v, ok := s.GetBytes(EncodeUint64(i))
+		if !ok || len(v) != 1200 {
+			t.Fatalf("key %d lost after %d rounds (%d bytes, %v)", i, rounds, len(v), ok)
+		}
+	}
+}

@@ -38,6 +38,10 @@ type Config struct {
 	PersistFraction float64
 	// ArenaWords sizes the simulated NVM.
 	ArenaWords uint64
+	// ValueBytes, when > 0, makes every put store a random byte value of
+	// up to this many bytes (exercising the value heap: inline values,
+	// out-of-place blocks, class churn). 0 stores small uint64 values.
+	ValueBytes int
 }
 
 func (c *Config) setDefaults() {
@@ -83,8 +87,8 @@ func Run(cfg Config, seed int64) error {
 		return fmt.Errorf("fresh arena opened with status %v", st)
 	}
 
-	committed := map[uint64]uint64{} // state at the last epoch boundary
-	working := map[uint64]uint64{}   // state including the current epoch
+	committed := map[uint64]string{} // state at the last epoch boundary
+	working := map[uint64]string{}   // state including the current epoch
 
 	for round := 0; round < cfg.Rounds; round++ {
 		// Committed epochs.
@@ -119,9 +123,22 @@ func Run(cfg Config, seed int64) error {
 	return verify(s, working)
 }
 
+// randValue draws one value: a small uint64's canonical encoding by
+// default, or — in byte mode — a random payload of up to ValueBytes bytes.
+func randValue(cfg Config, rng *rand.Rand) string {
+	if cfg.ValueBytes <= 0 {
+		return string(core.EncodeValue(rng.Uint64() % 1_000_000))
+	}
+	b := make([]byte, rng.Intn(cfg.ValueBytes+1))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
 // runEpoch has each worker mutate its own key range, mirroring every
 // mutation into the model.
-func runEpoch(s *core.Store, cfg Config, model map[uint64]uint64, seed int64) {
+func runEpoch(s *core.Store, cfg Config, model map[uint64]string, seed int64) {
 	per := cfg.Keyspace / uint64(cfg.Workers)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -132,7 +149,7 @@ func runEpoch(s *core.Store, cfg Config, model map[uint64]uint64, seed int64) {
 			defer wg.Done()
 			h := s.Handle(w)
 			rng := rand.New(rand.NewSource(seed*31 + int64(w)))
-			local := map[uint64]uint64{}
+			local := map[uint64]string{}
 			deleted := map[uint64]bool{}
 			for i := 0; i < cfg.OpsPerEpoch; i++ {
 				k := lo + uint64(rng.Int63n(int64(per)))
@@ -144,8 +161,8 @@ func runEpoch(s *core.Store, cfg Config, model map[uint64]uint64, seed int64) {
 				case 1:
 					h.Get(core.EncodeUint64(k))
 				default:
-					v := rng.Uint64() % 1_000_000
-					h.Put(core.EncodeUint64(k), v)
+					v := randValue(cfg, rng)
+					h.PutBytes(core.EncodeUint64(k), []byte(v))
 					local[k] = v
 					delete(deleted, k)
 				}
@@ -164,21 +181,22 @@ func runEpoch(s *core.Store, cfg Config, model map[uint64]uint64, seed int64) {
 }
 
 // verify checks the store against the model by point lookups and one full
-// ordered scan.
-func verify(s *core.Store, model map[uint64]uint64) error {
+// ordered scan, comparing exact bytes so torn values cannot hide behind
+// the uint64 view.
+func verify(s *core.Store, model map[uint64]string) error {
 	for k, v := range model {
-		got, ok := s.Get(core.EncodeUint64(k))
+		got, ok := s.GetBytes(core.EncodeUint64(k))
 		if !ok {
 			return fmt.Errorf("committed key %d missing after recovery", k)
 		}
-		if got != v {
-			return fmt.Errorf("key %d = %d after recovery, committed value %d", k, got, v)
+		if string(got) != v {
+			return fmt.Errorf("key %d = %x after recovery, committed value %x", k, got, v)
 		}
 	}
 	count := 0
 	var prev uint64
 	var scanErr error
-	s.Scan(nil, -1, func(kb []byte, v uint64) bool {
+	s.ScanBytes(nil, -1, func(kb, v []byte) bool {
 		k := deKey(kb)
 		if count > 0 && k <= prev {
 			scanErr = fmt.Errorf("scan order violated at key %d", k)
@@ -191,8 +209,8 @@ func verify(s *core.Store, model map[uint64]uint64) error {
 			scanErr = fmt.Errorf("scan found uncommitted key %d after recovery", k)
 			return false
 		}
-		if want != v {
-			scanErr = fmt.Errorf("scan key %d = %d, committed %d", k, v, want)
+		if want != string(v) {
+			scanErr = fmt.Errorf("scan key %d = %x, committed %x", k, v, want)
 			return false
 		}
 		return true
@@ -206,8 +224,8 @@ func verify(s *core.Store, model map[uint64]uint64) error {
 	return nil
 }
 
-func cloneModel(m map[uint64]uint64) map[uint64]uint64 {
-	out := make(map[uint64]uint64, len(m))
+func cloneModel(m map[uint64]string) map[uint64]string {
+	out := make(map[uint64]string, len(m))
 	for k, v := range m {
 		out[k] = v
 	}

@@ -48,3 +48,25 @@ func TestCrashShardedCampaignsRecoverExactly(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashCampaignByteValues(t *testing.T) {
+	// The value heap under crash churn: inline values, out-of-place blocks
+	// across several size classes, exact-byte verification (no torn or
+	// partially recovered values).
+	cfg := Config{Workers: 2, Keyspace: 1200, OpsPerEpoch: 400, Rounds: 3, ValueBytes: 1500}
+	for seed := int64(0); seed < 3; seed++ {
+		if err := Run(cfg, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCrashShardedCampaignByteValues(t *testing.T) {
+	cfg := Config{Shards: 4, Workers: 2, Rounds: 3, Keyspace: 1200,
+		OpsPerEpoch: 300, ValueBytes: 1500, ArenaWords: 1 << 24}
+	for seed := int64(0); seed < 2; seed++ {
+		if err := Run(cfg, seed); err != nil {
+			t.Fatalf("sharded seed %d: %v", seed, err)
+		}
+	}
+}

@@ -27,8 +27,8 @@ func runSharded(cfg Config, seed int64) error {
 		return fmt.Errorf("fresh cluster opened with status %v", info.Status)
 	}
 
-	committed := map[uint64]uint64{} // state at the last global boundary
-	working := map[uint64]uint64{}   // state including the running epoch
+	committed := map[uint64]string{} // state at the last global boundary
+	working := map[uint64]string{}   // state including the running epoch
 
 	for round := 0; round < cfg.Rounds; round++ {
 		for e := 0; e < cfg.EpochsPerRound; e++ {
@@ -78,7 +78,7 @@ func runSharded(cfg Config, seed int64) error {
 
 // runShardedEpoch has each worker mutate its own key range through the
 // cluster façade, mirroring every mutation into the model.
-func runShardedEpoch(s *shard.Store, cfg Config, model map[uint64]uint64, seed int64) {
+func runShardedEpoch(s *shard.Store, cfg Config, model map[uint64]string, seed int64) {
 	per := cfg.Keyspace / uint64(cfg.Workers)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -89,7 +89,7 @@ func runShardedEpoch(s *shard.Store, cfg Config, model map[uint64]uint64, seed i
 			defer wg.Done()
 			h := s.Handle(w)
 			rng := rand.New(rand.NewSource(seed*31 + int64(w)))
-			local := map[uint64]uint64{}
+			local := map[uint64]string{}
 			deleted := map[uint64]bool{}
 			for i := 0; i < cfg.OpsPerEpoch; i++ {
 				k := lo + uint64(rng.Int63n(int64(per)))
@@ -101,8 +101,8 @@ func runShardedEpoch(s *shard.Store, cfg Config, model map[uint64]uint64, seed i
 				case 1:
 					h.Get(core.EncodeUint64(k))
 				default:
-					v := rng.Uint64() % 1_000_000
-					h.Put(core.EncodeUint64(k), v)
+					v := randValue(cfg, rng)
+					h.PutBytes(core.EncodeUint64(k), []byte(v))
 					local[k] = v
 					delete(deleted, k)
 				}
@@ -121,21 +121,21 @@ func runShardedEpoch(s *shard.Store, cfg Config, model map[uint64]uint64, seed i
 }
 
 // verifySharded checks the cluster against the model by routed point
-// lookups and one merged ordered scan.
-func verifySharded(s *shard.Store, model map[uint64]uint64) error {
+// lookups and one merged ordered scan, comparing exact bytes.
+func verifySharded(s *shard.Store, model map[uint64]string) error {
 	for k, v := range model {
-		got, ok := s.Get(core.EncodeUint64(k))
+		got, ok := s.GetBytes(core.EncodeUint64(k))
 		if !ok {
 			return fmt.Errorf("committed key %d missing after recovery", k)
 		}
-		if got != v {
-			return fmt.Errorf("key %d = %d after recovery, committed value %d", k, got, v)
+		if string(got) != v {
+			return fmt.Errorf("key %d = %x after recovery, committed value %x", k, got, v)
 		}
 	}
 	count := 0
 	var prev uint64
 	var scanErr error
-	s.Scan(nil, -1, func(kb []byte, v uint64) bool {
+	s.ScanBytes(nil, -1, func(kb, v []byte) bool {
 		k := deKey(kb)
 		if count > 0 && k <= prev {
 			scanErr = fmt.Errorf("merged scan order violated at key %d", k)
@@ -148,8 +148,8 @@ func verifySharded(s *shard.Store, model map[uint64]uint64) error {
 			scanErr = fmt.Errorf("scan found uncommitted key %d after recovery", k)
 			return false
 		}
-		if want != v {
-			scanErr = fmt.Errorf("scan key %d = %d, committed %d", k, v, want)
+		if want != string(v) {
+			scanErr = fmt.Errorf("scan key %d = %x, committed %x", k, v, want)
 			return false
 		}
 		return true

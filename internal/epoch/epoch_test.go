@@ -319,3 +319,30 @@ func TestCoordinatedOracleUncommittedStillRollsBack(t *testing.T) {
 		t.Fatalf("Current = %d, want 2", m2.Current())
 	}
 }
+
+func TestTickerStartStopIdempotent(t *testing.T) {
+	// A second Start while running must be a no-op (one ticker goroutine,
+	// the established cadence), and a second Stop must not hang or panic —
+	// callers like DB.StartCheckpointer may be invoked twice.
+	_, m, _ := newManager(t)
+	m.StartTicker(2 * time.Millisecond)
+	m.StartTicker(1 * time.Millisecond) // no-op, keeps the first cadence
+	time.Sleep(20 * time.Millisecond)
+	m.StopTicker()
+	n := m.Advances()
+	if n == 0 {
+		t.Fatal("ticker never advanced the epoch")
+	}
+	m.StopTicker() // idempotent
+	time.Sleep(10 * time.Millisecond)
+	if m.Advances() != n {
+		t.Fatal("ticker kept running after Stop (double-Start leaked a goroutine)")
+	}
+	// Start/Stop cycles keep working after an idempotent no-op pair.
+	m.StartTicker(2 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	m.StopTicker()
+	if m.Advances() == n {
+		t.Fatal("ticker did not restart after Stop")
+	}
+}

@@ -5,17 +5,19 @@ import "time"
 // Ticker runs a callback on a fixed interval from a background goroutine —
 // the paper's 64 ms checkpoint timer, shared by the single-store manager,
 // the shard coordinator, and the transaction manager (each supplies its
-// own advance function). Zero value is ready; not safe for concurrent
-// Start/Stop.
+// own advance function). Zero value is ready. Start and Stop are
+// idempotent (a second Start while running is a no-op, as is Stop when
+// stopped), but they must not race each other from different goroutines.
 type Ticker struct {
 	stop chan struct{}
 	done chan struct{}
 }
 
-// Start begins invoking tick every interval. Panics if already running.
+// Start begins invoking tick every interval; a no-op if already running
+// (the established cadence keeps going).
 func (t *Ticker) Start(interval time.Duration, tick func()) {
 	if t.stop != nil {
-		panic("epoch: ticker already running")
+		return
 	}
 	t.stop = make(chan struct{})
 	t.done = make(chan struct{})

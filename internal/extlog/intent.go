@@ -42,17 +42,24 @@ const (
 	iMark     = 5
 	iContent  = nvm.WordsPerLine // content starts on the second line
 
-	// op encoding, within content
-	opDelete = 1 << 16 // kind bit in the op header word; low 16 bits = key length
+	// op encoding, within content: the op header word carries the key
+	// length (bits 0..15), the delete bit (16), and the value byte length
+	// (bits 32..47); key words then value words follow, bytes packed eight
+	// per word.
+	opDelete = 1 << 16
+	opVShift = 32
 
 	// MaxIntentKeyLen bounds one key's byte length in an intent record.
 	MaxIntentKeyLen = 1 << 16
+	// MaxIntentValLen bounds one value's byte length in an intent record.
+	MaxIntentValLen = 1 << 16
 )
 
-// IntentOp is one operation of a transaction's write set.
+// IntentOp is one operation of a transaction's write set. Val carries the
+// byte value a put writes (nil and unused for deletes).
 type IntentOp struct {
 	Key    []byte
-	Val    uint64
+	Val    []byte
 	Delete bool
 }
 
@@ -146,19 +153,22 @@ func intentContentWords(ops []IntentOp) uint64 {
 		n++ // op header word
 		n += (uint64(len(op.Key)) + 7) / 8
 		if !op.Delete {
-			n++ // value word
+			n += (uint64(len(op.Val)) + 7) / 8
 		}
 	}
 	return n
 }
 
 // IntentFits reports whether a write set can ever be appended: every key
-// within the encoding's length bound and the whole record within one
-// segment. Callers turn a permanent misfit into an error instead of
-// retrying after an epoch advance.
+// and value within the encoding's length bounds and the whole record
+// within one segment. Callers turn a permanent misfit into an error
+// instead of retrying after an epoch advance.
 func (l *IntentLog) IntentFits(ops []IntentOp) bool {
 	for _, op := range ops {
 		if len(op.Key) >= MaxIntentKeyLen {
+			return false
+		}
+		if !op.Delete && len(op.Val) >= MaxIntentValLen {
 			return false
 		}
 	}
@@ -188,25 +198,30 @@ func (w *IntentWriter) AppendIntent(seq, epochNum, shardSet uint64, ops []Intent
 		sum = checksumStep(sum, v)
 		pos++
 	}
+	packBytes := func(b []byte) {
+		for i := 0; i < len(b); i += 8 {
+			var word uint64
+			for j := 0; j < 8 && i+j < len(b); j++ {
+				word |= uint64(b[i+j]) << (56 - 8*uint(j))
+			}
+			store(word)
+		}
+	}
 	for _, op := range ops {
-		if len(op.Key) >= MaxIntentKeyLen {
-			// Callers gate on IntentFits, which rejects oversize keys.
-			panic("extlog: intent key too long (caller skipped IntentFits)")
+		if len(op.Key) >= MaxIntentKeyLen || (!op.Delete && len(op.Val) >= MaxIntentValLen) {
+			// Callers gate on IntentFits, which rejects oversize ops.
+			panic("extlog: intent op too long (caller skipped IntentFits)")
 		}
 		hdr := uint64(len(op.Key))
 		if op.Delete {
 			hdr |= opDelete
+		} else {
+			hdr |= uint64(len(op.Val)) << opVShift
 		}
 		store(hdr)
-		for i := 0; i < len(op.Key); i += 8 {
-			var word uint64
-			for j := 0; j < 8 && i+j < len(op.Key); j++ {
-				word |= uint64(op.Key[i+j]) << (56 - 8*uint(j))
-			}
-			store(word)
-		}
+		packBytes(op.Key)
 		if !op.Delete {
-			store(op.Val)
+			packBytes(op.Val)
 		}
 	}
 
@@ -284,29 +299,30 @@ func (l *IntentLog) ScanIntents() []IntentRecord {
 			pos := e + iContent
 			end := pos + content
 			valid := true
+			unpackBytes := func(n uint64) []byte {
+				b := make([]byte, n)
+				for i := uint64(0); i < n; i++ {
+					b[i] = byte(a.Load(pos+i/8) >> (56 - 8*(i%8)))
+				}
+				pos += (n + 7) / 8
+				return b
+			}
 			for pos < end {
 				hdr := a.Load(pos)
 				pos++
 				klen := hdr & 0xFFFF
-				kw := (klen + 7) / 8
 				del := hdr&opDelete != 0
-				needW := kw
+				vlen := uint64(0)
 				if !del {
-					needW++
+					vlen = hdr >> opVShift & 0xFFFF
 				}
-				if pos+needW > end {
+				if pos+(klen+7)/8+(vlen+7)/8 > end {
 					valid = false
 					break
 				}
-				key := make([]byte, klen)
-				for b := uint64(0); b < klen; b++ {
-					key[b] = byte(a.Load(pos+b/8) >> (56 - 8*(b%8)))
-				}
-				pos += kw
-				op := IntentOp{Key: key, Delete: del}
+				op := IntentOp{Key: unpackBytes(klen), Delete: del}
 				if !del {
-					op.Val = a.Load(pos)
-					pos++
+					op.Val = unpackBytes(vlen)
 				}
 				rec.Ops = append(rec.Ops, op)
 			}

@@ -20,10 +20,10 @@ func intentFixture(t *testing.T, segWords uint64, writers int) (*nvm.Arena, *epo
 func TestIntentRoundTrip(t *testing.T) {
 	_, m, l := intentFixture(t, 1<<10, 2)
 	ops := []IntentOp{
-		{Key: []byte{1, 2, 3}, Val: 77},                                 // short key
-		{Key: []byte{9, 8, 7, 6, 5, 4, 3, 2}, Val: 88},                  // exactly one word
-		{Key: []byte("a long key spanning words"), Delete: true},        // multi-word delete
-		{Key: []byte{0xFF, 0, 0xAA, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Val: 3}, // 12 bytes
+		{Key: []byte{1, 2, 3}, Val: []byte{77}},                                    // short key, short value
+		{Key: []byte{9, 8, 7, 6, 5, 4, 3, 2}, Val: []byte("an 18-byte payload")},   // word-exact key, multi-word value
+		{Key: []byte("a long key spanning words"), Delete: true},                   // multi-word delete
+		{Key: []byte{0xFF, 0, 0xAA, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Val: []byte{}},    // 12-byte key, empty value
 	}
 	entry, ok := l.Writer(1).AppendIntent(42, m.Current(), 0b101, ops)
 	if !ok {
@@ -45,7 +45,7 @@ func TestIntentRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d ops, want %d", len(r.Ops), len(ops))
 	}
 	for i, op := range r.Ops {
-		if !bytes.Equal(op.Key, ops[i].Key) || op.Val != ops[i].Val || op.Delete != ops[i].Delete {
+		if !bytes.Equal(op.Key, ops[i].Key) || !bytes.Equal(op.Val, ops[i].Val) || op.Delete != ops[i].Delete {
 			t.Fatalf("op %d = %+v, want %+v", i, op, ops[i])
 		}
 	}
@@ -58,7 +58,7 @@ func TestIntentRoundTrip(t *testing.T) {
 
 func TestIntentRetireHidesRecords(t *testing.T) {
 	_, m, l := intentFixture(t, 1<<10, 1)
-	e, _ := l.Writer(0).AppendIntent(1, m.Current(), 1, []IntentOp{{Key: []byte{1}, Val: 1}})
+	e, _ := l.Writer(0).AppendIntent(1, m.Current(), 1, []IntentOp{{Key: []byte{1}, Val: []byte{1}}})
 	l.MarkCommitted(e)
 	l.RetireIntents()
 	if recs := l.ScanIntents(); len(recs) != 0 {
@@ -68,7 +68,7 @@ func TestIntentRetireHidesRecords(t *testing.T) {
 
 func TestIntentSegmentFullAndCursorReset(t *testing.T) {
 	_, m, l := intentFixture(t, 2*nvm.WordsPerLine, 1) // room for exactly one small record
-	small := []IntentOp{{Key: []byte{1}, Val: 1}}
+	small := []IntentOp{{Key: []byte{1}, Val: []byte{1}}}
 	if _, ok := l.Writer(0).AppendIntent(1, m.Current(), 1, small); !ok {
 		t.Fatal("first append should fit")
 	}
@@ -83,7 +83,7 @@ func TestIntentSegmentFullAndCursorReset(t *testing.T) {
 
 func TestIntentTornRecordIgnored(t *testing.T) {
 	a, m, l := intentFixture(t, 1<<10, 1)
-	e, _ := l.Writer(0).AppendIntent(7, m.Current(), 1, []IntentOp{{Key: []byte{1, 2, 3, 4}, Val: 9}})
+	e, _ := l.Writer(0).AppendIntent(7, m.Current(), 1, []IntentOp{{Key: []byte{1, 2, 3, 4}, Val: []byte{9}}})
 	// Corrupt one content word, as a torn line would.
 	a.Store(e+iContent, a.Load(e+iContent)^0xDEAD)
 	if recs := l.ScanIntents(); len(recs) != 0 {
@@ -93,12 +93,12 @@ func TestIntentTornRecordIgnored(t *testing.T) {
 
 func TestIntentFits(t *testing.T) {
 	_, _, l := intentFixture(t, 2*nvm.WordsPerLine, 1)
-	if !l.IntentFits([]IntentOp{{Key: []byte{1}, Val: 1}}) {
+	if !l.IntentFits([]IntentOp{{Key: []byte{1}, Val: []byte{1}}}) {
 		t.Fatal("small op should fit")
 	}
 	big := make([]IntentOp, 64)
 	for i := range big {
-		big[i] = IntentOp{Key: []byte{byte(i)}, Val: 1}
+		big[i] = IntentOp{Key: []byte{byte(i)}, Val: []byte{1}}
 	}
 	if l.IntentFits(big) {
 		t.Fatal("64 ops cannot fit a two-line segment")

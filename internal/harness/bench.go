@@ -17,12 +17,15 @@ type BenchRecord struct {
 	Dist       string  `json:"dist"`
 	Shards     int     `json:"shards"`
 	TxnMode    string  `json:"txn_mode"`
+	ValueSize  int     `json:"value_size"`
+	ValueDist  string  `json:"value_dist,omitempty"`
 	Threads    int     `json:"threads"`
 	TreeSize   uint64  `json:"tree_size"`
 	Ops        int64   `json:"ops"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	Txns       int64   `json:"txns"`
 	TxnsPerSec float64 `json:"txns_per_sec"`
+	MBPerSec   float64 `json:"mb_per_sec"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
@@ -32,20 +35,26 @@ func record(r Result) BenchRecord {
 	if shards < 1 {
 		shards = 1
 	}
-	return BenchRecord{
+	rec := BenchRecord{
 		Workload:   r.Config.Workload.String(),
 		Mode:       r.Config.Mode.String(),
 		Dist:       r.Config.Dist.String(),
 		Shards:     shards,
 		TxnMode:    r.Config.TxnMode.String(),
+		ValueSize:  r.Config.ValueSize,
 		Threads:    r.Config.Threads,
 		TreeSize:   r.Config.TreeSize,
 		Ops:        r.Ops,
 		OpsPerSec:  r.Throughput,
 		Txns:       r.Txns,
 		TxnsPerSec: r.TxnThroughput,
+		MBPerSec:   r.MBPerSec,
 		ElapsedMS:  float64(r.Elapsed.Microseconds()) / 1000,
 	}
+	if r.Config.ValueSize > 0 {
+		rec.ValueDist = r.Config.ValueDist.String()
+	}
+	return rec
 }
 
 // BenchSuite runs the tracked benchmark matrix — the four YCSB workloads
@@ -87,14 +96,38 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 	xfer4.Shards = 4
 	cfgs = append(cfgs, xfer4)
 
+	// Byte-value rows: memcached-style payload sizes on the value heap.
+	// Smaller trees keep the value-heap arenas CI-sized.
+	bytes128 := base
+	bytes128.Workload = ycsb.A
+	bytes128.ValueSize = 128
+	cfgs = append(cfgs, bytes128)
+
+	bytes1k := base
+	bytes1k.Workload = ycsb.A
+	bytes1k.TreeSize = p.TreeSize / 4
+	bytes1k.ValueSize = 1024
+	bytes1k.ValueDist = ycsb.SizeZipfian
+	cfgs = append(cfgs, bytes1k)
+
+	bytes1k4 := base
+	bytes1k4.Workload = ycsb.A
+	bytes1k4.TreeSize = p.TreeSize / 4
+	bytes1k4.ValueSize = 1024
+	bytes1k4.Shards = 4
+	cfgs = append(cfgs, bytes1k4)
+
 	recs := make([]BenchRecord, 0, len(cfgs))
 	for _, c := range cfgs {
 		r := Run(c)
 		rec := record(r)
 		recs = append(recs, rec)
-		fmt.Fprintf(w, "%-7s %-6s shards=%d txn=%-8s %10.0f ops/s", rec.Workload, rec.Mode, rec.Shards, rec.TxnMode, rec.OpsPerSec)
+		fmt.Fprintf(w, "%-7s %-6s shards=%d txn=%-8s vs=%-4d %10.0f ops/s", rec.Workload, rec.Mode, rec.Shards, rec.TxnMode, rec.ValueSize, rec.OpsPerSec)
 		if rec.Txns > 0 {
 			fmt.Fprintf(w, " %10.0f txn/s", rec.TxnsPerSec)
+		}
+		if rec.ValueSize > 0 {
+			fmt.Fprintf(w, " %8.1f MB/s", rec.MBPerSec)
 		}
 		if c.TxnMode == TxnTransfer && !r.SumConserved {
 			fmt.Fprintf(w, "  INVARIANT VIOLATED")

@@ -110,6 +110,17 @@ type RunConfig struct {
 	// default 1, the single store the paper evaluates).
 	Shards int
 
+	// ValueSize, when > 0, switches the durable workloads to
+	// variable-length byte values of up to this many bytes (via
+	// PutBytes/GetBytes/ScanBytes) and reports value throughput in MB/s.
+	// 0 keeps the paper's uint64 values (durable non-transactional modes
+	// only).
+	ValueSize int
+	// ValueDist selects the payload-size distribution: every value exactly
+	// ValueSize bytes (constant, the default), or zipfian-skewed sizes in
+	// 1..ValueSize like real object-cache populations.
+	ValueDist ycsb.SizeDist
+
 	// EpochInterval is the checkpoint interval (default 64 ms).
 	EpochInterval time.Duration
 	// FenceDelay emulates NVM write latency after sfence (Figures 3, 8).
@@ -161,6 +172,10 @@ type Result struct {
 	// measured phase (sharded runs only; nil otherwise).
 	PerShardOps []int64
 
+	// Byte-value extras (zero unless RunConfig.ValueSize > 0).
+	ValueBytes int64   // payload bytes written by puts + read by gets/scans
+	MBPerSec   float64 // ValueBytes per second, in MB
+
 	// Transactional-mode extras (zero when TxnMode is TxnNone).
 	Txns          int64   // transactions committed
 	TxnConflicts  int64   // commits retried after read validation failed
@@ -175,8 +190,14 @@ func Run(cfg RunConfig) Result {
 	cfg.setDefaults()
 	switch cfg.Mode {
 	case MT, MTPlus:
+		if cfg.ValueSize > 0 {
+			panic("harness: ValueSize requires a durable mode (the transient baselines hold uint64 values)")
+		}
 		return runTransient(cfg)
 	default:
+		if cfg.ValueSize > 0 && cfg.TxnMode != TxnNone {
+			panic("harness: ValueSize and TxnMode are mutually exclusive (transfers are uint64 accounts)")
+		}
 		if cfg.Shards > 1 {
 			return runSharded(cfg)
 		}
@@ -252,6 +273,18 @@ func runTransient(cfg RunConfig) Result {
 // SizeArena returns a generous arena size (words) for a durable run.
 func SizeArena(cfg RunConfig) (arenaWords, heapWords, segWords uint64) {
 	heapWords = cfg.TreeSize*12 + 1<<22
+	if cfg.ValueSize > 0 {
+		// Out-of-place value blocks: class rounding costs at most 1.5×
+		// past a cache line, plus the allocator header. Beyond the live
+		// tree, in-flight churn holds up to ~an epoch of superseded blocks
+		// on the limbo lists before they recycle.
+		perVal := (1+uint64(cfg.ValueSize+7)/8)*3/2 + 8
+		churn := uint64(cfg.Threads) * uint64(cfg.OpsPerThread)
+		if churn > 1<<16 {
+			churn = 1 << 16
+		}
+		heapWords += (cfg.TreeSize + churn) * perVal
+	}
 	segWords = uint64(1<<25) / uint64(cfg.Threads)
 	if segWords < 1<<20 {
 		segWords = 1 << 20
@@ -296,9 +329,7 @@ func runDurable(cfg RunConfig) Result {
 	})
 	s, _ := core.Open(a, coreCfg)
 
-	parallelLoad(cfg, func(w int, k uint64) {
-		s.Handle(w).Put(core.EncodeUint64(k), preloadValue(cfg, k))
-	})
+	preload(cfg, func(w int) kvHandle { return s.Handle(w) })
 	s.Advance() // commit the load and reset counters against a clean epoch
 
 	var m *txn.Manager
@@ -314,7 +345,8 @@ func runDurable(cfg RunConfig) Result {
 	adv0 := s.Epochs().Advances()
 
 	handle := func(w int) kvHandle { return s.Handle(w) }
-	do := durableOps(handle)
+	bytesMoved := make([]int64, cfg.Threads)
+	do := durableOps(cfg, handle, bytesMoved)
 	if m != nil {
 		do = durableTxnOps(cfg, m, handle)
 		m.StartTicker(cfg.EpochInterval)
@@ -344,6 +376,7 @@ func runDurable(cfg RunConfig) Result {
 		Evictions:    as.Evictions,
 		Advances:     s.Epochs().Advances() - adv0,
 	}
+	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))
 	return r
 }
@@ -375,9 +408,7 @@ func runSharded(cfg RunConfig) Result {
 	}
 	s, _ := shard.Open(shardCfg)
 
-	parallelLoad(cfg, func(w int, k uint64) {
-		s.Handle(w).Put(core.EncodeUint64(k), preloadValue(cfg, k))
-	})
+	preload(cfg, func(w int) kvHandle { return s.Handle(w) })
 	s.Advance() // commit the load against a clean global epoch
 
 	var m *txn.Manager
@@ -394,7 +425,8 @@ func runSharded(cfg RunConfig) Result {
 	adv0 := s.GlobalEpoch()
 
 	handle := func(w int) kvHandle { return s.Handle(w) }
-	do := durableOps(handle)
+	bytesMoved := make([]int64, cfg.Threads)
+	do := durableOps(cfg, handle, bytesMoved)
 	if m != nil {
 		do = durableTxnOps(cfg, m, handle)
 		m.StartTicker(cfg.EpochInterval)
@@ -429,8 +461,38 @@ func runSharded(cfg RunConfig) Result {
 		Advances:     int64(s.GlobalEpoch() - adv0),
 		PerShardOps:  perShard,
 	}
+	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))
 	return r
+}
+
+// preload fills the store with TreeSize keys: uint64 values by default,
+// deterministic byte payloads when ValueSize is set.
+func preload(cfg RunConfig, handle func(w int) kvHandle) {
+	if cfg.ValueSize <= 0 {
+		parallelLoad(cfg, func(w int, k uint64) {
+			handle(w).Put(core.EncodeUint64(k), preloadValue(cfg, k))
+		})
+		return
+	}
+	scratch := make([][]byte, cfg.Threads)
+	for w := range scratch {
+		scratch[w] = make([]byte, cfg.ValueSize)
+	}
+	parallelLoad(cfg, func(w int, k uint64) {
+		handle(w).PutBytes(core.EncodeUint64(k), preloadBytes(cfg, k, scratch[w]))
+	})
+}
+
+// fillByteResult folds the per-worker payload byte counts into the result.
+func fillByteResult(r *Result, cfg RunConfig, bytesMoved []int64, elapsed time.Duration) {
+	if cfg.ValueSize <= 0 {
+		return
+	}
+	for _, b := range bytesMoved {
+		r.ValueBytes += b
+	}
+	r.MBPerSec = float64(r.ValueBytes) / elapsed.Seconds() / 1e6
 }
 
 // fillTxnResult reads the manager's counters into the result and, in
@@ -458,7 +520,7 @@ func fillTxnResult(r *Result, cfg RunConfig, m *txn.Manager, elapsed time.Durati
 // every generated op into a TxnKeys-account transfer debiting the
 // generated key. Conflicted commits retry until they land.
 func durableTxnOps(cfg RunConfig, m *txn.Manager, handle func(w int) kvHandle) func(w int, op ycsb.Op, i int) {
-	plain := durableOps(handle)
+	plain := durableOps(cfg, handle, nil)
 	rngs := make([]*rand.Rand, cfg.Threads)
 	for w := range rngs {
 		rngs[w] = rand.New(rand.NewSource(cfg.Seed ^ int64(w+1)*104729))
@@ -528,24 +590,81 @@ func shardOpCount(st *core.Stats) int64 {
 // shard.Handle.
 type kvHandle interface {
 	Put(k []byte, v uint64) bool
+	PutBytes(k []byte, v []byte) bool
 	Get(k []byte) (uint64, bool)
+	AppendGet(dst []byte, k []byte) ([]byte, bool)
 	Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int
+	ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int
 }
 
 // durableOps builds the measured-phase op dispatcher over per-worker
-// handles (shared by the single-store and sharded durable runs).
-func durableOps(handle func(w int) kvHandle) func(w int, op ycsb.Op, i int) {
+// handles (shared by the single-store and sharded durable runs). With
+// ValueSize > 0 it dispatches the byte-valued mix and accumulates the
+// payload bytes each worker moves into bytesMoved[w].
+func durableOps(cfg RunConfig, handle func(w int) kvHandle, bytesMoved []int64) func(w int, op ycsb.Op, i int) {
+	if cfg.ValueSize <= 0 {
+		return func(w int, op ycsb.Op, i int) {
+			h := handle(w)
+			switch op.Kind {
+			case ycsb.OpPut:
+				h.Put(core.EncodeUint64(op.Key), opValue(w, i))
+			case ycsb.OpGet:
+				h.Get(core.EncodeUint64(op.Key))
+			case ycsb.OpScan:
+				h.Scan(core.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
+			}
+		}
+	}
+	sizers := make([]*ycsb.SizeGen, cfg.Threads)
+	rngs := make([]*rand.Rand, cfg.Threads)
+	scratch := make([][]byte, cfg.Threads)
+	for w := range sizers {
+		sizers[w] = ycsb.NewSizeGen(cfg.ValueDist, cfg.ValueSize)
+		rngs[w] = rand.New(rand.NewSource(cfg.Seed ^ int64(w+1)*15485863))
+		scratch[w] = make([]byte, 0, cfg.ValueSize)
+	}
 	return func(w int, op ycsb.Op, i int) {
 		h := handle(w)
 		switch op.Kind {
 		case ycsb.OpPut:
-			h.Put(core.EncodeUint64(op.Key), opValue(w, i))
+			n := sizers[w].Next(rngs[w])
+			v := fillPayload(scratch[w][:n], op.Key, uint64(w)<<32|uint64(i))
+			h.PutBytes(core.EncodeUint64(op.Key), v)
+			bytesMoved[w] += int64(n)
 		case ycsb.OpGet:
-			h.Get(core.EncodeUint64(op.Key))
+			if v, ok := h.AppendGet(scratch[w][:0], core.EncodeUint64(op.Key)); ok {
+				bytesMoved[w] += int64(len(v))
+			}
 		case ycsb.OpScan:
-			h.Scan(core.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
+			h.ScanBytes(core.EncodeUint64(op.Key), ycsb.ScanLength, func(_, v []byte) bool {
+				bytesMoved[w] += int64(len(v))
+				return true
+			})
 		}
 	}
+}
+
+// fillPayload fills dst with a cheap deterministic pattern derived from the
+// key and a per-write salt, so every overwrite stores distinct bytes.
+func fillPayload(dst []byte, key, salt uint64) []byte {
+	x := ycsb.Scramble(key ^ salt ^ 0x9E3779B97F4A7C15)
+	for i := range dst {
+		if i%8 == 0 {
+			x = ycsb.Scramble(x)
+		}
+		dst[i] = byte(x >> (8 * uint(i%8)))
+	}
+	return dst
+}
+
+// preloadBytes is the byte payload the loader stores under key k.
+func preloadBytes(cfg RunConfig, k uint64, scratch []byte) []byte {
+	n := cfg.ValueSize
+	if cfg.ValueDist == ycsb.SizeZipfian {
+		// Deterministic per-key size with the same 1..max support.
+		n = 1 + int(ycsb.Scramble(k)%uint64(cfg.ValueSize))
+	}
+	return fillPayload(scratch[:n], k, 0)
 }
 
 // parallelLoad inserts keys 0..TreeSize-1 using all workers.

@@ -15,6 +15,7 @@ import (
 
 	"incll/internal/core"
 	"incll/internal/epoch"
+	"incll/internal/testutil"
 )
 
 func TestPropertyCrossShardCrashAtomicity(t *testing.T) {
@@ -190,4 +191,99 @@ func decodeKey(b []byte) uint64 {
 		k = k<<8 | uint64(c)
 	}
 	return k
+}
+
+// TestLargeValueCrossShardCrashAtEveryOp is the cross-shard analogue of
+// core's crash-at-every-point property for large values: a committed
+// prefix of KB-scale values, then every doomed-op prefix length, then a
+// crash — plain, inside phase 1, or inside phase 2 of the coordinated
+// checkpoint. Committed bytes must survive exactly on every shard.
+func TestLargeValueCrossShardCrashAtEveryOp(t *testing.T) {
+	const (
+		shards = 4
+		keys   = 8
+	)
+	pattern := testutil.Pattern
+	sizes := []int{2, 60, 900, 2000, 4000}
+	type op struct {
+		k   uint64
+		n   int
+		del bool
+	}
+	var script []op
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 16; i++ {
+		k := uint64(rng.Intn(keys))
+		if rng.Intn(5) == 0 {
+			script = append(script, op{k: k, del: true})
+		} else {
+			script = append(script, op{k: k, n: sizes[rng.Intn(len(sizes))]})
+		}
+	}
+
+	for points := 0; points <= len(script); points++ {
+		for policy := 0; policy < 3; policy++ {
+			s, _ := Open(testConfig(shards, 1))
+			committed := map[uint64][]byte{}
+			for i := uint64(0); i < keys; i++ {
+				v := pattern(i+500, 1500)
+				s.PutBytes(core.EncodeUint64(i), v)
+				committed[i] = v
+			}
+			s.Advance()
+
+			for i, o := range script[:points] {
+				if o.del {
+					s.Delete(core.EncodeUint64(o.k))
+				} else {
+					s.PutBytes(core.EncodeUint64(o.k), pattern(uint64(i)*131+o.k, o.n))
+				}
+			}
+			stand := false
+			switch policy {
+			case 0:
+				s.SimulateCrash(0.5, int64(points))
+			case 1:
+				// Phase-1 crash: some shards flushed, no global commit.
+				s.CrashDuringAdvance(points%(shards+1), 0, false, 0.5, int64(points))
+			case 2:
+				// Phase-2 crash: global record landed → the epoch stands.
+				s.CrashDuringAdvance(shards, points%(shards+1), true, 0.5, int64(points))
+				stand = true
+			}
+			s2, _ := reopenShard(t, s)
+			if stand {
+				// Fold the doomed ops into the expectation: they committed.
+				for i, o := range script[:points] {
+					if o.del {
+						delete(committed, o.k)
+					} else {
+						committed[o.k] = pattern(uint64(i)*131+o.k, o.n)
+					}
+				}
+			}
+			for k, v := range committed {
+				got, ok := s2.GetBytes(core.EncodeUint64(k))
+				if !ok {
+					t.Fatalf("point %d policy %d: committed key %d missing", points, policy, k)
+				}
+				if !bytes.Equal(got, v) {
+					t.Fatalf("point %d policy %d: key %d torn (%d vs %d bytes)",
+						points, policy, k, len(got), len(v))
+				}
+			}
+			n := 0
+			s2.ScanBytes(nil, -1, func(kb, v []byte) bool {
+				k := decodeKey(kb)
+				if want, ok := committed[k]; !ok || !bytes.Equal(v, want) {
+					t.Fatalf("point %d policy %d: scan key %d unexpected or torn", points, policy, k)
+				}
+				n++
+				return true
+			})
+			if n != len(committed) {
+				t.Fatalf("point %d policy %d: scan saw %d keys, want %d", points, policy, n, len(committed))
+			}
+		}
+	}
 }

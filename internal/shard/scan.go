@@ -11,11 +11,11 @@ import (
 // amortizes the guard and descent without buffering whole shards.
 const scanBatch = 64
 
-// scanKV is one buffered entry; keys are copied out of the shard's
-// callback so they outlive the refill.
+// scanKV is one buffered entry; keys and values are copied out of the
+// shard's callback so they outlive the refill.
 type scanKV struct {
 	k []byte
-	v uint64
+	v []byte
 }
 
 // scanCursor streams one shard's keys ≥ start in ascending order.
@@ -33,8 +33,8 @@ func (c *scanCursor) refill() {
 	}
 	c.buf = c.buf[:0]
 	c.pos = 0
-	n := c.h.Scan(c.next, scanBatch, func(k []byte, v uint64) bool {
-		c.buf = append(c.buf, scanKV{k: append([]byte(nil), k...), v: v})
+	n := c.h.ScanBytes(c.next, scanBatch, func(k, v []byte) bool {
+		c.buf = append(c.buf, scanKV{k: append([]byte(nil), k...), v: append([]byte(nil), v...)})
 		return true
 	})
 	if n < scanBatch {
@@ -60,11 +60,21 @@ func (c *scanCursor) head() (scanKV, bool) {
 }
 
 // Scan visits up to max keys ≥ start in ascending order (max < 0 means
-// unlimited), until fn returns false, k-way-merging the per-shard streams:
-// each shard scans in order and routing makes the streams disjoint, so one
-// global pass popping the smallest head preserves total key order exactly
-// as an unsharded scan would. Returns the number visited.
+// unlimited), until fn returns false, delivering the uint64 view of each
+// value. Returns the number visited.
 func (h Handle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	return h.ScanBytes(start, max, func(k, v []byte) bool {
+		return fn(k, core.DecodeValue(v))
+	})
+}
+
+// ScanBytes visits up to max keys ≥ start in ascending order (max < 0
+// means unlimited), until fn returns false, k-way-merging the per-shard
+// streams: each shard scans in order and routing makes the streams
+// disjoint, so one global pass popping the smallest head preserves total
+// key order exactly as an unsharded scan would. Returns the number
+// visited.
+func (h Handle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
 	cursors := make([]*scanCursor, len(h.s.shards))
 	for i, sh := range h.s.shards {
 		cursors[i] = &scanCursor{

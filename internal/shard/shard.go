@@ -235,8 +235,20 @@ func (s *Store) Handle(i int) Handle { return Handle{s: s, i: i} }
 // Get returns the value stored under k.
 func (h Handle) Get(k []byte) (uint64, bool) { return h.s.route(k).Handle(h.i).Get(k) }
 
+// GetBytes returns a copy of the byte value stored under k.
+func (h Handle) GetBytes(k []byte) ([]byte, bool) { return h.s.route(k).Handle(h.i).GetBytes(k) }
+
+// AppendGet appends k's value bytes to dst (the allocation-free GetBytes).
+func (h Handle) AppendGet(dst []byte, k []byte) ([]byte, bool) {
+	return h.s.route(k).Handle(h.i).AppendGet(dst, k)
+}
+
 // Put stores v under k; reports whether k was newly inserted.
 func (h Handle) Put(k []byte, v uint64) bool { return h.s.route(k).Handle(h.i).Put(k, v) }
+
+// PutBytes stores the byte value v under k; reports whether k was newly
+// inserted.
+func (h Handle) PutBytes(k []byte, v []byte) bool { return h.s.route(k).Handle(h.i).PutBytes(k, v) }
 
 // Delete removes k; reports whether it was present.
 func (h Handle) Delete(k []byte) bool { return h.s.route(k).Handle(h.i).Delete(k) }
@@ -246,8 +258,15 @@ func (h Handle) Delete(k []byte) bool { return h.s.route(k).Handle(h.i).Delete(k
 // Get returns the value stored under k.
 func (s *Store) Get(k []byte) (uint64, bool) { return s.Handle(0).Get(k) }
 
+// GetBytes returns a copy of the byte value stored under k.
+func (s *Store) GetBytes(k []byte) ([]byte, bool) { return s.Handle(0).GetBytes(k) }
+
 // Put stores v under k; reports whether k was newly inserted.
 func (s *Store) Put(k []byte, v uint64) bool { return s.Handle(0).Put(k, v) }
+
+// PutBytes stores the byte value v under k; reports whether k was newly
+// inserted.
+func (s *Store) PutBytes(k []byte, v []byte) bool { return s.Handle(0).PutBytes(k, v) }
 
 // Delete removes k; reports whether it was present.
 func (s *Store) Delete(k []byte) bool { return s.Handle(0).Delete(k) }
@@ -255,6 +274,11 @@ func (s *Store) Delete(k []byte) bool { return s.Handle(0).Delete(k) }
 // Scan visits up to max keys ≥ start in ascending order across all shards.
 func (s *Store) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
 	return s.Handle(0).Scan(start, max, fn)
+}
+
+// ScanBytes is Scan delivering byte values.
+func (s *Store) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
+	return s.Handle(0).ScanBytes(start, max, fn)
 }
 
 // Len sums the live-key counters across shards (transient; see

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"incll/internal/core"
 	"incll/internal/epoch"
@@ -192,4 +193,22 @@ func TestSingleShardDegeneratesToOneStore(t *testing.T) {
 func ExampleRoute() {
 	fmt.Println(Route([]byte("user:1001"), 1))
 	// Output: 0
+}
+
+func TestCoordinatorTickerStartStopIdempotent(t *testing.T) {
+	s, _ := Open(testConfig(2, 1))
+	s.StartTicker(2 * time.Millisecond)
+	s.StartTicker(1 * time.Millisecond) // no-op: the coordinator keeps its cadence
+	time.Sleep(20 * time.Millisecond)
+	s.StopTicker()
+	s.StopTicker() // idempotent
+	g := s.GlobalEpoch()
+	if g == 0 {
+		t.Fatal("coordinated ticker never committed a global epoch")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if s.GlobalEpoch() != g {
+		t.Fatal("coordinated ticker kept running after Stop")
+	}
+	s.Shutdown()
 }

@@ -9,6 +9,7 @@ package txn
 // cluster whose transfer spans shards.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 
 	"incll/internal/nvm"
 	"incll/internal/shard"
+	"incll/internal/testutil"
 )
 
 const (
@@ -275,6 +277,67 @@ func TestPropertyBankTransferConcurrent(t *testing.T) {
 		}
 		if sum != bankAccounts*bankInitBal {
 			t.Fatalf("round %d: sum = %d, want %d", round, sum, bankAccounts*bankInitBal)
+		}
+	}
+}
+
+// TestPropertyByteValueCommitCrashInjection is the crash-at-every-point
+// property for byte-valued transactions: a commit that overwrites one key
+// with a multi-KB value, writes a fresh large value, and deletes a third,
+// stopped at every protocol point under persist 0/0.5/1. Recovery must
+// expose exactly the pre-state or exactly the post-state, byte for byte —
+// never a torn value, never a mix.
+func TestPropertyByteValueCommitCrashInjection(t *testing.T) {
+	pattern := testutil.Pattern
+	pre1, pre3 := pattern(1, 1800), pattern(3, 40)
+	post1, post2 := pattern(11, 700), pattern(12, 3000)
+
+	for _, persist := range []float64{0, 0.5, 1} {
+		for point := 0; ; point++ {
+			f := newSingle(t)
+			f.store.PutBytes(key(1), pre1)
+			f.store.PutBytes(key(3), pre3)
+			f.store.Advance()
+
+			fired := 0
+			var stoppedAt string
+			f.m.SetHook(func(p string) {
+				if fired == point {
+					stoppedAt = p
+					panic(InjectedCrash{Point: p})
+				}
+				fired++
+			})
+			tx := f.m.Begin(0)
+			tx.PutBytes(key(1), post1)
+			tx.PutBytes(key(2), post2)
+			tx.Delete(key(3))
+			err := tx.Commit()
+			f.m.SetHook(nil)
+			if err == nil {
+				break // fewer than `point` protocol points: commit finished
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("point %d: commit = %v, want ErrInjected", point, err)
+			}
+			replayed := f.crash(nvm.RandomPolicy(persist, int64(point)*7+int64(persist*10)))
+
+			g1, ok1 := f.store.GetBytes(key(1))
+			g2, ok2 := f.store.GetBytes(key(2))
+			g3, ok3 := f.store.GetBytes(key(3))
+			isPre := ok1 && bytes.Equal(g1, pre1) && !ok2 && ok3 && bytes.Equal(g3, pre3)
+			isPost := ok1 && bytes.Equal(g1, post1) && ok2 && bytes.Equal(g2, post2) && !ok3
+			if !isPre && !isPost {
+				t.Fatalf("point %q persist %.1f replayed %d: state is neither pre nor post "+
+					"(k1 %d bytes ok=%v, k2 %d bytes ok=%v, k3 %d bytes ok=%v)",
+					stoppedAt, persist, replayed, len(g1), ok1, len(g2), ok2, len(g3), ok3)
+			}
+			if stoppedAt == "commit-durable" && !isPost {
+				t.Fatalf("persist %.1f: crash after the mark fence must replay the byte writes", persist)
+			}
+			if stoppedAt != "commit-durable" && stoppedAt != "mark-written" && !isPre {
+				t.Fatalf("point %q persist %.1f: crash before the mark must roll back", stoppedAt, persist)
+			}
 		}
 	}
 }

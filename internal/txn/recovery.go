@@ -58,7 +58,7 @@ func (m *Manager) recover() int {
 			if op.Delete {
 				s.Delete(op.Key)
 			} else {
-				s.Put(op.Key, op.Val)
+				s.PutBytes(op.Key, op.Val)
 			}
 		}
 	}

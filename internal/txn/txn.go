@@ -35,6 +35,7 @@
 package txn
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -181,9 +182,10 @@ func (m *Manager) StopTicker() { m.ticker.Stop() }
 
 func (m *Manager) shardOf(k []byte) int { return m.route(k) }
 
-// readVal is one read-set observation.
+// readVal is one read-set observation (the full byte value, so validation
+// catches any change, not just changes visible through the uint64 view).
 type readVal struct {
-	val   uint64
+	val   []byte
 	found bool
 }
 
@@ -217,30 +219,60 @@ func (t *Txn) check() {
 	}
 }
 
-// Get reads k: the transaction's own pending write if any, else a cached
-// prior read, else the store. Reads are validated at Commit; a change
-// between here and Commit fails the transaction with ErrConflict.
+// Get reads the uint64 view of k: the transaction's own pending write if
+// any, else a cached prior read, else the store. Reads are validated at
+// Commit; a change between here and Commit fails the transaction with
+// ErrConflict.
 func (t *Txn) Get(k []byte) (uint64, bool) {
+	v, ok := t.getBytes(k)
+	return core.DecodeValue(v), ok
+}
+
+// GetBytes is Get returning a copy of the byte value.
+func (t *Txn) GetBytes(k []byte) ([]byte, bool) {
+	v, ok := t.getBytes(k)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// getBytes returns the observed value without copying; callers must not
+// retain or mutate it.
+func (t *Txn) getBytes(k []byte) ([]byte, bool) {
 	t.check()
 	if i, ok := t.windex[string(k)]; ok {
 		op := t.writes[i]
 		if op.Delete {
-			return 0, false
+			return nil, false
 		}
 		return op.Val, true
 	}
 	if rv, ok := t.reads[string(k)]; ok {
 		return rv.val, rv.found
 	}
-	v, ok := t.m.stores[t.m.shardOf(k)].Handle(t.worker).Get(k)
+	v, ok := t.m.stores[t.m.shardOf(k)].Handle(t.worker).GetBytes(k)
 	t.reads[string(k)] = readVal{v, ok}
 	return v, ok
 }
 
-// Put buffers a write of v under k (applied atomically at Commit).
+// Put buffers a write of v under k (applied atomically at Commit), using
+// the canonical uint64 byte encoding.
 func (t *Txn) Put(k []byte, v uint64) {
 	t.check()
-	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Val: v})
+	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Val: core.EncodeValue(v)})
+}
+
+// PutBytes buffers a write of the byte value v under k (applied atomically
+// at Commit). Panics on values beyond core.MaxValueBytes — here at the
+// call site, like the non-transactional PutBytes, never mid-commit with a
+// durable intent already written.
+func (t *Txn) PutBytes(k []byte, v []byte) {
+	t.check()
+	if len(v) > core.MaxValueBytes {
+		panic("txn: value exceeds MaxValueBytes")
+	}
+	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Val: append([]byte(nil), v...)})
 }
 
 // Delete buffers a deletion of k (applied atomically at Commit).
@@ -349,14 +381,17 @@ func (m *Manager) acquire(lockSet uint64) *commitLocks {
 }
 
 // validateLocked re-reads the transaction's read set under the commit
-// locks and reports whether every observation still holds.
+// locks and reports whether every observation still holds (full byte
+// comparison).
 func (m *Manager) validateLocked(t *Txn) bool {
+	var buf []byte
 	for k, rv := range t.reads {
 		kb := []byte(k)
-		cur, ok := m.stores[m.shardOf(kb)].Handle(t.worker).GetLocked(kb)
-		if ok != rv.found || cur != rv.val {
+		cur, ok := m.stores[m.shardOf(kb)].Handle(t.worker).AppendGetLocked(buf[:0], kb)
+		if ok != rv.found || !bytes.Equal(cur, rv.val) {
 			return false
 		}
+		buf = cur
 	}
 	return true
 }
@@ -427,7 +462,7 @@ func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, 
 		if op.Delete {
 			h.DeleteLocked(op.Key)
 		} else {
-			h.PutLocked(op.Key, op.Val)
+			h.PutBytesLocked(op.Key, op.Val)
 		}
 		if m.hook != nil {
 			m.hook(fmt.Sprintf("applied-%d", i))

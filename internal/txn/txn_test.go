@@ -303,3 +303,19 @@ func TestOversizeKeyReturnsErrTooLarge(t *testing.T) {
 		t.Fatalf("commit = %v, want ErrTooLarge", err)
 	}
 }
+
+func TestPutBytesOversizePanicsAtCallSite(t *testing.T) {
+	// The size check must fire in PutBytes itself — before Commit writes a
+	// durable intent record while holding the commit locks.
+	f := newSingle(t)
+	tx := f.m.Begin(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize PutBytes did not panic")
+		}
+		if got := f.store.Intents().Appended(); got != 0 {
+			t.Fatalf("%d intent records written for a rejected value", got)
+		}
+	}()
+	tx.PutBytes(key(1), make([]byte, core.MaxValueBytes+1))
+}

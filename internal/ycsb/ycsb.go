@@ -67,6 +67,61 @@ func (d Distribution) String() string {
 // ScanLength is the number of keys each YCSB-E scan visits.
 const ScanLength = 10
 
+// SizeDist selects a value-payload size distribution for byte-valued
+// workloads (the harness's -valuesize runs).
+type SizeDist int
+
+const (
+	// SizeConstant makes every value exactly the configured size —
+	// memcached-style fixed objects.
+	SizeConstant SizeDist = iota
+	// SizeZipfian draws sizes from 1..max with zipfian(0.99) skew toward
+	// small values, the shape of real object-cache populations.
+	SizeZipfian
+)
+
+// String names the distribution for flags and reports.
+func (d SizeDist) String() string {
+	if d == SizeZipfian {
+		return "zipfian"
+	}
+	return "constant"
+}
+
+// SizeGen draws value sizes. Not safe for concurrent use; give each worker
+// its own (Next consumes the worker's rng).
+type SizeGen struct {
+	dist SizeDist
+	max  int
+	zipf *zipfGen
+}
+
+// NewSizeGen creates a generator for values of up to max bytes.
+func NewSizeGen(d SizeDist, max int) *SizeGen {
+	if max < 1 {
+		max = 1
+	}
+	g := &SizeGen{dist: d, max: max}
+	if d == SizeZipfian {
+		g.zipf = newZipfGen(uint64(max), ZipfTheta)
+	}
+	return g
+}
+
+// Next draws the next value size in bytes, in [1, max].
+func (g *SizeGen) Next(rng *rand.Rand) int {
+	if g.dist == SizeConstant {
+		return g.max
+	}
+	// zipf.next can return n itself at the float boundary (the key path
+	// guards this with a modulo); clamp so sizes never exceed max.
+	s := 1 + int(g.zipf.next(rng))
+	if s > g.max {
+		s = g.max
+	}
+	return s
+}
+
 // ZipfTheta is YCSB's default skew.
 const ZipfTheta = 0.99
 
