@@ -33,6 +33,10 @@ func main() {
 	txnKeys := flag.Int("txnkeys", 4, "accounts touched per bank transfer")
 	valueSize := flag.Int("valuesize", 0, "byte-value payload size (durable modes): > 0 switches to PutBytes/GetBytes values and reports MB/s")
 	valueDist := flag.String("valuedist", "constant", "constant | zipfian payload-size distribution (with -valuesize)")
+	scanLen := flag.Int("scanlen", ycsb.ScanLength, "YCSB-E scan length (the max when -scandist zipfian)")
+	scanDist := flag.String("scandist", "constant", "constant | zipfian scan-length distribution (workload E)")
+	reverse := flag.Bool("reverse", false, "run YCSB-E scans descending through the cursor (durable modes)")
+	scanAPI := flag.String("scanapi", "cursor", "cursor | callback: serve YCSB-E scans through the iterator or the legacy callback Scan")
 	interval := flag.Duration("interval", 64*time.Millisecond, "epoch interval")
 	fence := flag.Duration("fence", 0, "emulated NVM latency after each fence")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -45,6 +49,8 @@ func main() {
 		OpsPerThread:  *ops,
 		TxnKeys:       *txnKeys,
 		ValueSize:     *valueSize,
+		ScanLen:       *scanLen,
+		ScanReverse:   *reverse,
 		EpochInterval: *interval,
 		FenceDelay:    *fence,
 		Seed:          *seed,
@@ -56,6 +62,21 @@ func main() {
 		cfg.ValueDist = ycsb.SizeZipfian
 	default:
 		log.Fatalf("unknown value-size distribution %q", *valueDist)
+	}
+	switch *scanDist {
+	case "constant":
+		cfg.ScanDist = ycsb.SizeConstant
+	case "zipfian":
+		cfg.ScanDist = ycsb.SizeZipfian
+	default:
+		log.Fatalf("unknown scan-length distribution %q", *scanDist)
+	}
+	switch *scanAPI {
+	case "cursor":
+	case "callback":
+		cfg.LegacyScan = true
+	default:
+		log.Fatalf("unknown scan API %q", *scanAPI)
 	}
 	switch *txnMode {
 	case "none":
@@ -124,6 +145,13 @@ func main() {
 	}
 	if cfg.ValueSize > 0 {
 		label += fmt.Sprintf(" valuesize=%d/%s", cfg.ValueSize, cfg.ValueDist)
+	}
+	if cfg.Workload == ycsb.E {
+		dir := "fwd"
+		if cfg.ScanReverse {
+			dir = "rev"
+		}
+		label += fmt.Sprintf(" scan=%s/%d/%s/%s", *scanAPI, cfg.ScanLen, cfg.ScanDist, dir)
 	}
 	fmt.Printf("%s %s %s%s: %d ops in %v = %.3f Mops/s\n",
 		cfg.Mode, cfg.Workload, cfg.Dist, label, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput/1e6)

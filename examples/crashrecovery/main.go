@@ -69,25 +69,25 @@ func main() {
 	fmt.Printf("recovered: %v (replayed %d log pre-images)\n", info.Status, info.LogEntriesApplied)
 
 	for w := 0; w < workers; w++ {
-		// Walk the worker's range in order; events must be a contiguous,
+		// Walk the worker's range in order — a bounded cursor ends exactly
+		// at the next worker's keyspace; events must be a contiguous,
 		// checksum-valid prefix of the written sequence.
 		var count uint64
 		bad := ""
-		db.Scan(eventKey(w, 0), -1, func(k []byte, v uint64) bool {
-			if string(k) >= string(eventKey(w+1, 0)) {
-				return false // end of this worker's range
-			}
+		for k, v := range db.Range(eventKey(w, 0), eventKey(w+1, 0)) {
 			if string(k) != string(eventKey(w, count)) {
 				bad = "gap in sequence: not a prefix"
-				return false
+				break
 			}
-			if v != eventValue(w, count) {
+			if incll.DecodeValue(v) != eventValue(w, count) {
 				bad = "checksum mismatch: torn event"
-				return false
+				break
 			}
 			count++
-			return count < totalWritten
-		})
+			if count >= totalWritten {
+				break
+			}
+		}
 		if bad != "" {
 			panic(fmt.Sprintf("worker %d: %s", w, bad))
 		}

@@ -85,15 +85,33 @@ func main() {
 	})
 	mux.HandleFunc("/range", func(w http.ResponseWriter, r *http.Request) {
 		start := []byte(r.URL.Query().Get("start"))
+		end := []byte(r.URL.Query().Get("end")) // exclusive; empty = open
 		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
 		if n <= 0 {
 			n = 10
 		}
+		reverse := r.URL.Query().Get("reverse") != ""
 		srv.withDB(func(db *incll.DB) {
-			db.Scan(start, n, func(k []byte, v uint64) bool {
-				fmt.Fprintf(w, "%s=%d\n", k, v)
-				return true
-			})
+			o := incll.IterOptions{}
+			if len(start) > 0 {
+				o.LowerBound = start
+			}
+			if len(end) > 0 {
+				o.UpperBound = end
+			}
+			it := db.NewIter(o)
+			defer it.Close()
+			emit := func() { fmt.Fprintf(w, "%s=%d\n", it.Key(), it.ValueUint64()) }
+			if reverse {
+				// Descending over the same [start, end) window.
+				for ok, c := it.Last(), 0; ok && c < n; ok, c = it.Prev(), c+1 {
+					emit()
+				}
+				return
+			}
+			for ok, c := it.First(), 0; ok && c < n; ok, c = it.Next(), c+1 {
+				emit()
+			}
 		})
 	})
 	mux.HandleFunc("/crash", func(w http.ResponseWriter, r *http.Request) {

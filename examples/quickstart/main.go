@@ -35,12 +35,23 @@ func main() {
 	v, ok := db.Get(incll.Key(123))
 	fmt.Printf("key 123 = %d (present=%v, want %d)\n", v, ok, 123*123)
 
-	sum := uint64(0)
-	n := db.Scan(incll.Key(0), 5, func(k []byte, v uint64) bool {
-		sum += v
-		return true
-	})
-	fmt.Printf("scanned %d keys, sum=%d\n", n, sum)
+	// Range reads are first-class cursors; the range-over-func adapters
+	// make them read like a map loop.
+	sum, n := uint64(0), 0
+	for _, v := range db.Range(incll.Key(0), incll.Key(5)) {
+		sum += incll.DecodeValue(v)
+		n++
+	}
+	fmt.Printf("ranged over %d keys, sum=%d\n", n, sum)
+
+	// The manual cursor is bidirectional: the three largest values.
+	it := db.NewIter(incll.IterOptions{})
+	fmt.Print("three largest values:")
+	for ok, c := it.Last(), 0; ok && c < 3; ok, c = it.Prev(), c+1 {
+		fmt.Printf(" %d", it.ValueUint64())
+	}
+	it.Close()
+	fmt.Println()
 
 	db.Close()
 	fmt.Println("clean shutdown")

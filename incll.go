@@ -39,6 +39,18 @@
 //	db, info := db.Reopen()             // parallel per-shard recovery
 //	_ = info.Shards                     // per-shard recovery detail
 //
+// Range reads are served by first-class cursors (DB.NewIter): bounded,
+// bidirectional iterators that walk the tree in small batches, re-entering
+// the epoch machinery between batches so even a full-table iteration never
+// delays a checkpoint by more than one batch. Range-over-func adapters
+// make them idiomatic to consume:
+//
+//	for k, v := range db.All() { ... }          // whole DB, ascending
+//	for k, v := range db.Range(lo, hi) { ... }  // [lo, hi)
+//	it := db.NewIter(incll.IterOptions{})       // manual control
+//	for ok := it.SeekGE(k); ok; ok = it.Next() { ... }
+//	it.Close()
+//
 // Multi-key transactions (see internal/txn and DESIGN.md) are crash-atomic
 // and durable at commit: a fenced intent record plus the epoch machinery
 // guarantee that a power failure at any instruction of Commit leaves
@@ -52,6 +64,7 @@
 package incll
 
 import (
+	"iter"
 	"time"
 
 	"incll/internal/core"
@@ -69,6 +82,19 @@ const MaxShards = 64
 // MaxValueBytes is the largest byte value PutBytes accepts (the payload of
 // the value heap's largest size class).
 const MaxValueBytes = core.MaxValueBytes
+
+// MaxKeyBytes is the largest key the validated API paths accept.
+const MaxKeyBytes = core.MaxKeyBytes
+
+// Size-limit errors, returned by the byte-value paths (PutBytes on DB,
+// Handle and Batch) and — wrapped, but errors.Is-compatible — by
+// Txn.Commit for oversized buffered writes.
+var (
+	// ErrValueTooLarge reports a value longer than MaxValueBytes.
+	ErrValueTooLarge = core.ErrValueTooLarge
+	// ErrKeyTooLarge reports a key longer than MaxKeyBytes.
+	ErrKeyTooLarge = core.ErrKeyTooLarge
+)
 
 // minShardArenaWords floors the shard-divided default arena size so a
 // large shard count cannot underflow the per-shard regions.
@@ -181,6 +207,21 @@ type RecoveryInfo struct {
 	Shards []ShardRecovery
 }
 
+// Iterator is the first-class read cursor: bidirectional, bounded, and
+// checkpoint-friendly — it never pins the epoch machinery across more
+// than one internal batch, so an arbitrarily long iteration cannot delay
+// the 64 ms checkpoint tick (see DESIGN.md §8). Key and Value return
+// slices valid until the next positioning call; copy to retain. Obtain
+// one from DB.NewIter, Handle.NewIter, or Txn.NewIter, or use the
+// range-over-func adapters (DB.All, DB.Range, DB.Iter, Txn.All).
+type Iterator = core.Cursor
+
+// IterOptions bounds and orients an Iterator: LowerBound (inclusive),
+// UpperBound (exclusive), and Reverse (descending order for the
+// range-over-func adapters; the manual Seek/Next/Prev surface is
+// bidirectional regardless).
+type IterOptions = core.IterOptions
+
 // Handle is a per-worker handle; see Options.Workers. Handles are not safe
 // for concurrent use, but distinct handles are. In a sharded DB the handle
 // routes each key to its shard transparently.
@@ -200,23 +241,92 @@ type Handle interface {
 	AppendGet(dst []byte, k []byte) ([]byte, bool)
 	// Put stores v under k; reports whether k was newly inserted.
 	Put(k []byte, v uint64) bool
-	// PutBytes stores the byte value v (len ≤ MaxValueBytes) under k;
-	// reports whether k was newly inserted.
-	PutBytes(k []byte, v []byte) bool
+	// PutBytes stores the byte value v under k; reports whether k was
+	// newly inserted, or ErrValueTooLarge / ErrKeyTooLarge.
+	PutBytes(k []byte, v []byte) (bool, error)
 	// Delete removes k; reports whether it was present.
 	Delete(k []byte) bool
+	// NewIter opens a cursor on this worker's handle.
+	NewIter(o IterOptions) Iterator
 	// Scan visits up to max keys ≥ start in ascending order (max < 0
 	// means unlimited), until fn returns false. Returns the number
-	// visited.
+	// visited. A thin wrapper over NewIter, kept for compatibility.
 	Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int
-	// ScanBytes is Scan delivering byte values; the value slice is only
-	// valid during the callback.
+	// ScanBytes is Scan delivering byte values; the key and value slices
+	// are only valid during the callback.
 	ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int
+}
+
+// rawHandle is the worker surface the store layers implement (their
+// PutBytes panics on oversized input; the façade validates first).
+type rawHandle interface {
+	Get(k []byte) (uint64, bool)
+	GetBytes(k []byte) ([]byte, bool)
+	AppendGet(dst []byte, k []byte) ([]byte, bool)
+	Put(k []byte, v uint64) bool
+	PutBytes(k []byte, v []byte) bool
+	Delete(k []byte) bool
+	NewIter(o IterOptions) Iterator
+}
+
+// workerHandle adapts a store-layer handle to the validated façade
+// surface and rebases the callback scans onto the cursor.
+type workerHandle struct {
+	rawHandle
+}
+
+// PutBytes stores the byte value v under k; reports whether k was newly
+// inserted, or ErrValueTooLarge / ErrKeyTooLarge.
+func (h workerHandle) PutBytes(k []byte, v []byte) (bool, error) {
+	if err := core.ValidateKV(k, v); err != nil {
+		return false, err
+	}
+	return h.rawHandle.PutBytes(k, v), nil
+}
+
+// Scan visits up to max keys ≥ start in ascending order (max < 0 means
+// unlimited), until fn returns false. Returns the number visited.
+func (h workerHandle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+	it := h.NewIter(IterOptions{})
+	defer it.Close()
+	return cursorScan(it, start, max, func(it Iterator) bool { return fn(it.Key(), it.ValueUint64()) })
+}
+
+// ScanBytes is Scan delivering byte values; the key and value slices are
+// only valid during the callback.
+func (h workerHandle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
+	it := h.NewIter(IterOptions{})
+	defer it.Close()
+	return cursorScan(it, start, max, func(it Iterator) bool { return fn(it.Key(), it.Value()) })
+}
+
+// cursorScan drives the legacy callback-scan contract over a cursor.
+func cursorScan(it Iterator, start []byte, max int, visit func(Iterator) bool) int {
+	n := 0
+	for ok := it.SeekGE(start); ok; ok = it.Next() {
+		if max >= 0 && n >= max {
+			return n
+		}
+		n++
+		if !visit(it) {
+			return n
+		}
+	}
+	return n
 }
 
 // Key renders a uint64 as an 8-byte big-endian key, so integer order
 // equals key order.
 func Key(v uint64) []byte { return core.EncodeUint64(v) }
+
+// EncodeValue renders v as the canonical byte value the uint64 API stores
+// (its minimal big-endian encoding).
+func EncodeValue(v uint64) []byte { return core.EncodeValue(v) }
+
+// DecodeValue is the uint64 view of a byte value — the big-endian decode
+// of its first eight bytes, the exact inverse of EncodeValue. Useful with
+// the range-over-func adapters, which yield byte values.
+func DecodeValue(b []byte) uint64 { return core.DecodeValue(b) }
 
 // DB is a durable Masstree over simulated NVM: one store over one arena,
 // or — with Options.Shards > 1 — N independent shards behind the same API
@@ -303,9 +413,9 @@ func shardInfo(si shard.RecoveryInfo) RecoveryInfo {
 // Handle returns worker i's handle (i < Options.Workers).
 func (db *DB) Handle(i int) Handle {
 	if db.sharded != nil {
-		return db.sharded.Handle(i)
+		return workerHandle{db.sharded.Handle(i)}
 	}
-	return db.store.Handle(i)
+	return workerHandle{db.store.Handle(i)}
 }
 
 // Shards returns the shard count (1 for an unsharded DB).
@@ -340,13 +450,16 @@ func (db *DB) Put(k []byte, v uint64) bool {
 	return db.store.Put(k, v)
 }
 
-// PutBytes stores the byte value v (len ≤ MaxValueBytes) under k; reports
-// whether k was newly inserted.
-func (db *DB) PutBytes(k []byte, v []byte) bool {
-	if db.sharded != nil {
-		return db.sharded.PutBytes(k, v)
+// PutBytes stores the byte value v under k; reports whether k was newly
+// inserted, or ErrValueTooLarge / ErrKeyTooLarge for oversized input.
+func (db *DB) PutBytes(k []byte, v []byte) (bool, error) {
+	if err := core.ValidateKV(k, v); err != nil {
+		return false, err
 	}
-	return db.store.PutBytes(k, v)
+	if db.sharded != nil {
+		return db.sharded.PutBytes(k, v), nil
+	}
+	return db.store.PutBytes(k, v), nil
 }
 
 // Delete removes k; reports whether it was present.
@@ -357,24 +470,79 @@ func (db *DB) Delete(k []byte) bool {
 	return db.store.Delete(k)
 }
 
+// NewIter opens a cursor over the DB on worker 0's handle: bidirectional
+// (First/Last/SeekGE/SeekLT/Next/Prev), bounded by o, and
+// checkpoint-friendly — the walk holds the epoch machinery only for one
+// bounded batch at a time. On a sharded DB the per-shard cursors are
+// k-way merged, so iteration order is identical to an unsharded cursor.
+// Concurrent workers should open their own cursor via Handle(i).NewIter.
+func (db *DB) NewIter(o IterOptions) Iterator {
+	if db.sharded != nil {
+		return db.sharded.Handle(0).NewIter(o)
+	}
+	return db.store.Handle(0).NewIter(o)
+}
+
+// All is the range-over-func view of the whole DB in ascending key order:
+//
+//	for k, v := range db.All() { ... }
+//
+// The yielded slices are only valid for that iteration step; copy to
+// retain. The sequence can be ranged over multiple times (each range
+// opens a fresh cursor).
+func (db *DB) All() iter.Seq2[[]byte, []byte] { return db.Iter(IterOptions{}) }
+
+// Range is the range-over-func view of keys in [lo, hi) in ascending key
+// order; nil bounds are open ends.
+func (db *DB) Range(lo, hi []byte) iter.Seq2[[]byte, []byte] {
+	return db.Iter(IterOptions{LowerBound: lo, UpperBound: hi})
+}
+
+// Iter is the range-over-func form of NewIter, honouring o.Reverse:
+//
+//	for k, v := range db.Iter(incll.IterOptions{Reverse: true}) { ... }
+func (db *DB) Iter(o IterOptions) iter.Seq2[[]byte, []byte] {
+	return cursorSeq(func() Iterator { return db.NewIter(o) }, o.Reverse)
+}
+
+// cursorSeq adapts a cursor constructor into a (re-rangeable) sequence.
+func cursorSeq(open func() Iterator, reverse bool) iter.Seq2[[]byte, []byte] {
+	return func(yield func(k, v []byte) bool) {
+		it := open()
+		defer it.Close()
+		if reverse {
+			for ok := it.Last(); ok; ok = it.Prev() {
+				if !yield(it.Key(), it.Value()) {
+					return
+				}
+			}
+			return
+		}
+		for ok := it.First(); ok; ok = it.Next() {
+			if !yield(it.Key(), it.Value()) {
+				return
+			}
+		}
+	}
+}
+
 // Scan visits up to max keys ≥ start in ascending order (max < 0 means
 // unlimited), until fn returns false. Returns the number visited. On a
 // sharded DB the per-shard streams are k-way merged, so iteration order is
-// identical to an unsharded scan.
+// identical to an unsharded scan. A thin wrapper over NewIter, kept for
+// compatibility; the key slice is only valid during the callback.
 func (db *DB) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
-	if db.sharded != nil {
-		return db.sharded.Scan(start, max, fn)
-	}
-	return db.store.Scan(start, max, fn)
+	it := db.NewIter(IterOptions{})
+	defer it.Close()
+	return cursorScan(it, start, max, func(it Iterator) bool { return fn(it.Key(), it.ValueUint64()) })
 }
 
-// ScanBytes is Scan delivering byte values; the value slice is only valid
-// during the callback.
+// ScanBytes is Scan delivering byte values; the key and value slices are
+// only valid during the callback.
 func (db *DB) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
-	if db.sharded != nil {
-		return db.sharded.ScanBytes(start, max, fn)
-	}
-	return db.store.ScanBytes(start, max, fn)
+	it := db.NewIter(IterOptions{})
+	defer it.Close()
+	return cursorScan(it, start, max, func(it Iterator) bool { return fn(it.Key(), it.Value()) })
 }
 
 // Len returns the number of live keys tracked this execution (transient;
@@ -514,11 +682,29 @@ func (t *Txn) GetBytes(k []byte) ([]byte, bool) { return t.t.GetBytes(k) }
 // Put buffers a write of v under k.
 func (t *Txn) Put(k []byte, v uint64) { t.t.Put(k, v) }
 
-// PutBytes buffers a write of the byte value v under k.
+// PutBytes buffers a write of the byte value v under k. An oversized key
+// or value poisons the transaction: Commit returns an error satisfying
+// errors.Is(err, ErrValueTooLarge) or errors.Is(err, ErrKeyTooLarge).
 func (t *Txn) PutBytes(k []byte, v []byte) { t.t.PutBytes(k, v) }
 
 // Delete buffers a deletion of k.
 func (t *Txn) Delete(k []byte) { t.t.Delete(k) }
+
+// NewIter opens a cursor over the transaction's view of the store: the
+// committed state with the transaction's own pending writes overlaid —
+// buffered puts are visible, buffered deletes hide store keys. The write
+// set is snapshotted at call time. Iterated entries are not added to the
+// read set (Commit validates point reads only; no phantom protection).
+func (t *Txn) NewIter(o IterOptions) Iterator { return t.t.NewIter(o) }
+
+// All is the range-over-func view of the transaction's overlaid state in
+// ascending key order; see DB.All.
+func (t *Txn) All() iter.Seq2[[]byte, []byte] { return t.Iter(IterOptions{}) }
+
+// Iter is the range-over-func form of Txn.NewIter, honouring o.Reverse.
+func (t *Txn) Iter(o IterOptions) iter.Seq2[[]byte, []byte] {
+	return cursorSeq(func() Iterator { return t.NewIter(o) }, o.Reverse)
+}
 
 // Commit atomically applies the write set; nil means durably committed,
 // ErrConflict means a validated read changed (retry).
@@ -530,6 +716,7 @@ func (t *Txn) Abort() { t.t.Abort() }
 // Batch is a one-shot atomic write set for DB.Apply.
 type Batch struct {
 	ops []batchOp
+	err error // sticky size-limit error, reported by Apply
 }
 
 type batchOp struct {
@@ -543,8 +730,16 @@ func (b *Batch) Put(k []byte, v uint64) {
 	b.PutBytes(k, core.EncodeValue(v))
 }
 
-// PutBytes adds a write of the byte value v under k to the batch.
+// PutBytes adds a write of the byte value v under k to the batch. An
+// oversized key or value poisons the batch: Apply returns
+// ErrValueTooLarge / ErrKeyTooLarge.
 func (b *Batch) PutBytes(k []byte, v []byte) {
+	if err := core.ValidateKV(k, v); err != nil {
+		if b.err == nil {
+			b.err = err
+		}
+		return
+	}
 	b.ops = append(b.ops, batchOp{
 		k: append([]byte(nil), k...),
 		v: append([]byte(nil), v...),
@@ -553,12 +748,21 @@ func (b *Batch) PutBytes(k []byte, v []byte) {
 
 // Delete adds a deletion of k to the batch.
 func (b *Batch) Delete(k []byte) {
+	if err := core.ValidateKV(k, nil); err != nil {
+		if b.err == nil {
+			b.err = err
+		}
+		return
+	}
 	b.ops = append(b.ops, batchOp{k: append([]byte(nil), k...), del: true})
 }
 
 // Apply commits the batch as one crash-atomic, immediately durable
 // transaction on worker 0.
 func (db *DB) Apply(b *Batch) error {
+	if b.err != nil {
+		return b.err
+	}
 	t := db.txns.Begin(0)
 	for _, op := range b.ops {
 		if op.del {

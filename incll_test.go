@@ -3,10 +3,13 @@ package incll
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"incll/internal/core"
 	"incll/internal/epoch"
 )
 
@@ -378,8 +381,8 @@ func TestFacadeByteValuesEndToEnd(t *testing.T) {
 			for j := range v {
 				v[j] = byte(i + j)
 			}
-			if !db.PutBytes(Key(uint64(i)), v) {
-				t.Fatalf("shards=%d: key %d not inserted", shards, i)
+			if ok, err := db.PutBytes(Key(uint64(i)), v); !ok || err != nil {
+				t.Fatalf("shards=%d: key %d not inserted (%v)", shards, i, err)
 			}
 		}
 		db.Checkpoint()
@@ -579,4 +582,270 @@ func TestConcurrentScanWritersAndTicks(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// ---- PR 4: first-class snapshot cursors ----
+
+// TestIteratorAdapters exercises the range-over-func surface: All, Range,
+// Iter (reverse), and the equivalence of all of them with the manual
+// cursor, on both an unsharded and a sharded DB.
+func TestIteratorAdapters(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		db, _ := Open(Options{Shards: shards})
+		const n = 500
+		for i := uint64(0); i < n; i++ {
+			db.Put(Key(i), i+1)
+		}
+		var keys, vals []uint64
+		for k, v := range db.All() {
+			keys = append(keys, binary.BigEndian.Uint64(k))
+			vals = append(vals, core.DecodeValue(v))
+		}
+		if len(keys) != n {
+			t.Fatalf("shards=%d: All yielded %d keys", shards, len(keys))
+		}
+		for i, k := range keys {
+			if k != uint64(i) || vals[i] != k+1 {
+				t.Fatalf("shards=%d: All entry %d = (%d, %d)", shards, i, k, vals[i])
+			}
+		}
+		// All can be ranged more than once.
+		count := 0
+		for range db.All() {
+			count++
+		}
+		if count != n {
+			t.Fatalf("shards=%d: second range over All saw %d keys", shards, count)
+		}
+		// Range honours [lo, hi).
+		got := []uint64{}
+		for k := range db.Range(Key(10), Key(20)) {
+			got = append(got, binary.BigEndian.Uint64(k))
+		}
+		if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+			t.Fatalf("shards=%d: Range(10, 20) = %v", shards, got)
+		}
+		// Reverse adapter: descending, same bounds.
+		got = got[:0]
+		for k := range db.Iter(IterOptions{LowerBound: Key(10), UpperBound: Key(20), Reverse: true}) {
+			got = append(got, binary.BigEndian.Uint64(k))
+		}
+		if len(got) != 10 || got[0] != 19 || got[9] != 10 {
+			t.Fatalf("shards=%d: reverse Range = %v", shards, got)
+		}
+		// Early break closes cleanly and a new range still works.
+		count = 0
+		for range db.All() {
+			count++
+			if count == 7 {
+				break
+			}
+		}
+		for range db.All() {
+			count++
+		}
+		if count != 7+n {
+			t.Fatalf("shards=%d: range after early break saw %d", shards, count-7)
+		}
+		db.Close()
+	}
+}
+
+// TestTxnAllSeesOwnWrites: the Txn adapter shows pending writes overlaid
+// on the committed state.
+func TestTxnAllSeesOwnWrites(t *testing.T) {
+	db, _ := Open(Options{})
+	db.Put(Key(1), 1)
+	db.Put(Key(2), 2)
+	db.Put(Key(3), 3)
+	tx := db.Begin()
+	tx.Put(Key(2), 22) // overwrite
+	tx.Delete(Key(3))  // hide
+	tx.Put(Key(4), 44) // fresh insert
+	want := map[uint64]uint64{1: 1, 2: 22, 4: 44}
+	seen := map[uint64]uint64{}
+	prev := int64(-1)
+	for k, v := range tx.All() {
+		ik := int64(binary.BigEndian.Uint64(k))
+		if ik <= prev {
+			t.Fatalf("Txn.All order violated at %d", ik)
+		}
+		prev = ik
+		seen[uint64(ik)] = core.DecodeValue(v)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("Txn.All saw %v, want %v", seen, want)
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Fatalf("Txn.All[%d] = %d, want %d", k, seen[k], v)
+		}
+	}
+	tx.Abort()
+	// After Abort, the store is untouched.
+	if v, _ := db.Get(Key(2)); v != 2 {
+		t.Fatalf("aborted write leaked: %d", v)
+	}
+}
+
+// TestScanWrapperMatchesIterator: the rebased legacy Scan and the cursor
+// observe identical streams.
+func TestScanWrapperMatchesIterator(t *testing.T) {
+	db, _ := Open(Options{Shards: 2})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		db.Put(Key(uint64(rng.Intn(1000))), uint64(i))
+	}
+	var sk []uint64
+	db.Scan(nil, -1, func(k []byte, v uint64) bool {
+		sk = append(sk, binary.BigEndian.Uint64(k))
+		return true
+	})
+	it := db.NewIter(IterOptions{})
+	defer it.Close()
+	i := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if i >= len(sk) || binary.BigEndian.Uint64(it.Key()) != sk[i] {
+			t.Fatalf("entry %d diverges", i)
+		}
+		i++
+	}
+	if i != len(sk) {
+		t.Fatalf("cursor saw %d keys, Scan %d", i, len(sk))
+	}
+	// Scan's max and early-stop contracts survive the rebase.
+	n := db.Scan(Key(sk[2]), 5, func([]byte, uint64) bool { return true })
+	if n != 5 {
+		t.Fatalf("Scan max=5 visited %d", n)
+	}
+	n = db.Scan(nil, -1, func([]byte, uint64) bool { return false })
+	if n != 1 {
+		t.Fatalf("Scan early-stop visited %d", n)
+	}
+}
+
+// TestFacadeSizeLimitErrors: the byte-value paths return (not panic)
+// ErrValueTooLarge / ErrKeyTooLarge, and the txn path is errors.Is
+// compatible with them.
+func TestFacadeSizeLimitErrors(t *testing.T) {
+	db, _ := Open(Options{})
+	big := make([]byte, MaxValueBytes+1)
+	longKey := make([]byte, MaxKeyBytes+1)
+
+	if _, err := db.PutBytes(Key(1), big); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("DB.PutBytes oversize value: %v", err)
+	}
+	if _, err := db.PutBytes(longKey, []byte("v")); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("DB.PutBytes oversize key: %v", err)
+	}
+	if _, err := db.Handle(0).PutBytes(Key(1), big); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("Handle.PutBytes oversize value: %v", err)
+	}
+	if _, ok := db.GetBytes(Key(1)); ok {
+		t.Fatal("rejected value was stored")
+	}
+
+	// Batch: poisoned at PutBytes, reported by Apply, nothing applied.
+	b := &Batch{}
+	b.Put(Key(5), 5)
+	b.PutBytes(Key(6), big)
+	if err := db.Apply(b); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("Apply poisoned batch: %v", err)
+	}
+	if _, ok := db.Get(Key(5)); ok {
+		t.Fatal("poisoned batch applied a write")
+	}
+
+	// Txn: poisoned at PutBytes, Commit errors.Is-compatible.
+	tx := db.Begin()
+	tx.Put(Key(7), 7)
+	tx.PutBytes(Key(8), big)
+	if err := tx.Commit(); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("Txn.Commit oversize value: %v", err)
+	}
+	if _, ok := db.Get(Key(7)); ok {
+		t.Fatal("poisoned txn applied a write")
+	}
+	tx = db.Begin()
+	tx.Put(longKey, 1)
+	if err := tx.Commit(); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("Txn.Commit oversize key: %v", err)
+	}
+
+	// A max-sized pair is accepted everywhere.
+	if _, err := db.PutBytes(make([]byte, MaxKeyBytes), make([]byte, MaxValueBytes)); err != nil {
+		t.Fatalf("max-sized pair rejected: %v", err)
+	}
+}
+
+// TestIteratorVsWritersVsTicker races a full-table cursor against
+// concurrent writers and the background checkpoint ticker (run under
+// -race in CI). The cursor must stay ordered and never block an epoch
+// advance for longer than one batch — the run finishing at all, with the
+// 1 ms ticker live, is the liveness half of that claim.
+func TestIteratorVsWritersVsTicker(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		db, _ := Open(Options{Shards: shards, Workers: 3, EpochInterval: time.Millisecond})
+		const n = 20000
+		for i := uint64(0); i < n; i++ {
+			db.Put(Key(i), i)
+		}
+		db.Checkpoint()
+		db.StartCheckpointer()
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 1; w <= 2; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := db.Handle(w)
+				rng := rand.New(rand.NewSource(int64(w)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := uint64(rng.Intn(n))
+					switch rng.Intn(3) {
+					case 0:
+						h.Delete(Key(k))
+					default:
+						h.Put(Key(k), rng.Uint64()%(1<<40))
+					}
+				}
+			}(w)
+		}
+
+		for round := 0; round < 3; round++ {
+			it := db.Handle(0).NewIter(IterOptions{})
+			var prev []byte
+			count := 0
+			for ok := it.First(); ok; ok = it.Next() {
+				if prev != nil && bytes.Compare(it.Key(), prev) <= 0 {
+					t.Fatalf("shards=%d: cursor order violated under churn", shards)
+				}
+				prev = append(prev[:0], it.Key()...)
+				count++
+			}
+			it.Close()
+			if count == 0 {
+				t.Fatalf("shards=%d: cursor saw nothing", shards)
+			}
+			// And a reverse pass under the same churn.
+			it = db.Handle(0).NewIter(IterOptions{})
+			prev = nil
+			for ok := it.Last(); ok; ok = it.Prev() {
+				if prev != nil && bytes.Compare(it.Key(), prev) >= 0 {
+					t.Fatalf("shards=%d: reverse cursor order violated under churn", shards)
+				}
+				prev = append(prev[:0], it.Key()...)
+			}
+			it.Close()
+		}
+		close(stop)
+		wg.Wait()
+		db.Close()
+	}
 }

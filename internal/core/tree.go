@@ -232,6 +232,12 @@ func (h Handle) PutBytes(k []byte, v []byte) bool {
 
 // PutBytesLocked is PutBytes under a caller-held epoch guard.
 func (h Handle) PutBytesLocked(k []byte, v []byte) bool {
+	if len(k) > MaxKeyBytes {
+		// Enforced at the write chokepoint so no path (including the
+		// uint64 view) can create a key the validated, error-returning
+		// paths refuse to touch again.
+		panic("core: key exceeds MaxKeyBytes")
+	}
 	h.s.stats.Puts.Add(1)
 	inserted := h.layerPut(h.rootCell0(), k, v)
 	if inserted {
@@ -541,15 +547,16 @@ type scanEntry struct {
 
 // Scan visits keys ≥ start in ascending order until fn returns false or
 // max pairs are visited (max < 0 means unlimited), delivering the uint64
-// view of each value. Returns the number of pairs visited.
+// view of each value. The key slice is only valid during the callback.
+// Returns the number of pairs visited.
 func (h Handle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
 	return h.scanWords(start, max, func(k []byte, vw uint64) bool {
 		return fn(k, h.vwUint64(vw))
 	})
 }
 
-// ScanBytes is Scan delivering byte values. The value slice is only valid
-// during the callback.
+// ScanBytes is Scan delivering byte values. The key and value slices are
+// only valid during the callback.
 func (h Handle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
 	var buf []byte
 	return h.scanWords(start, max, func(k []byte, vw uint64) bool {
@@ -566,11 +573,16 @@ func (h Handle) scanWords(start []byte, max int, fn func(k []byte, vw uint64) bo
 	defer h.s.mgr.Exit()
 	h.s.stats.Scans.Add(1)
 	visited := 0
-	h.scanLayer(h.rootCell0(), nil, start, max, &visited, fn)
+	var kb []byte
+	h.scanLayer(h.rootCell0(), &kb, 0, start, max, &visited, fn)
 	return visited
 }
 
-func (h Handle) scanLayer(cell rootCell, prefix, start []byte, max int, visited *int, fn func([]byte, uint64) bool) bool {
+// scanLayer walks one layer ascending. kb is the shared key buffer: the
+// first plen bytes hold this layer's prefix, and each entry's full key is
+// built in place — so the key passed to fn is scratch, valid only during
+// the callback (no per-entry allocation).
+func (h Handle) scanLayer(cell rootCell, kb *[]byte, plen int, start []byte, max int, visited *int, fn func([]byte, uint64) bool) bool {
 	rootOff := cell.root()
 	if rootOff == 0 {
 		return true
@@ -617,19 +629,19 @@ func (h Handle) scanLayer(cell rootCell, prefix, start []byte, max int, visited 
 			if max >= 0 && *visited >= max {
 				return false
 			}
-			kb := appendIkey(append([]byte(nil), prefix...), e.ikey, e.kind)
+			*kb = appendIkey((*kb)[:plen], e.ikey, e.kind)
 			if e.kind == kindLayer {
 				var rest []byte
 				if len(start) > 8 && e.ikey == startIk && startKind == kindLayer {
 					rest = start[8:]
 				}
-				if !h.scanLayer(rootCell{s: h.s, off: e.vw}, kb, rest, max, visited, fn) {
+				if !h.scanLayer(rootCell{s: h.s, off: e.vw}, kb, plen+8, rest, max, visited, fn) {
 					return false
 				}
 				continue
 			}
 			*visited++
-			if !fn(kb, e.vw) {
+			if !fn(*kb, e.vw) {
 				return false
 			}
 		}
@@ -639,6 +651,188 @@ func (h Handle) scanLayer(cell rootCell, prefix, start []byte, max int, visited 
 		}
 		start = nil
 		startIk, startKind = 0, 0
+	}
+	return true
+}
+
+// ---- reverse scan ----
+//
+// The tree has no leftward links (B-link next pointers only point right),
+// so descending iteration walks each layer's subtrees right-to-left from
+// the interior nodes, with the same optimistic version validation the
+// forward descent uses. Two structural invariants make this sound without
+// hand-over-hand locking:
+//
+//   - Entries only ever move right (leaf splits), never left (emptied
+//     leaves stay in the tree; there are no merges). A leaf reached
+//     through a stale interior snapshot therefore still finds everything
+//     it ever held by walking its B-link chain rightward.
+//
+//   - Equal ikeys never split across leaves (splitPoint), so once a leaf
+//     snapshot is taken, every entry between two of its keys is in the
+//     snapshot.
+//
+// The walk carries a running exclusive upper bound that tightens as
+// entries are delivered; re-reading a leaf through a racing split then
+// skips everything already visited, so no entry is delivered twice.
+
+// revBound is the exclusive upper bound of a reverse layer walk,
+// layer-relative: only entries strictly below (ik, kind) are delivered.
+type revBound struct {
+	set  bool
+	ik   uint64
+	kind uint8
+	// rest is the bound's remainder within the sub-layer, meaningful when
+	// kind == kindLayer and the walk reaches the boundary layer entry.
+	rest []byte
+	// whole excludes entries equal to (ik, kind) entirely — they have been
+	// fully visited (or were excluded to begin with).
+	whole bool
+}
+
+// boundFor renders an exclusive byte-key bound layer-relative.
+func boundFor(until []byte) revBound {
+	ik, kind := ikeyOf(until)
+	b := revBound{set: true, ik: ik, kind: kind}
+	if kind == kindLayer {
+		b.rest = until[8:]
+	}
+	return b
+}
+
+// admitsBeyond reports whether a right sibling past hikey hk can still
+// hold entries under the bound (its entries all have ikey ≥ hk).
+func (b *revBound) admitsBeyond(hk uint64) bool {
+	if !b.set {
+		return true
+	}
+	return hk < b.ik || (hk == b.ik && b.kind > 0)
+}
+
+// scanLayerRev visits one layer's keys strictly below b (layer-relative;
+// unset means from the end of the layer) in descending order, recursing
+// into sub-layers. Like scanLayer, kb is the shared key buffer (prefix in
+// its first plen bytes): the key passed to fn is scratch, valid only
+// during the callback. Returns false when fn or the max cut stopped the
+// walk.
+func (h Handle) scanLayerRev(cell rootCell, kb *[]byte, plen int, b *revBound, max int, visited *int, fn func([]byte, uint64) bool) bool {
+	rootOff := cell.root()
+	if rootOff == 0 {
+		return true
+	}
+	return h.revSubtree(h.ref(rootOff), kb, plen, b, max, visited, fn)
+}
+
+// revSubtree walks subtree n right-to-left, delivering entries under *b
+// and tightening the bound as it goes.
+func (h Handle) revSubtree(n nodeRef, kb *[]byte, plen int, b *revBound, max int, visited *int, fn func([]byte, uint64) bool) bool {
+	if n.isLeaf() {
+		return h.revLeafChain(n, kb, plen, b, max, visited, fn)
+	}
+	h.s.lazyRecoverInterior(n)
+retry:
+	v := n.stable()
+	nk := n.nkeys()
+	if nk > intWidth {
+		nk = intWidth // torn read during an update; version check retries
+	}
+	var rkeys [intWidth]uint64
+	var kids [intWidth + 1]uint64
+	for i := 0; i < nk; i++ {
+		rkeys[i] = n.rkey(i)
+	}
+	for i := 0; i <= nk; i++ {
+		kids[i] = n.child(i)
+	}
+	if n.changed(v) {
+		goto retry
+	}
+	for i := nk; i >= 0; i-- {
+		// Child i covers ikeys ≥ rkeys[i-1]: skip subtrees wholly at or
+		// above the (tightening) bound — except the boundary subtree, whose
+		// equal-ikey entries may still qualify on kind.
+		if b.set && i > 0 && rkeys[i-1] > b.ik {
+			continue
+		}
+		if kids[i] == 0 {
+			goto retry
+		}
+		if !h.revSubtree(h.ref(kids[i]), kb, plen, b, max, visited, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// revLeafChain snapshots the B-link chain from n rightward while siblings
+// may still hold entries under the bound, then delivers the snapshots in
+// reverse — so entries a racing split moved right of n are still seen,
+// and entries above the bound (already delivered through their new home)
+// are skipped.
+func (h Handle) revLeafChain(n nodeRef, kb *[]byte, plen int, b *revBound, max int, visited *int, fn func([]byte, uint64) bool) bool {
+	var chain [][]scanEntry
+	for n.valid() {
+		h.s.lazyRecoverLeaf(n)
+	again:
+		v := n.stable()
+		var entries []scanEntry
+		p := n.perm()
+		for i := 0; i < p.count(); i++ {
+			s := p.slot(i)
+			entries = append(entries, scanEntry{n.ikey(s), n.kind(s), n.val(s)})
+		}
+		next := n.next()
+		hk := n.hikey()
+		if n.changed(v) {
+			goto again
+		}
+		chain = append(chain, entries)
+		if next == 0 || !b.admitsBeyond(hk) {
+			break
+		}
+		n = h.ref(next)
+	}
+	for ci := len(chain) - 1; ci >= 0; ci-- {
+		entries := chain[ci]
+		for ei := len(entries) - 1; ei >= 0; ei-- {
+			e := entries[ei]
+			if b.set {
+				c := keyCmp(e.ikey, e.kind, b.ik, b.kind)
+				if c > 0 {
+					continue
+				}
+				if c == 0 {
+					if b.whole || e.kind != kindLayer {
+						continue
+					}
+					// The boundary layer entry: only its keys below the
+					// bound's remainder qualify.
+					*kb = appendIkey((*kb)[:plen], e.ikey, e.kind)
+					sub := boundFor(b.rest)
+					if !h.scanLayerRev(rootCell{s: h.s, off: e.vw}, kb, plen+8, &sub, max, visited, fn) {
+						return false
+					}
+					*b = revBound{set: true, ik: e.ikey, kind: e.kind, whole: true}
+					continue
+				}
+			}
+			*kb = appendIkey((*kb)[:plen], e.ikey, e.kind)
+			if e.kind == kindLayer {
+				sub := revBound{}
+				if !h.scanLayerRev(rootCell{s: h.s, off: e.vw}, kb, plen+8, &sub, max, visited, fn) {
+					return false
+				}
+			} else {
+				if max >= 0 && *visited >= max {
+					return false
+				}
+				*visited++
+				if !fn(*kb, e.vw) {
+					return false
+				}
+			}
+			*b = revBound{set: true, ik: e.ikey, kind: e.kind, whole: true}
+		}
 	}
 	return true
 }

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Variable-length byte values on a crash-consistent value heap.
 //
 // Every leaf value slot holds one tagged *value word* (see DESIGN.md §7):
@@ -34,6 +39,36 @@ const MaxInlineBytes = 5
 // MaxValueBytes is the largest value PutBytes accepts: the payload of the
 // largest allocator size class minus the block's length word.
 const MaxValueBytes = 8168
+
+// MaxKeyBytes is the largest key the validated API paths accept. The tree
+// itself has no hard limit (a key occupies one trie layer per eight
+// bytes), but the bound keeps layer recursion shallow and stays far below
+// the intent log's per-key ceiling, so a validated write can never fail
+// later inside a commit.
+const MaxKeyBytes = 1024
+
+// Size-limit errors. The façade re-exports these; the transaction layer
+// wraps them, so errors.Is works across every path.
+var (
+	// ErrValueTooLarge reports a value longer than MaxValueBytes.
+	ErrValueTooLarge = errors.New("incll: value exceeds MaxValueBytes")
+	// ErrKeyTooLarge reports a key longer than MaxKeyBytes.
+	ErrKeyTooLarge = errors.New("incll: key exceeds MaxKeyBytes")
+)
+
+// ValidateKV checks a key/value pair against MaxKeyBytes/MaxValueBytes,
+// returning ErrKeyTooLarge or ErrValueTooLarge (wrapped with the observed
+// sizes) when a bound is exceeded. The error-returning API paths (façade
+// byte methods, transaction writes) call this before touching the store.
+func ValidateKV(k, v []byte) error {
+	if len(k) > MaxKeyBytes {
+		return fmt.Errorf("%w (%d > %d bytes)", ErrKeyTooLarge, len(k), MaxKeyBytes)
+	}
+	if len(v) > MaxValueBytes {
+		return fmt.Errorf("%w (%d > %d bytes)", ErrValueTooLarge, len(v), MaxValueBytes)
+	}
+	return nil
+}
 
 const (
 	vwInlineTag  = 1 // bit 0 of an inline value word
@@ -103,16 +138,23 @@ func (h Handle) valueLen(vw uint64) int {
 	return int(h.s.arena.Load(vw))
 }
 
+// appendInlineValue appends an inline value word's bytes to dst. Unlike
+// heap words, an inline word is self-contained: decoding it needs no
+// arena access and therefore no epoch guard.
+func appendInlineValue(dst []byte, vw uint64) []byte {
+	n := vwInlineLen(vw)
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(vw>>(vwInlineData+8*uint(i))))
+	}
+	return dst
+}
+
 // appendValue appends the bytes behind a value word to dst. Safe while the
 // caller holds the epoch guard: published blocks are immutable and freed
 // blocks survive until the next epoch boundary.
 func (h Handle) appendValue(dst []byte, vw uint64) []byte {
 	if vwIsInline(vw) {
-		n := vwInlineLen(vw)
-		for i := 0; i < n; i++ {
-			dst = append(dst, byte(vw>>(vwInlineData+8*uint(i))))
-		}
-		return dst
+		return appendInlineValue(dst, vw)
 	}
 	a := h.s.arena
 	n := int(a.Load(vw))

@@ -121,7 +121,8 @@ func runShardedEpoch(s *shard.Store, cfg Config, model map[uint64]string, seed i
 }
 
 // verifySharded checks the cluster against the model by routed point
-// lookups and one merged ordered scan, comparing exact bytes.
+// lookups and one merged cursor walk in each direction, comparing exact
+// bytes.
 func verifySharded(s *shard.Store, model map[uint64]string) error {
 	for k, v := range model {
 		got, ok := s.GetBytes(core.EncodeUint64(k))
@@ -132,33 +133,42 @@ func verifySharded(s *shard.Store, model map[uint64]string) error {
 			return fmt.Errorf("key %d = %x after recovery, committed value %x", k, got, v)
 		}
 	}
+	it := s.NewIter(core.IterOptions{})
+	defer it.Close()
 	count := 0
 	var prev uint64
-	var scanErr error
-	s.ScanBytes(nil, -1, func(kb, v []byte) bool {
-		k := deKey(kb)
+	for ok := it.First(); ok; ok = it.Next() {
+		k := deKey(it.Key())
 		if count > 0 && k <= prev {
-			scanErr = fmt.Errorf("merged scan order violated at key %d", k)
-			return false
+			return fmt.Errorf("merged cursor order violated at key %d", k)
 		}
 		prev = k
 		count++
 		want, ok := model[k]
 		if !ok {
-			scanErr = fmt.Errorf("scan found uncommitted key %d after recovery", k)
-			return false
+			return fmt.Errorf("cursor found uncommitted key %d after recovery", k)
 		}
-		if want != string(v) {
-			scanErr = fmt.Errorf("scan key %d = %x, committed %x", k, v, want)
-			return false
+		if want != string(it.Value()) {
+			return fmt.Errorf("cursor key %d = %x, committed %x", k, it.Value(), want)
 		}
-		return true
-	})
-	if scanErr != nil {
-		return scanErr
 	}
 	if count != len(model) {
-		return fmt.Errorf("scan found %d keys, model has %d", count, len(model))
+		return fmt.Errorf("cursor found %d keys, model has %d", count, len(model))
+	}
+	rev := 0
+	for ok := it.Last(); ok; ok = it.Prev() {
+		k := deKey(it.Key())
+		if rev > 0 && k >= prev {
+			return fmt.Errorf("reverse merged cursor order violated at key %d", k)
+		}
+		prev = k
+		rev++
+		if want, ok := model[k]; !ok || want != string(it.Value()) {
+			return fmt.Errorf("reverse cursor key %d = %x, committed %x", k, it.Value(), model[k])
+		}
+	}
+	if rev != len(model) {
+		return fmt.Errorf("reverse cursor found %d keys, model has %d", rev, len(model))
 	}
 	return nil
 }

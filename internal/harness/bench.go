@@ -19,6 +19,10 @@ type BenchRecord struct {
 	TxnMode    string  `json:"txn_mode"`
 	ValueSize  int     `json:"value_size"`
 	ValueDist  string  `json:"value_dist,omitempty"`
+	ScanLen    int     `json:"scan_len,omitempty"`
+	ScanDist   string  `json:"scan_dist,omitempty"`
+	ScanAPI    string  `json:"scan_api,omitempty"` // cursor | callback (YCSB-E only)
+	Reverse    bool    `json:"reverse,omitempty"`
 	Threads    int     `json:"threads"`
 	TreeSize   uint64  `json:"tree_size"`
 	Ops        int64   `json:"ops"`
@@ -54,6 +58,15 @@ func record(r Result) BenchRecord {
 	if r.Config.ValueSize > 0 {
 		rec.ValueDist = r.Config.ValueDist.String()
 	}
+	if r.Config.Workload == ycsb.E {
+		rec.ScanLen = r.Config.ScanLen
+		rec.ScanDist = r.Config.ScanDist.String()
+		rec.ScanAPI = "cursor"
+		if r.Config.LegacyScan {
+			rec.ScanAPI = "callback"
+		}
+		rec.Reverse = r.Config.ScanReverse
+	}
 	return rec
 }
 
@@ -77,6 +90,29 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 		c.Workload = wl
 		cfgs = append(cfgs, c)
 	}
+	// YCSB-E rows: the cursor-vs-callback comparison at the default scan
+	// length (the acceptance gate: cursor within 10% of the legacy
+	// callback), then the spec-shaped zipfian-length mix forward, reverse,
+	// and sharded.
+	eLegacy := base
+	eLegacy.Workload = ycsb.E
+	eLegacy.LegacyScan = true
+	cfgs = append(cfgs, eLegacy)
+
+	eZipf := base
+	eZipf.Workload = ycsb.E
+	eZipf.ScanLen = 50
+	eZipf.ScanDist = ycsb.SizeZipfian
+	cfgs = append(cfgs, eZipf)
+
+	eRev := eZipf
+	eRev.ScanReverse = true
+	cfgs = append(cfgs, eRev)
+
+	eSharded := eZipf
+	eSharded.Shards = 4
+	cfgs = append(cfgs, eSharded)
+
 	sharded := base
 	sharded.Workload = ycsb.A
 	sharded.Shards = 4
@@ -123,6 +159,13 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 		rec := record(r)
 		recs = append(recs, rec)
 		fmt.Fprintf(w, "%-7s %-6s shards=%d txn=%-8s vs=%-4d %10.0f ops/s", rec.Workload, rec.Mode, rec.Shards, rec.TxnMode, rec.ValueSize, rec.OpsPerSec)
+		if rec.ScanAPI != "" {
+			dir := "fwd"
+			if rec.Reverse {
+				dir = "rev"
+			}
+			fmt.Fprintf(w, "  scan=%s/%d/%s/%s", rec.ScanAPI, rec.ScanLen, rec.ScanDist, dir)
+		}
 		if rec.Txns > 0 {
 			fmt.Fprintf(w, " %10.0f txn/s", rec.TxnsPerSec)
 		}

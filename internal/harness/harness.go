@@ -121,6 +121,21 @@ type RunConfig struct {
 	// 1..ValueSize like real object-cache populations.
 	ValueDist ycsb.SizeDist
 
+	// ScanLen is YCSB-E's scan length (default ycsb.ScanLength): the
+	// constant length, or the maximum when ScanDist is zipfian.
+	ScanLen int
+	// ScanDist selects the scan-length distribution: every scan exactly
+	// ScanLen keys (constant, the default), or zipfian-skewed lengths in
+	// 1..ScanLen — the YCSB spec's short-scan-heavy shape.
+	ScanDist ycsb.SizeDist
+	// ScanReverse runs YCSB-E scans descending (SeekLT/Prev) instead of
+	// ascending (durable modes; requires the cursor API).
+	ScanReverse bool
+	// LegacyScan serves YCSB-E through the callback Scan API instead of
+	// the cursor — the pre-iterator baseline the bench matrix compares
+	// against (durable modes).
+	LegacyScan bool
+
 	// EpochInterval is the checkpoint interval (default 64 ms).
 	EpochInterval time.Duration
 	// FenceDelay emulates NVM write latency after sfence (Figures 3, 8).
@@ -145,6 +160,9 @@ func (c *RunConfig) setDefaults() {
 	}
 	if c.TxnKeys <= 1 {
 		c.TxnKeys = 4
+	}
+	if c.ScanLen <= 0 {
+		c.ScanLen = ycsb.ScanLength
 	}
 	if c.EpochInterval == 0 {
 		c.EpochInterval = 64 * time.Millisecond
@@ -188,10 +206,16 @@ type Result struct {
 // Run executes one measurement: build, preload, run, collect.
 func Run(cfg RunConfig) Result {
 	cfg.setDefaults()
+	if cfg.ScanReverse && cfg.LegacyScan {
+		panic("harness: reverse scans require the cursor API (LegacyScan serves ascending callbacks only)")
+	}
 	switch cfg.Mode {
 	case MT, MTPlus:
 		if cfg.ValueSize > 0 {
 			panic("harness: ValueSize requires a durable mode (the transient baselines hold uint64 values)")
+		}
+		if cfg.ScanReverse {
+			panic("harness: reverse scans require a durable mode (the transient baselines have no cursor)")
 		}
 		return runTransient(cfg)
 	default:
@@ -252,7 +276,7 @@ func runTransient(cfg RunConfig) Result {
 		case ycsb.OpGet:
 			h.Get(masstree.EncodeUint64(op.Key))
 		case ycsb.OpScan:
-			h.Scan(masstree.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
+			h.Scan(masstree.EncodeUint64(op.Key), op.ScanLen, func([]byte, uint64) bool { return true })
 		}
 	})
 
@@ -272,6 +296,11 @@ func runTransient(cfg RunConfig) Result {
 
 // SizeArena returns a generous arena size (words) for a durable run.
 func SizeArena(cfg RunConfig) (arenaWords, heapWords, segWords uint64) {
+	if cfg.Workload == ycsb.E {
+		// YCSB-E's 5% inserts land above the preloaded keyspace and grow
+		// the tree for the whole run; size for the final population.
+		cfg.TreeSize += uint64(cfg.Threads) * uint64(cfg.OpsPerThread) / 20
+	}
 	heapWords = cfg.TreeSize*12 + 1<<22
 	if cfg.ValueSize > 0 {
 		// Out-of-place value blocks: class rounding costs at most 1.5×
@@ -593,15 +622,96 @@ type kvHandle interface {
 	PutBytes(k []byte, v []byte) bool
 	Get(k []byte) (uint64, bool)
 	AppendGet(dst []byte, k []byte) ([]byte, bool)
+	NewIter(o core.IterOptions) core.Cursor
 	Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int
 	ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int
 }
 
+// workerIters lazily opens one long-lived cursor per worker — the cursor
+// pattern a real client uses: re-seek the same iterator per request
+// instead of allocating one per scan.
+type workerIters struct {
+	cfg     RunConfig
+	handles func(w int) kvHandle
+	its     []core.Cursor
+}
+
+func newWorkerIters(cfg RunConfig, handle func(w int) kvHandle) *workerIters {
+	return &workerIters{cfg: cfg, handles: handle, its: make([]core.Cursor, cfg.Threads)}
+}
+
+func (wi *workerIters) iter(w int) core.Cursor {
+	if wi.its[w] == nil {
+		wi.its[w] = wi.handles(w).NewIter(core.IterOptions{})
+	}
+	return wi.its[w]
+}
+
+// scan runs one YCSB-E scan op through worker w's cursor, touching every
+// value; with sumBytes it returns the visited payload bytes (the byte
+// workload's metric). Honours ScanReverse. The unsharded cursor is
+// type-specialized — what any perf-sensitive client does for its hot
+// loop: the concrete calls inline, where the interface-dispatched merge
+// path cannot. Both loop bodies break before the post-advance so a
+// satisfied scan never pays a refill it will discard.
+func (wi *workerIters) scan(w int, op ycsb.Op, sumBytes bool) (bytes int64) {
+	if it, ok := wi.iter(w).(*core.Iter); ok {
+		ok := false
+		if wi.cfg.ScanReverse {
+			ok = it.SeekLT(core.EncodeUint64(op.Key))
+		} else {
+			ok = it.SeekGE(core.EncodeUint64(op.Key))
+		}
+		for n := 0; ok; {
+			if sumBytes {
+				bytes += int64(len(it.Value()))
+			} else {
+				_ = it.ValueUint64()
+			}
+			if n++; n >= op.ScanLen {
+				return bytes
+			}
+			if wi.cfg.ScanReverse {
+				ok = it.Prev()
+			} else {
+				ok = it.Next()
+			}
+		}
+		return bytes
+	}
+	it := wi.iter(w)
+	ok := false
+	if wi.cfg.ScanReverse {
+		ok = it.SeekLT(core.EncodeUint64(op.Key))
+	} else {
+		ok = it.SeekGE(core.EncodeUint64(op.Key))
+	}
+	for n := 0; ok; {
+		if sumBytes {
+			bytes += int64(len(it.Value()))
+		} else {
+			_ = it.ValueUint64()
+		}
+		if n++; n >= op.ScanLen {
+			return bytes
+		}
+		if wi.cfg.ScanReverse {
+			ok = it.Prev()
+		} else {
+			ok = it.Next()
+		}
+	}
+	return bytes
+}
+
 // durableOps builds the measured-phase op dispatcher over per-worker
-// handles (shared by the single-store and sharded durable runs). With
-// ValueSize > 0 it dispatches the byte-valued mix and accumulates the
-// payload bytes each worker moves into bytesMoved[w].
+// handles (shared by the single-store and sharded durable runs). Scans go
+// through the cursor API (one re-seeked iterator per worker) unless
+// LegacyScan selects the callback path. With ValueSize > 0 it dispatches
+// the byte-valued mix and accumulates the payload bytes each worker moves
+// into bytesMoved[w].
 func durableOps(cfg RunConfig, handle func(w int) kvHandle, bytesMoved []int64) func(w int, op ycsb.Op, i int) {
+	iters := newWorkerIters(cfg, handle)
 	if cfg.ValueSize <= 0 {
 		return func(w int, op ycsb.Op, i int) {
 			h := handle(w)
@@ -611,7 +721,11 @@ func durableOps(cfg RunConfig, handle func(w int) kvHandle, bytesMoved []int64) 
 			case ycsb.OpGet:
 				h.Get(core.EncodeUint64(op.Key))
 			case ycsb.OpScan:
-				h.Scan(core.EncodeUint64(op.Key), ycsb.ScanLength, func([]byte, uint64) bool { return true })
+				if cfg.LegacyScan {
+					h.Scan(core.EncodeUint64(op.Key), op.ScanLen, func([]byte, uint64) bool { return true })
+					return
+				}
+				iters.scan(w, op, false)
 			}
 		}
 	}
@@ -636,10 +750,14 @@ func durableOps(cfg RunConfig, handle func(w int) kvHandle, bytesMoved []int64) 
 				bytesMoved[w] += int64(len(v))
 			}
 		case ycsb.OpScan:
-			h.ScanBytes(core.EncodeUint64(op.Key), ycsb.ScanLength, func(_, v []byte) bool {
-				bytesMoved[w] += int64(len(v))
-				return true
-			})
+			if cfg.LegacyScan {
+				h.ScanBytes(core.EncodeUint64(op.Key), op.ScanLen, func(_, v []byte) bool {
+					bytesMoved[w] += int64(len(v))
+					return true
+				})
+				return
+			}
+			bytesMoved[w] += iters.scan(w, op, true)
 		}
 	}
 }
@@ -693,6 +811,7 @@ func runWorkers(cfg RunConfig, do func(worker int, op ycsb.Op, i int)) time.Dura
 	gens := make([]*ycsb.Generator, cfg.Threads)
 	for w := range gens {
 		gens[w] = ycsb.NewGenerator(cfg.Workload, cfg.Dist, cfg.TreeSize, cfg.Seed+int64(w)*7919)
+		gens[w].SetScanLength(cfg.ScanDist, cfg.ScanLen)
 	}
 	var wg sync.WaitGroup
 	start := time.Now()

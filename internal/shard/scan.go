@@ -1,67 +1,11 @@
 package shard
 
-import (
-	"bytes"
-
-	"incll/internal/core"
-)
-
-// scanBatch is the number of entries fetched from one shard per refill.
-// Each refill is one core scan holding that shard's epoch guard; batching
-// amortizes the guard and descent without buffering whole shards.
-const scanBatch = 64
-
-// scanKV is one buffered entry; keys and values are copied out of the
-// shard's callback so they outlive the refill.
-type scanKV struct {
-	k []byte
-	v []byte
-}
-
-// scanCursor streams one shard's keys ≥ start in ascending order.
-type scanCursor struct {
-	h    core.Handle
-	buf  []scanKV
-	pos  int
-	next []byte // start key of the next refill
-	done bool   // the shard has no keys ≥ next
-}
-
-func (c *scanCursor) refill() {
-	if c.done {
-		return
-	}
-	c.buf = c.buf[:0]
-	c.pos = 0
-	n := c.h.ScanBytes(c.next, scanBatch, func(k, v []byte) bool {
-		c.buf = append(c.buf, scanKV{k: append([]byte(nil), k...), v: append([]byte(nil), v...)})
-		return true
-	})
-	if n < scanBatch {
-		c.done = true // nothing beyond this batch
-		return
-	}
-	// Resume strictly after the last delivered key: its successor in
-	// bytewise order is the key extended by one zero byte.
-	last := c.buf[len(c.buf)-1].k
-	c.next = append(append(c.next[:0], last...), 0)
-}
-
-// head returns the cursor's smallest pending entry, refilling as needed;
-// ok is false once the shard is exhausted.
-func (c *scanCursor) head() (scanKV, bool) {
-	if c.pos >= len(c.buf) {
-		c.refill()
-		if c.pos >= len(c.buf) {
-			return scanKV{}, false
-		}
-	}
-	return c.buf[c.pos], true
-}
+import "incll/internal/core"
 
 // Scan visits up to max keys ≥ start in ascending order (max < 0 means
 // unlimited), until fn returns false, delivering the uint64 view of each
-// value. Returns the number visited.
+// value. Returns the number visited. A thin wrapper over the merge
+// cursor, kept for compatibility.
 func (h Handle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
 	return h.ScanBytes(start, max, func(k, v []byte) bool {
 		return fn(k, core.DecodeValue(v))
@@ -70,43 +14,22 @@ func (h Handle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) in
 
 // ScanBytes visits up to max keys ≥ start in ascending order (max < 0
 // means unlimited), until fn returns false, k-way-merging the per-shard
-// streams: each shard scans in order and routing makes the streams
-// disjoint, so one global pass popping the smallest head preserves total
-// key order exactly as an unsharded scan would. Returns the number
-// visited.
+// streams through the cluster cursor: routing makes the streams disjoint,
+// so popping the smallest head preserves total key order exactly as an
+// unsharded scan would. The key and value slices are only valid during
+// the callback. Returns the number visited.
 func (h Handle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
-	cursors := make([]*scanCursor, len(h.s.shards))
-	for i, sh := range h.s.shards {
-		cursors[i] = &scanCursor{
-			h:    sh.Handle(h.i),
-			next: append([]byte(nil), start...),
-		}
-	}
+	it := h.NewIter(core.IterOptions{})
+	defer it.Close()
 	visited := 0
-	for {
+	for ok := it.SeekGE(start); ok; ok = it.Next() {
 		if max >= 0 && visited >= max {
 			return visited
 		}
-		// Linear min over the shard heads: shard counts are small enough
-		// that a heap would cost more than it saves.
-		var best *scanCursor
-		var bestKV scanKV
-		for _, c := range cursors {
-			kv, ok := c.head()
-			if !ok {
-				continue
-			}
-			if best == nil || bytes.Compare(kv.k, bestKV.k) < 0 {
-				best, bestKV = c, kv
-			}
-		}
-		if best == nil {
-			return visited
-		}
-		best.pos++
 		visited++
-		if !fn(bestKV.k, bestKV.v) {
+		if !fn(it.Key(), it.Value()) {
 			return visited
 		}
 	}
+	return visited
 }

@@ -25,5 +25,8 @@ func ForCluster(s *shard.Store) (*Manager, int) {
 		Stores:  stores,
 		Route:   func(k []byte) int { return shard.Route(k, n) },
 		Advance: s.Advance,
+		NewIter: func(w int, o core.IterOptions) core.Cursor {
+			return s.Handle(w).NewIter(o)
+		},
 	})
 }

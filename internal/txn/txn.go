@@ -84,6 +84,10 @@ type Config struct {
 	// shard.Store.Advance for a cluster. The Manager wraps it with the
 	// commit guard; callers must go through Manager.Advance from then on.
 	Advance func() int
+	// NewIter opens a cursor over the whole (possibly sharded) store for
+	// worker w — the sharded merge cursor for a cluster. nil derives a
+	// single-store cursor from Stores[0].
+	NewIter func(worker int, o core.IterOptions) core.Cursor
 }
 
 // Stats counts transaction outcomes.
@@ -100,6 +104,7 @@ type Manager struct {
 	stores  []*core.Store
 	route   func(k []byte) int
 	advance func() int
+	iter    func(worker int, o core.IterOptions) core.Cursor
 
 	// guard serializes commits against epoch advances: commits hold it
 	// shared for the whole intent→apply→mark window (so the epoch cannot
@@ -137,6 +142,7 @@ func New(cfg Config) (*Manager, int) {
 		stores:   cfg.Stores,
 		route:    cfg.Route,
 		advance:  cfg.Advance,
+		iter:     cfg.NewIter,
 		commitMu: make([]sync.Mutex, len(cfg.Stores)),
 	}
 	if m.route == nil {
@@ -144,6 +150,11 @@ func New(cfg Config) (*Manager, int) {
 	}
 	if m.advance == nil {
 		m.advance = cfg.Stores[0].Advance
+	}
+	if m.iter == nil {
+		m.iter = func(w int, o core.IterOptions) core.Cursor {
+			return cfg.Stores[0].Handle(w).NewIter(o)
+		}
 	}
 	return m, m.recover()
 }
@@ -200,6 +211,12 @@ type Txn struct {
 	writes []extlog.IntentOp
 	windex map[string]int
 	done   bool
+	// err is the sticky buffered-write error (oversized key or value):
+	// the offending write is dropped, the transaction is poisoned, and
+	// Commit reports the first failure — long before any durable intent
+	// could be written. errors.Is-compatible with core.ErrValueTooLarge /
+	// core.ErrKeyTooLarge.
+	err error
 }
 
 // Begin starts a transaction on worker index worker (the same index used
@@ -260,17 +277,21 @@ func (t *Txn) getBytes(k []byte) ([]byte, bool) {
 // the canonical uint64 byte encoding.
 func (t *Txn) Put(k []byte, v uint64) {
 	t.check()
+	if !t.validate(k, nil) {
+		return
+	}
 	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Val: core.EncodeValue(v)})
 }
 
 // PutBytes buffers a write of the byte value v under k (applied atomically
-// at Commit). Panics on values beyond core.MaxValueBytes — here at the
-// call site, like the non-transactional PutBytes, never mid-commit with a
-// durable intent already written.
+// at Commit). An oversized key or value poisons the transaction — here at
+// the buffering site, never mid-commit with a durable intent already
+// written — and Commit returns an error errors.Is-compatible with
+// core.ErrValueTooLarge / core.ErrKeyTooLarge.
 func (t *Txn) PutBytes(k []byte, v []byte) {
 	t.check()
-	if len(v) > core.MaxValueBytes {
-		panic("txn: value exceeds MaxValueBytes")
+	if !t.validate(k, v) {
+		return
 	}
 	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Val: append([]byte(nil), v...)})
 }
@@ -278,7 +299,23 @@ func (t *Txn) PutBytes(k []byte, v []byte) {
 // Delete buffers a deletion of k (applied atomically at Commit).
 func (t *Txn) Delete(k []byte) {
 	t.check()
+	if !t.validate(k, nil) {
+		return
+	}
 	t.write(extlog.IntentOp{Key: append([]byte(nil), k...), Delete: true})
+}
+
+// validate size-checks a buffered write, poisoning the transaction with
+// the first failure.
+func (t *Txn) validate(k, v []byte) bool {
+	err := core.ValidateKV(k, v)
+	if err == nil {
+		return true
+	}
+	if t.err == nil {
+		t.err = fmt.Errorf("txn: %w", err)
+	}
+	return false
 }
 
 // write records op, collapsing repeated writes to one key into the last.
@@ -306,6 +343,9 @@ func (t *Txn) Abort() {
 func (t *Txn) Commit() error {
 	t.check()
 	t.done = true
+	if t.err != nil {
+		return t.err
+	}
 	if len(t.writes) == 0 {
 		if len(t.reads) == 0 {
 			return nil

@@ -295,27 +295,37 @@ func TestReadOnlyCommitValidates(t *testing.T) {
 	}
 }
 
-func TestOversizeKeyReturnsErrTooLarge(t *testing.T) {
+func TestOversizeKeyPoisonsCommit(t *testing.T) {
 	f := newSingle(t)
 	tx := f.m.Begin(0)
-	tx.Put(make([]byte, 1<<16), 1)
-	if err := tx.Commit(); !errors.Is(err, ErrTooLarge) {
-		t.Fatalf("commit = %v, want ErrTooLarge", err)
+	tx.Put(make([]byte, core.MaxKeyBytes+1), 1)
+	tx.Put(key(1), 2) // later writes ride along but the txn stays poisoned
+	if err := tx.Commit(); !errors.Is(err, core.ErrKeyTooLarge) {
+		t.Fatalf("commit = %v, want ErrKeyTooLarge", err)
+	}
+	if _, ok := f.store.Get(key(1)); ok {
+		t.Fatal("poisoned transaction applied a write")
+	}
+	if got := f.store.Intents().Appended(); got != 0 {
+		t.Fatalf("%d intent records written for a rejected key", got)
 	}
 }
 
-func TestPutBytesOversizePanicsAtCallSite(t *testing.T) {
-	// The size check must fire in PutBytes itself — before Commit writes a
-	// durable intent record while holding the commit locks.
+func TestPutBytesOversizeFailsBeforeIntent(t *testing.T) {
+	// The size check must fire when the write is buffered — Commit reports
+	// it before any durable intent record is written under the commit
+	// locks, and the error stays errors.Is-compatible with the façade's
+	// ErrValueTooLarge.
 	f := newSingle(t)
 	tx := f.m.Begin(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("oversize PutBytes did not panic")
-		}
-		if got := f.store.Intents().Appended(); got != 0 {
-			t.Fatalf("%d intent records written for a rejected value", got)
-		}
-	}()
 	tx.PutBytes(key(1), make([]byte, core.MaxValueBytes+1))
+	if err := tx.Commit(); !errors.Is(err, core.ErrValueTooLarge) {
+		t.Fatalf("commit = %v, want ErrValueTooLarge", err)
+	}
+	if got := f.store.Intents().Appended(); got != 0 {
+		t.Fatalf("%d intent records written for a rejected value", got)
+	}
+	if _, ok := f.store.Get(key(1)); ok {
+		t.Fatal("poisoned transaction applied a write")
+	}
 }

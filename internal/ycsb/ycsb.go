@@ -6,7 +6,7 @@
 //	YCSB-A  write heavy   50% put / 50% get
 //	YCSB-B  read heavy     5% put / 95% get
 //	YCSB-C  read only          100% get
-//	YCSB-E  scan only      scans of 10 keys
+//	YCSB-E  scan heavy    95% scan / 5% insert, generated scan lengths
 package ycsb
 
 import (
@@ -26,7 +26,9 @@ const (
 	B
 	// C is read-only.
 	C
-	// E is a read-only scan of ScanLength keys.
+	// E is scan-heavy, the YCSB spec's shape: 95% range scans (lengths
+	// drawn from the scan-length generator, default a constant
+	// ScanLength), 5% inserts.
 	E
 )
 
@@ -64,7 +66,8 @@ func (d Distribution) String() string {
 	return "uniform"
 }
 
-// ScanLength is the number of keys each YCSB-E scan visits.
+// ScanLength is the default YCSB-E scan length (the constant the
+// pre-parameterized workload used; see Generator.SetScanLength).
 const ScanLength = 10
 
 // SizeDist selects a value-payload size distribution for byte-valued
@@ -141,6 +144,8 @@ const (
 type Op struct {
 	Kind OpKind
 	Key  uint64
+	// ScanLen is the number of keys an OpScan visits (0 otherwise).
+	ScanLen int
 }
 
 // Generator produces a deterministic operation stream. Not safe for
@@ -151,20 +156,55 @@ type Generator struct {
 	keyspace uint64
 	rng      *rand.Rand
 	zipf     *zipfGen
+
+	scanDist SizeDist
+	scanMax  int
+	scanZipf *zipfGen
 }
 
-// NewGenerator creates a generator over keys [0, keyspace).
+// NewGenerator creates a generator over keys [0, keyspace). Scans default
+// to a constant ScanLength; see SetScanLength.
 func NewGenerator(w Workload, d Distribution, keyspace uint64, seed int64) *Generator {
 	g := &Generator{
 		workload: w,
 		dist:     d,
 		keyspace: keyspace,
 		rng:      rand.New(rand.NewSource(seed)),
+		scanDist: SizeConstant,
+		scanMax:  ScanLength,
 	}
 	if d == Zipfian {
 		g.zipf = newZipfGen(keyspace, ZipfTheta)
 	}
 	return g
+}
+
+// SetScanLength parameterizes YCSB-E's scan lengths: every scan exactly
+// max keys (SizeConstant), or zipfian(0.99)-skewed lengths in 1..max —
+// the YCSB spec's short-scan-heavy shape (SizeZipfian).
+func (g *Generator) SetScanLength(d SizeDist, max int) {
+	if max < 1 {
+		max = 1
+	}
+	g.scanDist, g.scanMax = d, max
+	g.scanZipf = nil
+	if d == SizeZipfian {
+		g.scanZipf = newZipfGen(uint64(max), ZipfTheta)
+	}
+}
+
+// nextScanLen draws the next scan length in [1, scanMax].
+func (g *Generator) nextScanLen() int {
+	if g.scanDist == SizeConstant {
+		return g.scanMax
+	}
+	// Like SizeGen.Next: zipf.next can return n itself at the float
+	// boundary; clamp so lengths never exceed the configured max.
+	n := 1 + int(g.scanZipf.next(g.rng))
+	if n > g.scanMax {
+		n = g.scanMax
+	}
+	return n
 }
 
 // Next returns the next operation.
@@ -183,8 +223,19 @@ func (g *Generator) Next() Op {
 		kind = OpGet
 	case E:
 		kind = OpScan
+		if g.rng.Intn(100) < 5 {
+			// The spec's 5% inserts: draw from a fresh band directly above
+			// the preloaded keyspace, so the run genuinely grows the tree
+			// (splits race the scans) instead of overwriting loaded keys.
+			op := Op{Kind: OpPut, Key: g.keyspace + g.rng.Uint64()%g.keyspace}
+			return op
+		}
 	}
-	return Op{Kind: kind, Key: g.NextKey()}
+	op := Op{Kind: kind, Key: g.NextKey()}
+	if kind == OpScan {
+		op.ScanLen = g.nextScanLen()
+	}
+	return op
 }
 
 // NextKey draws a key according to the distribution. Zipfian ranks are

@@ -7,14 +7,14 @@ import (
 
 func TestMixRatios(t *testing.T) {
 	cases := []struct {
-		w       Workload
-		putFrac float64
-		scan    bool
+		w        Workload
+		putFrac  float64
+		scanFrac float64
 	}{
-		{A, 0.50, false},
-		{B, 0.05, false},
-		{C, 0.00, false},
-		{E, 0.00, true},
+		{A, 0.50, 0},
+		{B, 0.05, 0},
+		{C, 0.00, 0},
+		{E, 0.05, 0.95}, // the spec's shape: 95% scans, 5% inserts
 	}
 	const n = 200000
 	for _, c := range cases {
@@ -27,18 +27,49 @@ func TestMixRatios(t *testing.T) {
 				puts++
 			case OpScan:
 				scans++
+				if op.ScanLen != ScanLength {
+					t.Fatalf("%v: default scan length %d, want %d", c.w, op.ScanLen, ScanLength)
+				}
 			}
 		}
 		frac := float64(puts) / n
 		if math.Abs(frac-c.putFrac) > 0.01 {
 			t.Errorf("%v: put fraction %.3f, want %.2f", c.w, frac, c.putFrac)
 		}
-		if c.scan && scans != n {
-			t.Errorf("%v: %d scans, want all", c.w, scans)
+		if math.Abs(float64(scans)/n-c.scanFrac) > 0.01 {
+			t.Errorf("%v: scan fraction %.3f, want %.2f", c.w, float64(scans)/n, c.scanFrac)
 		}
-		if !c.scan && scans != 0 {
-			t.Errorf("%v: unexpected scans", c.w)
+	}
+}
+
+func TestScanLengthGenerator(t *testing.T) {
+	// Constant: every scan exactly max.
+	g := NewGenerator(E, Uniform, 1000, 7)
+	g.SetScanLength(SizeConstant, 25)
+	for i := 0; i < 1000; i++ {
+		if op := g.Next(); op.Kind == OpScan && op.ScanLen != 25 {
+			t.Fatalf("constant scan length %d, want 25", op.ScanLen)
 		}
+	}
+	// Zipfian: lengths in [1, max], skewed toward short scans.
+	g = NewGenerator(E, Uniform, 1000, 7)
+	g.SetScanLength(SizeZipfian, 100)
+	short, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind != OpScan {
+			continue
+		}
+		if op.ScanLen < 1 || op.ScanLen > 100 {
+			t.Fatalf("zipfian scan length %d out of [1, 100]", op.ScanLen)
+		}
+		total++
+		if op.ScanLen <= 10 {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(total); frac < 0.5 {
+		t.Errorf("zipfian lengths not skewed short: %.2f ≤ 10", frac)
 	}
 }
 
