@@ -1,4 +1,4 @@
-package incll
+package incll_test
 
 // One benchmark per figure of the paper's evaluation (§6). These are the
 // testing.B building blocks; `cmd/incll-bench` runs the full multi-thread
@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"incll"
 	"incll/internal/core"
 	"incll/internal/harness"
 	"incll/internal/masstree"
@@ -237,9 +238,9 @@ func BenchmarkShardScaling(b *testing.B) {
 func BenchmarkShardCheckpoint(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			db, _ := Open(Options{Shards: shards, ArenaWords: 1 << 22})
+			db, _ := incll.Open(incll.Options{Shards: shards, ArenaWords: 1 << 22})
 			for i := uint64(0); i < benchTreeSize; i++ {
-				db.Put(Key(i), i)
+				db.Put(incll.Key(i), i)
 			}
 			g := ycsb.NewGenerator(ycsb.A, ycsb.Uniform, benchTreeSize, 1)
 			b.ResetTimer()
@@ -248,7 +249,7 @@ func BenchmarkShardCheckpoint(b *testing.B) {
 				for j := 0; j < 2000; j++ { // dirty one epoch's worth of lines
 					op := g.Next()
 					if op.Kind == ycsb.OpPut {
-						db.Put(Key(op.Key), op.Key)
+						db.Put(incll.Key(op.Key), op.Key)
 					}
 				}
 				b.StartTimer()
@@ -260,9 +261,9 @@ func BenchmarkShardCheckpoint(b *testing.B) {
 
 // BenchmarkGlobalFlush measures the epoch-boundary flush (§6.2).
 func BenchmarkGlobalFlush(b *testing.B) {
-	db, _ := Open(Options{ArenaWords: 1 << 24})
+	db, _ := incll.Open(incll.Options{ArenaWords: 1 << 24})
 	for i := uint64(0); i < benchTreeSize; i++ {
-		db.Put(Key(i), i)
+		db.Put(incll.Key(i), i)
 	}
 	g := ycsb.NewGenerator(ycsb.A, ycsb.Uniform, benchTreeSize, 1)
 	b.ResetTimer()
@@ -271,7 +272,7 @@ func BenchmarkGlobalFlush(b *testing.B) {
 		for j := 0; j < 2000; j++ { // dirty one epoch's worth of lines
 			op := g.Next()
 			if op.Kind == ycsb.OpPut {
-				db.Put(Key(op.Key), op.Key)
+				db.Put(incll.Key(op.Key), op.Key)
 			}
 		}
 		b.StartTimer()
@@ -282,16 +283,16 @@ func BenchmarkGlobalFlush(b *testing.B) {
 // BenchmarkRecovery measures post-crash Open (§6.3: external-log replay
 // plus header repair; node repair is lazy and excluded, as in the paper).
 func BenchmarkRecovery(b *testing.B) {
-	db, _ := Open(Options{ArenaWords: 1 << 25})
+	db, _ := incll.Open(incll.Options{ArenaWords: 1 << 25})
 	for i := uint64(0); i < 1_000_000; i++ {
-		db.Put(Key(i), i)
+		db.Put(incll.Key(i), i)
 	}
 	db.Checkpoint()
 	g := ycsb.NewGenerator(ycsb.A, ycsb.Uniform, 1_000_000, 1)
 	for j := 0; j < 200_000; j++ { // a worst-case epoch of writes
 		op := g.Next()
 		if op.Kind == ycsb.OpPut {
-			db.Put(Key(op.Key), op.Key)
+			db.Put(incll.Key(op.Key), op.Key)
 		}
 	}
 	b.ResetTimer()

@@ -155,6 +155,7 @@ func main() {
 	}
 	fmt.Printf("%s %s %s%s: %d ops in %v = %.3f Mops/s\n",
 		cfg.Mode, cfg.Workload, cfg.Dist, label, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput/1e6)
+	fmt.Printf("  latency p50=%v p95=%v p99=%v (sampled 1/8)\n", r.P50, r.P95, r.P99)
 	if cfg.Mode == harness.INCLL || cfg.Mode == harness.LOGGING {
 		fmt.Printf("  epochs=%d loggedNodes=%d inCLLperm=%d inCLLval=%d fences=%d linesFlushed=%d\n",
 			r.Advances, r.LoggedNodes, r.InCLLPerm, r.InCLLVal, r.Fences, r.FlushedLines)

@@ -14,18 +14,30 @@
 //	PUT  /kv/{key}?v=42     store a value
 //	GET  /kv/{key}          read a value
 //	GET  /range?start=k&n=10  ordered range read
+//	GET  /snapshot          stream a consistent online backup (see below)
 //	POST /crash?persist=0.5 simulate a power failure + instant recovery
 //	GET  /stats             logging and persistence counters, per shard
+//
+// /snapshot streams a consistent full backup of the live store —
+// checksummed frames anchored at a committed epoch — without pausing
+// writers (curl it while load runs; restore with incll.Restore or
+// `incll-repl -mode restore`). SIGINT/SIGTERM shut down gracefully:
+// in-flight requests drain, then the store closes with a final durable
+// checkpoint, so the next start is a clean restart.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"incll"
@@ -114,12 +126,35 @@ func main() {
 			}
 		})
 	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", "attachment; filename=store.snap")
+		srv.withDB(func(db *incll.DB) {
+			info, err := db.Snapshot(w)
+			if err != nil {
+				// Headers are gone; all we can do is cut the stream so the
+				// client's restore fails its checksum instead of trusting a
+				// silent truncation.
+				log.Printf("snapshot aborted: %v", err)
+				return
+			}
+			log.Printf("snapshot streamed: %d keys, %d bytes, anchor epoch %d",
+				info.Keys, info.Bytes, info.AnchorEpoch)
+		})
+	})
 	mux.HandleFunc("/crash", func(w http.ResponseWriter, r *http.Request) {
 		persist := 0.5
 		if p := r.URL.Query().Get("persist"); p != "" {
 			persist, _ = strconv.ParseFloat(p, 64)
 		}
-		srv.mu.Lock()
+		// TryLock, not Lock: a long-running /snapshot download holds the
+		// read lock, and a blocked writer would make every subsequent
+		// request queue behind it — one slow client must not wedge the
+		// whole server. The caller retries once the snapshot finishes.
+		if !srv.mu.TryLock() {
+			http.Error(w, "snapshot or crash in progress; retry", http.StatusServiceUnavailable)
+			return
+		}
 		defer srv.mu.Unlock()
 		t0 := time.Now()
 		srv.db.SimulateCrash(persist, time.Now().UnixNano())
@@ -157,6 +192,39 @@ func main() {
 		})
 	})
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	// The write timeout bounds how long a wedged client can pin a
+	// /snapshot handler (the journal's pinned-retention grace cap bounds
+	// the memory side independently).
+	hs := &http.Server{Addr: *addr, Handler: mux, WriteTimeout: 10 * time.Minute}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining requests, then closing the store")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("http shutdown: %v", err)
+		}
+		// Drain deadline blown (e.g. a slow /snapshot download): force the
+		// connections closed so the lingering handlers abort — their writes
+		// fail, the client's restore fails its checksum — and release the
+		// store lock the final Close below waits on.
+		hs.Close()
+	}
+	// withDB holds the read lock for a handler's whole lifetime, so this
+	// write lock cannot be acquired while any handler still uses the DB:
+	// Close never races an in-flight request.
+	srv.mu.Lock()
+	srv.db.Close() // final checkpoint + durable clean-shutdown mark
+	srv.mu.Unlock()
+	log.Printf("store closed cleanly")
 }

@@ -65,11 +65,13 @@ package incll
 
 import (
 	"iter"
+	"sync"
 	"time"
 
 	"incll/internal/core"
 	"incll/internal/epoch"
 	"incll/internal/nvm"
+	"incll/internal/repl"
 	"incll/internal/shard"
 	"incll/internal/txn"
 )
@@ -125,6 +127,17 @@ type Options struct {
 	// EpochInterval is the checkpoint cadence used by StartCheckpointer
 	// (default 64ms, the paper's setting).
 	EpochInterval time.Duration
+	// ChangeJournalBytes bounds the change journal's retained entry bytes
+	// once a snapshot or change-stream subscriber is attached (default 32
+	// MiB). A subscriber still behind a previous checkpoint's release
+	// when the released backlog exceeds the budget is cut loose with
+	// ErrStreamLost (a single oversized epoch never cuts a prompt
+	// consumer, and a snapshot export or replica bootstrap in progress is
+	// exempt up to a 4x grace ceiling); if the
+	// unreleased volume itself outgrows the budget — a subscriber exists
+	// but checkpoints are not running — every subscriber is cut and the
+	// journal dropped, so memory stays bounded either way.
+	ChangeJournalBytes uint64
 	// FenceDelay emulates NVM write latency after each fence.
 	FenceDelay time.Duration
 	// DisableInCLL turns off in-cache-line logging (the paper's LOGGING
@@ -337,6 +350,12 @@ type DB struct {
 	sharded *shard.Store // sharded mode (Options.Shards > 1)
 	txns    *txn.Manager
 	opts    Options
+
+	// Replication state (see replication.go): the change hub attaches
+	// lazily on first Snapshot/Changes use and dies with this DB instance.
+	replMu   sync.Mutex
+	replHub  *repl.Hub
+	snapHook func(point string) error // crash-injection test hook
 }
 
 // Open creates a DB over fresh simulated NVM.
@@ -583,14 +602,16 @@ func (db *DB) StopCheckpointer() {
 	db.txns.StopTicker()
 }
 
-// Close checkpoints and durably marks a clean shutdown.
+// Close checkpoints and durably marks a clean shutdown. Change-stream
+// subscribers drain the final epoch and then observe ErrStreamClosed.
 func (db *DB) Close() {
 	db.txns.StopTicker()
 	if db.sharded != nil {
 		db.sharded.Shutdown()
-		return
+	} else {
+		db.store.Shutdown()
 	}
-	db.store.Shutdown()
+	db.closeHub(true)
 }
 
 // SimulateCrash injects a power failure: each dirty cache line survives
@@ -600,6 +621,7 @@ func (db *DB) Close() {
 // All handles must be quiescent.
 func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
 	db.txns.StopTicker()
+	db.closeHub(false) // the volatile journal dies with the process
 	if db.sharded != nil {
 		db.sharded.SimulateCrash(persistFraction, seed)
 		return

@@ -61,6 +61,28 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// ChangeOp identifies one published mutation kind (see ChangeSink).
+type ChangeOp uint8
+
+const (
+	// ChangePut is a put of a byte value (uint64 puts publish their
+	// canonical byte encoding).
+	ChangePut ChangeOp = 1
+	// ChangeDelete is a deletion; the value is nil.
+	ChangeDelete ChangeOp = 2
+)
+
+// ChangeSink receives every mutation the store applies, in application
+// order per handle, tagged with the epoch it belongs to. Publish runs on
+// the mutating worker's goroutine with the epoch guard held (so the epoch
+// cannot advance mid-publish) and must not retain k or v past the call.
+// The change stream's consistent prefix is defined by the epoch machinery:
+// an entry is part of the durable history exactly when its epoch commits
+// (epoch.Manager.OnCommit). Used by internal/repl's change journal.
+type ChangeSink interface {
+	Publish(op ChangeOp, k, v []byte, epoch uint64)
+}
+
 // Stats counts store-level events.
 type Stats struct {
 	LoggedNodes    atomic.Int64 // external-log entries written (Figure 7's metric)
@@ -129,6 +151,11 @@ type Store struct {
 	handles   []Handle
 	size      atomic.Int64
 	recovered int
+
+	// changes is the registered ChangeSink, if any. An atomic pointer so
+	// the replication hub can attach to a live store; the write path pays
+	// one atomic load when no sink is attached.
+	changes atomic.Pointer[ChangeSink]
 
 	stats Stats
 }
@@ -234,6 +261,27 @@ func (s *Store) Log() *extlog.Log { return s.log }
 // Intents returns the transaction intent log (see internal/txn). The store
 // itself never writes to it; the transaction manager owns its protocol.
 func (s *Store) Intents() *extlog.IntentLog { return s.intents }
+
+// SetChangeSink registers cs to receive every subsequent mutation (nil
+// detaches). Safe to call on a live store; entries published earlier in
+// the current epoch are not replayed, which is sound for the snapshot
+// protocol because a snapshot scan starting after attachment observes them
+// directly (see internal/repl).
+func (s *Store) SetChangeSink(cs ChangeSink) {
+	if cs == nil {
+		s.changes.Store(nil)
+		return
+	}
+	s.changes.Store(&cs)
+}
+
+// publish forwards one applied mutation to the registered sink, if any.
+// Called with the epoch guard held.
+func (s *Store) publish(op ChangeOp, k, v []byte) {
+	if p := s.changes.Load(); p != nil {
+		(*p).Publish(op, k, v, s.mgr.Current())
+	}
+}
 
 // Stats returns the store's counters.
 func (s *Store) Stats() *Stats { return &s.stats }

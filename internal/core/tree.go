@@ -239,14 +239,19 @@ func (h Handle) PutBytesLocked(k []byte, v []byte) bool {
 		panic("core: key exceeds MaxKeyBytes")
 	}
 	h.s.stats.Puts.Add(1)
-	inserted := h.layerPut(h.rootCell0(), k, v)
+	inserted := h.layerPut(h.rootCell0(), k, k, v)
 	if inserted {
 		h.s.size.Add(1)
 	}
 	return inserted
 }
 
-func (h Handle) layerPut(cell rootCell, k []byte, val []byte) bool {
+// layerPut installs val under k within cell's layer. full is the complete
+// key (k is its per-layer suffix), carried down so the change publication
+// — which must happen inside the leaf-locked region, where concurrent
+// writers of the same key are serialized, so the journal order equals the
+// apply order — can name the key a subscriber would use.
+func (h Handle) layerPut(cell rootCell, full, k []byte, val []byte) bool {
 	ik, kind := ikeyOf(k)
 retry:
 	rootOff := cell.root()
@@ -267,10 +272,11 @@ retry:
 		vw := n.val(slot)
 		if kind == kindLayer {
 			n.unlock()
-			return h.layerPut(rootCell{s: h.s, off: vw}, k[8:], val)
+			return h.layerPut(rootCell{s: h.s, off: vw}, full, k[8:], val)
 		}
 		h.beforeValUpdate(n, slot)
 		n.setVal(slot, h.newValueWord(val))
+		h.s.publish(ChangePut, full, val)
 		n.unlock()
 		h.freeValueWord(vw)
 		return false
@@ -279,7 +285,9 @@ retry:
 	var valWord uint64
 	if kind == kindLayer {
 		valWord = h.newAnchor()
-		h.layerPut(rootCell{s: h.s, off: valWord}, k[8:], val)
+		// The recursion publishes the change from the sub-layer's locked
+		// leaf; this leaf's lock already excludes same-key competitors.
+		h.layerPut(rootCell{s: h.s, off: valWord}, full, k[8:], val)
 	} else {
 		valWord = h.newValueWord(val)
 	}
@@ -291,10 +299,13 @@ retry:
 		n.setVal(slot, valWord)
 		n.markInsert()
 		n.store(fPerm, uint64(p.insert(pos)))
+		if kind != kindLayer {
+			h.s.publish(ChangePut, full, val)
+		}
 		n.unlock()
 		return true
 	}
-	h.splitLeafInsert(cell, n, ik, kind, valWord, pos)
+	h.splitLeafInsert(cell, n, ik, kind, valWord, pos, full, val)
 	return true
 }
 
@@ -317,7 +328,7 @@ func (h Handle) lockCovering(n nodeRef, ik uint64) nodeRef {
 
 // ---- split ----
 
-func (h Handle) splitLeafInsert(cell rootCell, n nodeRef, ik uint64, kind uint8, valWord uint64, pos int) {
+func (h Handle) splitLeafInsert(cell rootCell, n nodeRef, ik uint64, kind uint8, valWord uint64, pos int, full, val []byte) {
 	cur := h.s.mgr.Current()
 	// Splits restructure more than the InCLLs can express: log the whole
 	// pre-image first (§4.2). The fresh sibling needs no log — a failed
@@ -360,6 +371,12 @@ func (h Handle) splitLeafInsert(cell rootCell, n nodeRef, ik uint64, kind uint8,
 	target.store(fPerm, uint64(tp.insert(tpos)))
 
 	h.insertUpward(cell, n, nn, splitIkey)
+	if kind != kindLayer {
+		// Publish before the unlocks, like the in-leaf insert paths: the
+		// leaf locks serialize same-key writers, so journal order equals
+		// apply order. (Layer entries publish from the sub-layer insert.)
+		h.s.publish(ChangePut, full, val)
+	}
 	nn.unlock()
 	n.unlock()
 }
@@ -502,14 +519,14 @@ func (h Handle) Delete(k []byte) bool {
 // (Store.Epochs().Enter) or otherwise excludes an epoch advance.
 func (h Handle) DeleteLocked(k []byte) bool {
 	h.s.stats.Deletes.Add(1)
-	removed := h.layerDelete(h.rootCell0(), k)
+	removed := h.layerDelete(h.rootCell0(), k, k)
 	if removed {
 		h.s.size.Add(-1)
 	}
 	return removed
 }
 
-func (h Handle) layerDelete(cell rootCell, k []byte) bool {
+func (h Handle) layerDelete(cell rootCell, full, k []byte) bool {
 	ik, kind := ikeyOf(k)
 	rootOff := cell.root()
 	if rootOff == 0 {
@@ -527,11 +544,14 @@ func (h Handle) layerDelete(cell rootCell, k []byte) bool {
 	vw := n.val(slot)
 	if kind == kindLayer {
 		n.unlock()
-		return h.layerDelete(rootCell{s: h.s, off: vw}, k[8:])
+		return h.layerDelete(rootCell{s: h.s, off: vw}, full, k[8:])
 	}
 	h.beforePermChange(n, false)
 	n.markInsert()
 	n.store(fPerm, uint64(p.remove(pos)))
+	// Publish inside the locked region (see layerPut): the leaf lock
+	// serializes same-key writers, so journal order equals apply order.
+	h.s.publish(ChangeDelete, full, nil)
 	n.unlock()
 	h.freeValueWord(vw)
 	return true

@@ -1,0 +1,439 @@
+package crashtest
+
+// Replication crash campaign: run a primary under concurrent write load
+// with a live replica, crash the primary at every snapshot/stream
+// protocol point, and check the subsystem's two invariants:
+//
+//  1. Prefix exactness. At every moment — in particular right after the
+//     primary crashes mid-stream — the replica's state equals the
+//     primary's committed state at the replica's applied epoch, exactly.
+//     A snapshot stream truncated by the crash must fail Restore
+//     (ErrBadStream), never produce a silently wrong DB.
+//
+//  2. Convergence. After the primary recovers and the replica resyncs,
+//     All() iteration over primary and replica is byte-identical in both
+//     directions.
+//
+// The committed reference states are reconstructed from an independent
+// verifier subscription opened before any write: applying its entries
+// epoch by epoch reproduces the exact committed state at every released
+// epoch (the stream is the serialization the hub's release barrier
+// defines), and the final quiesced boundary is cross-checked against the
+// primary itself so the verifier cannot drift.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"maps"
+	"math/rand"
+	"sync"
+	"time"
+
+	"incll"
+	"incll/internal/epoch"
+)
+
+// ReplConfig parameterizes one replication crash campaign.
+type ReplConfig struct {
+	// Shards is the primary's shard count (the replica uses ReplicaShards).
+	Shards int
+	// ReplicaShards is the follower's shard count (restores route by key,
+	// so it need not match; 0 means same as Shards).
+	ReplicaShards int
+	// Workers is the number of concurrent writer goroutines (disjoint key
+	// ranges, so reference states are well-defined).
+	Workers int
+	// KeysPerWorker is each writer's key-range size.
+	KeysPerWorker int
+	// OpsPerBurst is the number of operations each writer runs per burst
+	// (bursts run concurrently with exports and between checkpoints).
+	OpsPerBurst int
+	// Rounds is the number of crash/recover cycles; each round injects a
+	// crash at the next snapshot protocol point, cycling through all of
+	// them.
+	Rounds int
+	// PersistFraction is the probability a dirty line survives each crash.
+	PersistFraction float64
+}
+
+func (c *ReplConfig) setDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.ReplicaShards <= 0 {
+		c.ReplicaShards = c.Shards
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.KeysPerWorker <= 0 {
+		c.KeysPerWorker = 400
+	}
+	if c.OpsPerBurst <= 0 {
+		c.OpsPerBurst = 500
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 7
+	}
+	if c.PersistFraction == 0 {
+		c.PersistFraction = 0.5
+	}
+}
+
+// snapPoints are the snapshot protocol points the campaign crashes at, in
+// rotation ("" is a mid-stream crash with no export in flight).
+var snapPoints = []string{"header", "kv-frame", "scan-done", "anchor", "changes-frame", "end", ""}
+
+// errAbort is the sentinel the snapshot hook uses to stop the export at
+// the chosen protocol point (standing in for the process dying there).
+var errAbort = errors.New("crashtest: export aborted at injection point")
+
+// model is a committed reference state.
+type model map[string]string
+
+// verifier reconstructs the committed state at every released epoch from
+// a change-stream subscription.
+type verifier struct {
+	sub    *incll.ChangeStream
+	state  model            // state at epoch `upTo`
+	states map[uint64]model // exact state per released epoch
+	upTo   uint64           // highest epoch reconstructed
+}
+
+func newVerifier(db *incll.DB, base model) *verifier {
+	sub := db.Changes()
+	baseEpoch := sub.Released()
+	return &verifier{
+		sub:    sub,
+		state:  maps.Clone(base),
+		states: map[uint64]model{baseEpoch: maps.Clone(base)},
+		upTo:   baseEpoch,
+	}
+}
+
+// absorb applies one batch, snapshotting the state at every epoch the
+// batch covers (entries are epoch-monotone; epochs with no entries share
+// the predecessor's state).
+func (v *verifier) absorb(b incll.ChangeBatch) {
+	i := 0
+	for e := v.upTo + 1; e <= b.Epoch; e++ {
+		for i < len(b.Changes) && b.Changes[i].Epoch <= e {
+			c := b.Changes[i]
+			if c.Op == incll.ChangeDelete {
+				delete(v.state, string(c.Key))
+			} else {
+				v.state[string(c.Key)] = string(c.Value)
+			}
+			i++
+		}
+		v.states[e] = maps.Clone(v.state)
+	}
+	v.upTo = b.Epoch
+}
+
+// drainReleased absorbs every batch the stream has already released,
+// without blocking for more.
+func (v *verifier) drainReleased() error {
+	for v.upTo < v.sub.Released() {
+		b, err := v.sub.Next()
+		if err != nil {
+			return err
+		}
+		v.absorb(b)
+	}
+	return nil
+}
+
+// drainUntilLost absorbs batches until the stream reports the crash.
+func (v *verifier) drainUntilLost() {
+	for {
+		b, err := v.sub.Next()
+		if err != nil {
+			return
+		}
+		v.absorb(b)
+	}
+}
+
+// at returns the exact committed state at epoch e. Epochs below the
+// verifier's base collapse onto the base (nothing changed before it);
+// epochs it never saw are an error surfaced by the caller's comparison.
+func (v *verifier) at(e uint64) (model, bool) {
+	if m, ok := v.states[e]; ok {
+		return m, true
+	}
+	return nil, false
+}
+
+// dbState reads a DB's full contents through the merge cursor.
+func dbState(db *incll.DB) model {
+	m := model{}
+	for k, val := range db.All() {
+		m[string(k)] = string(val)
+	}
+	return m
+}
+
+// diffModels returns a description of the first divergence, or "".
+func diffModels(got, want model, gotName, wantName string) string {
+	for k, v := range want {
+		gv, ok := got[k]
+		if !ok {
+			return fmt.Sprintf("key %q present in %s, missing in %s", k, wantName, gotName)
+		}
+		if gv != v {
+			return fmt.Sprintf("key %q: %s has %q, %s has %q", k, wantName, v, gotName, gv)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			return fmt.Sprintf("key %q present in %s, missing in %s", k, gotName, wantName)
+		}
+	}
+	return ""
+}
+
+// EqualBothDirections checks byte-identical All() iteration forward and
+// reverse across two DBs — the acceptance property's equality check,
+// shared with cmd/incll-repl's verification modes.
+func EqualBothDirections(a, b *incll.DB) error {
+	for _, rev := range []bool{false, true} {
+		ia := a.NewIter(incll.IterOptions{})
+		ib := b.NewIter(incll.IterOptions{})
+		oka, okb := step(ia, rev, true), step(ib, rev, true)
+		n := 0
+		for oka && okb {
+			if !bytes.Equal(ia.Key(), ib.Key()) || !bytes.Equal(ia.Value(), ib.Value()) {
+				// Capture before Close: a closed cursor returns nils.
+				ak, av := string(ia.Key()), string(ia.Value())
+				bk, bv := string(ib.Key()), string(ib.Value())
+				ia.Close()
+				ib.Close()
+				return fmt.Errorf("reverse=%v entry %d: (%q,%q) vs (%q,%q)",
+					rev, n, ak, av, bk, bv)
+			}
+			n++
+			oka, okb = step(ia, rev, false), step(ib, rev, false)
+		}
+		ia.Close()
+		ib.Close()
+		if oka != okb {
+			return fmt.Errorf("reverse=%v: iteration lengths diverge after %d entries", rev, n)
+		}
+	}
+	return nil
+}
+
+func step(it incll.Iterator, rev, first bool) bool {
+	switch {
+	case first && rev:
+		return it.Last()
+	case first:
+		return it.First()
+	case rev:
+		return it.Prev()
+	default:
+		return it.Next()
+	}
+}
+
+// RunRepl executes one replication crash campaign with the given seed,
+// returning an error describing the first invariant violation.
+func RunRepl(cfg ReplConfig, seed int64) error {
+	cfg.setDefaults()
+	opts := incll.Options{Shards: cfg.Shards, Workers: cfg.Workers + 1}
+	repOpts := incll.Options{Shards: cfg.ReplicaShards}
+	primary, _ := incll.Open(opts)
+
+	// The verifier subscribes before any write, so its reconstruction
+	// starts from the empty committed state.
+	ver := newVerifier(primary, model{})
+
+	rep, err := incll.NewReplica(primary, repOpts)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	defer rep.Close()
+
+	burst := func(db *incll.DB, r int) {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed ^ int64(r*1000+w)))
+				h := db.Handle(w)
+				for i := 0; i < cfg.OpsPerBurst; i++ {
+					kn := rng.Intn(cfg.KeysPerWorker)
+					key := []byte(fmt.Sprintf("w%02d/key/%05d/%s", w, kn,
+						bytes.Repeat([]byte("p"), kn%11)))
+					switch rng.Intn(10) {
+					case 0:
+						h.Delete(key)
+					case 1: // heap-resident value
+						v := bytes.Repeat([]byte{byte(kn), byte(i)}, 16+rng.Intn(128))
+						if _, err := h.PutBytes(key, v); err != nil {
+							panic(err)
+						}
+					default: // mostly small/inline values
+						h.Put(key, uint64(rng.Intn(1<<30)))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		point := snapPoints[round%len(snapPoints)]
+
+		// Committed prelude: a couple of quiesced checkpoints.
+		for e := 0; e < 2; e++ {
+			burst(primary, round*10+e)
+			primary.Checkpoint()
+			if err := ver.drainReleased(); err != nil {
+				return fmt.Errorf("round %d: verifier: %w", round, err)
+			}
+		}
+
+		// Cross-check the verifier against ground truth at this quiesced
+		// boundary: the reconstruction must equal the primary exactly.
+		if d := diffModels(dbState(primary), ver.state, "primary", "verifier"); d != "" {
+			return fmt.Errorf("round %d: verifier drifted: %s", round, d)
+		}
+
+		// Doomed phase: concurrent burst, export aborted at the protocol
+		// point, then the crash. The uncommitted burst tail must vanish;
+		// the truncated stream must never restore.
+		var exportBuf bytes.Buffer
+		stop := make(chan struct{})
+		var loadWG sync.WaitGroup
+		loadWG.Add(1)
+		go func() {
+			defer loadWG.Done()
+			rng := rand.New(rand.NewSource(seed ^ int64(round*77+13)))
+			h := primary.Handle(cfg.Workers) // extra handle: doomed-phase writer
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := []byte(fmt.Sprintf("w%02d/key/%05d/", i%cfg.Workers, rng.Intn(cfg.KeysPerWorker)))
+				h.Put(key, uint64(i)|1<<33)
+			}
+		}()
+
+		var exportErr error
+		if point != "" {
+			hits := 0
+			primary.SetSnapshotHook(func(p string) error {
+				if p == point {
+					hits++
+					if hits == 1 {
+						return errAbort
+					}
+				}
+				return nil
+			})
+			_, exportErr = primary.Snapshot(&exportBuf)
+			primary.SetSnapshotHook(nil)
+			if !errors.Is(exportErr, errAbort) {
+				// The point may be unreachable this round (e.g. no change
+				// frame when the doomed writer raced slow): only a clean
+				// success is acceptable then.
+				if exportErr != nil {
+					return fmt.Errorf("round %d: export at %q: %v", round, point, exportErr)
+				}
+			}
+		}
+		close(stop)
+		loadWG.Wait()
+
+		// Crash the primary mid-stream.
+		primary.SimulateCrash(cfg.PersistFraction, seed+int64(round))
+
+		// The truncated export must never restore silently.
+		if point != "" && errors.Is(exportErr, errAbort) && exportBuf.Len() > 0 {
+			if _, _, rerr := incll.Restore(bytes.NewReader(exportBuf.Bytes()), repOpts); !errors.Is(rerr, incll.ErrBadStream) {
+				return fmt.Errorf("round %d: truncated export (at %q) restored with err=%v, want ErrBadStream", round, point, rerr)
+			}
+		}
+
+		// The verifier drains what was released before the crash, then
+		// loses the stream.
+		ver.drainUntilLost()
+
+		// Invariant 1: the replica stopped on an exact committed prefix.
+		if err := waitReplicaStopped(rep); err != nil {
+			return fmt.Errorf("round %d: replica did not observe the crash: %w", round, err)
+		}
+		applied := rep.AppliedEpoch()
+		want, ok := ver.at(applied)
+		if !ok {
+			return fmt.Errorf("round %d: replica applied epoch %d, which the verifier never saw (up to %d)", round, applied, ver.upTo)
+		}
+		if d := diffModels(dbState(rep.DB()), want, "replica", fmt.Sprintf("committed state at epoch %d", applied)); d != "" {
+			return fmt.Errorf("round %d: replica diverged from its applied prefix: %s", round, d)
+		}
+
+		// Recover the primary and resync the replica.
+		reopened, info := primary.Reopen()
+		if info.Status == epoch.FreshStart {
+			return fmt.Errorf("round %d: reopen lost the arena", round)
+		}
+		primary = reopened
+		if err := rep.Resync(primary); err != nil {
+			return fmt.Errorf("round %d: resync: %w", round, err)
+		}
+		if err := rep.CatchUp(); err != nil {
+			return fmt.Errorf("round %d: catch-up: %w", round, err)
+		}
+
+		// Invariant 2: full convergence, byte-identical both directions.
+		if err := EqualBothDirections(primary, rep.DB()); err != nil {
+			return fmt.Errorf("round %d: primary/replica diverge after catch-up: %w", round, err)
+		}
+
+		// Rebase the verifier on the recovered committed state.
+		ver = newVerifier(primary, dbState(primary))
+	}
+
+	// Final: a clean shutdown ends the stream gracefully after the replica
+	// drained everything.
+	burst(primary, cfg.Rounds*10+1)
+	primary.Checkpoint()
+	if err := rep.CatchUp(); err != nil {
+		return fmt.Errorf("final catch-up: %w", err)
+	}
+	if err := EqualBothDirections(primary, rep.DB()); err != nil {
+		return fmt.Errorf("final equality: %w", err)
+	}
+	promoted, err := rep.Promote()
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	if err := EqualBothDirections(primary, promoted); err != nil {
+		return fmt.Errorf("promoted equality: %w", err)
+	}
+	promoted.Close()
+	primary.Close()
+	return nil
+}
+
+// waitReplicaStopped waits until the replica's apply loop terminated on
+// the crashed stream.
+func waitReplicaStopped(rep *incll.Replica) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := rep.Err(); err != nil {
+			if errors.Is(err, incll.ErrStreamLost) || errors.Is(err, incll.ErrStreamClosed) {
+				return nil
+			}
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return errors.New("timeout")
+}

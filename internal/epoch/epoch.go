@@ -94,6 +94,11 @@ type Manager struct {
 
 	onAdvance []func(newEpoch uint64)
 
+	// onCommit holds the commit hooks (see OnCommit): a copy-on-write
+	// slice, so registration is safe while mutators run and firing costs
+	// one atomic load.
+	onCommit atomic.Pointer[[]func(committed uint64)]
+
 	ticker Ticker
 
 	advances atomic.Int64
@@ -219,6 +224,41 @@ func (m *Manager) OnAdvance(f func(newEpoch uint64)) {
 	m.onAdvance = append(m.onAdvance, f)
 }
 
+// OnCommit registers a callback invoked at every commit point — the
+// moment an epoch's effects become part of the durable history — with the
+// committed epoch as argument, while the world is still stopped. Commit
+// fires it for the epoch just ended; Shutdown fires it for the running
+// epoch (a clean shutdown makes the running epoch durable). For a store
+// driven by a sharding coordinator, the local Commit runs only after the
+// coordinator's global record is durable, so the hook observes globally
+// committed epochs only.
+//
+// Unlike OnAdvance, hooks may be registered at any time, including while
+// mutators run (the replication hub attaches to a live store); the list is
+// copy-on-write. Hooks must not block: they run with every worker quiesced.
+func (m *Manager) OnCommit(f func(committed uint64)) {
+	for {
+		old := m.onCommit.Load()
+		var hooks []func(committed uint64)
+		if old != nil {
+			hooks = append(hooks, *old...)
+		}
+		hooks = append(hooks, f)
+		if m.onCommit.CompareAndSwap(old, &hooks) {
+			return
+		}
+	}
+}
+
+// fireCommit runs the commit hooks for epoch e.
+func (m *Manager) fireCommit(e uint64) {
+	if hooks := m.onCommit.Load(); hooks != nil {
+		for _, f := range *hooks {
+			f(e)
+		}
+	}
+}
+
 // Advance ends the current epoch: it stops the world, flushes every dirty
 // line to NVM (committing the epoch), durably records the next epoch, runs
 // the registered callbacks, and resumes the world. Returns the number of
@@ -270,6 +310,7 @@ func (m *Manager) Commit() {
 	for _, f := range m.onAdvance {
 		f(next)
 	}
+	m.fireCommit(cur)
 	m.advances.Add(1)
 	m.world.Unlock()
 }
@@ -291,6 +332,9 @@ func (m *Manager) Shutdown() {
 	a.Store(off+hdrPhase, phaseShutdown)
 	a.Writeback(off)
 	a.Fence()
+	// A clean shutdown makes the running epoch part of the durable history
+	// without starting a successor.
+	m.fireCommit(m.current.Load())
 }
 
 // StartTicker advances epochs every interval from a background goroutine,

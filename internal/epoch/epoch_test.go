@@ -346,3 +346,43 @@ func TestTickerStartStopIdempotent(t *testing.T) {
 		t.Fatal("ticker did not restart after Stop")
 	}
 }
+
+func TestOnCommitHooks(t *testing.T) {
+	_, m, _ := newManager(t)
+	var got []uint64
+	m.OnCommit(func(e uint64) { got = append(got, e) })
+	m.Advance() // commits epoch 1
+	m.Advance() // commits epoch 2
+
+	// Late registration (after mutators may exist) must be safe and see
+	// only subsequent commits.
+	var late []uint64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			m.Exit()
+		}()
+	}
+	m.OnCommit(func(e uint64) { late = append(late, e) })
+	wg.Wait()
+	m.Advance() // commits epoch 3
+
+	// A clean shutdown commits the running epoch without a successor.
+	m.Shutdown()
+
+	want := []uint64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("commit hook fired for %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("commit hook fired for %v, want %v", got, want)
+		}
+	}
+	if len(late) != 2 || late[0] != 3 || late[1] != 4 {
+		t.Fatalf("late hook fired for %v, want [3 4]", late)
+	}
+}

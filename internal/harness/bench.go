@@ -31,6 +31,18 @@ type BenchRecord struct {
 	TxnsPerSec float64 `json:"txns_per_sec"`
 	MBPerSec   float64 `json:"mb_per_sec"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
+
+	// Per-op latency percentiles in microseconds (sampled; YCSB rows).
+	P50Micros float64 `json:"p50_us,omitempty"`
+	P95Micros float64 `json:"p95_us,omitempty"`
+	P99Micros float64 `json:"p99_us,omitempty"`
+
+	// Replication rows (Workload "SNAPSHOT" / "REPLICA"): snapshot and
+	// restore throughput, and replica lag under write load.
+	SnapshotBytes   int64   `json:"snapshot_bytes,omitempty"`
+	RestoreMBPerSec float64 `json:"restore_mb_per_sec,omitempty"`
+	LagEpochsMax    uint64  `json:"lag_epochs_max,omitempty"`
+	LagEpochsMean   float64 `json:"lag_epochs_mean,omitempty"`
 }
 
 // record converts one run's result.
@@ -54,6 +66,9 @@ func record(r Result) BenchRecord {
 		TxnsPerSec: r.TxnThroughput,
 		MBPerSec:   r.MBPerSec,
 		ElapsedMS:  float64(r.Elapsed.Microseconds()) / 1000,
+		P50Micros:  float64(r.P50.Nanoseconds()) / 1000,
+		P95Micros:  float64(r.P95.Nanoseconds()) / 1000,
+		P99Micros:  float64(r.P99.Nanoseconds()) / 1000,
 	}
 	if r.Config.ValueSize > 0 {
 		rec.ValueDist = r.Config.ValueDist.String()
@@ -153,12 +168,13 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 	bytes1k4.Shards = 4
 	cfgs = append(cfgs, bytes1k4)
 
-	recs := make([]BenchRecord, 0, len(cfgs))
+	recs := make([]BenchRecord, 0, len(cfgs)+4)
 	for _, c := range cfgs {
 		r := Run(c)
 		rec := record(r)
 		recs = append(recs, rec)
-		fmt.Fprintf(w, "%-7s %-6s shards=%d txn=%-8s vs=%-4d %10.0f ops/s", rec.Workload, rec.Mode, rec.Shards, rec.TxnMode, rec.ValueSize, rec.OpsPerSec)
+		fmt.Fprintf(w, "%-8s %-6s shards=%d txn=%-8s vs=%-4d %10.0f ops/s", rec.Workload, rec.Mode, rec.Shards, rec.TxnMode, rec.ValueSize, rec.OpsPerSec)
+		fmt.Fprintf(w, "  p50/p95/p99=%.1f/%.1f/%.1fus", rec.P50Micros, rec.P95Micros, rec.P99Micros)
 		if rec.ScanAPI != "" {
 			dir := "fwd"
 			if rec.Reverse {
@@ -176,6 +192,59 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 			fmt.Fprintf(w, "  INVARIANT VIOLATED")
 		}
 		fmt.Fprintln(w)
+	}
+	recs = append(recs, replRows(w, p)...)
+	return recs
+}
+
+// replRows runs the replication matrix: snapshot/restore throughput at 1
+// and 4 shards (128-byte values, a quarter of the tree so arenas stay
+// CI-sized) and a replica-lag run under write load.
+func replRows(w io.Writer, p Params) []BenchRecord {
+	rp := p
+	rp.TreeSize = p.TreeSize / 4
+	var recs []BenchRecord
+	for _, shards := range []int{1, 4} {
+		r := RunSnapshotBench(rp, shards, 128)
+		rec := BenchRecord{
+			Workload:        "SNAPSHOT",
+			Mode:            "INCLL",
+			Dist:            "uniform",
+			Shards:          shards,
+			TxnMode:         "none",
+			ValueSize:       128,
+			Threads:         1,
+			TreeSize:        rp.TreeSize,
+			MBPerSec:        r.SnapshotMBPerSec,
+			SnapshotBytes:   r.SnapshotBytes,
+			RestoreMBPerSec: r.RestoreMBPerSec,
+		}
+		recs = append(recs, rec)
+		fmt.Fprintf(w, "%-8s INCLL  shards=%d %38.1f MB/s  restore %.1f MB/s  (%d bytes)\n",
+			rec.Workload, shards, rec.MBPerSec, rec.RestoreMBPerSec, rec.SnapshotBytes)
+	}
+	for _, shards := range []int{1, 4} {
+		r := RunReplicaLagBench(rp, shards)
+		rec := BenchRecord{
+			Workload:      "REPLICA",
+			Mode:          "INCLL",
+			Dist:          "uniform",
+			Shards:        shards,
+			TxnMode:       "none",
+			Threads:       1,
+			TreeSize:      rp.TreeSize,
+			Ops:           int64(p.Ops),
+			MBPerSec:      r.ApplyMBPerSec,
+			LagEpochsMax:  r.LagEpochsMax,
+			LagEpochsMean: r.LagEpochsMean,
+		}
+		recs = append(recs, rec)
+		conv := ""
+		if !r.Converged {
+			conv = "  DIVERGED"
+		}
+		fmt.Fprintf(w, "%-8s INCLL  shards=%d %38.1f MB/s applied  lag max/mean %d/%.2f epochs%s\n",
+			rec.Workload, shards, rec.MBPerSec, rec.LagEpochsMax, rec.LagEpochsMean, conv)
 	}
 	return recs
 }

@@ -176,6 +176,10 @@ type Result struct {
 	Ops        int64
 	Throughput float64 // operations per second
 
+	// Per-operation latency percentiles (sampled, 1 op in 8; see
+	// latency.go). Scans count as one operation.
+	P50, P95, P99 time.Duration
+
 	// Durable-mode extras (zero for MT / MT+).
 	LoggedNodes  int64
 	InCLLPerm    int64
@@ -268,7 +272,7 @@ func runTransient(cfg RunConfig) Result {
 		}()
 	}
 
-	elapsed := runWorkers(cfg, func(w int, op ycsb.Op, i int) {
+	elapsed, lats := runWorkers(cfg, func(w int, op ycsb.Op, i int) {
 		h := tr.Handle(w)
 		switch op.Kind {
 		case ycsb.OpPut:
@@ -284,12 +288,21 @@ func runTransient(cfg RunConfig) Result {
 	tickDone.Wait()
 
 	ops := int64(cfg.Threads) * int64(cfg.OpsPerThread)
-	return Result{
+	r := Result{
 		Config:     cfg,
 		Elapsed:    elapsed,
 		Ops:        ops,
 		Throughput: float64(ops) / elapsed.Seconds(),
 	}
+	fillLatencies(&r, lats)
+	return r
+}
+
+// fillLatencies folds the merged histogram's percentiles into the result.
+func fillLatencies(r *Result, h *latHist) {
+	r.P50 = h.percentile(50)
+	r.P95 = h.percentile(95)
+	r.P99 = h.percentile(99)
 }
 
 // ---- durable modes ----
@@ -382,7 +395,7 @@ func runDurable(cfg RunConfig) Result {
 	} else {
 		s.StartTicker(cfg.EpochInterval)
 	}
-	elapsed := runWorkers(cfg, do)
+	elapsed, lats := runWorkers(cfg, do)
 	if m != nil {
 		m.StopTicker()
 	} else {
@@ -405,6 +418,7 @@ func runDurable(cfg RunConfig) Result {
 		Evictions:    as.Evictions,
 		Advances:     s.Epochs().Advances() - adv0,
 	}
+	fillLatencies(&r, lats)
 	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))
 	return r
@@ -462,7 +476,7 @@ func runSharded(cfg RunConfig) Result {
 	} else {
 		s.StartTicker(cfg.EpochInterval)
 	}
-	elapsed := runWorkers(cfg, do)
+	elapsed, lats := runWorkers(cfg, do)
 	if m != nil {
 		m.StopTicker()
 	} else {
@@ -490,6 +504,7 @@ func runSharded(cfg RunConfig) Result {
 		Advances:     int64(s.GlobalEpoch() - adv0),
 		PerShardOps:  perShard,
 	}
+	fillLatencies(&r, lats)
 	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))
 	return r
@@ -806,13 +821,16 @@ func parallelLoad(cfg RunConfig, put func(worker int, key uint64)) {
 	wg.Wait()
 }
 
-// runWorkers executes the measured phase and returns its wall time.
-func runWorkers(cfg RunConfig, do func(worker int, op ycsb.Op, i int)) time.Duration {
+// runWorkers executes the measured phase, sampling per-op latency (one op
+// in 8 pays the clock reads; see latency.go), and returns the wall time
+// plus the merged latency histogram.
+func runWorkers(cfg RunConfig, do func(worker int, op ycsb.Op, i int)) (time.Duration, *latHist) {
 	gens := make([]*ycsb.Generator, cfg.Threads)
 	for w := range gens {
 		gens[w] = ycsb.NewGenerator(cfg.Workload, cfg.Dist, cfg.TreeSize, cfg.Seed+int64(w)*7919)
 		gens[w].SetScanLength(cfg.ScanDist, cfg.ScanLen)
 	}
+	hists := make([]latHist, cfg.Threads)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Threads; w++ {
@@ -820,11 +838,19 @@ func runWorkers(cfg RunConfig, do func(worker int, op ycsb.Op, i int)) time.Dura
 		go func(w int) {
 			defer wg.Done()
 			g := gens[w]
+			h := &hists[w]
 			for i := 0; i < cfg.OpsPerThread; i++ {
-				do(w, g.Next(), i)
+				op := g.Next()
+				if i&latSampleMask == 0 {
+					t0 := time.Now()
+					do(w, op, i)
+					h.record(time.Since(t0))
+					continue
+				}
+				do(w, op, i)
 			}
 		}(w)
 	}
 	wg.Wait()
-	return time.Since(start)
+	return time.Since(start), mergeLatencies(hists)
 }

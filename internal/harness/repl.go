@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"incll"
+	"incll/internal/core"
+)
+
+// Replication measurements: snapshot/restore throughput and replica lag
+// under write load. These feed the tracked BENCH_*.json matrix so the
+// replication path's performance trajectory is visible PR over PR.
+
+// ReplResult reports one replication measurement.
+type ReplResult struct {
+	Shards int
+
+	// Snapshot/restore throughput over an idle primary of TreeSize keys.
+	SnapshotBytes    int64
+	SnapshotMBPerSec float64
+	RestoreMBPerSec  float64
+
+	// Replica-lag run: a replica follows a primary under YCSB-A write
+	// load with the checkpoint ticker running.
+	LagSamples    int
+	LagEpochsMax  uint64
+	LagEpochsMean float64
+	AppliedMB     float64 // change bytes the replica applied
+	ApplyMBPerSec float64
+	Converged     bool // replica equals primary after final catch-up
+}
+
+// replOptions sizes a DB for the replication benches.
+func replOptions(shards int) incll.Options {
+	perShard := uint64(1 << 23)
+	if shards > 1 {
+		perShard = 1 << 22
+	}
+	return incll.Options{Shards: shards, Workers: 2, ArenaWords: perShard}
+}
+
+// RunSnapshotBench measures snapshot export and restore throughput over a
+// quiesced primary preloaded with p.TreeSize keys of valueSize-byte
+// values.
+func RunSnapshotBench(p Params, shards, valueSize int) ReplResult {
+	p.setDefaults()
+	db, _ := incll.Open(replOptions(shards))
+	defer db.Close()
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for k := uint64(0); k < p.TreeSize; k++ {
+		if _, err := db.PutBytes(core.EncodeUint64(k), val); err != nil {
+			panic(err)
+		}
+	}
+	db.Checkpoint()
+
+	var buf bytes.Buffer
+	t0 := time.Now()
+	info, err := db.Snapshot(&buf)
+	if err != nil {
+		panic(fmt.Sprintf("harness: snapshot bench: %v", err))
+	}
+	expSecs := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	restored, _, err := incll.Restore(bytes.NewReader(buf.Bytes()), replOptions(shards))
+	if err != nil {
+		panic(fmt.Sprintf("harness: restore bench: %v", err))
+	}
+	resSecs := time.Since(t0).Seconds()
+	restored.Close()
+
+	return ReplResult{
+		Shards:           shards,
+		SnapshotBytes:    info.Bytes,
+		SnapshotMBPerSec: float64(info.Bytes) / expSecs / 1e6,
+		RestoreMBPerSec:  float64(info.Bytes) / resSecs / 1e6,
+	}
+}
+
+// RunReplicaLagBench bootstraps a replica of a primary under YCSB-A-style
+// write load (uniform keys, half puts) and samples the replica's epoch
+// lag while the load runs. The primary checkpoints on a short ticker so
+// the stream releases continuously at CI scale.
+func RunReplicaLagBench(p Params, shards int) ReplResult {
+	p.setDefaults()
+	opts := replOptions(shards)
+	opts.EpochInterval = 4 * time.Millisecond
+	primary, _ := incll.Open(opts)
+	for k := uint64(0); k < p.TreeSize; k++ {
+		primary.Put(core.EncodeUint64(k), k)
+	}
+	primary.StartCheckpointer()
+
+	rep, err := incll.NewReplica(primary, replOptions(shards))
+	if err != nil {
+		panic(fmt.Sprintf("harness: replica bench: %v", err))
+	}
+
+	res := ReplResult{Shards: shards}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h := primary.Handle(1)
+		rng := newXorshift(uint64(p.Seed)*2654435761 + 1)
+		for i := 0; i < p.Ops; i++ {
+			k := core.EncodeUint64(rng.next() % p.TreeSize)
+			if i&1 == 0 {
+				h.Put(k, uint64(i))
+			} else {
+				h.Get(k)
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	var lagSum uint64
+sample:
+	for {
+		select {
+		case <-done:
+			break sample
+		case <-time.After(2 * time.Millisecond):
+		}
+		lag := rep.Lag().Epochs
+		res.LagSamples++
+		lagSum += lag
+		if lag > res.LagEpochsMax {
+			res.LagEpochsMax = lag
+		}
+	}
+	primary.StopCheckpointer()
+	primary.Checkpoint()
+	if err := rep.CatchUp(); err != nil {
+		panic(fmt.Sprintf("harness: replica catch-up: %v", err))
+	}
+	elapsed := time.Since(t0).Seconds()
+	if res.LagSamples > 0 {
+		res.LagEpochsMean = float64(lagSum) / float64(res.LagSamples)
+	}
+	res.AppliedMB = float64(rep.AppliedBytes()) / 1e6
+	res.ApplyMBPerSec = res.AppliedMB / elapsed
+
+	// Convergence check: identical key count and a sampled value sweep.
+	res.Converged = true
+	pn, rn := primary.RebuildLen(), rep.DB().RebuildLen()
+	if pn != rn {
+		res.Converged = false
+	} else {
+		for k := uint64(0); k < p.TreeSize; k += 97 {
+			pv, pok := primary.Get(core.EncodeUint64(k))
+			rv, rok := rep.DB().Get(core.EncodeUint64(k))
+			if pok != rok || pv != rv {
+				res.Converged = false
+				break
+			}
+		}
+	}
+	rep.Close()
+	primary.Close()
+	return res
+}
+
+// xorshift is a tiny deterministic RNG for the bench write loop (cheaper
+// and allocation-free compared to math/rand, and the distribution doesn't
+// matter for a lag measurement).
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &xorshift{s: seed}
+}
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}

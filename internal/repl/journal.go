@@ -1,0 +1,619 @@
+package repl
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"incll/internal/core"
+)
+
+// Stream errors.
+var (
+	// ErrStreamLost means the subscriber fell behind the journal's byte
+	// budget or the primary crashed: the stream's continuity is broken and
+	// the consumer must re-bootstrap from a fresh snapshot.
+	ErrStreamLost = errors.New("repl: change stream lost; re-bootstrap from a snapshot")
+	// ErrStreamClosed means the primary shut down cleanly; every released
+	// entry has been delivered and no more will come.
+	ErrStreamClosed = errors.New("repl: change stream closed")
+)
+
+// Entry is one committed mutation in the change stream.
+type Entry struct {
+	// Op is the mutation kind (core.ChangePut or core.ChangeDelete).
+	Op core.ChangeOp
+	// Epoch is the epoch the mutation belongs to; it was globally
+	// committed no later than the Batch that delivered this entry.
+	Epoch uint64
+	// Shard is the source shard (0 for an unsharded store).
+	Shard int
+	// Key and Val are owned by the stream; consumers may retain them.
+	Key, Val []byte
+}
+
+// entryBytes is the retention-accounting size of an entry.
+func entryBytes(e *Entry) uint64 { return uint64(len(e.Key)+len(e.Val)) + 48 }
+
+// Batch is one released slice of the change stream: every entry with an
+// epoch at most Epoch that was not yet delivered, in apply order (total
+// per key) and epoch-monotone. Epoch is the stream's released high-water
+// mark at delivery time, so a Batch may be empty — the barrier advanced
+// with no writes — which still tells the consumer the primary committed
+// through Epoch.
+type Batch struct {
+	Epoch   uint64
+	Entries []Entry
+}
+
+// shardJournal is one shard's ring of not-yet-released entries. Writers
+// of that shard contend only here — publication stays as sharded as the
+// write path itself — and the hub takes this lock once per release wave,
+// not per operation. Entries are epoch-monotone (the shard's epoch only
+// advances) and move to the hub's released list at the commit barrier.
+type shardJournal struct {
+	mu    sync.Mutex
+	ents  []Entry
+	bytes uint64
+}
+
+// Hub is the change-journal core: it attaches to every shard of a store
+// as its ChangeSink, collects applied mutations into per-shard journals
+// (per-key order equals apply order — publication happens inside the
+// leaf-locked region), and releases the consistent prefix to subscribers
+// at each checkpoint commit.
+//
+// The released barrier is anchored at the two-phase coordinated-commit
+// point: each shard's epoch.Manager fires its commit hook only after the
+// coordinator's global record is durable, and the hub releases epoch E
+// when every shard has committed E (the min across shards). At that
+// moment every shard's E-entries are already in its journal (the shard's
+// world was stopped at its own commit), so the merge into the released
+// list is complete; a stable per-epoch sort keeps the released list
+// epoch-monotone while preserving per-shard (and therefore per-key)
+// order.
+//
+// The journal is volatile by design: its durability story is the epoch
+// machinery's. A crash destroys it, every subscriber drains what was
+// already released and then observes ErrStreamLost, and consumers
+// re-bootstrap from a snapshot.
+type Hub struct {
+	stores []*core.Store
+	shards []shardJournal
+
+	// subCount and detached gate the publish fast path without the hub
+	// lock: with no subscriber (or after Close) entries are dropped at
+	// the source. unreleased tracks the total not-yet-released bytes
+	// across all shard journals, so the overflow trigger bounds the
+	// whole journal, not shards × budget; overflowed defers the actual
+	// teardown to the consumer side (the write path only sets the flag
+	// and stops retaining). released is the barrier itself, and wake is
+	// the waiters' generation channel: the commit hook — which runs with
+	// a world stopped — touches only these atomics, O(shards), and never
+	// waits on the hub lock (a consumer may hold it for per-entry work).
+	subCount   atomic.Int32
+	detached   atomic.Bool
+	unreleased atomic.Uint64
+	overflowed atomic.Bool
+	prodded    atomic.Bool                   // a collect has been requested
+	released   atomic.Uint64                 // min over shardCommit
+	wake       atomic.Pointer[chan struct{}] // closed+replaced on every wake event
+
+	shardCommit []atomic.Uint64 // highest committed epoch per shard
+
+	mu sync.Mutex
+
+	// The released list: entries of globally committed epochs, retained
+	// until every live subscriber has consumed them.
+	ents  []Entry
+	base  uint64 // absolute seq of ents[0]
+	bytes uint64 // released-backlog bytes (the budget's domain)
+
+	capBytes uint64
+
+	collected uint64 // epoch through which shard prefixes were merged
+
+	subs   map[*Subscription]struct{}
+	closed bool // clean shutdown: drain, then ErrStreamClosed
+	lost   bool // crash: drain released, then ErrStreamLost
+
+	// The budget strike: the floor subscriber observed at the last
+	// over-budget collect. It is cut only if a later over-budget collect
+	// finds it in the same position — one full collect-to-collect window
+	// of no progress — so a consumer actively draining (in particular one
+	// blocked in Next, which collects and delivers before any cut) is
+	// never cut by a backlog it had no chance to consume.
+	strikeSub  *Subscription
+	strikeNext uint64
+}
+
+// DefaultJournalBytes is the default journal byte budget, applied on two
+// fronts. Released backlog: a subscriber that makes no progress across
+// two over-budget collects (the strike rule) is cut loose with
+// ErrStreamLost rather than stalling the primary or growing without
+// bound — a prompt consumer is never cut by a wave it had no chance to
+// consume (one epoch's volume is inherent, exactly like the undo
+// log's), and a snapshot export's pinned subscription is exempt up to
+// the grace ceiling. Unreleased journals: if the total not-yet-released
+// entries outgrow the budget — checkpoints stalled or never started —
+// retention stops immediately and every subscriber is cut at the next
+// consumer-side touch, so memory stays bounded on both fronts.
+const DefaultJournalBytes = 32 << 20
+
+// pinnedGraceFactor is how far past the budget the released backlog may
+// grow while a pinned subscription (snapshot export / replica bootstrap)
+// holds the retention floor. Within the grace window the copy in
+// progress is protected; beyond it the pinned subscriber is cut too, so
+// a wedged snapshot consumer cannot grow the primary without bound.
+const pinnedGraceFactor = 4
+
+// NewHub attaches a hub to the given per-shard stores: it becomes each
+// store's ChangeSink and registers a commit hook on each store's epoch
+// manager. Attach at most one hub per store set. capBytes bounds the
+// released backlog (0 means DefaultJournalBytes).
+func NewHub(stores []*core.Store, capBytes uint64) *Hub {
+	if capBytes == 0 {
+		capBytes = DefaultJournalBytes
+	}
+	h := &Hub{
+		stores:      stores,
+		shards:      make([]shardJournal, len(stores)),
+		capBytes:    capBytes,
+		shardCommit: make([]atomic.Uint64, len(stores)),
+		subs:        make(map[*Subscription]struct{}),
+	}
+	ch := make(chan struct{})
+	h.wake.Store(&ch)
+	for i, s := range stores {
+		// A store whose header says "epoch E running" has durably committed
+		// E-1 (for a coordinated shard, the local commit implies the global
+		// record). Attaching mid-advance at worst understates, and the next
+		// commit hook catches up.
+		h.shardCommit[i].Store(s.Epochs().Current() - 1)
+		s.SetChangeSink(&shardSink{h: h, shard: i})
+		s.Epochs().OnCommit(func(e uint64) { h.committed(i, e) })
+	}
+	h.released.Store(h.minCommit())
+	h.collected = h.released.Load()
+	return h
+}
+
+func (h *Hub) minCommit() uint64 {
+	m := h.shardCommit[0].Load()
+	for i := 1; i < len(h.shardCommit); i++ {
+		if c := h.shardCommit[i].Load(); c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// wakeAll wakes every blocked subscriber by closing the current
+// generation channel and installing a fresh one. Lock-free; callable
+// from the commit hook and the publish path.
+func (h *Hub) wakeAll() {
+	ch := make(chan struct{})
+	old := h.wake.Swap(&ch)
+	close(*old)
+}
+
+// shardSink adapts one shard's ChangeSink callbacks to the hub.
+type shardSink struct {
+	h     *Hub
+	shard int
+}
+
+// Publish appends one applied mutation to the shard's journal. Runs on
+// the mutating worker with the epoch guard held; k and v are copied.
+// Contention is per shard, matching the write path's own sharding.
+func (ss *shardSink) Publish(op core.ChangeOp, k, v []byte, epoch uint64) {
+	h := ss.h
+	if h.detached.Load() || h.overflowed.Load() || h.subCount.Load() == 0 {
+		// Nobody is listening (or the journal overflowed): retain nothing.
+		// Entries skipped here are covered for later consumers by
+		// construction — a snapshot scan starting after Subscribe observes
+		// these already-applied mutations directly.
+		return
+	}
+	e := Entry{Op: op, Epoch: epoch, Shard: ss.shard, Key: append([]byte(nil), k...)}
+	if op == core.ChangePut {
+		e.Val = append([]byte(nil), v...)
+	}
+	eb := entryBytes(&e)
+	sj := &h.shards[ss.shard]
+	sj.mu.Lock()
+	sj.ents = append(sj.ents, e)
+	sj.bytes += eb
+	sj.mu.Unlock()
+	// The counter includes released-but-uncollected bytes (only a collect
+	// decrements it), so crossing the budget first just prods consumers
+	// to collect — a consumer blocked in Next wakes, merges, and brings
+	// the counter down. Only past the hard ceiling (twice the budget —
+	// no consumer collected despite the prod) does the journal latch
+	// overflowed: retention stops right here, O(1) on the write path,
+	// and the teardown runs on the consumer side (collectLocked).
+	if total := h.unreleased.Add(eb); total > h.capBytes {
+		if total > 2*h.capBytes {
+			if !h.overflowed.Swap(true) {
+				h.wakeAll()
+			}
+		} else if !h.prodded.Swap(true) {
+			h.wakeAll()
+		}
+	}
+}
+
+func (h *Hub) tail() uint64 { return h.base + uint64(len(h.ents)) }
+
+// committed records that shard i durably committed epoch e, and advances
+// the released barrier when every shard has. Runs from the epoch commit
+// hook, with shard i's world stopped — so it is lock-free and O(shards):
+// it never waits on the hub lock (which a consumer may hold for
+// per-entry merge/copy work); the actual prefix merge happens lazily on
+// the consumer side (collectLocked), never inside the stop-the-world
+// window.
+func (h *Hub) committed(i int, e uint64) {
+	if h.detached.Load() {
+		// The hooks cannot be deregistered (epoch.Manager's list only
+		// grows), so a closed hub's hook stays callable for the store's
+		// remaining life; keep it to this cheap early exit.
+		return
+	}
+	for {
+		old := h.shardCommit[i].Load()
+		if e <= old {
+			return
+		}
+		if h.shardCommit[i].CompareAndSwap(old, e) {
+			break
+		}
+	}
+	newRel := h.minCommit()
+	for {
+		old := h.released.Load()
+		if newRel <= old {
+			return
+		}
+		if h.released.CompareAndSwap(old, newRel) {
+			break
+		}
+	}
+	h.wakeAll()
+}
+
+// collectLocked merges every shard journal's released prefix into the
+// released list, and performs the deferred overflow teardown when the
+// publish path raised the flag. Called under h.mu from the consumer
+// side (Next, Subscribe, PendingBytes, Close) — the wave's entries all
+// exist by then: a shard's commit hook fires with its world stopped,
+// after every one of that epoch's publishes on that shard.
+func (h *Hub) collectLocked() {
+	if h.overflowed.Load() {
+		// Unreleased volume outgrew the budget (checkpoints stalled or
+		// not keeping up); the publish path stopped retaining when it
+		// raised the flag. The dropped entries break every subscriber's
+		// continuity, so all are cut; fresh subscribers start clean.
+		for s := range h.subs {
+			s.dead = true
+			delete(h.subs, s)
+		}
+		h.subCount.Store(0)
+		h.strikeSub = nil
+		for i := range h.shards {
+			sj := &h.shards[i]
+			sj.mu.Lock()
+			sj.ents, sj.bytes = nil, 0
+			sj.mu.Unlock()
+		}
+		h.unreleased.Store(0)
+		h.collected = h.released.Load()
+		h.trimLocked() // no subscribers left: the released backlog goes too
+		h.overflowed.Store(false)
+		h.prodded.Store(false)
+		return
+	}
+	h.prodded.Store(false)
+	if h.collected == h.released.Load() {
+		return
+	}
+	rel := h.released.Load()
+	waveStart := len(h.ents)
+	var waveBytes uint64
+	for s := range h.shards {
+		sj := &h.shards[s]
+		sj.mu.Lock()
+		n := 0
+		var moved uint64
+		for n < len(sj.ents) && sj.ents[n].Epoch <= rel {
+			moved += entryBytes(&sj.ents[n])
+			n++
+		}
+		if n > 0 {
+			h.ents = append(h.ents, sj.ents[:n]...)
+			m := copy(sj.ents, sj.ents[n:])
+			clear(sj.ents[m:])
+			sj.ents = sj.ents[:m]
+			sj.bytes -= moved
+			waveBytes += moved
+		}
+		sj.mu.Unlock()
+	}
+	// Keep the released list epoch-monotone across shards (a wave can
+	// span more than one epoch); the stable sort preserves per-shard —
+	// and therefore per-key — order.
+	wave := h.ents[waveStart:]
+	sort.SliceStable(wave, func(a, b int) bool { return wave[a].Epoch < wave[b].Epoch })
+	h.bytes += waveBytes
+	h.unreleased.Add(^(waveBytes - 1)) // atomic subtract
+	// Every live subscriber sits at or before the pre-wave tail, so the
+	// whole wave is pending for all of them.
+	for s := range h.subs {
+		s.pending += waveBytes
+	}
+	h.collected = rel
+
+	// Budget: while the backlog is over budget, cut the subscriber
+	// holding the retention floor — but only a genuine laggard, via the
+	// strike rule: the floor subscriber is cut only if it has made no
+	// progress since the previous over-budget collect, so a consumer that
+	// drains promptly (one epoch's volume is inherent, like the undo
+	// log's) is never cut by a wave it had no chance to consume. A pinned
+	// subscriber (a snapshot export's or a replica bootstrap's, which by
+	// construction consumes nothing until its scan/restore finishes) is
+	// tolerated up to the grace ceiling; past it (a wedged snapshot
+	// consumer — say an HTTP client that stopped reading), even the
+	// pinned subscriber is cut so one stuck reader cannot OOM the
+	// primary.
+	for h.bytes > h.capBytes {
+		// Victim: the most-lagging unpinned subscriber (deterministic even
+		// when a pinned one shares the floor position).
+		var victim *Subscription
+		for s := range h.subs {
+			if !s.pinned && (victim == nil || s.next < victim.next) {
+				victim = s
+			}
+		}
+		if victim == nil || victim.next >= h.tail() {
+			// No unpinned laggard; only a pinned subscription can hold the
+			// backlog. Within the grace ceiling its retention is the cost
+			// of the copy in progress; past it the copy is wedged and even
+			// the pinned subscriber is cut (no strike grace — it blew a
+			// 4x ceiling) so one stuck reader cannot OOM the primary.
+			if h.bytes > pinnedGraceFactor*h.capBytes {
+				var floor *Subscription
+				for s := range h.subs {
+					if floor == nil || s.next < floor.next {
+						floor = s
+					}
+				}
+				if floor != nil && floor.next < h.tail() {
+					floor.dead = true
+					delete(h.subs, floor)
+					h.subCount.Add(-1)
+					h.strikeSub = nil
+					h.trimLocked()
+					continue
+				}
+			}
+			break
+		}
+		if victim != h.strikeSub || victim.next != h.strikeNext {
+			// First over-budget collect at this position: record the
+			// strike and give the subscriber one window to make progress.
+			h.strikeSub, h.strikeNext = victim, victim.next
+			break
+		}
+		victim.dead = true
+		delete(h.subs, victim)
+		h.subCount.Add(-1)
+		h.strikeSub = nil
+		h.trimLocked()
+	}
+	if h.bytes <= h.capBytes {
+		h.strikeSub = nil
+	}
+	if len(h.subs) == 0 {
+		h.trimLocked()
+	}
+}
+
+// trimLocked drops released entries no live subscriber still needs.
+func (h *Hub) trimLocked() {
+	floor := h.tail()
+	for s := range h.subs {
+		if s.next < floor {
+			floor = s.next
+		}
+	}
+	k := int(floor - h.base)
+	if k <= 0 {
+		return
+	}
+	for i := 0; i < k; i++ {
+		h.bytes -= entryBytes(&h.ents[i])
+	}
+	n := copy(h.ents, h.ents[k:])
+	clear(h.ents[n:])
+	h.ents = h.ents[:n]
+	h.base = floor
+}
+
+// Released returns the last globally committed (and therefore released)
+// epoch. Lock-free.
+func (h *Hub) Released() uint64 { return h.released.Load() }
+
+// Close ends the stream. graceful means a clean shutdown: subscribers
+// drain everything released and then see ErrStreamClosed. Not graceful
+// means a crash: subscribers drain what was already released (committed
+// epochs survived on NVM), then see ErrStreamLost. Either way the sinks
+// are detached from the stores and the unreleased tails are dropped.
+func (h *Hub) Close(graceful bool) {
+	h.detached.Store(true)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Move the released-but-uncollected prefix out of the shard journals
+	// before dropping them: subscribers are still entitled to drain it.
+	h.collectLocked()
+	if graceful {
+		h.closed = true
+	} else {
+		h.lost = true
+	}
+	for _, s := range h.stores {
+		s.SetChangeSink(nil)
+	}
+	for i := range h.shards {
+		sj := &h.shards[i]
+		sj.mu.Lock()
+		sj.ents, sj.bytes = nil, 0
+		sj.mu.Unlock()
+	}
+	h.unreleased.Store(0)
+	h.wakeAll()
+}
+
+// Subscribe opens a change-stream subscription: the first Batch holds
+// every entry of epochs not yet released at this moment (which includes
+// everything published after this call, and possibly the already-
+// published part of the current uncommitted epochs — a harmless superset
+// for last-write-wins replay). For a consistent full copy, Subscribe
+// first, then scan — the scan observes everything the subscription will
+// not replay.
+func (h *Hub) Subscribe() *Subscription { return h.subscribe(false) }
+
+// SubscribePinned is Subscribe for the snapshot exporter: a pinned
+// subscription is never cut by the released-backlog budget (it cannot
+// consume until its scan finishes, so "lagging" is its job description);
+// the unreleased-overflow cut still applies to it.
+func (h *Hub) SubscribePinned() *Subscription { return h.subscribe(true) }
+
+func (h *Hub) subscribe(pinned bool) *Subscription {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.collectLocked() // start past everything already released
+	s := &Subscription{h: h, next: h.tail(), lastEpoch: h.collected, pinned: pinned}
+	if h.lost {
+		s.dead = true
+		return s
+	}
+	h.subs[s] = struct{}{}
+	h.subCount.Add(1)
+	return s
+}
+
+// Subscription is one consumer's position in the change stream. Next is
+// single-consumer; Close may be called concurrently to unblock it.
+type Subscription struct {
+	h         *Hub
+	next      uint64 // absolute seq of the next undelivered released entry
+	lastEpoch uint64 // Epoch of the last delivered Batch
+	pending   uint64 // released-but-undelivered bytes (lag metric)
+	pinned    bool   // exempt from the released-backlog cut (exporter)
+	dead      bool   // cut loose (lagged out past the budget)
+	closed    bool   // consumer closed
+}
+
+// Next blocks until the released barrier moves past the last delivered
+// batch and returns the newly released slice of the stream (possibly
+// empty: the primary committed an epoch with no writes). Returns
+// ErrStreamClosed after a clean primary shutdown has been fully drained,
+// ErrStreamLost if the subscriber lagged out or the primary crashed —
+// but a crash still lets the subscriber drain everything already
+// released first: released epochs are globally committed and survive the
+// crash on the primary's NVM, so completing the consistent prefix is
+// truthful; only the unreleased tail is lost.
+func (s *Subscription) Next() (Batch, error) {
+	h := s.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		// Load the wake generation before checking any condition, then
+		// merge any newly released shard prefixes (the commit hook only
+		// moves the barrier; the heavy lifting happens here, on the
+		// consumer's time, never inside the stop-the-world window). The
+		// batch horizon is the *collected* epoch — everything at or below
+		// it has been merged, so a delivered batch really is the complete
+		// prefix it claims to be.
+		ch := *h.wake.Load()
+		h.collectLocked()
+		if s.dead {
+			// Cut loose for lagging: retained entries may be gone, so the
+			// prefix cannot be completed.
+			return Batch{}, ErrStreamLost
+		}
+		if s.closed {
+			return Batch{}, ErrStreamClosed
+		}
+		if s.next < h.tail() || h.collected > s.lastEpoch {
+			b := Batch{Epoch: h.collected}
+			if s.next < h.tail() {
+				i := int(s.next - h.base)
+				b.Entries = append([]Entry(nil), h.ents[i:]...)
+				for idx := range b.Entries {
+					s.pending -= entryBytes(&b.Entries[idx])
+				}
+				s.next = h.tail()
+				h.trimLocked()
+			}
+			s.lastEpoch = b.Epoch
+			return b, nil
+		}
+		if h.lost {
+			return Batch{}, ErrStreamLost
+		}
+		if h.closed {
+			return Batch{}, ErrStreamClosed
+		}
+		// Block until the next wake event: the generation channel loaded
+		// above is closed by whoever changes the state we just examined,
+		// so no wakeup can slip between the checks and this wait.
+		h.mu.Unlock()
+		<-ch
+		h.mu.Lock()
+	}
+}
+
+// PendingBytes reports how many released entry bytes this subscriber has
+// not yet consumed — the byte lag of a consumer driven by Next.
+func (s *Subscription) PendingBytes() uint64 {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	s.h.collectLocked()
+	return s.pending
+}
+
+// Released returns the stream's released epoch high-water mark.
+func (s *Subscription) Released() uint64 { return s.h.Released() }
+
+// Unpin makes a pinned subscription subject to the normal backlog budget
+// again. A replica calls this once its apply loop has taken its first
+// delivery: from then on it is an active consumer, and if it cannot keep
+// up with the primary's write rate the budget should cut it like anyone
+// else.
+func (s *Subscription) Unpin() {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	s.pinned = false
+}
+
+// Close detaches the subscription, releasing its retention and unblocking
+// a concurrent Next (which returns ErrStreamClosed).
+func (s *Subscription) Close() {
+	h := s.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s.closed || s.dead {
+		return
+	}
+	s.closed = true
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		h.subCount.Add(-1)
+	}
+	if h.strikeSub == s {
+		h.strikeSub = nil
+	}
+	h.trimLocked()
+	h.wakeAll()
+}

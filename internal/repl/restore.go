@@ -1,0 +1,117 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"incll/internal/core"
+)
+
+// Target is where Restore applies a snapshot stream: any keyspace that
+// accepts puts and deletes. The façade adapts a fresh DB (any shard
+// count — records route by key), a test adapts a model map.
+type Target struct {
+	// Put applies one key/value record.
+	Put func(k, v []byte) error
+	// Delete applies one deletion.
+	Delete func(k []byte) error
+	// Checkpoint, if non-nil, commits the restored state once the stream
+	// has fully verified.
+	Checkpoint func()
+}
+
+// Restore reads one snapshot stream from r and applies it to t in stream
+// order: base records first, then the anchoring change records. Every
+// frame's checksum and the end frame's counts and end-to-end record sum
+// are verified; any mismatch, truncation, or framing error returns a
+// wrapped ErrBadStream. The target's Checkpoint runs only after the whole
+// stream verified, so a caller that restores into a fresh DB and checks
+// the error never commits a corrupt restore.
+func Restore(r io.Reader, t Target) (SnapshotInfo, error) {
+	fr := newFrameReader(r)
+
+	ft, payload, err := fr.readFrame()
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if ft != ftHeader || len(payload) != 14 {
+		return SnapshotInfo{}, fmt.Errorf("%w: missing header frame", ErrBadStream)
+	}
+	if v := binary.LittleEndian.Uint16(payload); v != FormatVersion {
+		return SnapshotInfo{}, fmt.Errorf("%w: unsupported format version %d", ErrBadStream, v)
+	}
+	info := SnapshotInfo{SourceShards: int(binary.LittleEndian.Uint32(payload[2:]))}
+
+	sawKV := false
+	for {
+		ft, payload, err = fr.readFrame()
+		if err != nil {
+			return info, err
+		}
+		switch ft {
+		case ftKV:
+			if sawKV && info.ChangeOps > 0 {
+				return info, fmt.Errorf("%w: kv frame after change frames", ErrBadStream)
+			}
+			sawKV = true
+			for off := 0; off < len(payload); {
+				k, v, next, perr := fr.parseKVRecord(payload, off)
+				if perr != nil {
+					return info, perr
+				}
+				if err := t.Put(k, v); err != nil {
+					return info, fmt.Errorf("repl: restore put: %w", err)
+				}
+				info.Keys++
+				off = next
+			}
+		case ftChanges:
+			if len(payload) < 8 {
+				return info, fmt.Errorf("%w: short change frame", ErrBadStream)
+			}
+			for off := 8; off < len(payload); {
+				op, k, v, next, perr := fr.parseChangeRecord(payload, off)
+				if perr != nil {
+					return info, perr
+				}
+				switch core.ChangeOp(op) {
+				case core.ChangePut:
+					if err := t.Put(k, v); err != nil {
+						return info, fmt.Errorf("repl: restore put: %w", err)
+					}
+				case core.ChangeDelete:
+					if err := t.Delete(k); err != nil {
+						return info, fmt.Errorf("repl: restore delete: %w", err)
+					}
+				default:
+					return info, fmt.Errorf("%w: unknown change op %d", ErrBadStream, op)
+				}
+				info.ChangeOps++
+				off = next
+			}
+		case ftEnd:
+			if len(payload) != 32 {
+				return info, fmt.Errorf("%w: short end frame", ErrBadStream)
+			}
+			info.AnchorEpoch = binary.LittleEndian.Uint64(payload)
+			wantKeys := binary.LittleEndian.Uint64(payload[8:])
+			wantOps := binary.LittleEndian.Uint64(payload[16:])
+			wantSum := binary.LittleEndian.Uint64(payload[24:])
+			if info.Keys != wantKeys || info.ChangeOps != wantOps {
+				return info, fmt.Errorf("%w: record counts diverge (got %d keys/%d ops, stream says %d/%d)",
+					ErrBadStream, info.Keys, info.ChangeOps, wantKeys, wantOps)
+			}
+			if fr.sum != wantSum {
+				return info, fmt.Errorf("%w: end-to-end record checksum mismatch", ErrBadStream)
+			}
+			info.Bytes = fr.bytesIn
+			if t.Checkpoint != nil {
+				t.Checkpoint()
+			}
+			return info, nil
+		default:
+			return info, fmt.Errorf("%w: unexpected frame type %d", ErrBadStream, ft)
+		}
+	}
+}

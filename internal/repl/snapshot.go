@@ -1,0 +1,204 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"incll/internal/core"
+)
+
+// SnapshotInfo describes one snapshot stream (written or restored).
+type SnapshotInfo struct {
+	// AnchorEpoch is the globally committed epoch the snapshot is exact
+	// at: restoring the stream reproduces the primary's state at this
+	// epoch's coordinated commit point, byte for byte.
+	AnchorEpoch uint64
+	// Keys is the number of base records the scan exported.
+	Keys uint64
+	// ChangeOps is the number of change records appended after the scan
+	// to close the gap between the fuzzy scan and the anchor.
+	ChangeOps uint64
+	// Bytes is the stream size on the wire, framing included.
+	Bytes int64
+	// SourceShards is the source DB's shard count (informational: a
+	// stream restores into any shard count).
+	SourceShards int
+}
+
+// Exporter writes one consistent online snapshot of a live DB. The
+// protocol is subscribe → fuzzy scan → anchor → drain:
+//
+//  1. Subscribe to the change stream. Every mutation applied from here on
+//     is captured; every mutation applied before is visible to the scan.
+//  2. Scan the live tree with the batched cursor and emit kv frames. The
+//     cursor holds the epoch machinery for at most one batch at a time,
+//     so the export never delays a checkpoint by more than one batch —
+//     the scan is fuzzy (it observes in-flight writes), which step 4
+//     repairs.
+//  3. Force one checkpoint and take the released epoch as the anchor A:
+//     a globally committed epoch at least as new as every mutation the
+//     scan could have observed.
+//  4. Drain the subscription through A and emit the entries as change
+//     frames. Replaying them over the fuzzy scan in journal order makes
+//     every key's final value its last committed write at A: writes the
+//     scan missed are in the journal (they happened after step 1), and
+//     writes the scan saw early are either final or superseded by a
+//     journal entry. The result is exact at A.
+//
+// The end frame carries A and the end-to-end checksum.
+type Exporter struct {
+	// Hub is the source DB's change hub.
+	Hub *Hub
+	// NewIter opens a cursor over the whole source DB (the k-way merge
+	// cursor when sharded).
+	NewIter func() core.Cursor
+	// Checkpoint runs one cluster-wide epoch advance.
+	Checkpoint func()
+	// Shards is the source shard count (stamped in the header frame).
+	Shards int
+	// KeyHint is an optional live-key estimate for the header frame.
+	KeyHint uint64
+	// Hook, when non-nil, fires at every protocol point; a non-nil return
+	// aborts the export with that error. Crash-injection tests only.
+	Hook func(point string) error
+}
+
+func (e *Exporter) hook(point string) error {
+	if e.Hook == nil {
+		return nil
+	}
+	return e.Hook(point)
+}
+
+// Export streams the snapshot to w.
+func (e *Exporter) Export(w io.Writer) (SnapshotInfo, error) {
+	// Pinned: the export subscription necessarily lags for the whole scan
+	// and must not be cut by the released-backlog budget.
+	sub := e.Hub.SubscribePinned()
+	defer sub.Close()
+	fw := newFrameWriter(w)
+
+	if err := e.hook("header"); err != nil {
+		return SnapshotInfo{}, err
+	}
+	var hdr []byte
+	hdr = appendU16(hdr, FormatVersion)
+	hdr = appendU32(hdr, uint32(e.Shards))
+	hdr = appendU64(hdr, e.KeyHint)
+	if err := fw.writeFrame(ftHeader, hdr); err != nil {
+		return SnapshotInfo{}, err
+	}
+
+	// Phase 2: the fuzzy scan.
+	info := SnapshotInfo{SourceShards: e.Shards}
+	payload := make([]byte, 0, frameTarget+16<<10)
+	it := e.NewIter()
+	defer it.Close()
+	for ok := it.First(); ok; ok = it.Next() {
+		payload = fw.appendKVRecord(payload, it.Key(), it.Value())
+		info.Keys++
+		if len(payload) >= frameTarget {
+			if err := e.hook("kv-frame"); err != nil {
+				return info, err
+			}
+			if err := fw.writeFrame(ftKV, payload); err != nil {
+				return info, err
+			}
+			payload = payload[:0]
+		}
+	}
+	if len(payload) > 0 {
+		if err := e.hook("kv-frame"); err != nil {
+			return info, err
+		}
+		if err := fw.writeFrame(ftKV, payload); err != nil {
+			return info, err
+		}
+	}
+	if err := e.hook("scan-done"); err != nil {
+		return info, err
+	}
+
+	// Phase 3: anchor. The checkpoint commits (at least) the epoch that
+	// was running when the scan finished, so Released() now names a
+	// globally committed epoch covering everything the scan observed.
+	e.Checkpoint()
+	anchor := e.Hub.Released()
+	info.AnchorEpoch = anchor
+	if err := e.hook("anchor"); err != nil {
+		return info, err
+	}
+
+	// Phase 4: drain the subscription through the anchor. Change frames
+	// chunk at the same payload target as kv frames — a scan-concurrent
+	// write burst must not produce a frame the reader's size limit
+	// rejects.
+	for {
+		b, err := sub.Next()
+		if err != nil {
+			return info, fmt.Errorf("repl: snapshot change drain: %w", err)
+		}
+		ep := b.Epoch
+		if ep > anchor {
+			ep = anchor
+		}
+		payload = appendU64(payload[:0], ep)
+		n := 0
+		flushChanges := func() error {
+			if n == 0 {
+				return nil
+			}
+			if err := e.hook("changes-frame"); err != nil {
+				return err
+			}
+			if err := fw.writeFrame(ftChanges, payload); err != nil {
+				return err
+			}
+			info.ChangeOps += uint64(n)
+			payload = appendU64(payload[:0], ep)
+			n = 0
+			return nil
+		}
+		for i := range b.Entries {
+			en := &b.Entries[i]
+			if en.Epoch > anchor {
+				// Released by a concurrent tick past the anchor; the
+				// stream is exact at the anchor, so later epochs stay out.
+				continue
+			}
+			payload = fw.appendChangeRecord(payload, byte(en.Op), en.Key, en.Val)
+			n++
+			if len(payload) >= frameTarget {
+				if err := flushChanges(); err != nil {
+					return info, err
+				}
+			}
+		}
+		if err := flushChanges(); err != nil {
+			return info, err
+		}
+		if b.Epoch >= anchor {
+			break
+		}
+	}
+
+	if err := e.hook("end"); err != nil {
+		return info, err
+	}
+	var end []byte
+	end = appendU64(end, anchor)
+	end = appendU64(end, info.Keys)
+	end = appendU64(end, info.ChangeOps)
+	end = appendU64(end, fw.sum)
+	if err := fw.writeFrame(ftEnd, end); err != nil {
+		return info, err
+	}
+	info.Bytes = fw.bytesOut
+	return info, nil
+}
+
+// Fixed-width little-endian appends, matching the reader side.
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }

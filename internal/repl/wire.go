@@ -1,0 +1,228 @@
+// Package repl is the checkpoint-anchored replication subsystem: it turns
+// the store's per-epoch consistency points into things that can leave the
+// process — a consistent online snapshot of a live DB written to any
+// io.Writer, and an epoch-tagged change stream (CDC) whose consistent
+// prefix is released to subscribers at each checkpoint commit.
+//
+// The two compose into replication: a follower bootstrapped from a
+// snapshot and fed the change stream converges to the primary, epoch by
+// epoch, and is exact at every released boundary (see DESIGN.md §10).
+//
+// This file defines the wire format. A stream is a sequence of
+// checksummed, length-prefixed frames:
+//
+//	magic   uint32 (little-endian, "IRPL")
+//	type    uint8
+//	length  uint32 (payload bytes)
+//	crc32   uint32 (IEEE, of the payload)
+//	payload
+//
+// Frame payloads hold fixed-format records, echoing the constant-time
+// fixed-size allocation discipline the heap uses — the framing is as
+// mechanical as the allocator's size classes:
+//
+//	header:  version u16, source shards u32, key-count hint u64
+//	kv:      {klen uvarint, vlen uvarint, key, val}… (a snapshot batch)
+//	changes: epoch u64, then {op u8, klen uvarint, vlen uvarint, key, val}…
+//	end:     anchor epoch u64, keys u64, change ops u64, stream sum u64
+//
+// Every frame is independently verifiable (crc32), and the end frame's
+// stream sum — FNV-1a over every record's serialized bytes, framing
+// excluded — verifies the stream end to end: a truncated, reordered, or
+// bit-flipped stream can never restore silently.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	frameMagic = 0x4C505249 // "IRPL"
+
+	ftHeader  = 1
+	ftKV      = 2
+	ftChanges = 3
+	ftEnd     = 4
+
+	// FormatVersion is the snapshot stream format version.
+	FormatVersion = 1
+
+	frameHdrBytes = 13
+	// maxFramePayload bounds a frame so a corrupt length fails fast
+	// instead of allocating gigabytes.
+	maxFramePayload = 1 << 26
+	// frameTarget is the payload size at which a batch frame is flushed.
+	frameTarget = 256 << 10
+)
+
+// ErrBadStream reports a malformed, corrupt, or truncated snapshot stream.
+// Restore never half-applies silently: any framing, checksum, or count
+// mismatch surfaces as (a wrapped) ErrBadStream.
+var ErrBadStream = errors.New("repl: malformed or corrupt snapshot stream")
+
+// FNV-1a, the stream's end-to-end record checksum.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvAdd(sum uint64, b []byte) uint64 {
+	for _, c := range b {
+		sum = (sum ^ uint64(c)) * fnvPrime
+	}
+	return sum
+}
+
+// frameWriter emits frames and maintains the running record checksum.
+type frameWriter struct {
+	w        io.Writer
+	hdr      [frameHdrBytes]byte
+	sum      uint64 // FNV-1a over record bytes (framing excluded)
+	bytesOut int64
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: w, sum: fnvOffset}
+}
+
+func (fw *frameWriter) writeFrame(ft byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		// Producing a frame the reader's size limit would reject means the
+		// stream could never restore; fail the export instead.
+		return fmt.Errorf("%w: frame payload %d exceeds limit (writer bug)", ErrBadStream, len(payload))
+	}
+	binary.LittleEndian.PutUint32(fw.hdr[0:], frameMagic)
+	fw.hdr[4] = ft
+	binary.LittleEndian.PutUint32(fw.hdr[5:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fw.hdr[9:], crc32.ChecksumIEEE(payload))
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return err
+	}
+	fw.bytesOut += int64(frameHdrBytes + len(payload))
+	return nil
+}
+
+// appendKVRecord serializes one snapshot record into payload and folds it
+// into the stream sum.
+func (fw *frameWriter) appendKVRecord(payload []byte, k, v []byte) []byte {
+	start := len(payload)
+	payload = binary.AppendUvarint(payload, uint64(len(k)))
+	payload = binary.AppendUvarint(payload, uint64(len(v)))
+	payload = append(payload, k...)
+	payload = append(payload, v...)
+	fw.sum = fnvAdd(fw.sum, payload[start:])
+	return payload
+}
+
+// appendChangeRecord serializes one change record into payload and folds
+// it into the stream sum.
+func (fw *frameWriter) appendChangeRecord(payload []byte, op byte, k, v []byte) []byte {
+	start := len(payload)
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, uint64(len(k)))
+	payload = binary.AppendUvarint(payload, uint64(len(v)))
+	payload = append(payload, k...)
+	payload = append(payload, v...)
+	fw.sum = fnvAdd(fw.sum, payload[start:])
+	return payload
+}
+
+// frameReader parses and verifies frames.
+type frameReader struct {
+	r       io.Reader
+	hdr     [frameHdrBytes]byte
+	payload []byte
+	sum     uint64
+	bytesIn int64
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: r, sum: fnvOffset}
+}
+
+// readFrame returns the next frame's type and payload (valid until the
+// next call), verifying magic and checksum.
+func (fr *frameReader) readFrame() (byte, []byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: truncated at frame header", ErrBadStream)
+		}
+		return 0, nil, err
+	}
+	if binary.LittleEndian.Uint32(fr.hdr[0:]) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad frame magic", ErrBadStream)
+	}
+	ft := fr.hdr[4]
+	n := binary.LittleEndian.Uint32(fr.hdr[5:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload %d exceeds limit", ErrBadStream, n)
+	}
+	if cap(fr.payload) < int(n) {
+		fr.payload = make([]byte, n)
+	}
+	fr.payload = fr.payload[:n]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame payload", ErrBadStream)
+	}
+	if crc32.ChecksumIEEE(fr.payload) != binary.LittleEndian.Uint32(fr.hdr[9:]) {
+		return 0, nil, fmt.Errorf("%w: frame checksum mismatch", ErrBadStream)
+	}
+	fr.bytesIn += int64(frameHdrBytes) + int64(n)
+	return ft, fr.payload, nil
+}
+
+// parseKVRecord decodes one snapshot record at payload[off:], folding its
+// serialized bytes into the stream sum. The returned slices alias payload.
+func (fr *frameReader) parseKVRecord(payload []byte, off int) (k, v []byte, next int, err error) {
+	k, v, next, err = parseKV(payload, off)
+	if err == nil {
+		fr.sum = fnvAdd(fr.sum, payload[off:next])
+	}
+	return k, v, next, err
+}
+
+// parseChangeRecord decodes one change record at payload[off:], folding
+// its serialized bytes into the stream sum. The returned slices alias
+// payload.
+func (fr *frameReader) parseChangeRecord(payload []byte, off int) (op byte, k, v []byte, next int, err error) {
+	if off >= len(payload) {
+		return 0, nil, nil, 0, fmt.Errorf("%w: truncated change record", ErrBadStream)
+	}
+	op = payload[off]
+	k, v, next, err = parseKV(payload, off+1)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	fr.sum = fnvAdd(fr.sum, payload[off:next])
+	return op, k, v, next, nil
+}
+
+// parseKV decodes a {klen, vlen, key, val} group at payload[off:]. Each
+// length is bounds-checked on its own before any arithmetic combines
+// them, so a crafted (even CRC-consistent) stream with huge uvarint
+// lengths fails with ErrBadStream instead of overflowing into a panic.
+func parseKV(payload []byte, off int) (k, v []byte, next int, err error) {
+	kl, n1 := binary.Uvarint(payload[off:])
+	if n1 <= 0 {
+		return nil, nil, 0, fmt.Errorf("%w: bad key length", ErrBadStream)
+	}
+	vl, n2 := binary.Uvarint(payload[off+n1:])
+	if n2 <= 0 {
+		return nil, nil, 0, fmt.Errorf("%w: bad value length", ErrBadStream)
+	}
+	p := off + n1 + n2
+	rest := uint64(len(payload) - p)
+	if kl > rest || vl > rest-kl {
+		return nil, nil, 0, fmt.Errorf("%w: record overruns frame", ErrBadStream)
+	}
+	k = payload[p : p+int(kl)]
+	v = payload[p+int(kl) : p+int(kl)+int(vl)]
+	return k, v, p + int(kl) + int(vl), nil
+}

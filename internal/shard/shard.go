@@ -212,6 +212,14 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // ShardStore returns shard i's underlying store (stats, introspection).
 func (s *Store) ShardStore(i int) *core.Store { return s.shards[i] }
 
+// Stores returns the per-shard stores, indexed by shard. The replication
+// hub attaches its change sinks and commit hooks through this: a shard's
+// local epoch commit runs only after the coordinator record is durable, so
+// per-shard commit hooks observe globally committed epochs, and the hub's
+// min-across-shards released barrier is anchored at the two-phase
+// coordinated-commit point. Callers must not mutate the slice.
+func (s *Store) Stores() []*core.Store { return s.shards }
+
 // Epoch returns the running epoch, identical on every shard.
 func (s *Store) Epoch() uint64 { return s.shards[0].Epochs().Current() }
 

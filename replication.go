@@ -1,0 +1,463 @@
+package incll
+
+// Checkpoint-anchored replication: online snapshots, change streams, and
+// the catch-up replica. The paper's contribution is a cheap, always-
+// available consistency point — the per-epoch checkpoint — and this file
+// is what lets that consistency point leave the process:
+//
+//   - DB.Snapshot streams a consistent full copy of a live DB to any
+//     io.Writer, anchored at a globally committed epoch, without ever
+//     delaying a checkpoint by more than one cursor batch.
+//   - DB.Changes subscribes to the epoch-tagged change stream (CDC): the
+//     committed mutations of each epoch, released when the epoch's
+//     coordinated checkpoint commits.
+//   - Restore rebuilds a DB from a snapshot stream (into any shard
+//     count), verifying it end to end.
+//   - NewReplica composes the three into an asynchronous follower that
+//     bootstraps from a snapshot, applies the live stream, reports lag,
+//     and can be promoted to primary.
+//
+// See internal/repl and DESIGN.md §10 for the protocol and wire format.
+
+import (
+	"io"
+	"sync"
+
+	"incll/internal/core"
+	"incll/internal/repl"
+)
+
+// Replication errors (see internal/repl).
+var (
+	// ErrStreamLost means a change-stream subscriber fell behind the
+	// journal's byte budget or the primary crashed; re-bootstrap from a
+	// fresh snapshot (Replica does this via Resync).
+	ErrStreamLost = repl.ErrStreamLost
+	// ErrStreamClosed means the primary shut down cleanly and the stream
+	// has been fully drained.
+	ErrStreamClosed = repl.ErrStreamClosed
+	// ErrBadStream reports a malformed, corrupt, or truncated snapshot
+	// stream; Restore never half-applies one silently.
+	ErrBadStream = repl.ErrBadStream
+)
+
+// SnapshotInfo describes one snapshot stream: the anchor epoch it is
+// exact at, record counts, and wire size.
+type SnapshotInfo = repl.SnapshotInfo
+
+// ChangeOp identifies one change-stream mutation kind.
+type ChangeOp = core.ChangeOp
+
+// Change-stream mutation kinds.
+const (
+	// ChangePut is a put; Value carries the full new byte value.
+	ChangePut = core.ChangePut
+	// ChangeDelete is a deletion; Value is nil.
+	ChangeDelete = core.ChangeDelete
+)
+
+// Change is one committed mutation observed through DB.Changes.
+type Change struct {
+	// Op is the mutation kind.
+	Op ChangeOp
+	// Key and Value may be retained by the consumer.
+	Key, Value []byte
+	// Epoch is the (globally committed) epoch the mutation belongs to.
+	Epoch uint64
+	// Shard is the source shard (0 on an unsharded DB).
+	Shard int
+}
+
+// ChangeBatch is one released slice of the change stream: every committed
+// mutation up to Epoch that was not yet delivered, in apply order (total
+// per key). A batch may be empty — a checkpoint committed with no writes
+// — which still advances the consumer's view of the committed horizon.
+type ChangeBatch struct {
+	Epoch   uint64
+	Changes []Change
+}
+
+// ChangeStream is a subscription to the DB's committed-change feed (CDC).
+// Entries published after the subscription begins are delivered exactly
+// once, released batch-wise at each checkpoint commit; a consistent full
+// copy is obtained by subscribing first and scanning after (which is
+// exactly what DB.Snapshot does). Next is single-consumer; Close may be
+// called concurrently to unblock it.
+type ChangeStream struct {
+	sub *repl.Subscription
+}
+
+// Changes subscribes to the DB's change stream, starting now: the first
+// batch holds every mutation of the epochs not yet released at this
+// moment — all mutations applied after this call, plus possibly the
+// already-applied part of the current uncommitted epochs (a harmless
+// superset for last-write-wins replay). Attaching the first subscriber
+// activates the change journal (one atomic load per write before that;
+// per-shard journal appends after).
+func (db *DB) Changes() *ChangeStream {
+	return &ChangeStream{sub: db.hub().Subscribe()}
+}
+
+// changesPinned is Changes with a subscription the journal budget will
+// not cut (see repl.Hub.SubscribePinned): the replica bootstrap cannot
+// consume anything until the snapshot restore finishes, so for that
+// window lagging is by construction, not a fault.
+func (db *DB) changesPinned() *ChangeStream {
+	return &ChangeStream{sub: db.hub().SubscribePinned()}
+}
+
+// Next blocks until the next checkpoint commit releases more of the
+// stream, and returns the newly released batch. Returns ErrStreamClosed
+// after a clean primary shutdown is fully drained, ErrStreamLost if the
+// subscriber lagged past the journal budget or the primary crashed — a
+// crash still lets the subscriber drain everything already released
+// (released epochs are committed on NVM and survive the crash); only the
+// unreleased tail is lost.
+func (s *ChangeStream) Next() (ChangeBatch, error) {
+	b, err := s.sub.Next()
+	if err != nil {
+		return ChangeBatch{}, err
+	}
+	out := ChangeBatch{Epoch: b.Epoch}
+	if len(b.Entries) > 0 {
+		out.Changes = make([]Change, len(b.Entries))
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			out.Changes[i] = Change{Op: e.Op, Key: e.Key, Value: e.Val, Epoch: e.Epoch, Shard: e.Shard}
+		}
+	}
+	return out, nil
+}
+
+// Released returns the last globally committed epoch — the stream's
+// released high-water mark.
+func (s *ChangeStream) Released() uint64 { return s.sub.Released() }
+
+// PendingBytes reports the released entry bytes not yet consumed through
+// Next: the byte lag of this subscriber.
+func (s *ChangeStream) PendingBytes() uint64 { return s.sub.PendingBytes() }
+
+// Close detaches the subscription, releasing its journal retention and
+// unblocking a concurrent Next.
+func (s *ChangeStream) Close() { s.sub.Close() }
+
+// hub returns the DB's change hub, attaching it on first use.
+func (db *DB) hub() *repl.Hub {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.replHub == nil {
+		var stores []*core.Store
+		if db.sharded != nil {
+			stores = db.sharded.Stores()
+		} else {
+			stores = []*core.Store{db.store}
+		}
+		db.replHub = repl.NewHub(stores, db.opts.ChangeJournalBytes)
+	}
+	return db.replHub
+}
+
+// closeHub ends the change stream at DB teardown: gracefully on Close,
+// abruptly (ErrStreamLost) on SimulateCrash.
+func (db *DB) closeHub(graceful bool) {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.replHub != nil {
+		db.replHub.Close(graceful)
+	}
+}
+
+// SetSnapshotHook installs the snapshot crash-injection hook, fired at
+// every export protocol point; a non-nil return aborts the export with
+// that error. Never use outside tests (see internal/crashtest).
+func (db *DB) SetSnapshotHook(h func(point string) error) { db.snapHook = h }
+
+// Snapshot streams a consistent online full snapshot of the live DB to w:
+// checksummed, length-prefixed frames holding every key/value plus the
+// change records that anchor the fuzzy scan at a committed epoch (see
+// internal/repl). The export runs concurrently with writers and holds the
+// epoch machinery for at most one cursor batch at a time, so it never
+// delays a checkpoint by more than one batch; it forces exactly one
+// checkpoint (the anchor). Restore reproduces the primary's state at the
+// anchor epoch's coordinated commit point, byte for byte.
+func (db *DB) Snapshot(w io.Writer) (SnapshotInfo, error) {
+	e := &repl.Exporter{
+		Hub:        db.hub(),
+		NewIter:    func() core.Cursor { return db.NewIter(IterOptions{}) },
+		Checkpoint: func() { db.Checkpoint() },
+		Shards:     db.Shards(),
+		KeyHint:    uint64(db.Len()),
+		Hook:       db.snapHook,
+	}
+	return e.Export(w)
+}
+
+// Restore builds a fresh DB (with opts, which need not match the source's
+// sharding — records route by key) from a snapshot stream. The stream is
+// verified end to end — per-frame checksums, record counts, and the
+// stream's record checksum — and the restored state is committed only
+// after full verification: a truncated or corrupt stream returns
+// ErrBadStream and never a silently wrong DB.
+func Restore(r io.Reader, opts Options) (*DB, SnapshotInfo, error) {
+	db, _ := Open(opts)
+	info, err := repl.Restore(r, repl.Target{
+		Put: func(k, v []byte) error {
+			_, err := db.PutBytes(k, v)
+			return err
+		},
+		Delete: func(k []byte) error {
+			db.Delete(k)
+			return nil
+		},
+		Checkpoint: func() { db.Checkpoint() },
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	return db, info, nil
+}
+
+// ReplicaLag quantifies how far a replica trails its primary.
+type ReplicaLag struct {
+	// Epochs is the number of globally committed epochs the primary has
+	// released that the replica has not yet fully applied.
+	Epochs uint64
+	// Bytes is the released change-entry bytes not yet applied.
+	Bytes uint64
+}
+
+// Replica is an asynchronous follower: a DB bootstrapped from a snapshot
+// of the primary that applies the live change stream in the background,
+// checkpointing after each released batch — so at every moment its state
+// is exactly the primary's at some committed epoch (AppliedEpoch), never
+// a torn mixture. Reads on DB() are safe concurrently with the apply
+// loop; use CatchUp for a moment of equality with a given horizon, and
+// Promote to turn the follower into a standalone primary.
+type Replica struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	opts    Options
+	db      *DB
+	stream  *ChangeStream
+	anchor  uint64 // bootstrap anchor: entries at or below are baked in
+	applied uint64 // last fully applied released epoch
+	bytes   uint64 // change bytes applied since bootstrap
+	err     error  // terminal apply-loop error
+	done    chan struct{}
+}
+
+// NewReplica bootstraps a follower of primary: it subscribes to the
+// change stream, streams a snapshot into a fresh DB built with opts (any
+// shard count), and starts the background apply loop. Returns once the
+// bootstrap is complete (the replica is exact at the snapshot's anchor
+// epoch and catching up from there).
+func NewReplica(primary *DB, opts Options) (*Replica, error) {
+	r := &Replica{opts: opts}
+	r.cond = sync.NewCond(&r.mu)
+	if err := r.bootstrap(primary); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// bootstrap subscribes, snapshots, restores, and starts the apply loop.
+// The subscription is pinned for the bootstrap window (it cannot consume
+// until the restore completes); the apply loop unpins it at its first
+// delivery.
+func (r *Replica) bootstrap(primary *DB) error {
+	stream := primary.changesPinned()
+	pr, pw := io.Pipe()
+	var (
+		expErr  error
+		expDone = make(chan struct{})
+	)
+	go func() {
+		defer close(expDone)
+		_, expErr = primary.Snapshot(pw)
+		pw.CloseWithError(expErr)
+	}()
+	db, info, err := Restore(pr, r.opts)
+	// Unblock the exporter before waiting for it: if the restore side
+	// failed first, the exporter may be mid-Write with no reader left.
+	pr.CloseWithError(err)
+	<-expDone
+	if err == nil {
+		err = expErr
+	}
+	if err != nil {
+		stream.Close()
+		return err
+	}
+	done := make(chan struct{})
+	// Swap the follower in under the lock: a monitoring goroutine may be
+	// reading Lag/AppliedEpoch/Err concurrently with a Resync.
+	r.mu.Lock()
+	r.db = db
+	r.stream = stream
+	r.anchor = info.AnchorEpoch
+	r.applied = info.AnchorEpoch
+	r.err = nil
+	r.done = done
+	r.mu.Unlock()
+	go r.applyLoop(db, stream, info.AnchorEpoch, done)
+	return nil
+}
+
+// applyLoop drains the stream into the follower until the stream ends.
+// The follower and stream come in as parameters so the loop never reads
+// the swappable Replica fields.
+func (r *Replica) applyLoop(db *DB, stream *ChangeStream, anchor uint64, done chan struct{}) {
+	defer close(done)
+	for first := true; ; first = false {
+		b, err := stream.Next()
+		if first {
+			// The bootstrap window is over: from here on the replica is an
+			// active consumer and subject to the normal journal budget.
+			stream.sub.Unpin()
+		}
+		if err != nil {
+			r.mu.Lock()
+			r.err = err
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			return
+		}
+		var nb uint64
+		for i := range b.Changes {
+			c := &b.Changes[i]
+			if c.Epoch <= anchor {
+				continue // baked into the bootstrap snapshot
+			}
+			if c.Op == ChangeDelete {
+				db.Delete(c.Key)
+			} else {
+				if _, err := db.PutBytes(c.Key, c.Value); err != nil {
+					r.mu.Lock()
+					r.err = err
+					r.cond.Broadcast()
+					r.mu.Unlock()
+					return
+				}
+			}
+			nb += uint64(len(c.Key) + len(c.Value))
+		}
+		// Commit the batch on the follower: the replica's durable state is
+		// always a whole released prefix of the primary's history.
+		db.Checkpoint()
+		r.mu.Lock()
+		r.applied = b.Epoch
+		r.bytes += nb
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// DB returns the follower store for reads. Writing to it (other than by
+// the apply loop) forfeits the equality guarantee; Promote first. The
+// identity changes across Resync.
+func (r *Replica) DB() *DB {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.db
+}
+
+// AppliedEpoch returns the last released epoch the replica has fully
+// applied and committed: the replica's state equals the primary's at this
+// epoch's checkpoint commit.
+func (r *Replica) AppliedEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// AppliedBytes returns the change bytes applied since bootstrap.
+func (r *Replica) AppliedBytes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// Err returns the apply loop's terminal error, if it has stopped:
+// ErrStreamClosed after a clean primary shutdown (fully drained),
+// ErrStreamLost after a primary crash or journal overrun (Resync to
+// recover), nil while running.
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Lag reports how far the replica trails the primary's released horizon,
+// in epochs and change bytes.
+func (r *Replica) Lag() ReplicaLag {
+	r.mu.Lock()
+	stream, applied := r.stream, r.applied
+	r.mu.Unlock()
+	released := stream.Released()
+	lag := ReplicaLag{Bytes: stream.PendingBytes()}
+	if released > applied {
+		lag.Epochs = released - applied
+	}
+	return lag
+}
+
+// CatchUp blocks until the replica has applied everything the primary had
+// released at the moment of the call (later releases may keep arriving).
+// Returns the stream's terminal error if it ends before reaching that
+// horizon.
+func (r *Replica) CatchUp() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	target := r.stream.Released() // hub lock nests inside r.mu, never reversed
+	for r.applied < target && r.err == nil {
+		r.cond.Wait()
+	}
+	if r.applied >= target {
+		return nil
+	}
+	return r.err
+}
+
+// Promote turns the follower into a standalone primary: it applies
+// everything the primary has released (failing with the stream's terminal
+// error if the stream was lost short of that), detaches from the stream,
+// and returns the follower DB, now safe to write. The Replica must not be
+// used afterwards.
+func (r *Replica) Promote() (*DB, error) {
+	if err := r.CatchUp(); err != nil {
+		return nil, err
+	}
+	db := r.detach()
+	return db, nil
+}
+
+// detach stops the apply loop and takes ownership of the follower.
+func (r *Replica) detach() *DB {
+	r.mu.Lock()
+	stream, done, db := r.stream, r.done, r.db
+	r.db = nil
+	r.mu.Unlock()
+	stream.Close()
+	<-done
+	return db
+}
+
+// Resync re-bootstraps the replica from primary (typically after the old
+// primary crashed and was reopened, which loses the volatile change
+// journal): the current follower is discarded and a fresh snapshot
+// bootstrap runs against the given primary. The follower DB identity
+// changes; re-fetch it with DB().
+func (r *Replica) Resync(primary *DB) error {
+	if db := r.detach(); db != nil {
+		db.Close()
+	}
+	return r.bootstrap(primary)
+}
+
+// Close stops the apply loop and shuts the follower down cleanly.
+func (r *Replica) Close() {
+	if db := r.detach(); db != nil {
+		db.Close()
+	}
+}
