@@ -159,6 +159,10 @@ func main() {
 	if cfg.Mode == harness.INCLL || cfg.Mode == harness.LOGGING {
 		fmt.Printf("  epochs=%d loggedNodes=%d inCLLperm=%d inCLLval=%d fences=%d linesFlushed=%d\n",
 			r.Advances, r.LoggedNodes, r.InCLLPerm, r.InCLLVal, r.Fences, r.FlushedLines)
+		if stw := r.CheckpointSTW; stw.Count > 0 {
+			fmt.Printf("  checkpoint stw n=%d p50=%v p99=%v max=%v\n", stw.Count,
+				time.Duration(stw.P50), time.Duration(stw.P99), time.Duration(stw.Max))
+		}
 	}
 	if cfg.ValueSize > 0 {
 		fmt.Printf("  valueBytes=%d = %.1f MB/s\n", r.ValueBytes, r.MBPerSec)

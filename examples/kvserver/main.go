@@ -17,6 +17,10 @@
 //	GET  /snapshot          stream a consistent online backup (see below)
 //	POST /crash?persist=0.5 simulate a power failure + instant recovery
 //	GET  /stats             logging and persistence counters, per shard
+//	GET  /metrics           Prometheus text exposition (scrape me)
+//	GET  /healthz           liveness: 200 "ok" while the store serves
+//	GET  /trace             the phase trace: checkpoints, recoveries
+//	GET  /debug/vars        expvar, including the typed metrics snapshot
 //
 // /snapshot streams a consistent full backup of the live store —
 // checksummed frames anchored at a committed epoch — without pausing
@@ -29,6 +33,7 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -191,6 +196,39 @@ func main() {
 			}
 		})
 	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		srv.withDB(func(db *incll.DB) {
+			if err := db.WriteMetrics(w); err != nil {
+				log.Printf("metrics scrape aborted: %v", err)
+			}
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness via a real read: a wedged store (not just a wedged mux)
+		// fails the probe. The key never exists; the probe is the lookup.
+		srv.withDB(func(db *incll.DB) {
+			db.Get([]byte("\x00healthz\x00"))
+			fmt.Fprintln(w, "ok")
+		})
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		srv.withDB(func(db *incll.DB) {
+			if err := db.DumpTrace(w); err != nil {
+				log.Printf("trace dump aborted: %v", err)
+			}
+		})
+	})
+	// The typed snapshot under expvar's conventional endpoint. Published
+	// through srv so /crash swapping in a recovered DB swaps the metrics
+	// source too.
+	expvar.Publish("incll", expvar.Func(func() any {
+		srv.mu.RLock()
+		defer srv.mu.RUnlock()
+		return srv.db.Metrics()
+	}))
+	mux.Handle("/debug/vars", expvar.Handler())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

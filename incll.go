@@ -71,6 +71,7 @@ import (
 	"incll/internal/core"
 	"incll/internal/epoch"
 	"incll/internal/nvm"
+	"incll/internal/obs"
 	"incll/internal/repl"
 	"incll/internal/shard"
 	"incll/internal/txn"
@@ -351,6 +352,15 @@ type DB struct {
 	txns    *txn.Manager
 	opts    Options
 
+	// Observability (see metrics.go and internal/obs): the phase tracer
+	// and the checkpoint stop-the-world histogram are created before the
+	// stores open, so recovery itself is captured; the registry that
+	// serves WriteMetrics builds lazily on first use.
+	trace   *obs.Tracer
+	stw     *obs.Histogram
+	regOnce sync.Once
+	reg     *obs.Registry
+
 	// Replication state (see replication.go): the change hub attaches
 	// lazily on first Snapshot/Changes use and dies with this DB instance.
 	replMu   sync.Mutex
@@ -362,6 +372,8 @@ type DB struct {
 func Open(opts Options) (*DB, RecoveryInfo) {
 	opts.setDefaults()
 	if opts.Shards > 1 {
+		trace := obs.NewTracer(obs.DefaultTraceEvents)
+		stw := new(obs.Histogram)
 		s, sinfo := shard.Open(shard.Config{
 			Shards:       opts.Shards,
 			Workers:      opts.Workers,
@@ -371,32 +383,63 @@ func Open(opts Options) (*DB, RecoveryInfo) {
 			TxnSegWords:  opts.TxnSegWords,
 			DisableInCLL: opts.DisableInCLL,
 			NVM:          nvm.Config{FenceDelay: opts.FenceDelay},
+			Trace:        trace,
+			StopTheWorld: stw,
 		})
-		db := &DB{sharded: s, opts: opts}
+		db := &DB{sharded: s, opts: opts, trace: trace, stw: stw}
 		info := shardInfo(sinfo)
 		info.TxnsReplayed = db.initTxns()
+		db.traceTxnReplay(info.TxnsReplayed)
 		return db, info
 	}
 	arena := nvm.New(nvm.Config{Words: opts.ArenaWords, FenceDelay: opts.FenceDelay})
-	return attach(arena, opts)
+	return attach(arena, opts, nil, nil)
 }
 
-func attach(arena *nvm.Arena, opts Options) (*DB, RecoveryInfo) {
+// attach opens a single store over an existing arena. A nil trace/stw
+// builds a fresh bundle (first Open); Reopen passes the crashed DB's so
+// the phase trace spans the crash.
+func attach(arena *nvm.Arena, opts Options, trace *obs.Tracer, stw *obs.Histogram) (*DB, RecoveryInfo) {
+	if trace == nil {
+		trace = obs.NewTracer(obs.DefaultTraceEvents)
+	}
+	if stw == nil {
+		stw = new(obs.Histogram)
+	}
 	store, status := core.Open(arena, core.Config{
 		Workers:      opts.Workers,
 		LogSegWords:  opts.LogSegWords,
 		TxnSegWords:  opts.TxnSegWords,
 		HeapWords:    opts.HeapWords,
 		DisableInCLL: opts.DisableInCLL,
+		Trace:        trace,
+		StopTheWorld: stw,
+		Shard:        0,
 	})
-	db := &DB{arena: arena, store: store, opts: opts}
+	db := &DB{arena: arena, store: store, opts: opts, trace: trace, stw: stw}
 	info := RecoveryInfo{
 		Status:            status,
 		LogEntriesApplied: store.RecoveredLogEntries(),
 		FailedEpochs:      store.Epochs().FailedCount(),
 	}
 	info.TxnsReplayed = db.initTxns()
+	db.traceTxnReplay(info.TxnsReplayed)
 	return db, info
+}
+
+// traceTxnReplay records the intent-recovery replay in the phase trace.
+func (db *DB) traceTxnReplay(n int) {
+	if n > 0 {
+		db.trace.Record(obs.EvTxnReplay, -1, db.currentEpoch(), 0, int64(n))
+	}
+}
+
+// currentEpoch is the running epoch (identical across shards).
+func (db *DB) currentEpoch() uint64 {
+	if db.sharded != nil {
+		return db.sharded.Stores()[0].Epochs().Current()
+	}
+	return db.store.Epochs().Current()
 }
 
 // initTxns builds the transaction manager over the open store(s), running
@@ -636,19 +679,28 @@ func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
 func (db *DB) Reopen() (*DB, RecoveryInfo) {
 	if db.sharded != nil {
 		s, sinfo := db.sharded.Reopen()
-		db2 := &DB{sharded: s, opts: db.opts}
+		// The shard config — tracer included — carries over, so the phase
+		// trace spans the crash: the recovery events land in the same ring
+		// the pre-crash checkpoints did.
+		db2 := &DB{sharded: s, opts: db.opts, trace: db.trace, stw: db.stw}
 		info := shardInfo(sinfo)
 		info.TxnsReplayed = db2.initTxns()
+		db2.traceTxnReplay(info.TxnsReplayed)
 		return db2, info
 	}
 	db.arena.ResetReservations()
-	return attach(db.arena, db.opts)
+	return attach(db.arena, db.opts, db.trace, db.stw)
 }
 
-// Stats exposes the store's counters (logging, InCLL usage, recovery).
-// For an unsharded DB the returned counters are live; for a sharded DB
-// they are a point-in-time aggregate across shards — call Stats again for
-// fresh values, and use ShardStats for the (live) per-shard view.
+// Stats exposes the store's counters (logging, InCLL usage, the value
+// heap, recovery). Reading them (Load) is safe at any time, concurrently
+// with writers and the background checkpointer; each read is a sum over
+// per-worker stripes, so it is monotone but not a single atomic snapshot
+// across counters. For an unsharded DB the returned struct is live; for a
+// sharded DB it is a point-in-time aggregate across shards — equal to the
+// sum of ShardStats(i) over all shards when writers are quiescent — so
+// call Stats again for fresh values, and use ShardStats for the (live)
+// per-shard view. Prefer DB.Metrics for a coherent typed snapshot.
 func (db *DB) Stats() *core.Stats {
 	if db.sharded != nil {
 		return db.sharded.Stats()

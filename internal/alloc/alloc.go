@@ -28,6 +28,7 @@ package alloc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"incll/internal/epoch"
 	"incll/internal/nvm"
@@ -115,6 +116,12 @@ type Allocator struct {
 	wildMu sync.Mutex
 
 	shards []Handle
+
+	// limbo tracks how many objects currently sit on limbo lists awaiting
+	// the next epoch boundary. Volatile and advisory (a gauge for the
+	// metrics surface): it is reset by the boundary splice, not repaired
+	// by crash rollback.
+	limbo atomic.Int64
 }
 
 // MetaWords returns the metadata region size (reserve target) for the
@@ -198,6 +205,10 @@ func (al *Allocator) Used() uint64 {
 	return al.arena.Load(al.wildOff+wBump) - al.heapOff
 }
 
+// LimboDepth reports how many freed objects are waiting on limbo lists
+// for the next epoch boundary. O(1); see the limbo field's caveats.
+func (al *Allocator) LimboDepth() int64 { return al.limbo.Load() }
+
 // ClassFor returns the size class index for a payload of the given words,
 // or -1 if the payload exceeds the largest class.
 func ClassFor(payloadWords uint64) int {
@@ -244,6 +255,7 @@ func (al *Allocator) spliceLimbo(newEpoch uint64) {
 			a.Store(off+chLimbo, 0)
 		}
 	}
+	al.limbo.Store(0)
 }
 
 // logClassHeads performs the InCLLp-style first-touch logging of a class
@@ -450,6 +462,7 @@ func (h *Handle) freeTo(c int, obj uint64) {
 	al.logClassHeads(off, cur)
 	al.storeNext(obj, a.Load(off+chLimbo), cur)
 	a.Store(off+chLimbo, obj)
+	al.limbo.Add(1)
 }
 
 // FreeListLen walks shard s's class-c allocatable list; test helper.

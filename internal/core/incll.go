@@ -58,7 +58,7 @@ func (h Handle) beforePermChange(n nodeRef, isInsert bool) {
 	// Same cache line as the two stores above and the permutation that the
 	// caller is about to modify: PCSO orders everything for free.
 	n.store(fEpoch, packEpochWord(cur, isInsert, false))
-	s.stats.InCLLPerm.Add(1)
+	s.stats.InCLLPerm.Add(h.w, 1)
 }
 
 // beforeValUpdate prepares the leaf for overwriting vals[idx] in the
@@ -85,7 +85,7 @@ func (h Handle) beforeValUpdate(n nodeRef, idx int) {
 			n.store(fInCLL2, vc)
 		}
 		n.store(fEpoch, packEpochWord(cur, true, false))
-		s.stats.InCLLVal.Add(1)
+		s.stats.InCLLVal.Add(h.w, 1)
 		return
 	}
 	if loggedBit(w) {
@@ -102,7 +102,7 @@ func (h Handle) beforeValUpdate(n nodeRef, idx int) {
 		// same-epoch insert of this slot makes its value irrelevant after
 		// rollback), so its current value is the epoch-start value.
 		n.store(inCLLOff(line), packValInCLL(n.val(idx), idx, cur))
-		s.stats.InCLLVal.Add(1)
+		s.stats.InCLLVal.Add(h.w, 1)
 		return
 	default:
 		// Two hot slots in one cache line: external log.
@@ -121,7 +121,7 @@ func (h Handle) logLeaf(n nodeRef, cur uint64) {
 		panic("core: external log segment full; increase Config.LogSegWords or shorten epochs")
 	}
 	n.store(fEpoch, packEpochWord(cur, true, true))
-	h.s.stats.LoggedNodes.Add(1)
+	h.s.stats.LoggedNodes.Add(h.w, 1)
 }
 
 // logInterior records an interior node's pre-image (once per epoch).
@@ -133,7 +133,7 @@ func (h Handle) logInterior(n nodeRef, cur uint64) {
 		panic("core: external log segment full; increase Config.LogSegWords or shorten epochs")
 	}
 	n.store(fLogEpoch, cur)
-	h.s.stats.LoggedNodes.Add(1)
+	h.s.stats.LoggedNodes.Add(h.w, 1)
 }
 
 // logNode dispatches on the node type.
@@ -184,7 +184,7 @@ func (s *Store) lazyRecoverLeaf(n nodeRef) {
 	n.store(fInCLL2, invalidValInCLL(execBase))
 	n.store(fEpoch, packEpochWord(execBase, true, false))
 	n.store(fVersion, 0) // the lock state did not survive the crash
-	s.stats.LazyRecoveries.Add(1)
+	s.stats.LazyRecoveries.Add(0, 1)
 }
 
 // lazyRecoverInterior reinitializes an interior node's transient state on
@@ -203,7 +203,7 @@ func (s *Store) lazyRecoverInterior(n nodeRef) {
 	}
 	n.store(fVersion, 0)
 	n.store(fTouch, execBase)
-	s.stats.LazyRecoveries.Add(1)
+	s.stats.LazyRecoveries.Add(0, 1)
 }
 
 // lazyRecover dispatches on node type.

@@ -175,7 +175,7 @@ func (it *Iter) fill(fwd bool, seek []byte, unbounded bool) bool {
 	it.fwd = fwd
 	it.stopped = false
 	h.s.mgr.Enter()
-	h.s.stats.Scans.Add(1)
+	h.s.stats.Scans.Add(h.w, 1)
 	visited := 0
 	if fwd {
 		h.scanLayer(h.rootCell0(), &it.keyBuf, 0, seek, it.batch, &visited, it.collectFn)

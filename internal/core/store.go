@@ -10,6 +10,7 @@ import (
 	"incll/internal/epoch"
 	"incll/internal/extlog"
 	"incll/internal/nvm"
+	"incll/internal/obs"
 )
 
 // Config sizes and parameterizes a Store.
@@ -44,6 +45,14 @@ type Config struct {
 	// update). nil means the store commits its own epochs (the default).
 	// See epoch.OpenCoordinated and internal/shard.
 	Committed func(e uint64) bool
+
+	// Trace receives protocol events (checkpoint phases, recovery replay)
+	// and StopTheWorld the measured duration of every epoch boundary's
+	// stop-the-world window. Both optional; see internal/obs. Shard tags
+	// this store's events in a multi-store cluster.
+	Trace        *obs.Tracer
+	StopTheWorld *obs.Histogram
+	Shard        int
 }
 
 func (c *Config) setDefaults() {
@@ -83,16 +92,19 @@ type ChangeSink interface {
 	Publish(op ChangeOp, k, v []byte, epoch uint64)
 }
 
-// Stats counts store-level events.
+// Stats counts store-level events. Each field is a striped counter
+// (internal/obs): writers on the leaf-locked paths pay one relaxed atomic
+// add on their own worker's padded stripe; Load sums the stripes.
 type Stats struct {
-	LoggedNodes    atomic.Int64 // external-log entries written (Figure 7's metric)
-	InCLLPerm      atomic.Int64 // InCLLp first-touch captures
-	InCLLVal       atomic.Int64 // ValInCLL captures (first-touch or claimed)
-	LazyRecoveries atomic.Int64 // nodes repaired lazily after a restart
-	Puts           atomic.Int64
-	Gets           atomic.Int64
-	Deletes        atomic.Int64
-	Scans          atomic.Int64
+	LoggedNodes    obs.Counter // external-log entries written (Figure 7's metric)
+	InCLLPerm      obs.Counter // InCLLp first-touch captures
+	InCLLVal       obs.Counter // ValInCLL captures (first-touch or claimed)
+	LazyRecoveries obs.Counter // nodes repaired lazily after a restart
+	ValueHeapBytes obs.Counter // bytes written out-of-place to the value heap
+	Puts           obs.Counter
+	Gets           obs.Counter
+	Deletes        obs.Counter
+	Scans          obs.Counter
 }
 
 // layoutFingerprint hashes the config fields the arena's region offsets
@@ -214,7 +226,13 @@ func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 	// Replay pre-images of the failed epoch, flush the repaired state, and
 	// retire the log generation. Also persists the root/allocator repairs
 	// above. Everything else recovers lazily.
+	mgr.Instrument(cfg.Trace, cfg.StopTheWorld, cfg.Shard)
+	recStart := time.Now()
 	s.recovered = s.log.Recover()
+	if status == epoch.CrashRecovered {
+		cfg.Trace.Record(obs.EvRecoveryReplay, cfg.Shard, mgr.Current(),
+			time.Since(recStart), int64(s.recovered))
+	}
 
 	s.handles = make([]Handle, cfg.Workers)
 	for i := range s.handles {
@@ -222,6 +240,7 @@ func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 			s:  s,
 			lw: s.log.Writer(i),
 			ah: s.alloc.Handle(i),
+			w:  i,
 		}
 	}
 	return s, status
@@ -293,6 +312,10 @@ func (s *Store) Len() int { return int(s.size.Load()) }
 // wilderness. It plateaus once the working set recycles through the free
 // lists — the signal the value-heap leak tests watch.
 func (s *Store) HeapUsed() uint64 { return s.alloc.Used() }
+
+// LimboDepth reports how many freed heap objects await reclamation at the
+// next epoch boundary (see alloc.Allocator.LimboDepth).
+func (s *Store) LimboDepth() int64 { return s.alloc.LimboDepth() }
 
 // Advance ends the current epoch: quiesce, flush, begin the next. Returns
 // the number of cache lines flushed.

@@ -37,6 +37,7 @@ type Handle struct {
 	s  *Store
 	lw *extlog.Writer
 	ah *alloc.Handle
+	w  int // worker index; stripes the stats counters
 }
 
 func (h Handle) ref(off uint64) nodeRef { return nodeRef{a: h.s.arena, off: off} }
@@ -132,7 +133,7 @@ func (h Handle) Get(k []byte) (uint64, bool) {
 // (Store.Epochs().Enter) or otherwise excludes an epoch advance — the
 // transaction manager's commit path.
 func (h Handle) GetLocked(k []byte) (uint64, bool) {
-	h.s.stats.Gets.Add(1)
+	h.s.stats.Gets.Add(h.w, 1)
 	vw, ok := h.layerGet(h.rootCell0(), k)
 	if !ok {
 		return 0, false
@@ -155,7 +156,7 @@ func (h Handle) AppendGet(dst []byte, k []byte) ([]byte, bool) {
 
 // AppendGetLocked is AppendGet under a caller-held epoch guard.
 func (h Handle) AppendGetLocked(dst []byte, k []byte) ([]byte, bool) {
-	h.s.stats.Gets.Add(1)
+	h.s.stats.Gets.Add(h.w, 1)
 	vw, ok := h.layerGet(h.rootCell0(), k)
 	if !ok {
 		return dst, false
@@ -238,7 +239,7 @@ func (h Handle) PutBytesLocked(k []byte, v []byte) bool {
 		// paths refuse to touch again.
 		panic("core: key exceeds MaxKeyBytes")
 	}
-	h.s.stats.Puts.Add(1)
+	h.s.stats.Puts.Add(h.w, 1)
 	inserted := h.layerPut(h.rootCell0(), k, k, v)
 	if inserted {
 		h.s.size.Add(1)
@@ -518,7 +519,7 @@ func (h Handle) Delete(k []byte) bool {
 // DeleteLocked is Delete for a caller that already holds the epoch guard
 // (Store.Epochs().Enter) or otherwise excludes an epoch advance.
 func (h Handle) DeleteLocked(k []byte) bool {
-	h.s.stats.Deletes.Add(1)
+	h.s.stats.Deletes.Add(h.w, 1)
 	removed := h.layerDelete(h.rootCell0(), k, k)
 	if removed {
 		h.s.size.Add(-1)
@@ -591,7 +592,7 @@ func (h Handle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int 
 func (h Handle) scanWords(start []byte, max int, fn func(k []byte, vw uint64) bool) int {
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
-	h.s.stats.Scans.Add(1)
+	h.s.stats.Scans.Add(h.w, 1)
 	visited := 0
 	var kb []byte
 	h.scanLayer(h.rootCell0(), &kb, 0, start, max, &visited, fn)

@@ -107,6 +107,7 @@ func (h Handle) newValueWord(v []byte) uint64 {
 	if off == 0 {
 		panic("core: durable heap exhausted (increase Config.HeapWords)")
 	}
+	h.s.stats.ValueHeapBytes.Add(h.w, int64(len(v)))
 	a := h.s.arena
 	a.Store(off, uint64(len(v)))
 	for i := 0; i < len(v); i += 8 {

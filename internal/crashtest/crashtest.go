@@ -10,12 +10,16 @@ package crashtest
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"incll/internal/core"
 	"incll/internal/epoch"
 	"incll/internal/nvm"
+	"incll/internal/obs"
 )
 
 // Config parameterizes one crash-injection campaign.
@@ -71,16 +75,55 @@ func (c *Config) setDefaults() {
 // Run executes one campaign with the given seed. It returns an error
 // describing the first divergence between the recovered store and the
 // committed reference model, or nil if every crash recovered exactly.
+//
+// Every campaign records the protocol phase trace (checkpoint prepares
+// and commits, recovery replays); on failure dumpTraceOnFailure leaves
+// the dump where CI picks it up, so a red crash-matrix run ships the
+// exact sequence of protocol events that led to the divergence.
 func Run(cfg Config, seed int64) error {
 	cfg.setDefaults()
+	trace := obs.NewTracer(obs.DefaultTraceEvents)
 	if cfg.Shards > 1 {
-		return runSharded(cfg, seed)
+		return dumpTraceOnFailure("sharded", seed, trace.Dump, runSharded(cfg, seed, trace))
 	}
+	return dumpTraceOnFailure("core", seed, trace.Dump, run(cfg, seed, trace))
+}
+
+// dumpTraceOnFailure routes a failing campaign's phase trace where CI can
+// attach it as an artifact: when INCLL_TRACE_DIR names a directory, the
+// dump lands there as <kind>-trace-<seed>.txt and the returned error
+// points at it. With the variable unset the error passes through alone.
+func dumpTraceOnFailure(kind string, seed int64, dump func(io.Writer) error, err error) error {
+	if err == nil {
+		return nil
+	}
+	dir := os.Getenv("INCLL_TRACE_DIR")
+	if dir == "" {
+		return err
+	}
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
+		return fmt.Errorf("%w (trace dump: %v)", err, mkErr)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-trace-%d.txt", kind, seed))
+	f, cErr := os.Create(path)
+	if cErr != nil {
+		return fmt.Errorf("%w (trace dump: %v)", err, cErr)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# %s campaign seed %d: %v\n", kind, seed, err)
+	if dErr := dump(f); dErr != nil {
+		return fmt.Errorf("%w (trace dump: %v)", err, dErr)
+	}
+	return fmt.Errorf("%w (phase trace: %s)", err, path)
+}
+
+func run(cfg Config, seed int64, trace *obs.Tracer) error {
 	arena := nvm.New(nvm.Config{Words: cfg.ArenaWords})
 	coreCfg := core.Config{
 		Workers:     cfg.Workers,
 		LogSegWords: 1 << 16,
 		HeapWords:   cfg.ArenaWords / 2,
+		Trace:       trace,
 	}
 	s, st := core.Open(arena, coreCfg)
 	if st != epoch.FreshStart {

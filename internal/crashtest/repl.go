@@ -239,12 +239,16 @@ func step(it incll.Iterator, rev, first bool) bool {
 }
 
 // RunRepl executes one replication crash campaign with the given seed,
-// returning an error describing the first invariant violation.
-func RunRepl(cfg ReplConfig, seed int64) error {
+// returning an error describing the first invariant violation. As with
+// Run, a failure dumps the primary's phase trace when INCLL_TRACE_DIR is
+// set; the DB façade's tracer survives crash/reopen cycles, so the dump
+// covers the whole campaign even when the handle was swapped.
+func RunRepl(cfg ReplConfig, seed int64) (err error) {
 	cfg.setDefaults()
 	opts := incll.Options{Shards: cfg.Shards, Workers: cfg.Workers + 1}
 	repOpts := incll.Options{Shards: cfg.ReplicaShards}
 	primary, _ := incll.Open(opts)
+	defer func() { err = dumpTraceOnFailure("repl", seed, primary.DumpTrace, err) }()
 
 	// The verifier subscribes before any write, so its reconstruction
 	// starts from the empty committed state.

@@ -13,15 +13,17 @@ import (
 
 	"incll/internal/core"
 	"incll/internal/epoch"
+	"incll/internal/obs"
 	"incll/internal/shard"
 )
 
-func runSharded(cfg Config, seed int64) error {
+func runSharded(cfg Config, seed int64, trace *obs.Tracer) error {
 	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ed))
 	s, info := shard.Open(shard.Config{
 		Shards:     cfg.Shards,
 		Workers:    cfg.Workers,
 		ArenaWords: cfg.ArenaWords / uint64(cfg.Shards),
+		Trace:      trace,
 	})
 	if info.Status != epoch.FreshStart {
 		return fmt.Errorf("fresh cluster opened with status %v", info.Status)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"incll/internal/nvm"
+	"incll/internal/obs"
 )
 
 const (
@@ -102,6 +103,15 @@ type Manager struct {
 	ticker Ticker
 
 	advances atomic.Int64
+
+	// Instrumentation (see Instrument). The tracer and histogram are
+	// nil-safe; prepStart carries the Prepare lock acquisition time to
+	// Commit so the full stop-the-world window can be measured. It is
+	// only touched with the world stopped.
+	trace     *obs.Tracer
+	stw       *obs.Histogram
+	shard     int
+	prepStart time.Time
 }
 
 // Open attaches a Manager to the header region at off (HeaderWords words,
@@ -180,6 +190,17 @@ func (m *Manager) recordFailed(e, n uint64) {
 	m.arena.Writeback(m.off + failBase + n)
 	m.arena.Writeback(m.off)
 	m.arena.Fence()
+}
+
+// Instrument attaches observability sinks: protocol events go to tr, the
+// measured stop-the-world duration of every boundary (nanoseconds, from
+// Prepare's lock acquisition to just before Commit resumes the world) is
+// recorded into stw, and shard tags the events. Both sinks may be nil.
+// Must be called before mutators start, like OnAdvance.
+func (m *Manager) Instrument(tr *obs.Tracer, stw *obs.Histogram, shard int) {
+	m.trace = tr
+	m.stw = stw
+	m.shard = shard
 }
 
 // Current returns the running epoch. Cheap; callable from any goroutine.
@@ -279,6 +300,7 @@ func (m *Manager) Advance() int {
 // then commits every store). Returns the number of lines flushed.
 func (m *Manager) Prepare() int {
 	m.world.Lock()
+	m.prepStart = time.Now()
 	a, off := m.arena, m.off
 
 	// Mark the boundary so a crash during the flush is attributed to the
@@ -288,7 +310,9 @@ func (m *Manager) Prepare() int {
 	a.Fence()
 
 	// Persist everything written during the current epoch.
-	return a.FlushAll()
+	n := a.FlushAll()
+	m.trace.Record(obs.EvCheckpointPrepare, m.shard, m.current.Load(), time.Since(m.prepStart), int64(n))
+	return n
 }
 
 // Commit is the second half of Advance: it durably begins the next epoch
@@ -312,6 +336,14 @@ func (m *Manager) Commit() {
 	}
 	m.fireCommit(cur)
 	m.advances.Add(1)
+	if !m.prepStart.IsZero() {
+		window := time.Since(m.prepStart)
+		m.prepStart = time.Time{}
+		if m.stw != nil {
+			m.stw.Record(int64(window))
+		}
+		m.trace.Record(obs.EvCheckpointCommit, m.shard, cur, window, 0)
+	}
 	m.world.Unlock()
 }
 

@@ -4,6 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
 
 	"incll/internal/ycsb"
 )
@@ -37,6 +41,22 @@ type BenchRecord struct {
 	P95Micros float64 `json:"p95_us,omitempty"`
 	P99Micros float64 `json:"p99_us,omitempty"`
 
+	// Checkpoint stop-the-world windows over the measured phase, in
+	// microseconds (durable modes; one sample per shard per advance).
+	STWCount     int64   `json:"stw_count,omitempty"`
+	STWP50Micros float64 `json:"stw_p50_us,omitempty"`
+	STWP99Micros float64 `json:"stw_p99_us,omitempty"`
+	STWMaxMicros float64 `json:"stw_max_us,omitempty"`
+
+	// Observability counters over the measured phase (durable modes): the
+	// undo breakdown (Figure 7's metric) and NVM traffic.
+	LoggedNodes  int64 `json:"logged_nodes,omitempty"`
+	InCLLPerm    int64 `json:"incll_perm,omitempty"`
+	InCLLVal     int64 `json:"incll_val,omitempty"`
+	Fences       int64 `json:"fences,omitempty"`
+	FlushedLines int64 `json:"flushed_lines,omitempty"`
+	Advances     int64 `json:"advances,omitempty"`
+
 	// Replication rows (Workload "SNAPSHOT" / "REPLICA"): snapshot and
 	// restore throughput, and replica lag under write load.
 	SnapshotBytes   int64   `json:"snapshot_bytes,omitempty"`
@@ -69,6 +89,18 @@ func record(r Result) BenchRecord {
 		P50Micros:  float64(r.P50.Nanoseconds()) / 1000,
 		P95Micros:  float64(r.P95.Nanoseconds()) / 1000,
 		P99Micros:  float64(r.P99.Nanoseconds()) / 1000,
+
+		STWCount:     r.CheckpointSTW.Count,
+		STWP50Micros: float64(r.CheckpointSTW.P50) / 1000,
+		STWP99Micros: float64(r.CheckpointSTW.P99) / 1000,
+		STWMaxMicros: float64(r.CheckpointSTW.Max) / 1000,
+
+		LoggedNodes:  r.LoggedNodes,
+		InCLLPerm:    r.InCLLPerm,
+		InCLLVal:     r.InCLLVal,
+		Fences:       r.Fences,
+		FlushedLines: r.FlushedLines,
+		Advances:     r.Advances,
 	}
 	if r.Config.ValueSize > 0 {
 		rec.ValueDist = r.Config.ValueDist.String()
@@ -175,6 +207,9 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 		recs = append(recs, rec)
 		fmt.Fprintf(w, "%-8s %-6s shards=%d txn=%-8s vs=%-4d %10.0f ops/s", rec.Workload, rec.Mode, rec.Shards, rec.TxnMode, rec.ValueSize, rec.OpsPerSec)
 		fmt.Fprintf(w, "  p50/p95/p99=%.1f/%.1f/%.1fus", rec.P50Micros, rec.P95Micros, rec.P99Micros)
+		if rec.STWCount > 0 {
+			fmt.Fprintf(w, "  stw p50/max=%.0f/%.0fus", rec.STWP50Micros, rec.STWMaxMicros)
+		}
 		if rec.ScanAPI != "" {
 			dir := "fwd"
 			if rec.Reverse {
@@ -249,9 +284,53 @@ func replRows(w io.Writer, p Params) []BenchRecord {
 	return recs
 }
 
-// WriteBenchJSON marshals the records, indented, to w.
+// RunMeta records the environment one benchmark run measured under, so a
+// BENCH_*.json row is never compared against a row from different
+// hardware or toolchain without noticing.
+type RunMeta struct {
+	// GitCommit is the HEAD commit hash, when the run happens inside a
+	// git checkout ("" otherwise — metadata collection never fails a run).
+	GitCommit string `json:"git_commit,omitempty"`
+	// GoVersion is runtime.Version().
+	GoVersion string `json:"go_version"`
+	// GOOS/GOARCH identify the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count; GOMAXPROCS is the
+	// scheduler parallelism the run actually used.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Timestamp is the collection time, UTC RFC 3339.
+	Timestamp string `json:"timestamp"`
+}
+
+// CollectRunMeta gathers the run metadata, best-effort.
+func CollectRunMeta() RunMeta {
+	m := RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.GitCommit = strings.TrimSpace(string(out))
+	}
+	return m
+}
+
+// BenchFile is the envelope a BENCH_*.json file holds: the run metadata
+// once, then every record. (Files before PR 6 are bare record arrays.)
+type BenchFile struct {
+	Meta    RunMeta       `json:"meta"`
+	Records []BenchRecord `json:"records"`
+}
+
+// WriteBenchJSON marshals the records, indented, to w, wrapped in the
+// metadata envelope.
 func WriteBenchJSON(w io.Writer, recs []BenchRecord) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(recs)
+	return enc.Encode(BenchFile{Meta: CollectRunMeta(), Records: recs})
 }

@@ -16,6 +16,7 @@ import (
 	"incll/internal/core"
 	"incll/internal/masstree"
 	"incll/internal/nvm"
+	"incll/internal/obs"
 	"incll/internal/shard"
 	"incll/internal/txn"
 	"incll/internal/ycsb"
@@ -189,6 +190,12 @@ type Result struct {
 	Evictions    int64
 	Advances     int64
 	FlushTime    time.Duration // cumulative wall time inside global flushes
+
+	// CheckpointSTW summarizes the measured phase's checkpoint
+	// stop-the-world windows — Prepare's world lock to Commit's unlock —
+	// in nanoseconds (durable modes; the preload commit is excluded). On
+	// a sharded run each shard's window is one sample.
+	CheckpointSTW obs.HistSnapshot
 
 	// PerShardOps counts the operations each shard served during the
 	// measured phase (sharded runs only; nil otherwise).
@@ -374,6 +381,11 @@ func runDurable(cfg RunConfig) Result {
 	preload(cfg, func(w int) kvHandle { return s.Handle(w) })
 	s.Advance() // commit the load and reset counters against a clean epoch
 
+	// Instrument after the preload commit: its whole-arena flush would
+	// otherwise dominate the stop-the-world histogram's tail.
+	stw := new(obs.Histogram)
+	s.Epochs().Instrument(nil, stw, 0)
+
 	var m *txn.Manager
 	if cfg.TxnMode != TxnNone {
 		m, _ = txn.ForStore(s)
@@ -418,6 +430,7 @@ func runDurable(cfg RunConfig) Result {
 		Evictions:    as.Evictions,
 		Advances:     s.Epochs().Advances() - adv0,
 	}
+	r.CheckpointSTW = stw.Snapshot()
 	fillLatencies(&r, lats)
 	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))
@@ -453,6 +466,13 @@ func runSharded(cfg RunConfig) Result {
 
 	preload(cfg, func(w int) kvHandle { return s.Handle(w) })
 	s.Advance() // commit the load against a clean global epoch
+
+	// Instrument after the preload commit (see runDurable); every shard's
+	// window lands in the one histogram, one sample per shard per advance.
+	stw := new(obs.Histogram)
+	for i := 0; i < cfg.Shards; i++ {
+		s.ShardStore(i).Epochs().Instrument(nil, stw, i)
+	}
 
 	var m *txn.Manager
 	if cfg.TxnMode != TxnNone {
@@ -504,6 +524,7 @@ func runSharded(cfg RunConfig) Result {
 		Advances:     int64(s.GlobalEpoch() - adv0),
 		PerShardOps:  perShard,
 	}
+	r.CheckpointSTW = stw.Snapshot()
 	fillLatencies(&r, lats)
 	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))

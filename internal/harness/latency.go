@@ -1,95 +1,39 @@
 package harness
 
 import (
-	"math/bits"
 	"time"
+
+	"incll/internal/obs"
 )
 
 // Per-operation latency is sampled — every 8th op pays two clock reads —
-// into a log-linear histogram (HDR-style: 16 linear minor buckets per
-// power of two), so percentile reporting adds bounded overhead to the
-// measured throughput instead of doubling the clock traffic.
+// into obs.Histogram (the harness's log-linear histogram promoted to a
+// first-class mergeable type; 16 linear minor buckets per power of two),
+// so percentile reporting adds bounded overhead to the measured
+// throughput instead of doubling the clock traffic.
 
-const (
-	// latSampleMask samples one op in 8 for latency.
-	latSampleMask = 7
-	latBuckets    = 1024
-)
+// latSampleMask samples one op in 8 for latency.
+const latSampleMask = 7
 
 // latHist is one worker's latency histogram (nanosecond domain).
 type latHist struct {
-	counts [latBuckets]uint64
-	n      uint64
-}
-
-// bucketOf maps a nanosecond value to its log-linear bucket: values below
-// 16 are exact, above that the top four bits after the MSB select one of
-// 16 linear buckets per power of two.
-func bucketOf(v uint64) int {
-	if v < 16 {
-		return int(v)
-	}
-	k := bits.Len64(v)            // 2^(k-1) <= v < 2^k, k >= 5
-	minor := (v >> (k - 5)) & 0xF // top 4 bits after the MSB
-	idx := (k-4)*16 + int(minor)  // k=5 starts at bucket 16
-	if idx >= latBuckets {
-		idx = latBuckets - 1
-	}
-	return idx
-}
-
-// bucketMid is the representative (midpoint) value of a bucket.
-func bucketMid(idx int) uint64 {
-	if idx < 16 {
-		return uint64(idx)
-	}
-	k := idx/16 + 4
-	minor := uint64(idx % 16)
-	step := uint64(1) << (k - 5)
-	return (16+minor)*step + step/2
+	h obs.Histogram
 }
 
 func (h *latHist) record(d time.Duration) {
-	v := uint64(d)
-	if d < 0 {
-		v = 0
-	}
-	h.counts[bucketOf(v)]++
-	h.n++
-}
-
-// merge folds o into h.
-func (h *latHist) merge(o *latHist) {
-	for i := range h.counts {
-		h.counts[i] += o.counts[i]
-	}
-	h.n += o.n
+	h.h.Record(int64(d))
 }
 
 // percentile returns the p-th percentile (0 < p ≤ 100) as a duration.
 func (h *latHist) percentile(p float64) time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	rank := uint64(p / 100 * float64(h.n))
-	if rank >= h.n {
-		rank = h.n - 1
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			return time.Duration(bucketMid(i))
-		}
-	}
-	return time.Duration(bucketMid(latBuckets - 1))
+	return time.Duration(h.h.Quantile(p / 100))
 }
 
 // mergeLatencies folds the per-worker histograms into one.
 func mergeLatencies(hists []latHist) *latHist {
 	out := &latHist{}
 	for i := range hists {
-		out.merge(&hists[i])
+		out.h.Merge(&hists[i].h)
 	}
 	return out
 }

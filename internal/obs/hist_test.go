@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile computes the q-quantile of vals by sorting, using the same
+// rank convention the histogram uses.
+func exactQuantile(vals []int64, q float64) int64 {
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(q * float64(len(s)))
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// checkQuantiles asserts the histogram's quantile estimates stay within
+// the log-linear resolution bound of the exact answers: at most 1/16
+// relative error (one minor bucket) plus one absolute unit for the exact
+// small-value region boundary.
+func checkQuantiles(t *testing.T, name string, vals []int64) {
+	t.Helper()
+	h := &Histogram{}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("%s: count=%d want %d", name, h.Count(), len(vals))
+	}
+	var sum int64
+	for _, v := range vals {
+		if v > 0 {
+			sum += v
+		}
+	}
+	if h.Sum() != sum {
+		t.Fatalf("%s: sum=%d want %d", name, h.Sum(), sum)
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := exactQuantile(vals, q)
+		if want < 0 {
+			want = 0 // histogram clamps negatives
+		}
+		// One minor bucket of relative slack either way, +1 for the
+		// integer boundary between the exact and log-linear regions.
+		slack := want/16 + want/64 + 1
+		if got < want-slack || got > want+slack {
+			t.Errorf("%s: q=%g got %d want %d (±%d)", name, q, got, want, slack)
+		}
+	}
+}
+
+func TestHistogramQuantileBoundsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() int64{
+		// Uniform ns in a microsecond-to-millisecond band.
+		"uniform": func() int64 { return 1_000 + rng.Int63n(1_000_000) },
+		// Log-uniform across nine decades — exercises every bucket scale.
+		"loguniform": func() int64 {
+			e := rng.Intn(9)
+			base := int64(1)
+			for i := 0; i < e; i++ {
+				base *= 10
+			}
+			return base + rng.Int63n(base*9)
+		},
+		// Exponential-ish tail via max of uniforms.
+		"tailed": func() int64 {
+			a, b := rng.Int63n(1<<20), rng.Int63n(1<<20)
+			if a > b {
+				return a
+			}
+			return b
+		},
+	}
+	for name, gen := range dists {
+		vals := make([]int64, 20_000)
+		for i := range vals {
+			vals[i] = gen()
+		}
+		checkQuantiles(t, name, vals)
+	}
+}
+
+func TestHistogramQuantileBoundsAdversarial(t *testing.T) {
+	cases := map[string][]int64{
+		"all-equal-small":  repeat(7, 10_000),
+		"all-equal-large":  repeat(1<<30+12345, 10_000),
+		"all-zero":         repeat(0, 1_000),
+		"single":           {123456},
+		"bucket-edges":     edges(),
+		"bimodal-extremes": append(repeat(1, 5_000), repeat(1<<40, 5_000)...),
+		"negatives-clamp":  {-5, -1, 0, 3, 100},
+	}
+	for name, vals := range cases {
+		checkQuantiles(t, name, vals)
+	}
+}
+
+func repeat(v int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// edges places values exactly on and next to every power-of-two bucket
+// boundary up to 2^40.
+func edges() []int64 {
+	var out []int64
+	for k := 0; k <= 40; k++ {
+		v := int64(1) << k
+		out = append(out, v-1, v, v+1)
+	}
+	return out
+}
+
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, union := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := 0; i < 10_000; i++ {
+		v := rng.Int63n(1 << uint(rng.Intn(40)))
+		if i%3 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		union.Record(v)
+	}
+	merged := &Histogram{}
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.Count() != union.Count() || merged.Sum() != union.Sum() {
+		t.Fatalf("merge count/sum = %d/%d, union = %d/%d",
+			merged.Count(), merged.Sum(), union.Count(), union.Sum())
+	}
+	for i := 0; i < HistBuckets; i++ {
+		if m, u := merged.buckets[i].Load(), union.buckets[i].Load(); m != u {
+			t.Fatalf("bucket %d: merged=%d union=%d", i, m, u)
+		}
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if m, u := merged.Quantile(q), union.Quantile(q); m != u {
+			t.Fatalf("q=%g: merged=%d union=%d", q, m, u)
+		}
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every reachable bucket's midpoint must map back to that bucket, and
+	// bucket indexes must be monotonic in the value. Buckets past the one
+	// holding MaxUint64 (index 975) can never be hit and their midpoints
+	// overflow, so stop there.
+	maxReachable := HistBucketOf(^uint64(0))
+	for i := 0; i <= maxReachable; i++ {
+		if got := HistBucketOf(HistBucketMid(i)); got != i {
+			t.Fatalf("bucket %d midpoint %d maps to %d", i, HistBucketMid(i), got)
+		}
+	}
+	prev := -1
+	for k := 0; k < 63; k++ {
+		for _, v := range []uint64{1 << k, 1<<k + 1<<k/2} {
+			b := HistBucketOf(v)
+			if b < prev {
+				t.Fatalf("bucket not monotonic at %d: %d < %d", v, b, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{10, 100, 1000, 1 << 20} {
+		h.Record(v)
+	}
+	// Exact small values: bound 10 must include the 10.
+	if got := h.cumulative(10); got != 1 {
+		t.Fatalf("cumulative(10)=%d want 1", got)
+	}
+	if got := h.cumulative(1 << 21); got != 4 {
+		t.Fatalf("cumulative(2^21)=%d want 4", got)
+	}
+	// Cumulative counts must be monotonic in the bound and never exceed Count.
+	prev := int64(0)
+	for _, b := range histExportBounds {
+		c := h.cumulative(b)
+		if c < prev || c > h.Count() {
+			t.Fatalf("cumulative(%d)=%d not monotonic (prev %d, count %d)", b, c, prev, h.Count())
+		}
+		prev = c
+	}
+}

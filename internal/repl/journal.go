@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"incll/internal/core"
+	"incll/internal/obs"
 )
 
 // Stream errors.
@@ -126,6 +127,13 @@ type Hub struct {
 	// never cut by a backlog it had no chance to consume.
 	strikeSub  *Subscription
 	strikeNext uint64
+
+	// Observability: cuts counts subscriptions severed by the budget (any
+	// cause — overflow teardown, strike rule, or grace-ceiling cut); trace
+	// receives a release-barrier event per advance. An atomic pointer
+	// because Instrument may race a ticker-driven commit hook.
+	cuts  atomic.Int64
+	trace atomic.Pointer[obs.Tracer]
 }
 
 // DefaultJournalBytes is the default journal byte budget, applied on two
@@ -279,6 +287,7 @@ func (h *Hub) committed(i int, e uint64) {
 			break
 		}
 	}
+	h.trace.Load().Record(obs.EvJournalRelease, i, newRel, 0, int64(h.unreleased.Load()))
 	h.wakeAll()
 }
 
@@ -297,6 +306,7 @@ func (h *Hub) collectLocked() {
 		for s := range h.subs {
 			s.dead = true
 			delete(h.subs, s)
+			h.cuts.Add(1)
 		}
 		h.subCount.Store(0)
 		h.strikeSub = nil
@@ -391,6 +401,7 @@ func (h *Hub) collectLocked() {
 					floor.dead = true
 					delete(h.subs, floor)
 					h.subCount.Add(-1)
+					h.cuts.Add(1)
 					h.strikeSub = nil
 					h.trimLocked()
 					continue
@@ -407,6 +418,7 @@ func (h *Hub) collectLocked() {
 		victim.dead = true
 		delete(h.subs, victim)
 		h.subCount.Add(-1)
+		h.cuts.Add(1)
 		h.strikeSub = nil
 		h.trimLocked()
 	}
@@ -442,6 +454,34 @@ func (h *Hub) trimLocked() {
 // Released returns the last globally committed (and therefore released)
 // epoch. Lock-free.
 func (h *Hub) Released() uint64 { return h.released.Load() }
+
+// Instrument attaches a tracer for release-barrier events. Safe on a
+// live hub.
+func (h *Hub) Instrument(tr *obs.Tracer) { h.trace.Store(tr) }
+
+// Subscribers returns the number of live subscriptions. Lock-free.
+func (h *Hub) Subscribers() int { return int(h.subCount.Load()) }
+
+// Cuts returns how many subscriptions the budget has severed (overflow
+// teardown, strike rule, or grace-ceiling cuts). Lock-free.
+func (h *Hub) Cuts() int64 { return h.cuts.Load() }
+
+// CapBytes returns the journal's byte budget.
+func (h *Hub) CapBytes() uint64 { return h.capBytes }
+
+// UnreleasedBytes returns the bytes sitting in shard journals that no
+// checkpoint commit has released yet (the budget's overflow domain).
+// Lock-free.
+func (h *Hub) UnreleasedBytes() uint64 { return h.unreleased.Load() }
+
+// BacklogBytes returns the released-but-unconsumed bytes the hub retains
+// for lagging subscribers (the budget's strike-rule domain). Takes the
+// hub lock; a metrics scrape, not a hot path.
+func (h *Hub) BacklogBytes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytes
+}
 
 // Close ends the stream. graceful means a clean shutdown: subscribers
 // drain everything released and then see ErrStreamClosed. Not graceful

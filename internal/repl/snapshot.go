@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"incll/internal/core"
+	"incll/internal/obs"
 )
 
 // SnapshotInfo describes one snapshot stream (written or restored).
@@ -62,6 +63,8 @@ type Exporter struct {
 	// Hook, when non-nil, fires at every protocol point; a non-nil return
 	// aborts the export with that error. Crash-injection tests only.
 	Hook func(point string) error
+	// Trace, when non-nil, receives the anchor event (internal/obs).
+	Trace *obs.Tracer
 }
 
 func (e *Exporter) hook(point string) error {
@@ -126,6 +129,7 @@ func (e *Exporter) Export(w io.Writer) (SnapshotInfo, error) {
 	e.Checkpoint()
 	anchor := e.Hub.Released()
 	info.AnchorEpoch = anchor
+	e.Trace.Record(obs.EvSnapshotAnchor, -1, anchor, 0, int64(info.Keys))
 	if err := e.hook("anchor"); err != nil {
 		return info, err
 	}

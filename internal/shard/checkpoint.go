@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"incll/internal/core"
+	"incll/internal/obs"
 )
 
 // Advance runs one coordinated global checkpoint — the paper's 64 ms epoch
@@ -60,9 +61,12 @@ func (s *Store) Advance() int {
 
 // commitRecord durably records e as the last globally committed epoch.
 func (s *Store) commitRecord(e uint64) {
+	start := time.Now()
 	s.coord.Store(s.coordOff+cEpoch, e)
 	s.coord.Writeback(s.coordOff)
 	s.coord.Fence()
+	// The coordinator is not a shard; tag its events −1.
+	s.trace.Record(obs.EvCoordRecord, -1, e, time.Since(start), 0)
 }
 
 // Shutdown commits a final global checkpoint and durably marks every shard

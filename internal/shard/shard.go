@@ -21,6 +21,7 @@ import (
 	"incll/internal/core"
 	"incll/internal/epoch"
 	"incll/internal/nvm"
+	"incll/internal/obs"
 )
 
 // Config sizes and parameterizes a sharded store. Every per-shard knob
@@ -46,6 +47,12 @@ type Config struct {
 	// NVM carries the rest of the per-arena cache model (fence latency,
 	// eviction); Words is overridden by ArenaWords.
 	NVM nvm.Config
+	// Trace receives protocol events from every shard (tagged with its
+	// shard index) and from the coordinator (shard −1); StopTheWorld
+	// accumulates every shard's measured stop-the-world window. Both
+	// optional; see internal/obs.
+	Trace        *obs.Tracer
+	StopTheWorld *obs.Histogram
 }
 
 func (c *Config) setDefaults() {
@@ -116,6 +123,8 @@ type Store struct {
 	advMu sync.Mutex // serializes global advances
 
 	ticker epoch.Ticker
+
+	trace *obs.Tracer // coordinator-record events (may be nil)
 }
 
 // Open creates a sharded store over fresh arenas.
@@ -146,6 +155,7 @@ func attach(coord *nvm.Arena, arenas []*nvm.Arena, cfg Config) (*Store, Recovery
 		arenas: arenas,
 		shards: make([]*core.Store, cfg.Shards),
 		cfg:    cfg,
+		trace:  cfg.Trace,
 	}
 	s.coordOff = coord.Reserve(nvm.WordsPerLine)
 
@@ -179,6 +189,9 @@ func attach(coord *nvm.Arena, arenas []*nvm.Arena, cfg Config) (*Store, Recovery
 				HeapWords:    cfg.HeapWords,
 				DisableInCLL: cfg.DisableInCLL,
 				Committed:    committed,
+				Trace:        cfg.Trace,
+				StopTheWorld: cfg.StopTheWorld,
+				Shard:        i,
 			})
 			s.shards[i] = st
 			info.Shards[i] = ShardRecovery{
@@ -313,14 +326,15 @@ func (s *Store) Stats() *core.Stats {
 	agg := &core.Stats{}
 	for _, sh := range s.shards {
 		st := sh.Stats()
-		agg.LoggedNodes.Add(st.LoggedNodes.Load())
-		agg.InCLLPerm.Add(st.InCLLPerm.Load())
-		agg.InCLLVal.Add(st.InCLLVal.Load())
-		agg.LazyRecoveries.Add(st.LazyRecoveries.Load())
-		agg.Puts.Add(st.Puts.Load())
-		agg.Gets.Add(st.Gets.Load())
-		agg.Deletes.Add(st.Deletes.Load())
-		agg.Scans.Add(st.Scans.Load())
+		agg.LoggedNodes.Add(0, st.LoggedNodes.Load())
+		agg.InCLLPerm.Add(0, st.InCLLPerm.Load())
+		agg.InCLLVal.Add(0, st.InCLLVal.Load())
+		agg.LazyRecoveries.Add(0, st.LazyRecoveries.Load())
+		agg.ValueHeapBytes.Add(0, st.ValueHeapBytes.Load())
+		agg.Puts.Add(0, st.Puts.Load())
+		agg.Gets.Add(0, st.Gets.Load())
+		agg.Deletes.Add(0, st.Deletes.Load())
+		agg.Scans.Add(0, st.Scans.Load())
 	}
 	return agg
 }

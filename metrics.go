@@ -1,0 +1,285 @@
+package incll
+
+// First-class observability (see DESIGN.md §11 and internal/obs): a typed
+// point-in-time snapshot (DB.Metrics), a Prometheus text exposition of the
+// same live counters (DB.WriteMetrics — examples/kvserver serves it at
+// /metrics), an expvar adapter (DB.Expvar), and the phase trace
+// (DB.DumpTrace / DB.TraceEvents) recording every checkpoint, recovery,
+// and replication protocol event.
+//
+// Everything here reads counters the hot paths already maintain; a scrape
+// never locks a leaf, stops the world, or touches NVM.
+
+import (
+	"io"
+	"strconv"
+
+	"incll/internal/core"
+	"incll/internal/nvm"
+	"incll/internal/obs"
+	"incll/internal/repl"
+)
+
+// OpCounts counts store operations by kind since this DB instance opened.
+type OpCounts struct {
+	Puts    int64 `json:"puts"`
+	Gets    int64 `json:"gets"`
+	Deletes int64 `json:"deletes"`
+	Scans   int64 `json:"scans"`
+}
+
+// UndoCounts breaks down undo-record captures: the paper's central ratio
+// is how much logging stays in-cache-line (InCLLPerm + InCLLVal) versus
+// falling back to the external log (ExtLog, Figure 7's metric).
+type UndoCounts struct {
+	InCLLPerm int64 `json:"incll_perm"`
+	InCLLVal  int64 `json:"incll_val"`
+	ExtLog    int64 `json:"extlog"`
+}
+
+// JournalMetrics describes the change journal (replication hub), all
+// zeros until a snapshot or change-stream subscriber first attaches it.
+type JournalMetrics struct {
+	// Attached reports whether the hub exists (first subscriber seen).
+	Attached bool `json:"attached"`
+	// Subscribers is the live subscription count.
+	Subscribers int `json:"subscribers"`
+	// CapBytes is the configured journal byte budget.
+	CapBytes uint64 `json:"cap_bytes"`
+	// UnreleasedBytes is the entry volume of epochs not yet committed.
+	UnreleasedBytes uint64 `json:"unreleased_bytes"`
+	// BacklogBytes is the released-but-unconsumed retention.
+	BacklogBytes uint64 `json:"backlog_bytes"`
+	// ReleasedEpoch is the last globally committed epoch (the released
+	// watermark every subscriber can read up to).
+	ReleasedEpoch uint64 `json:"released_epoch"`
+	// Cuts counts subscriptions cut loose by the byte budget.
+	Cuts int64 `json:"cuts"`
+}
+
+// Metrics is a point-in-time snapshot of everything the DB observes about
+// itself, cheap enough to take on every bench report. Counters are since
+// this DB instance opened (a Reopen starts fresh); the checkpoint
+// stop-the-world histogram records nanoseconds.
+type Metrics struct {
+	// Epoch is the running (uncommitted) epoch.
+	Epoch uint64 `json:"epoch"`
+	// Keys is the live key count (transient; see DB.Len).
+	Keys int `json:"keys"`
+	// Shards is the shard count.
+	Shards int `json:"shards"`
+	// Ops counts operations, summed across shards and workers.
+	Ops OpCounts `json:"ops"`
+	// Undo breaks down undo captures (in-cache-line vs external log).
+	Undo UndoCounts `json:"undo"`
+	// UndoInCLLRatio is the in-cache-line fraction of all undo captures
+	// (0 when none were taken).
+	UndoInCLLRatio float64 `json:"undo_incll_ratio"`
+	// ValueHeapBytes counts bytes written out-of-place to the value heap.
+	ValueHeapBytes int64 `json:"value_heap_bytes"`
+	// LazyRecoveries counts nodes repaired lazily after a restart.
+	LazyRecoveries int64 `json:"lazy_recoveries"`
+	// LimboDepth is the allocator blocks freed this epoch and not yet
+	// reusable (summed across shards; advisory, resets at each boundary).
+	LimboDepth int64 `json:"limbo_depth"`
+	// CheckpointSTW summarizes the checkpoint stop-the-world window
+	// (Prepare lock to Commit unlock), in nanoseconds.
+	CheckpointSTW obs.HistSnapshot `json:"checkpoint_stw_ns"`
+	// NVM is the simulated memory subsystem's counters (fences,
+	// writebacks, flushed lines), summed across arenas.
+	NVM nvm.StatsSnapshot `json:"nvm"`
+	// Txn is the transaction counters.
+	Txn TxnStats `json:"txn"`
+	// Journal describes the change journal, if attached.
+	Journal JournalMetrics `json:"journal"`
+}
+
+// Metrics returns a typed snapshot of the DB's counters, histograms, and
+// gauges. Safe to call at any time, concurrently with writers and the
+// background checkpointer; each counter is read atomically but the
+// snapshot as a whole is not one instant (see DB.Stats).
+func (db *DB) Metrics() Metrics {
+	s := db.Stats()
+	perm, val, ext := s.InCLLPerm.Load(), s.InCLLVal.Load(), s.LoggedNodes.Load()
+	m := Metrics{
+		Epoch:          db.currentEpoch(),
+		Keys:           db.Len(),
+		Shards:         db.Shards(),
+		Ops:            OpCounts{Puts: s.Puts.Load(), Gets: s.Gets.Load(), Deletes: s.Deletes.Load(), Scans: s.Scans.Load()},
+		Undo:           UndoCounts{InCLLPerm: perm, InCLLVal: val, ExtLog: ext},
+		ValueHeapBytes: s.ValueHeapBytes.Load(),
+		LazyRecoveries: s.LazyRecoveries.Load(),
+		LimboDepth:     db.limboDepth(),
+		CheckpointSTW:  db.stw.Snapshot(),
+		NVM:            db.NVMStats(),
+		Txn:            db.TxnStats(),
+	}
+	if tot := perm + val + ext; tot > 0 {
+		m.UndoInCLLRatio = float64(perm+val) / float64(tot)
+	}
+	if h := db.hubIfAttached(); h != nil {
+		m.Journal = JournalMetrics{
+			Attached:        true,
+			Subscribers:     h.Subscribers(),
+			CapBytes:        h.CapBytes(),
+			UnreleasedBytes: h.UnreleasedBytes(),
+			BacklogBytes:    h.BacklogBytes(),
+			ReleasedEpoch:   h.Released(),
+			Cuts:            h.Cuts(),
+		}
+	}
+	return m
+}
+
+// WriteMetrics renders the DB's live metrics in Prometheus text
+// exposition format (0.0.4). examples/kvserver serves this at /metrics;
+// any io.Writer works. Values are read at scrape time from the same
+// counters Metrics snapshots.
+func (db *DB) WriteMetrics(w io.Writer) error {
+	return db.registry().WritePrometheus(w)
+}
+
+// Expvar returns the DB's metrics snapshot function in the shape
+// expvar.Func expects:
+//
+//	expvar.Publish("incll", expvar.Func(db.Expvar()))
+//
+// The facade deliberately does not import expvar (whose init wires the
+// default HTTP mux); the caller owns that decision.
+func (db *DB) Expvar() func() any {
+	return func() any { return db.Metrics() }
+}
+
+// TraceEvents returns a copy of the phase-trace ring, oldest first: every
+// checkpoint Prepare/Commit with its measured stop-the-world window, the
+// coordinator-record fence, journal release barriers, recovery and
+// transaction replay, snapshot anchors, and replica apply/resync (see
+// internal/obs). The ring keeps the most recent events; on a crash-test
+// failure, dump it (DumpTrace) to see the protocol steps leading in.
+func (db *DB) TraceEvents() []obs.Event {
+	return db.trace.Events()
+}
+
+// DumpTrace writes the phase trace to w, one event per line, oldest
+// first.
+func (db *DB) DumpTrace(w io.Writer) error {
+	return db.trace.Dump(w)
+}
+
+// registry returns the DB's metric registry, building it on first use.
+func (db *DB) registry() *obs.Registry {
+	db.regOnce.Do(func() {
+		db.reg = obs.NewRegistry()
+		db.register(db.reg)
+	})
+	return db.reg
+}
+
+// stores lists the per-shard core stores (one entry when unsharded).
+func (db *DB) stores() []*core.Store {
+	if db.sharded != nil {
+		return db.sharded.Stores()
+	}
+	return []*core.Store{db.store}
+}
+
+// limboDepth sums the allocator limbo depth across shards.
+func (db *DB) limboDepth() int64 {
+	var n int64
+	for _, st := range db.stores() {
+		n += st.LimboDepth()
+	}
+	return n
+}
+
+// hubIfAttached returns the change hub if one was ever attached, without
+// attaching it: a metrics scrape must not activate the change journal.
+func (db *DB) hubIfAttached() *repl.Hub {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	return db.replHub
+}
+
+// register binds every exported series to its live counter. Closures read
+// at scrape time; nothing is copied or double-counted.
+func (db *DB) register(reg *obs.Registry) {
+	for i, st := range db.stores() {
+		s := st.Stats()
+		sh := strconv.Itoa(i)
+		lbl := func(kv ...string) string { return obs.Labels(append(kv, "shard", sh)...) }
+		reg.Counter("incll_ops_total", "Store operations by kind.", lbl("op", "put"), s.Puts.Load)
+		reg.Counter("incll_ops_total", "Store operations by kind.", lbl("op", "get"), s.Gets.Load)
+		reg.Counter("incll_ops_total", "Store operations by kind.", lbl("op", "delete"), s.Deletes.Load)
+		reg.Counter("incll_ops_total", "Store operations by kind.", lbl("op", "scan"), s.Scans.Load)
+		reg.Counter("incll_undo_total", "Undo-record captures by mechanism (incll_* stay in-line; extlog is the external-log fallback).",
+			lbl("kind", "incll_perm"), s.InCLLPerm.Load)
+		reg.Counter("incll_undo_total", "Undo-record captures by mechanism (incll_* stay in-line; extlog is the external-log fallback).",
+			lbl("kind", "incll_val"), s.InCLLVal.Load)
+		reg.Counter("incll_undo_total", "Undo-record captures by mechanism (incll_* stay in-line; extlog is the external-log fallback).",
+			lbl("kind", "extlog"), s.LoggedNodes.Load)
+		reg.Counter("incll_value_heap_bytes_total", "Bytes written out-of-place to the value heap.", lbl(), s.ValueHeapBytes.Load)
+		reg.Counter("incll_lazy_recoveries_total", "Nodes repaired lazily after a restart.", lbl(), s.LazyRecoveries.Load)
+		reg.Gauge("incll_alloc_limbo_depth", "Allocator blocks freed this epoch and not yet reusable.", lbl(), st.LimboDepth)
+	}
+
+	reg.Histogram("incll_checkpoint_stw_seconds",
+		"Checkpoint stop-the-world window (Prepare lock to Commit unlock).", "", db.stw, 1e-9)
+	reg.Gauge("incll_epoch", "Running (uncommitted) epoch.", "", func() int64 { return int64(db.currentEpoch()) })
+	reg.Gauge("incll_keys", "Live keys tracked this execution.", "", func() int64 { return int64(db.Len()) })
+	reg.Gauge("incll_shards", "Shard count.", "", func() int64 { return int64(db.Shards()) })
+
+	nvmCounter := func(read func(nvm.StatsSnapshot) int64) func() int64 {
+		return func() int64 { return read(db.NVMStats()) }
+	}
+	reg.Counter("incll_nvm_writebacks_total", "Cache-line writebacks issued to simulated NVM.", "",
+		nvmCounter(func(s nvm.StatsSnapshot) int64 { return s.Writebacks }))
+	reg.Counter("incll_nvm_fences_total", "Persist fences issued.", "",
+		nvmCounter(func(s nvm.StatsSnapshot) int64 { return s.Fences }))
+	reg.Counter("incll_nvm_lines_persisted_total", "Cache lines made durable.", "",
+		nvmCounter(func(s nvm.StatsSnapshot) int64 { return s.LinesPersisted }))
+	reg.Counter("incll_nvm_global_flushes_total", "Whole-cache flushes (one per checkpoint Prepare).", "",
+		nvmCounter(func(s nvm.StatsSnapshot) int64 { return s.GlobalFlushes }))
+
+	reg.Counter("incll_txn_commits_total", "Transactions durably committed.", "",
+		func() int64 { return db.TxnStats().Committed })
+	reg.Counter("incll_txn_conflicts_total", "Transaction commits rejected by read validation.", "",
+		func() int64 { return db.TxnStats().Conflicts })
+	reg.Counter("incll_txn_replays_total", "Committed transactions re-applied by intent recovery.", "",
+		func() int64 { return db.TxnStats().Replayed })
+
+	hubGauge := func(read func(*repl.Hub) int64) func() int64 {
+		return func() int64 {
+			if h := db.hubIfAttached(); h != nil {
+				return read(h)
+			}
+			return 0
+		}
+	}
+	reg.Gauge("incll_journal_cap_bytes", "Change-journal byte budget (0 until attached).", "",
+		hubGauge(func(h *repl.Hub) int64 { return int64(h.CapBytes()) }))
+	reg.Gauge("incll_journal_unreleased_bytes", "Journal entry bytes of epochs not yet committed.", "",
+		hubGauge(func(h *repl.Hub) int64 { return int64(h.UnreleasedBytes()) }))
+	reg.Gauge("incll_journal_backlog_bytes", "Released journal bytes retained for lagging subscribers.", "",
+		hubGauge(func(h *repl.Hub) int64 { return int64(h.BacklogBytes()) }))
+	reg.Gauge("incll_journal_subscribers", "Live change-stream subscriptions.", "",
+		hubGauge(func(h *repl.Hub) int64 { return int64(h.Subscribers()) }))
+	reg.Gauge("incll_journal_released_epoch", "Last globally committed epoch (released watermark).", "",
+		hubGauge(func(h *repl.Hub) int64 { return int64(h.Released()) }))
+	reg.Counter("incll_journal_cuts_total", "Subscriptions cut loose by the journal byte budget.", "",
+		hubGauge((*repl.Hub).Cuts))
+}
+
+// registerReplicaGauges adds the follower-side lag series to this DB's
+// registry: a replica is scraped as its own process, reporting how far it
+// trails the primary's released horizon. Called once per bootstrap; a
+// Resync builds a fresh follower DB (fresh registry), so the series never
+// collide.
+func (db *DB) registerReplicaGauges(r *Replica) {
+	reg := db.registry()
+	reg.Gauge("incll_replica_applied_epoch", "Last released epoch the replica has fully applied and committed.", "",
+		func() int64 { return int64(r.AppliedEpoch()) })
+	reg.Gauge("incll_replica_lag_epochs", "Released epochs the replica has not yet applied.", "",
+		func() int64 { return int64(r.Lag().Epochs) })
+	reg.Gauge("incll_replica_lag_bytes", "Released change bytes the replica has not yet consumed.", "",
+		func() int64 { return int64(r.Lag().Bytes) })
+}

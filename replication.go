@@ -22,8 +22,10 @@ package incll
 import (
 	"io"
 	"sync"
+	"time"
 
 	"incll/internal/core"
+	"incll/internal/obs"
 	"incll/internal/repl"
 )
 
@@ -153,6 +155,7 @@ func (db *DB) hub() *repl.Hub {
 			stores = []*core.Store{db.store}
 		}
 		db.replHub = repl.NewHub(stores, db.opts.ChangeJournalBytes)
+		db.replHub.Instrument(db.trace)
 	}
 	return db.replHub
 }
@@ -188,6 +191,7 @@ func (db *DB) Snapshot(w io.Writer) (SnapshotInfo, error) {
 		Shards:     db.Shards(),
 		KeyHint:    uint64(db.Len()),
 		Hook:       db.snapHook,
+		Trace:      db.trace,
 	}
 	return e.Export(w)
 }
@@ -300,6 +304,11 @@ func (r *Replica) bootstrap(primary *DB) error {
 	r.err = nil
 	r.done = done
 	r.mu.Unlock()
+	// The bootstrap (and every Resync) shows up in the follower's own
+	// phase trace, and the follower serves its own lag gauges: a replica
+	// is scraped as its own process, not through the primary.
+	db.trace.Record(obs.EvReplicaResync, -1, info.AnchorEpoch, 0, int64(info.Keys))
+	db.registerReplicaGauges(r)
 	go r.applyLoop(db, stream, info.AnchorEpoch, done)
 	return nil
 }
@@ -311,6 +320,7 @@ func (r *Replica) applyLoop(db *DB, stream *ChangeStream, anchor uint64, done ch
 	defer close(done)
 	for first := true; ; first = false {
 		b, err := stream.Next()
+		start := time.Now()
 		if first {
 			// The bootstrap window is over: from here on the replica is an
 			// active consumer and subject to the normal journal budget.
@@ -345,6 +355,7 @@ func (r *Replica) applyLoop(db *DB, stream *ChangeStream, anchor uint64, done ch
 		// Commit the batch on the follower: the replica's durable state is
 		// always a whole released prefix of the primary's history.
 		db.Checkpoint()
+		db.trace.Record(obs.EvReplicaApply, -1, b.Epoch, time.Since(start), int64(nb))
 		r.mu.Lock()
 		r.applied = b.Epoch
 		r.bytes += nb
