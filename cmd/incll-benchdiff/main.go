@@ -1,0 +1,48 @@
+// Command incll-benchdiff compares two tracked BENCH_*.json files and
+// fails when the newer one regresses throughput past a noise tolerance.
+// CI runs it between the previous PR's committed numbers and the current
+// ones so the perf trajectory is reviewed like code.
+//
+// Usage:
+//
+//	incll-benchdiff BENCH_PR6.json BENCH_PR7.json
+//	incll-benchdiff -tolerance 0.2 old.json new.json
+//
+// Both the PR 6+ metadata envelope and the legacy bare record arrays
+// (BENCH_PR3–PR5.json) load; a legacy or cross-machine comparison
+// downgrades regressions to advisory warnings. Exit status: 0 clean,
+// 1 regression, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"incll/internal/harness"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", harness.DefaultDiffTolerance,
+		"relative throughput drop that counts as a regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: incll-benchdiff [-tolerance 0.30] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := harness.LoadBenchPath(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "incll-benchdiff: %s: %v\n", flag.Arg(0), err)
+		os.Exit(2)
+	}
+	cur, err := harness.LoadBenchPath(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "incll-benchdiff: %s: %v\n", flag.Arg(1), err)
+		os.Exit(2)
+	}
+	rep := harness.DiffBench(old, cur, *tolerance)
+	rep.Write(os.Stdout)
+	if rep.Regressions() > 0 {
+		os.Exit(1)
+	}
+}

@@ -18,14 +18,20 @@
 //	POST /crash?persist=0.5 simulate a power failure + instant recovery
 //	GET  /stats             logging and persistence counters, per shard
 //	GET  /metrics           Prometheus text exposition (scrape me)
+//	GET  /metrics/history   ring of recent metric snapshots + rates (JSON)
 //	GET  /healthz           liveness: 200 "ok" while the store serves
 //	GET  /trace             the phase trace: checkpoints, recoveries
 //	GET  /debug/vars        expvar, including the typed metrics snapshot
+//	GET  /debug/pprof/      Go profiling endpoints (with -pprof)
 //
 // /snapshot streams a consistent full backup of the live store —
 // checksummed frames anchored at a committed epoch — without pausing
 // writers (curl it while load runs; restore with incll.Restore or
-// `incll-repl -mode restore`). SIGINT/SIGTERM shut down gracefully:
+// `incll-repl -mode restore`). -pprof exposes /debug/pprof/ (CPU and heap
+// profiles, execution traces); -anomaly-stw / -anomaly-op arm the flight
+// recorder, which dumps trace+metrics+goroutines to a directory when a
+// checkpoint pause or the op tail latency breaches the threshold.
+// SIGINT/SIGTERM shut down gracefully:
 // in-flight requests drain, then the store closes with a final durable
 // checkpoint, so the next start is a clean restart.
 package main
@@ -38,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -49,8 +56,26 @@ import (
 )
 
 type server struct {
-	mu sync.RWMutex // guards db swaps across simulated crashes
-	db *incll.DB
+	mu        sync.RWMutex // guards db swaps across simulated crashes
+	db        *incll.DB
+	stopWatch func() // anomaly watchdog on the current db, nil when unarmed
+}
+
+// startObs arms the metric recorder (backing /metrics/history) and, when
+// thresholds were given, the anomaly watchdog on db. Called at open and
+// again after every /crash swap, since both are bound to one DB instance.
+func (s *server) startObs(db *incll.DB, stw, op time.Duration) {
+	db.StartRecorder(time.Second, 600) // ten minutes of one-second points
+	if stw <= 0 && op <= 0 {
+		return
+	}
+	s.stopWatch = db.StartWatchdog(incll.WatchdogConfig{
+		STWThreshold:       stw,
+		OpLatencyThreshold: op,
+		OnDump: func(dir, reason string) {
+			log.Printf("anomaly (%s): flight record dumped to %s", reason, dir)
+		},
+	})
 }
 
 func (s *server) withDB(f func(db *incll.DB)) {
@@ -62,12 +87,16 @@ func (s *server) withDB(f func(db *incll.DB)) {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", 1, "keyspace shards with coordinated checkpoints")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
+	anomalySTW := flag.Duration("anomaly-stw", 0, "dump a flight record when a checkpoint pause exceeds this (0 = off)")
+	anomalyOp := flag.Duration("anomaly-op", 0, "dump a flight record when windowed op p99 exceeds this (0 = off)")
 	flag.Parse()
 
 	db, info := incll.Open(incll.Options{ArenaWords: (1 << 25) / uint64(max(*shards, 1)), Shards: *shards})
 	db.StartCheckpointer()
 	log.Printf("store opened (%v, %d shard(s)), checkpointing every 64ms", info.Status, db.Shards())
 	srv := &server{db: db}
+	srv.startObs(db, *anomalySTW, *anomalyOp)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
@@ -162,10 +191,15 @@ func main() {
 		}
 		defer srv.mu.Unlock()
 		t0 := time.Now()
+		if srv.stopWatch != nil {
+			srv.stopWatch() // bound to the dying db instance
+			srv.stopWatch = nil
+		}
 		srv.db.SimulateCrash(persist, time.Now().UnixNano())
 		ndb, info := srv.db.Reopen()
 		ndb.StartCheckpointer()
 		srv.db = ndb
+		srv.startObs(ndb, *anomalySTW, *anomalyOp)
 		fmt.Fprintf(w, "crashed and recovered in %v: %v, replayed %d pre-images\n",
 			time.Since(t0), info.Status, info.LogEntriesApplied)
 		for i, sr := range info.Shards {
@@ -205,6 +239,14 @@ func main() {
 			}
 		})
 	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		srv.withDB(func(db *incll.DB) {
+			if err := db.WriteMetricsHistory(w); err != nil {
+				log.Printf("metrics history aborted: %v", err)
+			}
+		})
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness via a real read: a wedged store (not just a wedged mux)
 		// fails the probe. The key never exists; the probe is the lookup.
@@ -229,6 +271,15 @@ func main() {
 		return srv.db.Metrics()
 	}))
 	mux.Handle("/debug/vars", expvar.Handler())
+	if *pprofOn {
+		// The custom mux doesn't inherit net/http/pprof's DefaultServeMux
+		// registrations; wire them explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,181 @@
+package incll
+
+// The anomaly flight recorder (see DESIGN.md §12): when a latency
+// threshold is breached — a checkpoint stop-the-world spike or a sampled
+// operation-phase spike — the watchdog dumps everything the DB knows to a
+// directory, so the protocol steps and resource state leading into the
+// anomaly survive for post-mortem even if the process is about to die.
+//
+// A dump is a directory flight-<reason>-<nanos>/ containing:
+//
+//	trace.txt      the phase-trace ring (DumpTrace), oldest first
+//	metrics.prom   the Prometheus exposition at dump time (WriteMetrics)
+//	metrics.json   the typed Metrics snapshot, attribution included
+//	goroutines.txt the full goroutine profile (what was blocked, where)
+//
+// The watchdog evaluates *windowed* p99s: each tick diffs the histogram's
+// bucket loads against the previous tick's, so one old spike cannot keep
+// the alarm asserted forever. After a dump, a cooldown suppresses further
+// dumps so a sustained anomaly produces one record, not a disk full.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"time"
+
+	"incll/internal/obs"
+)
+
+// WatchdogConfig parameterizes StartWatchdog. Zero values mean "use the
+// default"; a zero threshold disables that check.
+type WatchdogConfig struct {
+	// STWThreshold triggers a dump when the checkpoint stop-the-world p99
+	// over the last window exceeds it. 0 disables the check.
+	STWThreshold time.Duration
+	// OpLatencyThreshold triggers a dump when the sampled tree-descent
+	// phase p99 over the last window exceeds it (descent is the phase every
+	// sampled op ends with, so it tracks attributed op latency). 0 disables
+	// the check; it is also inert when attribution is off.
+	OpLatencyThreshold time.Duration
+	// Interval is the evaluation cadence (default 1s).
+	Interval time.Duration
+	// Cooldown suppresses further dumps after one fires (default 1m).
+	Cooldown time.Duration
+	// Dir receives the dump directories. Default: $INCLL_TRACE_DIR if set
+	// (the same place the crash-matrix CI artifacts go), else the OS temp
+	// directory.
+	Dir string
+	// OnDump, if non-nil, is called after each dump with the dump
+	// directory and the triggering reason ("stw" or "op"). Called from the
+	// watchdog goroutine.
+	OnDump func(dir, reason string)
+}
+
+func (c *WatchdogConfig) setDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Minute
+	}
+	if c.Dir == "" {
+		c.Dir = os.Getenv("INCLL_TRACE_DIR")
+	}
+	if c.Dir == "" {
+		c.Dir = os.TempDir()
+	}
+}
+
+// StartWatchdog launches the anomaly watchdog and returns its stop
+// function (idempotent; Close does not stop it — the watchdog may outlive
+// one DB instance's histograms but holds this instance's, so stop it
+// before Reopen). Dump failures are reported through the phase trace, not
+// returned: the watchdog must never take the process down.
+func (db *DB) StartWatchdog(cfg WatchdogConfig) (stop func()) {
+	cfg.setDefaults()
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go db.watchdogLoop(cfg, stopCh, done)
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(stopCh)
+			<-done
+		}
+	}
+}
+
+func (db *DB) watchdogLoop(cfg WatchdogConfig, stopCh, done chan struct{}) {
+	defer close(done)
+	var descentHist *obs.Histogram
+	if db.phases != nil {
+		descentHist = db.phases.Hist(obs.PhaseDescent)
+	}
+	stwBins := db.stw.Bins()
+	var descentBins []int64
+	if descentHist != nil {
+		descentBins = descentHist.Bins()
+	}
+	var lastDump time.Time
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stopCh:
+			return
+		case <-t.C:
+		}
+		reason := ""
+		cur := db.stw.Bins()
+		if p99 := obs.BinsQuantile(obs.BinsSub(cur, stwBins), 0.99); cfg.STWThreshold > 0 && p99 > int64(cfg.STWThreshold) {
+			reason = "stw"
+		}
+		stwBins = cur
+		if descentHist != nil {
+			cur := descentHist.Bins()
+			if p99 := obs.BinsQuantile(obs.BinsSub(cur, descentBins), 0.99); cfg.OpLatencyThreshold > 0 && p99 > int64(cfg.OpLatencyThreshold) && reason == "" {
+				reason = "op"
+			}
+			descentBins = cur
+		}
+		if reason == "" || time.Since(lastDump) < cfg.Cooldown && !lastDump.IsZero() {
+			continue
+		}
+		lastDump = time.Now()
+		dir, err := db.DumpFlightRecord(cfg.Dir, reason)
+		if err != nil {
+			// Leave a trace event behind instead of failing: the watchdog
+			// runs unattended.
+			db.trace.Record(obs.EvFlightDumpFailed, -1, db.currentEpoch(), 0, 0)
+			continue
+		}
+		db.trace.Record(obs.EvFlightDump, -1, db.currentEpoch(), 0, 0)
+		if cfg.OnDump != nil {
+			cfg.OnDump(dir, reason)
+		}
+	}
+}
+
+// DumpFlightRecord writes a complete flight record under dir and returns
+// the dump directory it created. Usable directly (e.g. from a SIGQUIT
+// handler); the watchdog calls it on threshold breaches.
+func (db *DB) DumpFlightRecord(dir, reason string) (string, error) {
+	out := filepath.Join(dir, fmt.Sprintf("flight-%s-%d", reason, time.Now().UnixNano()))
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return "", err
+	}
+	writeFile := func(name string, fill func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(out, name))
+		if err != nil {
+			return err
+		}
+		if err := fill(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile("trace.txt", func(f *os.File) error { return db.DumpTrace(f) }); err != nil {
+		return "", err
+	}
+	if err := writeFile("metrics.prom", func(f *os.File) error { return db.WriteMetrics(f) }); err != nil {
+		return "", err
+	}
+	if err := writeFile("metrics.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(db.Metrics())
+	}); err != nil {
+		return "", err
+	}
+	if err := writeFile("goroutines.txt", func(f *os.File) error {
+		return pprof.Lookup("goroutine").WriteTo(f, 1)
+	}); err != nil {
+		return "", err
+	}
+	return out, nil
+}

@@ -141,6 +141,13 @@ type Options struct {
 	ChangeJournalBytes uint64
 	// FenceDelay emulates NVM write latency after each fence.
 	FenceDelay time.Duration
+	// PhaseSampleEvery sets the latency-attribution sampling period: one in
+	// every N operations is timed phase by phase (tree descent, epoch wait,
+	// commit-lock wait, fence stall, allocation — see DESIGN.md §12) and
+	// exported as the incll_phase_seconds metric family. 0 means the default
+	// (1 in 8); negative disables attribution entirely (the pre-attribution
+	// hot path, zero overhead). Non-power-of-two periods round up.
+	PhaseSampleEvery int
 	// DisableInCLL turns off in-cache-line logging (the paper's LOGGING
 	// ablation): strictly more external logging, same crash guarantees.
 	DisableInCLL bool
@@ -358,8 +365,14 @@ type DB struct {
 	// serves WriteMetrics builds lazily on first use.
 	trace   *obs.Tracer
 	stw     *obs.Histogram
+	phases  *obs.PhaseSet // sampled latency attribution; nil when disabled
 	regOnce sync.Once
 	reg     *obs.Registry
+
+	// Recorder state (see metrics.go): the periodic registry snapshotter
+	// behind MetricsHistory, started on demand.
+	recMu    sync.Mutex
+	recorder *obs.Recorder
 
 	// Replication state (see replication.go): the change hub attaches
 	// lazily on first Snapshot/Changes use and dies with this DB instance.
@@ -368,12 +381,26 @@ type DB struct {
 	snapHook func(point string) error // crash-injection test hook
 }
 
+// newPhaseSet builds the attribution timer per Options.PhaseSampleEvery:
+// nil when disabled (negative), otherwise one slot per worker.
+func newPhaseSet(opts Options) *obs.PhaseSet {
+	if opts.PhaseSampleEvery < 0 {
+		return nil
+	}
+	every := opts.PhaseSampleEvery
+	if every == 0 {
+		every = obs.DefaultPhaseSample
+	}
+	return obs.NewPhaseSet(opts.Workers, every)
+}
+
 // Open creates a DB over fresh simulated NVM.
 func Open(opts Options) (*DB, RecoveryInfo) {
 	opts.setDefaults()
 	if opts.Shards > 1 {
 		trace := obs.NewTracer(obs.DefaultTraceEvents)
 		stw := new(obs.Histogram)
+		phases := newPhaseSet(opts)
 		s, sinfo := shard.Open(shard.Config{
 			Shards:       opts.Shards,
 			Workers:      opts.Workers,
@@ -385,26 +412,26 @@ func Open(opts Options) (*DB, RecoveryInfo) {
 			NVM:          nvm.Config{FenceDelay: opts.FenceDelay},
 			Trace:        trace,
 			StopTheWorld: stw,
+			Phases:       phases,
 		})
-		db := &DB{sharded: s, opts: opts, trace: trace, stw: stw}
+		db := &DB{sharded: s, opts: opts, trace: trace, stw: stw, phases: phases}
 		info := shardInfo(sinfo)
 		info.TxnsReplayed = db.initTxns()
 		db.traceTxnReplay(info.TxnsReplayed)
 		return db, info
 	}
 	arena := nvm.New(nvm.Config{Words: opts.ArenaWords, FenceDelay: opts.FenceDelay})
-	return attach(arena, opts, nil, nil)
+	return attach(arena, opts, nil, nil, nil)
 }
 
-// attach opens a single store over an existing arena. A nil trace/stw
-// builds a fresh bundle (first Open); Reopen passes the crashed DB's so
-// the phase trace spans the crash.
-func attach(arena *nvm.Arena, opts Options, trace *obs.Tracer, stw *obs.Histogram) (*DB, RecoveryInfo) {
+// attach opens a single store over an existing arena. A nil trace builds a
+// fresh observability bundle (first Open); Reopen passes the crashed DB's
+// so the phase trace — and the attribution histograms — span the crash.
+func attach(arena *nvm.Arena, opts Options, trace *obs.Tracer, stw *obs.Histogram, phases *obs.PhaseSet) (*DB, RecoveryInfo) {
 	if trace == nil {
 		trace = obs.NewTracer(obs.DefaultTraceEvents)
-	}
-	if stw == nil {
 		stw = new(obs.Histogram)
+		phases = newPhaseSet(opts)
 	}
 	store, status := core.Open(arena, core.Config{
 		Workers:      opts.Workers,
@@ -414,9 +441,10 @@ func attach(arena *nvm.Arena, opts Options, trace *obs.Tracer, stw *obs.Histogra
 		DisableInCLL: opts.DisableInCLL,
 		Trace:        trace,
 		StopTheWorld: stw,
+		Phases:       phases,
 		Shard:        0,
 	})
-	db := &DB{arena: arena, store: store, opts: opts, trace: trace, stw: stw}
+	db := &DB{arena: arena, store: store, opts: opts, trace: trace, stw: stw, phases: phases}
 	info := RecoveryInfo{
 		Status:            status,
 		LogEntriesApplied: store.RecoveredLogEntries(),
@@ -451,6 +479,7 @@ func (db *DB) initTxns() int {
 	} else {
 		db.txns, replayed = txn.ForStore(db.store)
 	}
+	db.txns.Instrument(db.phases)
 	return replayed
 }
 
@@ -648,6 +677,7 @@ func (db *DB) StopCheckpointer() {
 // Close checkpoints and durably marks a clean shutdown. Change-stream
 // subscribers drain the final epoch and then observe ErrStreamClosed.
 func (db *DB) Close() {
+	db.StopRecorder()
 	db.txns.StopTicker()
 	if db.sharded != nil {
 		db.sharded.Shutdown()
@@ -663,6 +693,7 @@ func (db *DB) Close() {
 // together (independent per-shard survival policies derived from seed).
 // All handles must be quiescent.
 func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
+	db.StopRecorder()
 	db.txns.StopTicker()
 	db.closeHub(false) // the volatile journal dies with the process
 	if db.sharded != nil {
@@ -682,14 +713,14 @@ func (db *DB) Reopen() (*DB, RecoveryInfo) {
 		// The shard config — tracer included — carries over, so the phase
 		// trace spans the crash: the recovery events land in the same ring
 		// the pre-crash checkpoints did.
-		db2 := &DB{sharded: s, opts: db.opts, trace: db.trace, stw: db.stw}
+		db2 := &DB{sharded: s, opts: db.opts, trace: db.trace, stw: db.stw, phases: db.phases}
 		info := shardInfo(sinfo)
 		info.TxnsReplayed = db2.initTxns()
 		db2.traceTxnReplay(info.TxnsReplayed)
 		return db2, info
 	}
 	db.arena.ResetReservations()
-	return attach(db.arena, db.opts, db.trace, db.stw)
+	return attach(db.arena, db.opts, db.trace, db.stw, db.phases)
 }
 
 // Stats exposes the store's counters (logging, InCLL usage, the value

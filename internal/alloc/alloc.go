@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"incll/internal/epoch"
 	"incll/internal/nvm"
+	"incll/internal/obs"
 )
 
 // Size classes in words, header included. Payload capacity is two words
@@ -122,7 +124,15 @@ type Allocator struct {
 	// metrics surface): it is reset by the boundary splice, not repaired
 	// by crash rollback.
 	limbo atomic.Int64
+
+	phases *obs.PhaseSet // sampled allocation-latency attribution; nil disables
 }
+
+// Instrument attaches the sampled latency-attribution timer: a 1-in-N
+// sample of Alloc/AllocNode calls is timed end to end (free-list pop,
+// refills and wilderness carving included) and charged to the alloc phase.
+// nil detaches.
+func (al *Allocator) Instrument(ph *obs.PhaseSet) { al.phases = ph }
 
 // MetaWords returns the metadata region size (reserve target) for the
 // given shard count.
@@ -402,6 +412,10 @@ func (h *Handle) Alloc(payloadWords uint64) uint64 {
 	if c < 0 {
 		return 0
 	}
+	if h.al.phases.Sampled(h.shard) {
+		t0 := time.Now()
+		defer func() { h.al.phases.Observe(obs.PhaseAlloc, time.Since(t0)) }()
+	}
 	obj := h.allocFrom(c)
 	if obj == 0 {
 		return 0
@@ -412,6 +426,10 @@ func (h *Handle) Alloc(payloadWords uint64) uint64 {
 // AllocNode returns a cache-line-aligned node payload of NodeWords-class
 // size, or 0 when the heap is exhausted.
 func (h *Handle) AllocNode() uint64 {
+	if h.al.phases.Sampled(h.shard) {
+		t0 := time.Now()
+		defer func() { h.al.phases.Observe(obs.PhaseAlloc, time.Since(t0)) }()
+	}
 	obj := h.allocFrom(nodeClass)
 	if obj == 0 {
 		return 0

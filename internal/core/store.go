@@ -53,6 +53,12 @@ type Config struct {
 	Trace        *obs.Tracer
 	StopTheWorld *obs.Histogram
 	Shard        int
+
+	// Phases, when set, receives sampled op-latency attribution (see
+	// obs.PhaseSet and DESIGN.md §12): Open threads it through the epoch
+	// manager, arena, and allocator, and the op entry points lap it.
+	// Optional; every consumer is nil-safe.
+	Phases *obs.PhaseSet
 }
 
 func (c *Config) setDefaults() {
@@ -169,7 +175,24 @@ type Store struct {
 	// one atomic load when no sink is attached.
 	changes atomic.Pointer[ChangeSink]
 
+	// phases is the sampled latency-attribution timer (nil-safe; see
+	// Config.Phases). Kept on the store so the op entry points reach it
+	// with one pointer chase.
+	phases *obs.PhaseSet
+
 	stats Stats
+}
+
+// InstrumentPhases attaches (nil: detaches) the sampled
+// latency-attribution timer after open, re-threading it through the
+// arena, allocator, and epoch manager exactly as Config.Phases would at
+// Open. The harness uses this to exclude its preload from the attribution
+// histograms; callers must be quiescent for the swap.
+func (s *Store) InstrumentPhases(ph *obs.PhaseSet) {
+	s.phases = ph
+	s.arena.Instrument(ph)
+	s.alloc.Instrument(ph)
+	s.mgr.InstrumentPhases(ph)
 }
 
 // Open attaches a Store to the arena, reserving (or re-deriving, after a
@@ -207,7 +230,12 @@ func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 		cfg:      cfg,
 		hdrOff:   hdr,
 		recLocks: make([]sync.Mutex, 1024),
+		phases:   cfg.Phases,
 	}
+	// Attribution reaches below the store: fences time themselves in the
+	// arena, allocations in the allocator (via alloc.New below), and the
+	// epoch manager charges its world-lock wait.
+	a.Instrument(cfg.Phases)
 	// Repair the root cell eagerly (a single line).
 	if mgr.IsFailed(a.Load(hdr + tRootEpoch)) {
 		a.Store(hdr+tRoot, a.Load(hdr+tRootInCLL))
@@ -221,12 +249,14 @@ func Open(a *nvm.Arena, cfg Config) (*Store, epoch.Status) {
 		a.Fence()
 	}
 	s.alloc = alloc.New(a, mgr, metaOff, heapOff, cfg.HeapWords, cfg.Workers)
+	s.alloc.Instrument(cfg.Phases)
 	s.log = extlog.New(a, mgr, logOff, cfg.LogSegWords, cfg.Workers)
 	s.intents = extlog.NewIntentLog(a, mgr, txnOff, cfg.TxnSegWords, cfg.Workers)
 	// Replay pre-images of the failed epoch, flush the repaired state, and
 	// retire the log generation. Also persists the root/allocator repairs
 	// above. Everything else recovers lazily.
 	mgr.Instrument(cfg.Trace, cfg.StopTheWorld, cfg.Shard)
+	mgr.InstrumentPhases(cfg.Phases)
 	recStart := time.Now()
 	s.recovered = s.log.Recover()
 	if status == epoch.CrashRecovered {

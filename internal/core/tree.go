@@ -5,6 +5,7 @@ import (
 
 	"incll/internal/alloc"
 	"incll/internal/extlog"
+	"incll/internal/obs"
 )
 
 // Key slicing, identical to internal/masstree: each trie layer indexes an
@@ -41,6 +42,12 @@ type Handle struct {
 }
 
 func (h Handle) ref(off uint64) nodeRef { return nodeRef{a: h.s.arena, off: off} }
+
+// lapRetry charges the failed optimistic attempt — everything since the
+// op's last phase boundary — to the retry phase. A no-op unless a sampled
+// op is in flight on this worker, so the version-check failure paths call
+// it unconditionally.
+func (h Handle) lapRetry() { h.s.phases.Lap(h.w, obs.PhaseRetry) }
 
 func (h Handle) rootCell0() rootCell { return rootCell{s: h.s, off: h.s.hdrOff} }
 
@@ -123,7 +130,22 @@ func (h Handle) descend(rootOff uint64, ik uint64) nodeRef {
 
 // Get returns the uint64 view of the value stored under k (see
 // DecodeValue for the byte↔uint64 convention).
+//
+// The unlocked entry points (Get, AppendGet, PutBytes, Delete) are the
+// latency-attribution sample sites: a 1-in-N op starts the lap clock here,
+// charges its Enter wait to epoch_wait, and its tree work to descent (the
+// optimistic-retry sites lap `retry` for every wasted attempt). The
+// *Locked variants — which the transaction commit path applies through —
+// are never sampled, so commit-side and op-side attribution cannot nest.
 func (h Handle) Get(k []byte) (uint64, bool) {
+	if ph := h.s.phases; ph.Begin(h.w) {
+		h.s.mgr.Enter()
+		ph.Lap(h.w, obs.PhaseEpochWait)
+		v, ok := h.GetLocked(k)
+		ph.End(h.w, obs.PhaseDescent)
+		h.s.mgr.Exit()
+		return v, ok
+	}
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
 	return h.GetLocked(k)
@@ -149,6 +171,14 @@ func (h Handle) GetBytes(k []byte) ([]byte, bool) {
 // AppendGet appends k's value bytes to dst, returning the extended slice;
 // the allocation-free form of GetBytes.
 func (h Handle) AppendGet(dst []byte, k []byte) ([]byte, bool) {
+	if ph := h.s.phases; ph.Begin(h.w) {
+		h.s.mgr.Enter()
+		ph.Lap(h.w, obs.PhaseEpochWait)
+		out, ok := h.AppendGetLocked(dst, k)
+		ph.End(h.w, obs.PhaseDescent)
+		h.s.mgr.Exit()
+		return out, ok
+	}
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
 	return h.AppendGetLocked(dst, k)
@@ -180,6 +210,7 @@ readLeaf:
 	if ik >= n.hikey() {
 		nn := n.next()
 		if n.changed(v) {
+			h.lapRetry()
 			goto retry
 		}
 		if nn != 0 {
@@ -192,6 +223,7 @@ readLeaf:
 	pos, found := n.leafSearch(ik, kind, p)
 	if !found {
 		if n.changed(v) {
+			h.lapRetry()
 			goto retry
 		}
 		return 0, false
@@ -199,6 +231,7 @@ readLeaf:
 	slot := p.slot(pos)
 	vw := n.val(slot)
 	if n.changed(v) {
+		h.lapRetry()
 		goto retry
 	}
 	if kind == kindLayer {
@@ -226,6 +259,14 @@ func (h Handle) PutLocked(k []byte, v uint64) bool {
 // PutBytes stores the byte value v (len ≤ MaxValueBytes) under k; reports
 // whether k was newly inserted.
 func (h Handle) PutBytes(k []byte, v []byte) bool {
+	if ph := h.s.phases; ph.Begin(h.w) {
+		h.s.mgr.Enter()
+		ph.Lap(h.w, obs.PhaseEpochWait)
+		inserted := h.PutBytesLocked(k, v)
+		ph.End(h.w, obs.PhaseDescent)
+		h.s.mgr.Exit()
+		return inserted
+	}
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
 	return h.PutBytesLocked(k, v)
@@ -261,6 +302,7 @@ retry:
 		fresh := h.newLeaf(cur)
 		if !cell.casRoot(0, fresh.off, cur) {
 			h.ah.FreeNode(fresh.off)
+			h.lapRetry()
 		}
 		goto retry
 	}
@@ -511,6 +553,14 @@ func (h Handle) splitInterior(cell rootCell, p nodeRef, key uint64, child nodeRe
 // Delete removes k; reports whether it was present. Emptied leaves remain
 // in the tree, as in the transient baseline.
 func (h Handle) Delete(k []byte) bool {
+	if ph := h.s.phases; ph.Begin(h.w) {
+		h.s.mgr.Enter()
+		ph.Lap(h.w, obs.PhaseEpochWait)
+		removed := h.DeleteLocked(k)
+		ph.End(h.w, obs.PhaseDescent)
+		h.s.mgr.Exit()
+		return removed
+	}
 	h.s.mgr.Enter()
 	defer h.s.mgr.Exit()
 	return h.DeleteLocked(k)
@@ -766,6 +816,7 @@ retry:
 		kids[i] = n.child(i)
 	}
 	if n.changed(v) {
+		h.lapRetry()
 		goto retry
 	}
 	for i := nk; i >= 0; i-- {
@@ -776,6 +827,7 @@ retry:
 			continue
 		}
 		if kids[i] == 0 {
+			h.lapRetry()
 			goto retry
 		}
 		if !h.revSubtree(h.ref(kids[i]), kb, plen, b, max, visited, fn) {

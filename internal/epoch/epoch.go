@@ -110,6 +110,7 @@ type Manager struct {
 	// only touched with the world stopped.
 	trace     *obs.Tracer
 	stw       *obs.Histogram
+	phases    *obs.PhaseSet
 	shard     int
 	prepStart time.Time
 }
@@ -202,6 +203,12 @@ func (m *Manager) Instrument(tr *obs.Tracer, stw *obs.Histogram, shard int) {
 	m.stw = stw
 	m.shard = shard
 }
+
+// InstrumentPhases attaches the sampled latency-attribution timer (see
+// obs.PhaseSet): Prepare charges its wait for in-flight readers to drain
+// — the advancer side of the world lock — to the epoch_wait phase. nil
+// detaches.
+func (m *Manager) InstrumentPhases(ph *obs.PhaseSet) { m.phases = ph }
 
 // Current returns the running epoch. Cheap; callable from any goroutine.
 func (m *Manager) Current() uint64 { return m.current.Load() }
@@ -299,7 +306,15 @@ func (m *Manager) Advance() int {
 // sharding coordinator prepares every store, records the global commit,
 // then commits every store). Returns the number of lines flushed.
 func (m *Manager) Prepare() int {
-	m.world.Lock()
+	if m.phases != nil {
+		// Advances are rare (one per epoch), so the wait for readers to
+		// drain is recorded always, not sampled.
+		t0 := time.Now()
+		m.world.Lock()
+		m.phases.Observe(obs.PhaseEpochWait, time.Since(t0))
+	} else {
+		m.world.Lock()
+	}
 	m.prepStart = time.Now()
 	a, off := m.arena, m.off
 

@@ -63,6 +63,22 @@ type BenchRecord struct {
 	RestoreMBPerSec float64 `json:"restore_mb_per_sec,omitempty"`
 	LagEpochsMax    uint64  `json:"lag_epochs_max,omitempty"`
 	LagEpochsMean   float64 `json:"lag_epochs_mean,omitempty"`
+
+	// Phases is the sampled latency attribution over the measured phase
+	// (durable rows; see DESIGN.md §12), keyed by phase name.
+	Phases map[string]PhaseSummary `json:"phases,omitempty"`
+	// PhaseSampleEvery is the attribution sampling period the row used.
+	PhaseSampleEvery int `json:"phase_sample_every,omitempty"`
+
+	// Timeline is the per-second progress series of the measured phase.
+	Timeline []TimelinePoint `json:"timeline,omitempty"`
+}
+
+// PhaseSummary is one phase's latency summary in a bench row.
+type PhaseSummary struct {
+	Count     int64   `json:"count"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
 }
 
 // record converts one run's result.
@@ -114,6 +130,21 @@ func record(r Result) BenchRecord {
 		}
 		rec.Reverse = r.Config.ScanReverse
 	}
+	if len(r.Phases) > 0 {
+		rec.PhaseSampleEvery = r.PhaseSampleEvery
+		rec.Phases = make(map[string]PhaseSummary, len(r.Phases))
+		for name, h := range r.Phases {
+			if h.Count == 0 {
+				continue // quiet phases stay out of the row
+			}
+			rec.Phases[name] = PhaseSummary{
+				Count:     h.Count,
+				P50Micros: float64(h.P50) / 1000,
+				P99Micros: float64(h.P99) / 1000,
+			}
+		}
+	}
+	rec.Timeline = r.Timeline
 	return rec
 }
 
@@ -202,6 +233,11 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 
 	recs := make([]BenchRecord, 0, len(cfgs)+4)
 	for _, c := range cfgs {
+		// Earlier rows leave the heap full of dead arenas and tree nodes;
+		// on a small runner the collector's catch-up work then lands inside
+		// the next row's measured window. Collect between rows so each row
+		// starts from the same heap state.
+		runtime.GC()
 		r := Run(c)
 		rec := record(r)
 		recs = append(recs, rec)

@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Benchdiff compares two BENCH_*.json files — the committed perf
+// trajectory — row by row, so CI can hold a PR to the previous PR's
+// numbers instead of eyeballing them. Rows are matched on their workload
+// identity (workload, mode, distribution, shard count, txn mode, value
+// size, scan shape, threads, tree size); throughput metrics gate, tail
+// latency warns. When the two files were measured on different
+// environments (CPU count, architecture, toolchain), regressions are
+// downgraded to advisory warnings: cross-machine numbers prove nothing.
+
+// DefaultDiffTolerance is the relative throughput drop that counts as a
+// regression. Single-row noise on a small CI machine runs ±15%, so the
+// gate fires only on drops well past that.
+const DefaultDiffTolerance = 0.30
+
+// LoadBenchFile parses one BENCH_*.json stream: the PR 6+ metadata
+// envelope, or the legacy bare record array of BENCH_PR3–PR5 (whose Meta
+// stays zero — callers see an env mismatch and degrade to advisory).
+func LoadBenchFile(r io.Reader) (BenchFile, error) {
+	var f BenchFile
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return f, err
+	}
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(raw, &f.Records)
+		return f, err
+	}
+	err = json.Unmarshal(raw, &f)
+	return f, err
+}
+
+// LoadBenchPath is LoadBenchFile over a file path.
+func LoadBenchPath(path string) (BenchFile, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	defer fh.Close()
+	return LoadBenchFile(fh)
+}
+
+// rowKey is the identity a record is matched on across files.
+func rowKey(r BenchRecord) string {
+	return fmt.Sprintf("%s/%s/%s shards=%d txn=%s vs=%d scan=%s/%d/%s/rev=%v threads=%d tree=%d",
+		r.Workload, r.Mode, r.Dist, r.Shards, r.TxnMode, r.ValueSize,
+		r.ScanAPI, r.ScanLen, r.ScanDist, r.Reverse, r.Threads, r.TreeSize)
+}
+
+// DiffStatus classifies one compared metric.
+type DiffStatus int
+
+const (
+	// DiffOK: within tolerance.
+	DiffOK DiffStatus = iota
+	// DiffImproved: better by more than the tolerance.
+	DiffImproved
+	// DiffWarning: worse by more than the tolerance, but advisory only
+	// (tail-latency metric, or an environment mismatch).
+	DiffWarning
+	// DiffRegression: a gating throughput drop past the tolerance.
+	DiffRegression
+)
+
+func (s DiffStatus) String() string {
+	switch s {
+	case DiffImproved:
+		return "improved"
+	case DiffWarning:
+		return "WARN"
+	case DiffRegression:
+		return "REGRESSION"
+	default:
+		return "ok"
+	}
+}
+
+// DiffRow is one compared metric of one matched row.
+type DiffRow struct {
+	Key    string
+	Metric string
+	Old    float64
+	New    float64
+	Status DiffStatus
+}
+
+// DiffReport is the full comparison.
+type DiffReport struct {
+	Rows []DiffRow
+	// OldOnly / NewOnly list row keys present in exactly one file (matrix
+	// drift — informational, never gating).
+	OldOnly, NewOnly []string
+	// EnvMismatch reports that the two files were measured under different
+	// environments (or one predates metadata); regressions were downgraded
+	// to warnings.
+	EnvMismatch bool
+	// EnvDetail names the mismatching fields.
+	EnvDetail string
+	Tolerance float64
+}
+
+// Regressions counts the gating rows.
+func (d *DiffReport) Regressions() int {
+	n := 0
+	for _, r := range d.Rows {
+		if r.Status == DiffRegression {
+			n++
+		}
+	}
+	return n
+}
+
+// envMismatch compares the fields that make throughput numbers
+// comparable. A zero meta (legacy file) mismatches by construction.
+func envMismatch(a, b RunMeta) (bool, string) {
+	switch {
+	case a.GoVersion == "" || b.GoVersion == "":
+		return true, "one file predates run metadata"
+	case a.NumCPU != b.NumCPU:
+		return true, fmt.Sprintf("num_cpu %d vs %d", a.NumCPU, b.NumCPU)
+	case a.GOARCH != b.GOARCH:
+		return true, fmt.Sprintf("goarch %s vs %s", a.GOARCH, b.GOARCH)
+	case a.GOMAXPROCS != b.GOMAXPROCS:
+		return true, fmt.Sprintf("gomaxprocs %d vs %d", a.GOMAXPROCS, b.GOMAXPROCS)
+	case a.GoVersion != b.GoVersion:
+		return true, fmt.Sprintf("go_version %s vs %s", a.GoVersion, b.GoVersion)
+	}
+	return false, ""
+}
+
+// DiffBench compares new against old. tolerance ≤ 0 uses the default.
+func DiffBench(old, new BenchFile, tolerance float64) DiffReport {
+	if tolerance <= 0 {
+		tolerance = DefaultDiffTolerance
+	}
+	rep := DiffReport{Tolerance: tolerance}
+	rep.EnvMismatch, rep.EnvDetail = envMismatch(old.Meta, new.Meta)
+
+	oldRows := make(map[string]BenchRecord, len(old.Records))
+	for _, r := range old.Records {
+		oldRows[rowKey(r)] = r
+	}
+	seen := make(map[string]bool, len(new.Records))
+	for _, nr := range new.Records {
+		key := rowKey(nr)
+		seen[key] = true
+		or, ok := oldRows[key]
+		if !ok {
+			rep.NewOnly = append(rep.NewOnly, key)
+			continue
+		}
+		// Throughput: lower is worse, gates.
+		for _, m := range []struct {
+			name     string
+			old, new float64
+		}{
+			{"ops_per_sec", or.OpsPerSec, nr.OpsPerSec},
+			{"txns_per_sec", or.TxnsPerSec, nr.TxnsPerSec},
+			{"mb_per_sec", or.MBPerSec, nr.MBPerSec},
+			{"restore_mb_per_sec", or.RestoreMBPerSec, nr.RestoreMBPerSec},
+		} {
+			if or.Workload == "REPLICA" && m.name == "mb_per_sec" {
+				// Replica apply throughput is paced by the primary's write
+				// rate, not a capacity measurement; informational only.
+				continue
+			}
+			if m.old <= 0 || m.new <= 0 {
+				continue
+			}
+			row := DiffRow{Key: key, Metric: m.name, Old: m.old, New: m.new}
+			switch {
+			case m.new < m.old*(1-tolerance):
+				row.Status = DiffRegression
+				if rep.EnvMismatch {
+					row.Status = DiffWarning
+				}
+			case m.new > m.old*(1+tolerance):
+				row.Status = DiffImproved
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		// Tail latency: higher is worse, advisory only (p99 of a sampled
+		// histogram on a 1-CPU runner is too noisy to gate; double the
+		// tolerance before even warning).
+		if or.P99Micros > 0 && nr.P99Micros > or.P99Micros*(1+2*tolerance) {
+			rep.Rows = append(rep.Rows, DiffRow{
+				Key: key, Metric: "p99_us", Old: or.P99Micros, New: nr.P99Micros,
+				Status: DiffWarning,
+			})
+		}
+	}
+	for key := range oldRows {
+		if !seen[key] {
+			rep.OldOnly = append(rep.OldOnly, key)
+		}
+	}
+	sort.Strings(rep.OldOnly)
+	sort.Strings(rep.NewOnly)
+	return rep
+}
+
+// Write renders the report, worst rows first, then the matrix drift.
+func (d *DiffReport) Write(w io.Writer) {
+	if d.EnvMismatch {
+		fmt.Fprintf(w, "note: environment mismatch (%s); regressions reported as warnings only\n", d.EnvDetail)
+	}
+	rows := append([]DiffRow(nil), d.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Status > rows[j].Status })
+	for _, r := range rows {
+		if r.Status == DiffOK {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %s: %s %.1f -> %.1f (%+.1f%%)\n",
+			r.Status, r.Key, r.Metric, r.Old, r.New, 100*(r.New-r.Old)/r.Old)
+	}
+	for _, k := range d.OldOnly {
+		fmt.Fprintf(w, "removed    %s\n", k)
+	}
+	for _, k := range d.NewOnly {
+		fmt.Fprintf(w, "added      %s\n", k)
+	}
+	fmt.Fprintf(w, "%d rows compared, %d regressions (tolerance %.0f%%)\n",
+		len(d.Rows), d.Regressions(), d.Tolerance*100)
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkMeta(cpus int) RunMeta {
+	return RunMeta{GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: cpus, GOMAXPROCS: cpus}
+}
+
+func mkRec(workload string, ops float64) BenchRecord {
+	return BenchRecord{Workload: workload, Mode: "durable", Dist: "zipf",
+		Threads: 2, TreeSize: 1000, ValueSize: 8, OpsPerSec: ops,
+		P50Micros: 10, P99Micros: 100}
+}
+
+func TestDiffBenchGate(t *testing.T) {
+	old := BenchFile{Meta: mkMeta(4), Records: []BenchRecord{
+		mkRec("YCSB-A", 1000), mkRec("YCSB-B", 1000), mkRec("YCSB-C", 1000),
+	}}
+	new := BenchFile{Meta: mkMeta(4), Records: []BenchRecord{
+		mkRec("YCSB-A", 950),  // within tolerance
+		mkRec("YCSB-B", 500),  // regression at 30%
+		mkRec("YCSB-C", 1500), // improvement
+	}}
+	rep := DiffBench(old, new, 0.30)
+	if rep.EnvMismatch {
+		t.Fatalf("unexpected env mismatch: %s", rep.EnvDetail)
+	}
+	if got := rep.Regressions(); got != 1 {
+		t.Fatalf("Regressions() = %d, want 1", got)
+	}
+	byKey := map[string]DiffStatus{}
+	for _, r := range rep.Rows {
+		if r.Metric == "ops_per_sec" {
+			byKey[r.Key] = r.Status
+		}
+	}
+	if byKey[rowKey(mkRec("YCSB-A", 0))] != DiffOK {
+		t.Errorf("YCSB-A should be ok, got %v", byKey[rowKey(mkRec("YCSB-A", 0))])
+	}
+	if byKey[rowKey(mkRec("YCSB-B", 0))] != DiffRegression {
+		t.Errorf("YCSB-B should regress, got %v", byKey[rowKey(mkRec("YCSB-B", 0))])
+	}
+	if byKey[rowKey(mkRec("YCSB-C", 0))] != DiffImproved {
+		t.Errorf("YCSB-C should improve, got %v", byKey[rowKey(mkRec("YCSB-C", 0))])
+	}
+
+	var sb strings.Builder
+	rep.Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "1 regressions") {
+		t.Errorf("report missing regression line:\n%s", out)
+	}
+}
+
+func TestDiffBenchEnvMismatchAdvisory(t *testing.T) {
+	old := BenchFile{Meta: mkMeta(8), Records: []BenchRecord{mkRec("YCSB-A", 1000)}}
+	new := BenchFile{Meta: mkMeta(1), Records: []BenchRecord{mkRec("YCSB-A", 100)}}
+	rep := DiffBench(old, new, 0.30)
+	if !rep.EnvMismatch {
+		t.Fatal("expected env mismatch for differing NumCPU")
+	}
+	if rep.Regressions() != 0 {
+		t.Fatalf("env-mismatched regressions must downgrade to warnings, got %d gating", rep.Regressions())
+	}
+	warned := false
+	for _, r := range rep.Rows {
+		if r.Status == DiffWarning {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatal("expected an advisory warning row")
+	}
+}
+
+func TestDiffBenchMatrixDrift(t *testing.T) {
+	old := BenchFile{Meta: mkMeta(4), Records: []BenchRecord{
+		mkRec("YCSB-A", 1000), mkRec("OLD-ONLY", 1000)}}
+	new := BenchFile{Meta: mkMeta(4), Records: []BenchRecord{
+		mkRec("YCSB-A", 1000), mkRec("NEW-ONLY", 1000)}}
+	rep := DiffBench(old, new, 0)
+	if len(rep.OldOnly) != 1 || !strings.Contains(rep.OldOnly[0], "OLD-ONLY") {
+		t.Errorf("OldOnly = %v", rep.OldOnly)
+	}
+	if len(rep.NewOnly) != 1 || !strings.Contains(rep.NewOnly[0], "NEW-ONLY") {
+		t.Errorf("NewOnly = %v", rep.NewOnly)
+	}
+	if rep.Regressions() != 0 {
+		t.Errorf("matrix drift must not gate, got %d", rep.Regressions())
+	}
+}
+
+func TestLoadBenchFileEnvelopeAndLegacy(t *testing.T) {
+	envelope := `{"meta":{"go_version":"go1.24","num_cpu":4},"records":[{"workload":"YCSB-A","ops_per_sec":123}]}`
+	f, err := LoadBenchFile(strings.NewReader(envelope))
+	if err != nil {
+		t.Fatalf("envelope: %v", err)
+	}
+	if f.Meta.NumCPU != 4 || len(f.Records) != 1 || f.Records[0].OpsPerSec != 123 {
+		t.Fatalf("envelope parsed wrong: %+v", f)
+	}
+
+	// Legacy bare array, as committed in BENCH_PR3–PR5.json.
+	legacy := ` [{"workload":"YCSB-A","ops_per_sec":456}]`
+	f, err = LoadBenchFile(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+	if f.Meta.GoVersion != "" || len(f.Records) != 1 || f.Records[0].OpsPerSec != 456 {
+		t.Fatalf("legacy parsed wrong: %+v", f)
+	}
+
+	// Legacy vs modern must degrade to advisory.
+	mod := BenchFile{Meta: mkMeta(4), Records: []BenchRecord{mkRec("YCSB-A", 10)}}
+	rep := DiffBench(f, mod, 0)
+	if !rep.EnvMismatch {
+		t.Fatal("legacy file must trigger env mismatch")
+	}
+}
+
+func TestLoadBenchPathCommittedFiles(t *testing.T) {
+	// Every committed BENCH file in the repo root must stay loadable —
+	// PR3–PR5 use the legacy array, PR6+ the envelope.
+	for _, name := range []string{"BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR6.json"} {
+		f, err := LoadBenchPath("../../" + name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(f.Records) == 0 {
+			t.Errorf("%s: no records", name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incll/internal/core"
@@ -146,6 +147,18 @@ type RunConfig struct {
 	// enables background eviction (ablation; 0 = unbounded).
 	DirtyCapacity int
 
+	// PhaseSampleEvery sets the latency-attribution sampling period
+	// (durable modes; see obs.PhaseSet and DESIGN.md §12): one op in N is
+	// timed phase by phase. 0 means the default (1 in 8); negative
+	// disables attribution — the pre-attribution hot path, the A/B
+	// baseline.
+	PhaseSampleEvery int
+
+	// TimelineInterval is the per-second throughput/latency timeline
+	// cadence (default 1s; the timeline is always collected — one sampler
+	// goroutine reading per-worker counters, nothing on the op path).
+	TimelineInterval time.Duration
+
 	Seed int64
 }
 
@@ -168,6 +181,22 @@ func (c *RunConfig) setDefaults() {
 	if c.EpochInterval == 0 {
 		c.EpochInterval = 64 * time.Millisecond
 	}
+	if c.TimelineInterval <= 0 {
+		c.TimelineInterval = time.Second
+	}
+}
+
+// runPhases builds the attribution timer per PhaseSampleEvery (nil when
+// disabled).
+func runPhases(cfg RunConfig) *obs.PhaseSet {
+	if cfg.PhaseSampleEvery < 0 {
+		return nil
+	}
+	every := cfg.PhaseSampleEvery
+	if every == 0 {
+		every = obs.DefaultPhaseSample
+	}
+	return obs.NewPhaseSet(cfg.Threads, every)
 }
 
 // Result reports one run's measurements.
@@ -200,6 +229,19 @@ type Result struct {
 	// PerShardOps counts the operations each shard served during the
 	// measured phase (sharded runs only; nil otherwise).
 	PerShardOps []int64
+
+	// Phases maps phase name to its sampled latency histogram over the
+	// measured phase, in nanoseconds (durable modes with attribution on;
+	// nil otherwise). See DESIGN.md §12.
+	Phases map[string]obs.HistSnapshot
+	// PhaseSampleEvery is the attribution sampling period the run used (0
+	// when attribution was off).
+	PhaseSampleEvery int
+
+	// Timeline is the per-interval throughput/latency series over the
+	// measured phase (one point per TimelineInterval, plus a final partial
+	// point).
+	Timeline []TimelinePoint
 
 	// Byte-value extras (zero unless RunConfig.ValueSize > 0).
 	ValueBytes int64   // payload bytes written by puts + read by gets/scans
@@ -279,7 +321,7 @@ func runTransient(cfg RunConfig) Result {
 		}()
 	}
 
-	elapsed, lats := runWorkers(cfg, func(w int, op ycsb.Op, i int) {
+	elapsed, lats, timeline := runWorkers(cfg, func(w int, op ycsb.Op, i int) {
 		h := tr.Handle(w)
 		switch op.Kind {
 		case ycsb.OpPut:
@@ -300,9 +342,19 @@ func runTransient(cfg RunConfig) Result {
 		Elapsed:    elapsed,
 		Ops:        ops,
 		Throughput: float64(ops) / elapsed.Seconds(),
+		Timeline:   timeline,
 	}
 	fillLatencies(&r, lats)
 	return r
+}
+
+// fillPhases folds the attribution histograms into the result.
+func fillPhases(r *Result, phases *obs.PhaseSet) {
+	if phases == nil {
+		return
+	}
+	r.Phases = phases.Snapshot()
+	r.PhaseSampleEvery = phases.SampleEvery()
 }
 
 // fillLatencies folds the merged histogram's percentiles into the result.
@@ -382,13 +434,17 @@ func runDurable(cfg RunConfig) Result {
 	s.Advance() // commit the load and reset counters against a clean epoch
 
 	// Instrument after the preload commit: its whole-arena flush would
-	// otherwise dominate the stop-the-world histogram's tail.
+	// otherwise dominate the stop-the-world histogram's tail, and the
+	// attribution histograms should describe the measured phase only.
 	stw := new(obs.Histogram)
 	s.Epochs().Instrument(nil, stw, 0)
+	phases := runPhases(cfg)
+	s.InstrumentPhases(phases)
 
 	var m *txn.Manager
 	if cfg.TxnMode != TxnNone {
 		m, _ = txn.ForStore(s)
+		m.Instrument(phases)
 	}
 
 	st0 := s.Stats()
@@ -407,7 +463,7 @@ func runDurable(cfg RunConfig) Result {
 	} else {
 		s.StartTicker(cfg.EpochInterval)
 	}
-	elapsed, lats := runWorkers(cfg, do)
+	elapsed, lats, timeline := runWorkers(cfg, do)
 	if m != nil {
 		m.StopTicker()
 	} else {
@@ -429,8 +485,10 @@ func runDurable(cfg RunConfig) Result {
 		FlushedLines: as.LinesPersisted,
 		Evictions:    as.Evictions,
 		Advances:     s.Epochs().Advances() - adv0,
+		Timeline:     timeline,
 	}
 	r.CheckpointSTW = stw.Snapshot()
+	fillPhases(&r, phases)
 	fillLatencies(&r, lats)
 	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))
@@ -468,15 +526,19 @@ func runSharded(cfg RunConfig) Result {
 	s.Advance() // commit the load against a clean global epoch
 
 	// Instrument after the preload commit (see runDurable); every shard's
-	// window lands in the one histogram, one sample per shard per advance.
+	// window lands in the one histogram, one sample per shard per advance,
+	// and all shards share one attribution timer.
 	stw := new(obs.Histogram)
+	phases := runPhases(cfg)
 	for i := 0; i < cfg.Shards; i++ {
 		s.ShardStore(i).Epochs().Instrument(nil, stw, i)
+		s.ShardStore(i).InstrumentPhases(phases)
 	}
 
 	var m *txn.Manager
 	if cfg.TxnMode != TxnNone {
 		m, _ = txn.ForCluster(s)
+		m.Instrument(phases)
 	}
 
 	st0 := s.Stats()
@@ -496,7 +558,7 @@ func runSharded(cfg RunConfig) Result {
 	} else {
 		s.StartTicker(cfg.EpochInterval)
 	}
-	elapsed, lats := runWorkers(cfg, do)
+	elapsed, lats, timeline := runWorkers(cfg, do)
 	if m != nil {
 		m.StopTicker()
 	} else {
@@ -523,8 +585,10 @@ func runSharded(cfg RunConfig) Result {
 		Evictions:    nv.Evictions,
 		Advances:     int64(s.GlobalEpoch() - adv0),
 		PerShardOps:  perShard,
+		Timeline:     timeline,
 	}
 	r.CheckpointSTW = stw.Snapshot()
+	fillPhases(&r, phases)
 	fillLatencies(&r, lats)
 	fillByteResult(&r, cfg, bytesMoved, elapsed)
 	fillTxnResult(&r, cfg, m, elapsed, handle(0))
@@ -842,36 +906,118 @@ func parallelLoad(cfg RunConfig, put func(worker int, key uint64)) {
 	wg.Wait()
 }
 
+// TimelinePoint is one interval of the measured phase's progress series:
+// where the run's throughput and latency were, second by second, so a
+// BENCH row shows the shape of a run (warm-up, checkpoint dips, eviction
+// stalls), not just its mean.
+type TimelinePoint struct {
+	// MS is the point's offset from the measured phase's start.
+	MS int64 `json:"ms"`
+	// Ops is the cumulative operation count at the point.
+	Ops int64 `json:"ops"`
+	// OpsPerSec is the throughput over this interval alone.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// P50Micros / P99Micros summarize the sampled op latency over this
+	// interval alone (0 when no sample landed in it).
+	P50Micros float64 `json:"p50_us,omitempty"`
+	P99Micros float64 `json:"p99_us,omitempty"`
+}
+
+// progressSlot is one worker's op counter, padded so the per-op store
+// never false-shares with a neighbour.
+type progressSlot struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// sampleTimeline folds one interval into the series and returns the new
+// cumulative baseline.
+func sampleTimeline(tl []TimelinePoint, start, now time.Time, prevOps int64, prevBins []int64,
+	progress []progressSlot, hists []latHist) ([]TimelinePoint, int64, []int64) {
+	var total int64
+	for i := range progress {
+		total += progress[i].n.Load()
+	}
+	var prevMS int64
+	if n := len(tl); n > 0 {
+		prevMS = tl[n-1].MS
+	}
+	ms := now.Sub(start).Milliseconds()
+	dt := float64(ms-prevMS) / 1000
+	if dt <= 0 {
+		dt = 1e-9
+	}
+	bins := mergedBins(hists)
+	delta := obs.BinsSub(bins, prevBins)
+	p := TimelinePoint{
+		MS:        ms,
+		Ops:       total,
+		OpsPerSec: float64(total-prevOps) / dt,
+	}
+	if obs.BinsCount(delta) > 0 {
+		p.P50Micros = float64(obs.BinsQuantile(delta, 0.50)) / 1000
+		p.P99Micros = float64(obs.BinsQuantile(delta, 0.99)) / 1000
+	}
+	return append(tl, p), total, bins
+}
+
 // runWorkers executes the measured phase, sampling per-op latency (one op
-// in 8 pays the clock reads; see latency.go), and returns the wall time
-// plus the merged latency histogram.
-func runWorkers(cfg RunConfig, do func(worker int, op ycsb.Op, i int)) (time.Duration, *latHist) {
+// in 8 pays the clock reads; see latency.go) and collecting the
+// per-interval timeline, and returns the wall time, the merged latency
+// histogram, and the timeline.
+func runWorkers(cfg RunConfig, do func(worker int, op ycsb.Op, i int)) (time.Duration, *latHist, []TimelinePoint) {
 	gens := make([]*ycsb.Generator, cfg.Threads)
 	for w := range gens {
 		gens[w] = ycsb.NewGenerator(cfg.Workload, cfg.Dist, cfg.TreeSize, cfg.Seed+int64(w)*7919)
 		gens[w].SetScanLength(cfg.ScanDist, cfg.ScanLen)
 	}
 	hists := make([]latHist, cfg.Threads)
+	progress := make([]progressSlot, cfg.Threads)
+
+	stopTL := make(chan struct{})
+	tlDone := make(chan []TimelinePoint, 1)
 	var wg sync.WaitGroup
 	start := time.Now()
+	go func() {
+		var tl []TimelinePoint
+		var prevOps int64
+		var prevBins []int64
+		t := time.NewTicker(cfg.TimelineInterval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				tl, prevOps, prevBins = sampleTimeline(tl, start, now, prevOps, prevBins, progress, hists)
+			case <-stopTL:
+				// Final partial interval, so short runs still get a point.
+				tl, _, _ = sampleTimeline(tl, start, time.Now(), prevOps, prevBins, progress, hists)
+				tlDone <- tl
+				return
+			}
+		}
+	}()
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			g := gens[w]
 			h := &hists[w]
+			p := &progress[w].n
 			for i := 0; i < cfg.OpsPerThread; i++ {
 				op := g.Next()
 				if i&latSampleMask == 0 {
 					t0 := time.Now()
 					do(w, op, i)
 					h.record(time.Since(t0))
-					continue
+				} else {
+					do(w, op, i)
 				}
-				do(w, op, i)
+				p.Store(int64(i + 1))
 			}
 		}(w)
 	}
 	wg.Wait()
-	return time.Since(start), mergeLatencies(hists)
+	elapsed := time.Since(start)
+	close(stopTL)
+	return elapsed, mergeLatencies(hists), <-tlDone
 }

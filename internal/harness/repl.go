@@ -3,6 +3,8 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"math"
+	"runtime"
 	"time"
 
 	"incll"
@@ -59,21 +61,34 @@ func RunSnapshotBench(p Params, shards, valueSize int) ReplResult {
 	}
 	db.Checkpoint()
 
+	// Both measurements finish in well under a second at CI scale, so a
+	// single background GC cycle (or heap debt inherited from earlier
+	// matrix rows) can halve a run. Best-of-3 with a clean heap before
+	// each attempt measures the path, not the collector's timing.
 	var buf bytes.Buffer
-	t0 := time.Now()
-	info, err := db.Snapshot(&buf)
-	if err != nil {
-		panic(fmt.Sprintf("harness: snapshot bench: %v", err))
-	}
-	expSecs := time.Since(t0).Seconds()
+	var info incll.SnapshotInfo
+	expSecs := math.Inf(1)
+	resSecs := math.Inf(1)
+	for try := 0; try < 3; try++ {
+		buf.Reset()
+		runtime.GC()
+		t0 := time.Now()
+		si, err := db.Snapshot(&buf)
+		if err != nil {
+			panic(fmt.Sprintf("harness: snapshot bench: %v", err))
+		}
+		expSecs = math.Min(expSecs, time.Since(t0).Seconds())
+		info = si
 
-	t0 = time.Now()
-	restored, _, err := incll.Restore(bytes.NewReader(buf.Bytes()), replOptions(shards))
-	if err != nil {
-		panic(fmt.Sprintf("harness: restore bench: %v", err))
+		runtime.GC()
+		t0 = time.Now()
+		restored, _, err := incll.Restore(bytes.NewReader(buf.Bytes()), replOptions(shards))
+		if err != nil {
+			panic(fmt.Sprintf("harness: restore bench: %v", err))
+		}
+		resSecs = math.Min(resSecs, time.Since(t0).Seconds())
+		restored.Close()
 	}
-	resSecs := time.Since(t0).Seconds()
-	restored.Close()
 
 	return ReplResult{
 		Shards:           shards,

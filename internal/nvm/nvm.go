@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"incll/internal/obs"
 )
 
 const (
@@ -106,8 +108,14 @@ type Arena struct {
 
 	reserveOff uint64 // bump cursor for static region carving
 
-	stats Stats
+	phases *obs.PhaseSet // sampled fence-stall attribution; nil disables
+	stats  Stats
 }
+
+// Instrument attaches the sampled latency-attribution timer: a 1-in-N sample
+// of Fence calls is timed end to end (drain + modeled NVM round trip) and
+// charged to the fence phase. nil detaches.
+func (a *Arena) Instrument(ph *obs.PhaseSet) { a.phases = ph }
 
 // New creates an arena of cfg.Words words, all zero, fully persistent
 // (clean). Word offset 0 is reserved so that 0 can act as a null "pointer".
@@ -297,6 +305,10 @@ func (a *Arena) WritebackRange(off, words uint64) {
 // pending writeback is persisted with its current contents. Injects the
 // configured FenceDelay to model the NVM round trip.
 func (a *Arena) Fence() {
+	if a.phases.Sampled(0) {
+		t0 := time.Now()
+		defer func() { a.phases.Observe(obs.PhaseFence, time.Since(t0)) }()
+	}
 	a.pendMu.Lock()
 	pend := a.pending
 	a.pending = nil

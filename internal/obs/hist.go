@@ -146,6 +146,70 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 }
 
+// Bins returns a copy of the raw bucket counts. Subtracting two Bins
+// snapshots of a live histogram gives the observation counts of the
+// interval between them; BinsQuantile and friends summarize such deltas
+// (the harness's per-second latency timelines and the anomaly watchdog's
+// windowed p99 are built on this).
+func (h *Histogram) Bins() []int64 {
+	out := make([]int64, HistBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BinsCount sums a bucket-count slice (the observation count of a window).
+func BinsCount(bins []int64) int64 {
+	var n int64
+	for _, b := range bins {
+		n += b
+	}
+	return n
+}
+
+// BinsQuantile returns the q-quantile (0 < q ≤ 1) of a bucket-count slice
+// as a representative bucket midpoint, or 0 when the slice is empty.
+// Negative counts (a racy delta) are treated as zero.
+func BinsQuantile(bins []int64, q float64) int64 {
+	var n int64
+	for _, b := range bins {
+		if b > 0 {
+			n += b
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i, b := range bins {
+		if b > 0 {
+			seen += b
+		}
+		if seen > rank {
+			return int64(HistBucketMid(i))
+		}
+	}
+	return int64(HistBucketMid(len(bins) - 1))
+}
+
+// BinsSub returns cur−old element-wise: the observation counts of the
+// window between two Bins snapshots of the same histogram.
+func BinsSub(cur, old []int64) []int64 {
+	out := make([]int64, len(cur))
+	for i := range cur {
+		out[i] = cur[i]
+		if i < len(old) {
+			out[i] -= old[i]
+		}
+	}
+	return out
+}
+
 // cumulative returns the count of observations ≤ bound (a value in the
 // histogram's recording domain), by summing every bucket whose upper edge
 // fits under the bound. Buckets straddling the bound are excluded, so the

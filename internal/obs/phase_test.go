@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhaseNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		s := ph.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("phase %d has bad or duplicate name %q", ph, s)
+		}
+		seen[s] = true
+	}
+	if NumPhases.String() != "unknown" {
+		t.Fatalf("out-of-range phase name: %q", NumPhases.String())
+	}
+}
+
+func TestPhaseSetNilSafe(t *testing.T) {
+	var p *PhaseSet
+	if p.Begin(0) {
+		t.Fatal("nil PhaseSet sampled an op")
+	}
+	p.Lap(0, PhaseDescent) // must not panic
+	p.End(0, PhaseDescent)
+	p.Observe(PhaseFence, time.Millisecond)
+	if p.Active(0) || p.Sampled(0) || p.SampleEvery() != 0 {
+		t.Fatal("nil PhaseSet is active")
+	}
+	if p.Hist(PhaseDescent) != nil || p.Snapshot() != nil {
+		t.Fatal("nil PhaseSet returned state")
+	}
+}
+
+func TestPhaseSetSampling(t *testing.T) {
+	p := NewPhaseSet(2, 8)
+	if p.SampleEvery() != 8 {
+		t.Fatalf("SampleEvery=%d want 8", p.SampleEvery())
+	}
+	sampled := 0
+	for i := 0; i < 800; i++ {
+		if p.Begin(0) {
+			sampled++
+			if !p.Active(0) {
+				t.Fatal("Active false during sampled op")
+			}
+			p.End(0, PhaseDescent)
+		}
+		if p.Active(0) {
+			t.Fatal("Active true outside a sampled op")
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 800 ops, want exactly 100 (1-in-8)", sampled)
+	}
+	if n := p.Hist(PhaseDescent).Count(); n != 100 {
+		t.Fatalf("descent count=%d want 100", n)
+	}
+	// Rounding: a non-power-of-two period rounds up.
+	if got := NewPhaseSet(1, 5).SampleEvery(); got != 8 {
+		t.Fatalf("SampleEvery(5)=%d want 8", got)
+	}
+}
+
+func TestPhaseSetLapAttribution(t *testing.T) {
+	p := NewPhaseSet(1, 1) // sample everything
+	if !p.Begin(0) {
+		t.Fatal("1-in-1 sampling skipped an op")
+	}
+	time.Sleep(2 * time.Millisecond)
+	p.Lap(0, PhaseEpochWait)
+	time.Sleep(2 * time.Millisecond)
+	p.End(0, PhaseDescent)
+
+	for _, ph := range []Phase{PhaseEpochWait, PhaseDescent} {
+		s := p.Hist(ph).Snapshot()
+		if s.Count != 1 || s.Sum < int64(time.Millisecond) {
+			t.Fatalf("%v: count=%d sum=%d, want one ≥1ms lap", ph, s.Count, s.Sum)
+		}
+	}
+	// Lap outside a sampled op records nothing.
+	p.Lap(0, PhaseRetry)
+	if n := p.Hist(PhaseRetry).Count(); n != 0 {
+		t.Fatalf("retry count=%d want 0 (no op in flight)", n)
+	}
+	snap := p.Snapshot()
+	if len(snap) != int(NumPhases) {
+		t.Fatalf("snapshot has %d phases, want %d", len(snap), NumPhases)
+	}
+	if snap["descent"].Count != 1 {
+		t.Fatalf("snapshot descent=%+v", snap["descent"])
+	}
+}
+
+func TestPhaseSetSampledIndependent(t *testing.T) {
+	p := NewPhaseSet(1, 4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if p.Sampled(0) {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("Sampled hit %d of 400, want exactly 100 (1-in-4)", hits)
+	}
+	// The site-local coin must not disturb op sampling.
+	opSampled := 0
+	for i := 0; i < 400; i++ {
+		if p.Begin(0) {
+			opSampled++
+			p.End(0, PhaseDescent)
+		}
+		p.Sampled(0)
+	}
+	if opSampled != 100 {
+		t.Fatalf("op sampling drifted to %d of 400 with interleaved Sampled calls", opSampled)
+	}
+}
+
+func TestPhaseSetConcurrent(t *testing.T) {
+	const workers, ops = 8, 4000
+	p := NewPhaseSet(workers, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if p.Begin(w) {
+					p.Lap(w, PhaseEpochWait)
+					p.End(w, PhaseDescent)
+				}
+				if p.Sampled(w) {
+					p.Observe(PhaseFence, time.Nanosecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(workers * ops / 8)
+	for _, ph := range []Phase{PhaseDescent, PhaseEpochWait, PhaseFence} {
+		if n := p.Hist(ph).Count(); n != want {
+			t.Fatalf("%v count=%d want %d", ph, n, want)
+		}
+	}
+}
+
+func TestHistogramBins(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Record(int64(i))
+	}
+	first := h.Bins()
+	if got := BinsCount(first); got != 1000 {
+		t.Fatalf("BinsCount=%d want 1000", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(1 << 20)
+	}
+	delta := BinsSub(h.Bins(), first)
+	if got := BinsCount(delta); got != 100 {
+		t.Fatalf("delta count=%d want 100", got)
+	}
+	// Every delta observation was ~2^20; its p50 must land in that bucket.
+	q := BinsQuantile(delta, 0.5)
+	if q < (1<<20)*15/16 || q > (1<<20)*17/16 {
+		t.Fatalf("delta p50=%d want ≈ 2^20", q)
+	}
+	// Window quantiles agree with the full histogram on a fresh window.
+	if full, win := h.Quantile(0.99), BinsQuantile(h.Bins(), 0.99); full != win {
+		t.Fatalf("Quantile=%d BinsQuantile=%d, want equal", full, win)
+	}
+	if BinsQuantile(nil, 0.5) != 0 || BinsCount(nil) != 0 {
+		t.Fatal("empty bins must summarize to zero")
+	}
+	// Negative entries (racy deltas) are ignored, not counted.
+	if got := BinsQuantile([]int64{-5, 3, 0}, 0.5); got != 1 {
+		t.Fatalf("quantile over negative bins=%d want 1 (bucket 1 midpoint)", got)
+	}
+}

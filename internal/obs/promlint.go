@@ -256,10 +256,56 @@ func baseName(name string, types map[string]string) string {
 	return name
 }
 
+// nonBaseUnitSuffixes maps discouraged unit suffixes to the Prometheus
+// base unit a family should use instead: time in seconds, size in bytes,
+// fractions as ratios.
+var nonBaseUnitSuffixes = map[string]string{
+	"_ms": "_seconds", "_millis": "_seconds", "_milliseconds": "_seconds",
+	"_us": "_seconds", "_micros": "_seconds", "_microseconds": "_seconds",
+	"_ns": "_seconds", "_nanos": "_seconds", "_nanoseconds": "_seconds",
+	"_kb": "_bytes", "_kib": "_bytes", "_mb": "_bytes", "_mib": "_bytes",
+	"_gb": "_bytes", "_gib": "_bytes",
+	"_pct": "_ratio", "_percent": "_ratio",
+}
+
+// histogramUnitSuffixes are the base-unit suffixes a histogram family name
+// must carry — a bucketed distribution is always of a measured quantity.
+var histogramUnitSuffixes = []string{"_seconds", "_bytes", "_ratio"}
+
+// checkUnitSuffix enforces the unit-suffix conventions on one family name:
+// no non-base units anywhere (counters are checked after stripping
+// _total), _total only on counters, and a base-unit suffix on histograms.
+func checkUnitSuffix(fam, typ string) error {
+	base := fam
+	if typ == "counter" {
+		base = strings.TrimSuffix(fam, "_total")
+	} else if strings.HasSuffix(fam, "_total") {
+		return fmt.Errorf("%s %s must not end in _total (reserved for counters)", typ, fam)
+	}
+	for suf, want := range nonBaseUnitSuffixes {
+		if strings.HasSuffix(base, suf) {
+			return fmt.Errorf("%s %s uses non-base unit %s; use %s", typ, fam, suf, want)
+		}
+	}
+	if typ == "histogram" {
+		for _, suf := range histogramUnitSuffixes {
+			if strings.HasSuffix(fam, suf) {
+				return nil
+			}
+		}
+		return fmt.Errorf("histogram %s lacks a base-unit suffix (%s)",
+			fam, strings.Join(histogramUnitSuffixes, ", "))
+	}
+	return nil
+}
+
 // CheckExposition parses and lints a scrape: every sample must belong to a
-// family with TYPE metadata, counters must end in _total, histograms must
-// have a +Inf bucket and matching _sum/_count, label sets must not repeat
-// within a family, and families must not interleave.
+// family with TYPE and non-empty HELP metadata, counters must end in
+// _total, family names must use Prometheus base units (_seconds, _bytes,
+// _ratio — never _ms, _kb, ...; _total only on counters; histograms carry
+// a unit suffix), histograms must have a +Inf bucket and matching
+// _sum/_count, label sets must not repeat within a family, and families
+// must not interleave.
 func CheckExposition(r io.Reader) error {
 	exp, err := ParseExposition(r)
 	if err != nil {
@@ -279,6 +325,14 @@ func CheckExposition(r io.Reader) error {
 		}
 		if typ == "counter" && !strings.HasSuffix(fam, "_total") {
 			return fmt.Errorf("counter %s should end in _total", fam)
+		}
+		if fam != lastFamily && !seen[fam] {
+			if strings.TrimSpace(exp.Helps[fam]) == "" {
+				return fmt.Errorf("family %s has no HELP text", fam)
+			}
+			if err := checkUnitSuffix(fam, typ); err != nil {
+				return err
+			}
 		}
 		if fam != lastFamily {
 			if seen[fam] {

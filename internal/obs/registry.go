@@ -157,6 +157,48 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// SampleValue is one numeric reading of a registered series, taken by
+// Registry.Snapshot. Histograms contribute derived series — name_count and
+// name_sum (counters, sum in exported units) plus name_p50 and name_p99
+// (gauges) — so a snapshot stream is entirely scalar.
+type SampleValue struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"` // rendered pairs, e.g. `op="put",shard="0"`
+	Kind   string  `json:"kind"`             // counter | gauge
+	Value  float64 `json:"value"`
+}
+
+// Key is the series identity a time-series consumer should index by:
+// the name with its rendered label set.
+func (v SampleValue) Key() string { return v.Name + braced(v.Labels) }
+
+// Snapshot reads every registered series once, in registration order. The
+// Kind field tells a consumer which series are monotonic (rate-able).
+func (r *Registry) Snapshot() []SampleValue {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	var out []SampleValue
+	for _, f := range fams {
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				h := s.hist
+				out = append(out,
+					SampleValue{Name: f.name + "_count", Labels: s.labels, Kind: "counter", Value: float64(h.Count())},
+					SampleValue{Name: f.name + "_sum", Labels: s.labels, Kind: "counter", Value: float64(h.Sum()) * s.scale},
+					SampleValue{Name: f.name + "_p50", Labels: s.labels, Kind: "gauge", Value: float64(h.Quantile(0.50)) * s.scale},
+					SampleValue{Name: f.name + "_p99", Labels: s.labels, Kind: "gauge", Value: float64(h.Quantile(0.99)) * s.scale},
+				)
+				continue
+			}
+			out = append(out, SampleValue{Name: f.name, Labels: s.labels, Kind: f.kind.String(), Value: float64(s.read())})
+		}
+	}
+	return out
+}
+
 // braced wraps a rendered label set in braces, or returns "" for none.
 func braced(labels string) string {
 	if labels == "" {

@@ -42,6 +42,12 @@ const (
 	// EvReplicaResync: a replica fell off its stream and re-bootstrapped
 	// from a fresh snapshot. Epoch is the new anchor.
 	EvReplicaResync
+	// EvFlightDump: the anomaly watchdog wrote a flight-recorder dump.
+	// Epoch is the running epoch at dump time.
+	EvFlightDump
+	// EvFlightDumpFailed: a flight-recorder dump could not be written (the
+	// watchdog never fails the process; this event is the only residue).
+	EvFlightDumpFailed
 )
 
 // String returns the event kind's stable lower-snake name (also used in
@@ -66,6 +72,10 @@ func (k EventKind) String() string {
 		return "replica_apply"
 	case EvReplicaResync:
 		return "replica_resync"
+	case EvFlightDump:
+		return "flight_dump"
+	case EvFlightDumpFailed:
+		return "flight_dump_failed"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

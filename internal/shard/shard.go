@@ -53,6 +53,9 @@ type Config struct {
 	// optional; see internal/obs.
 	Trace        *obs.Tracer
 	StopTheWorld *obs.Histogram
+	// Phases is the sampled latency-attribution timer shared by every
+	// shard's core store (see obs.PhaseSet). Optional.
+	Phases *obs.PhaseSet
 }
 
 func (c *Config) setDefaults() {
@@ -191,6 +194,7 @@ func attach(coord *nvm.Arena, arenas []*nvm.Arena, cfg Config) (*Store, Recovery
 				Committed:    committed,
 				Trace:        cfg.Trace,
 				StopTheWorld: cfg.StopTheWorld,
+				Phases:       cfg.Phases,
 				Shard:        i,
 			})
 			s.shards[i] = st

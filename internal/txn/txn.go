@@ -46,6 +46,7 @@ import (
 	"incll/internal/core"
 	"incll/internal/epoch"
 	"incll/internal/extlog"
+	"incll/internal/obs"
 )
 
 // Commit errors.
@@ -121,10 +122,20 @@ type Manager struct {
 	seq   atomic.Uint64
 	stats Stats
 
+	// phases is the sampled latency-attribution timer (see obs.PhaseSet):
+	// commits charge their guard RLock wait to guard_wait and their
+	// ascending commit-lock walk to commit_lock_wait; advances record their
+	// exclusive guard wait and hold always (one per epoch, too rare to
+	// sample). nil disables.
+	phases *obs.PhaseSet
+
 	hook func(point string) // crash-injection test hook; nil in production
 
 	ticker epoch.Ticker
 }
+
+// Instrument attaches the latency-attribution timer. nil detaches.
+func (m *Manager) Instrument(ph *obs.PhaseSet) { m.phases = ph }
 
 // New builds a Manager and runs intent recovery: every committed intent
 // whose epoch failed is replayed in commit order, the replay is committed
@@ -177,6 +188,19 @@ func (m *Manager) SetHook(h func(point string)) {
 // against in-flight commits by the commit guard. All checkpoints of a
 // transactional store must go through here.
 func (m *Manager) Advance() int {
+	if m.phases != nil {
+		// One advance per epoch: record the wait for in-flight commits to
+		// drain (guard_wait) and the exclusive hold (guard_hold) always.
+		t0 := time.Now()
+		m.guard.Lock()
+		t1 := time.Now()
+		m.phases.Observe(obs.PhaseGuardWait, t1.Sub(t0))
+		defer func() {
+			m.phases.Observe(obs.PhaseGuardHold, time.Since(t1))
+			m.guard.Unlock()
+		}()
+		return m.advance()
+	}
 	m.guard.Lock()
 	defer m.guard.Unlock()
 	return m.advance()
@@ -409,15 +433,31 @@ func (cl *commitLocks) release() {
 // per-shard epoch guards. Advances take the commit guard exclusively, so
 // an epoch boundary can never interleave with the window, and the
 // multi-shard Enter cannot deadlock against a coordinated advance.
-func (m *Manager) acquire(lockSet uint64) *commitLocks {
+func (m *Manager) acquire(lockSet uint64, w int) *commitLocks {
+	if m.phases.Sampled(w) {
+		// Sampled commit: split the entry latency into the shared-guard
+		// wait (blocked behind an epoch advance) and the per-shard
+		// commit-lock walk (blocked behind conflicting commits).
+		t0 := time.Now()
+		m.guard.RLock()
+		t1 := time.Now()
+		m.phases.Observe(obs.PhaseGuardWait, t1.Sub(t0))
+		m.lockShards(lockSet)
+		m.phases.Observe(obs.PhaseCommitLockWait, time.Since(t1))
+		return &commitLocks{m: m, lockSet: lockSet}
+	}
 	m.guard.RLock()
+	m.lockShards(lockSet)
+	return &commitLocks{m: m, lockSet: lockSet}
+}
+
+func (m *Manager) lockShards(lockSet uint64) {
 	for s := lockSet; s != 0; {
 		i := bits.TrailingZeros64(s)
 		s &^= 1 << uint(i)
 		m.commitMu[i].Lock()
 		m.stores[i].Epochs().Enter()
 	}
-	return &commitLocks{m: m, lockSet: lockSet}
 }
 
 // validateLocked re-reads the transaction's read set under the commit
@@ -444,7 +484,7 @@ func (m *Manager) validateOnly(t *Txn) error {
 	for k := range t.reads {
 		lockSet |= 1 << uint(m.shardOf([]byte(k)))
 	}
-	cl := m.acquire(lockSet)
+	cl := m.acquire(lockSet, t.worker)
 	ok := m.validateLocked(t)
 	cl.release()
 	if !ok {
@@ -458,7 +498,7 @@ func (m *Manager) validateOnly(t *Txn) error {
 // (only) when the intent segment is full and the caller should advance the
 // epoch and retry.
 func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, err error) {
-	cl := m.acquire(lockSet)
+	cl := m.acquire(lockSet, t.worker)
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(InjectedCrash); ok {

@@ -11,8 +11,10 @@ package incll
 // never locks a leaf, stops the world, or touches NVM.
 
 import (
+	"encoding/json"
 	"io"
 	"strconv"
+	"time"
 
 	"incll/internal/core"
 	"incll/internal/nvm"
@@ -92,6 +94,23 @@ type Metrics struct {
 	Txn TxnStats `json:"txn"`
 	// Journal describes the change journal, if attached.
 	Journal JournalMetrics `json:"journal"`
+	// Phases is the sampled latency attribution, if enabled (see
+	// Options.PhaseSampleEvery and DESIGN.md §12).
+	Phases PhaseMetrics `json:"phases"`
+}
+
+// PhaseMetrics is the latency-attribution extension of Metrics: where a
+// sampled operation's wall time went, phase by phase.
+type PhaseMetrics struct {
+	// Enabled reports whether attribution is on (Options.PhaseSampleEvery
+	// ≥ 0).
+	Enabled bool `json:"enabled"`
+	// SampleEvery is the op sampling period (1 in N).
+	SampleEvery int `json:"sample_every"`
+	// Hist maps phase name (descent, retry, epoch_wait, guard_wait,
+	// guard_hold, commit_lock_wait, fence, alloc) to its latency histogram
+	// summary, in nanoseconds.
+	Hist map[string]obs.HistSnapshot `json:"hist,omitempty"`
 }
 
 // Metrics returns a typed snapshot of the DB's counters, histograms, and
@@ -116,6 +135,13 @@ func (db *DB) Metrics() Metrics {
 	}
 	if tot := perm + val + ext; tot > 0 {
 		m.UndoInCLLRatio = float64(perm+val) / float64(tot)
+	}
+	if db.phases != nil {
+		m.Phases = PhaseMetrics{
+			Enabled:     true,
+			SampleEvery: db.phases.SampleEvery(),
+			Hist:        db.phases.Snapshot(),
+		}
 	}
 	if h := db.hubIfAttached(); h != nil {
 		m.Journal = JournalMetrics{
@@ -224,6 +250,13 @@ func (db *DB) register(reg *obs.Registry) {
 
 	reg.Histogram("incll_checkpoint_stw_seconds",
 		"Checkpoint stop-the-world window (Prepare lock to Commit unlock).", "", db.stw, 1e-9)
+	if db.phases != nil {
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			reg.Histogram("incll_phase_seconds",
+				"Sampled operation latency attributed by phase (see DESIGN.md §12).",
+				obs.Labels("phase", ph.String()), db.phases.Hist(ph), 1e-9)
+		}
+	}
 	reg.Gauge("incll_epoch", "Running (uncommitted) epoch.", "", func() int64 { return int64(db.currentEpoch()) })
 	reg.Gauge("incll_keys", "Live keys tracked this execution.", "", func() int64 { return int64(db.Len()) })
 	reg.Gauge("incll_shards", "Shard count.", "", func() int64 { return int64(db.Shards()) })
@@ -267,6 +300,50 @@ func (db *DB) register(reg *obs.Registry) {
 		hubGauge(func(h *repl.Hub) int64 { return int64(h.Released()) }))
 	reg.Counter("incll_journal_cuts_total", "Subscriptions cut loose by the journal byte budget.", "",
 		hubGauge((*repl.Hub).Cuts))
+}
+
+// StartRecorder begins taking periodic registry snapshots into a ring of
+// the given capacity, the backing store for MetricsHistory (kvserver
+// serves it at /metrics/history). interval ≤ 0 defaults to one second,
+// capacity ≤ 0 to 600 points (ten minutes at the default cadence).
+// Idempotent while running; Close and SimulateCrash stop it.
+func (db *DB) StartRecorder(interval time.Duration, capacity int) {
+	db.recMu.Lock()
+	defer db.recMu.Unlock()
+	if db.recorder == nil {
+		db.recorder = obs.NewRecorder(db.registry(), interval, capacity)
+	}
+	db.recorder.Start()
+}
+
+// StopRecorder stops the periodic snapshotter, if running. The recorded
+// history stays readable.
+func (db *DB) StopRecorder() {
+	db.recMu.Lock()
+	defer db.recMu.Unlock()
+	if db.recorder != nil {
+		db.recorder.Stop()
+	}
+}
+
+// MetricsHistory returns the recorded time-series, oldest first: every
+// metric's value at each snapshot instant plus per-second rates for
+// counters. Empty until StartRecorder runs.
+func (db *DB) MetricsHistory() []obs.HistoryPoint {
+	db.recMu.Lock()
+	r := db.recorder
+	db.recMu.Unlock()
+	if r == nil {
+		return nil
+	}
+	return r.History()
+}
+
+// WriteMetricsHistory renders MetricsHistory as JSON.
+func (db *DB) WriteMetricsHistory(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(db.MetricsHistory())
 }
 
 // registerReplicaGauges adds the follower-side lag series to this DB's
