@@ -12,6 +12,11 @@
 //	                                     # protocol point, verify the replica
 //	                                     # always holds an exact committed
 //	                                     # prefix and reconverges
+//	incll-crash -reshard -shards 4 -toshards 8     # resharding campaign:
+//	                                     # abort the online reshard at every
+//	                                     # protocol point, crash, and verify
+//	                                     # recovery lands entirely on one
+//	                                     # side of the cutover, lossless
 package main
 
 import (
@@ -33,7 +38,30 @@ func main() {
 	valueBytes := flag.Int("valuebytes", 0, "store random byte values up to this size (0 = uint64 values); exercises the value heap")
 	repl := flag.Bool("repl", false, "run the replication campaign instead: crash the primary at every snapshot/stream protocol point under concurrent load")
 	replicaShards := flag.Int("replicashards", 0, "replication campaign: the follower's shard count (0 = same as -shards)")
+	reshard := flag.Bool("reshard", false, "run the resharding campaign instead: abort an online reshard at every protocol point under concurrent load, crash, and verify atomic cutover with zero lost or duplicated keys")
+	toShards := flag.Int("toshards", 0, "resharding campaign: the target shard count (0 = 2x -shards)")
 	flag.Parse()
+
+	if *reshard {
+		to := *toShards
+		if to == 0 {
+			to = *shards * 2
+		}
+		cfg := crashtest.ReshardConfig{
+			From:            *shards,
+			To:              to,
+			Workers:         *workers,
+			PersistFraction: *persist,
+		}
+		for seed := int64(0); seed < int64(*seeds); seed++ {
+			if err := crashtest.RunReshard(cfg, seed); err != nil {
+				log.Fatalf("seed %d: reshard invariant violated: %v", seed, err)
+			}
+			fmt.Printf("seed %d: reshard %d→%d crash matrix verified\n", seed, cfg.From, cfg.To)
+		}
+		fmt.Println("all campaigns: every crash recovered onto exactly one side of the cutover, lossless")
+		return
+	}
 
 	if *repl {
 		cfg := crashtest.ReplConfig{

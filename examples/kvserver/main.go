@@ -16,6 +16,8 @@
 //	GET  /range?start=k&n=10  ordered range read
 //	GET  /snapshot          stream a consistent online backup (see below)
 //	POST /crash?persist=0.5 simulate a power failure + instant recovery
+//	POST /reshard?shards=8  online split/merge to a new shard count
+//	GET  /reshard           live reshard progress (phase, copy counters)
 //	GET  /stats             logging and persistence counters, per shard
 //	GET  /metrics           Prometheus text exposition (scrape me)
 //	GET  /metrics/history   ring of recent metric snapshots + rates (JSON)
@@ -38,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -206,6 +209,45 @@ func main() {
 			fmt.Fprintf(w, "  shard %d: %v, %d pre-images, epoch %d\n",
 				i, sr.Status, sr.LogEntriesApplied, sr.Epoch)
 		}
+	})
+	mux.HandleFunc("/reshard", func(w http.ResponseWriter, r *http.Request) {
+		// GET reports live progress; POST runs an online split/merge. Both
+		// go through withDB: Reshard swaps the engine inside the DB, so the
+		// *DB pointer handlers hold stays valid throughout — only /crash
+		// replaces the instance itself.
+		if r.Method == http.MethodGet {
+			srv.withDB(func(db *incll.DB) {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(db.ReshardProgress())
+			})
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		n, err := strconv.Atoi(r.URL.Query().Get("shards"))
+		if err != nil || n < 1 {
+			http.Error(w, "bad shards", http.StatusBadRequest)
+			return
+		}
+		srv.withDB(func(db *incll.DB) {
+			t0 := time.Now()
+			res, err := db.Reshard(n)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			log.Printf("resharded %d→%d in %v (cutover pause %v, %d keys copied)",
+				res.From, res.To, time.Since(t0), res.CutoverPause, res.CopiedKeys)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				incll.ReshardResult
+				CutoverPauseMS float64 `json:"cutover_pause_ms"`
+				TookMS         float64 `json:"took_ms"`
+			}{res, float64(res.CutoverPause.Microseconds()) / 1000,
+				float64(res.Took.Microseconds()) / 1000})
+		})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		srv.withDB(func(db *incll.DB) {

@@ -64,8 +64,12 @@
 package incll
 
 import (
+	"errors"
+	"fmt"
 	"iter"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incll/internal/core"
@@ -77,10 +81,16 @@ import (
 	"incll/internal/txn"
 )
 
-// MaxShards is the largest supported Options.Shards: the transaction
-// manager encodes shard sets as single-word bitmasks, so the keyspace can
-// split at most 64 ways. Larger requests are clamped.
-const MaxShards = 64
+// MaxShards is the largest supported Options.Shards. Clusters beyond 64
+// shards leave the transaction manager's one-word shard-set fast path and
+// pay a small per-commit allocation for the widened bitset; the ceiling
+// itself only bounds resource sizing (per-shard arenas are floored at
+// minShardArenaWords, so very large counts multiply memory).
+const MaxShards = 4096
+
+// ErrTooManyShards reports Options.Shards above MaxShards. Open panics
+// with it (wrapped); Options.Validate and DB.Reshard return it.
+var ErrTooManyShards = errors.New("incll: Options.Shards exceeds MaxShards")
 
 // MaxValueBytes is the largest byte value PutBytes accepts (the payload of
 // the value heap's largest size class).
@@ -153,15 +163,19 @@ type Options struct {
 	DisableInCLL bool
 }
 
+// Validate checks the options without opening anything: today that is
+// the shard-count ceiling (ErrTooManyShards). Open panics on the same
+// conditions; DB.Reshard returns them.
+func (o Options) Validate() error {
+	if o.Shards > MaxShards {
+		return fmt.Errorf("%w (%d > %d)", ErrTooManyShards, o.Shards, MaxShards)
+	}
+	return nil
+}
+
 func (o *Options) setDefaults() {
 	if o.Shards <= 0 {
 		o.Shards = 1
-	}
-	if o.Shards > MaxShards {
-		// internal/txn encodes shard lock/write sets as one-word bitmasks;
-		// a 65th shard would silently alias bit 0 and break commit
-		// ordering, so the count is clamped instead.
-		o.Shards = MaxShards
 	}
 	if o.ArenaWords == 0 {
 		o.ArenaWords = 1 << 24
@@ -290,24 +304,67 @@ type rawHandle interface {
 	NewIter(o IterOptions) Iterator
 }
 
-// workerHandle adapts a store-layer handle to the validated façade
-// surface and rebases the callback scans onto the cursor.
-type workerHandle struct {
-	rawHandle
+// dynHandle is the validated façade handle for one worker. Every
+// operation resolves the DB's live engine exactly once, so the handle
+// survives an online reshard: operations started before the cutover run
+// against the donor (and are drained into its final checkpoint),
+// operations after it run against the new shard set.
+type dynHandle struct {
+	db *DB
+	w  int
+}
+
+// Get returns the uint64 view of the value stored under k.
+func (h *dynHandle) Get(k []byte) (uint64, bool) {
+	return h.db.engine().handles[h.w].Get(k)
+}
+
+// GetBytes returns a copy of the byte value stored under k.
+func (h *dynHandle) GetBytes(k []byte) ([]byte, bool) {
+	return h.db.engine().handles[h.w].GetBytes(k)
+}
+
+// AppendGet appends k's value bytes to dst: the allocation-free form of
+// GetBytes.
+func (h *dynHandle) AppendGet(dst []byte, k []byte) ([]byte, bool) {
+	return h.db.engine().handles[h.w].AppendGet(dst, k)
+}
+
+// Put stores v under k; reports whether k was newly inserted.
+func (h *dynHandle) Put(k []byte, v uint64) bool {
+	e := h.db.writeEngine(h.w)
+	defer e.release(h.w)
+	return e.handles[h.w].Put(k, v)
 }
 
 // PutBytes stores the byte value v under k; reports whether k was newly
 // inserted, or ErrValueTooLarge / ErrKeyTooLarge.
-func (h workerHandle) PutBytes(k []byte, v []byte) (bool, error) {
+func (h *dynHandle) PutBytes(k []byte, v []byte) (bool, error) {
 	if err := core.ValidateKV(k, v); err != nil {
 		return false, err
 	}
-	return h.rawHandle.PutBytes(k, v), nil
+	e := h.db.writeEngine(h.w)
+	defer e.release(h.w)
+	return e.handles[h.w].PutBytes(k, v), nil
+}
+
+// Delete removes k; reports whether it was present.
+func (h *dynHandle) Delete(k []byte) bool {
+	e := h.db.writeEngine(h.w)
+	defer e.release(h.w)
+	return e.handles[h.w].Delete(k)
+}
+
+// NewIter opens a cursor on this worker's handle. The cursor walks the
+// engine it was opened on; across a reshard cutover it keeps reading the
+// donor's frozen final checkpoint (a consistent committed snapshot).
+func (h *dynHandle) NewIter(o IterOptions) Iterator {
+	return h.db.engine().handles[h.w].NewIter(o)
 }
 
 // Scan visits up to max keys ≥ start in ascending order (max < 0 means
 // unlimited), until fn returns false. Returns the number visited.
-func (h workerHandle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
+func (h *dynHandle) Scan(start []byte, max int, fn func(k []byte, v uint64) bool) int {
 	it := h.NewIter(IterOptions{})
 	defer it.Close()
 	return cursorScan(it, start, max, func(it Iterator) bool { return fn(it.Key(), it.ValueUint64()) })
@@ -315,7 +372,7 @@ func (h workerHandle) Scan(start []byte, max int, fn func(k []byte, v uint64) bo
 
 // ScanBytes is Scan delivering byte values; the key and value slices are
 // only valid during the callback.
-func (h workerHandle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
+func (h *dynHandle) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
 	it := h.NewIter(IterOptions{})
 	defer it.Close()
 	return cursorScan(it, start, max, func(it Iterator) bool { return fn(it.Key(), it.Value()) })
@@ -349,36 +406,204 @@ func EncodeValue(v uint64) []byte { return core.EncodeValue(v) }
 // the range-over-func adapters, which yield byte values.
 func DecodeValue(b []byte) uint64 { return core.DecodeValue(b) }
 
-// DB is a durable Masstree over simulated NVM: one store over one arena,
-// or — with Options.Shards > 1 — N independent shards behind the same API
-// with coordinated cross-shard checkpoints.
-type DB struct {
+// engine is one topology epoch of a DB: the store(s), their options, and
+// the per-worker handles, bundled behind one atomic pointer so an online
+// reshard can cut the whole bundle over in a single swap. Every operation
+// resolves the live engine exactly once (DB.engine / DB.writeEngine) and
+// runs against it start to finish; iterators opened on an engine keep
+// walking it even across a cutover (the retired donor is frozen at its
+// final checkpoint — a consistent committed snapshot).
+type engine struct {
+	topo    shard.Topology
+	opts    Options      // post-defaults options this engine was sized with
 	arena   *nvm.Arena   // single-store mode
 	store   *core.Store  // single-store mode
-	sharded *shard.Store // sharded mode (Options.Shards > 1)
-	txns    *txn.Manager
-	opts    Options
+	sharded *shard.Store // sharded mode
+	handles []rawHandle  // per-worker raw handles, prebuilt
+
+	// wrefs[w] counts worker w's in-flight mutations on this engine. A
+	// cutover first installs the gated barrier copy (so new writers wait),
+	// then drains every stripe to zero before the donor's final
+	// checkpoint — the write that slipped in last is still inside that
+	// checkpoint, never stranded on a frozen donor.
+	wrefs []wref
+
+	// gate is non-nil only on the barrier copy a cutover installs for the
+	// duration of the swap; engine()/writeEngine() wait on it and retry.
+	gate chan struct{}
+}
+
+// wref is one worker's write-reference counter, padded to a cache line so
+// concurrent workers do not false-share.
+type wref struct {
+	n atomic.Int64
+	_ [7]uint64
+}
+
+// newEngine assembles an engine over an open store set (exactly one of
+// store/sharded non-nil; arena accompanies store).
+func newEngine(opts Options, arena *nvm.Arena, store *core.Store, sharded *shard.Store) *engine {
+	e := &engine{
+		opts:    opts,
+		arena:   arena,
+		store:   store,
+		sharded: sharded,
+		handles: make([]rawHandle, opts.Workers),
+		wrefs:   make([]wref, opts.Workers),
+	}
+	if sharded != nil {
+		e.topo = sharded.Topology()
+		for i := range e.handles {
+			e.handles[i] = sharded.Handle(i)
+		}
+	} else {
+		e.topo = shard.Topology{Version: 1, Shards: 1}
+		for i := range e.handles {
+			e.handles[i] = store.Handle(i)
+		}
+	}
+	return e
+}
+
+// barrier returns the gated copy of e a cutover installs while swapping.
+func (e *engine) barrier() *engine {
+	g := *e
+	g.gate = make(chan struct{})
+	return &g
+}
+
+// drainWrites blocks until every in-flight mutation on e has completed.
+// Callable only after the barrier copy is installed: from then on no new
+// writer can pass the writeEngine recheck, so each stripe monotonically
+// reaches zero.
+func (e *engine) drainWrites() {
+	for i := range e.wrefs {
+		for e.wrefs[i].n.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// release drops a write reference taken by DB.writeEngine.
+func (e *engine) release(w int) { e.wrefs[w].n.Add(-1) }
+
+// stores returns the per-shard core stores (length 1 when unsharded).
+func (e *engine) stores() []*core.Store {
+	if e.sharded != nil {
+		return e.sharded.Stores()
+	}
+	return []*core.Store{e.store}
+}
+
+// advanceRaw runs one cluster-wide epoch advance directly, bypassing the
+// transaction manager's commit guard — for callers that already hold it
+// (the reshard cutover) or predate it (recovery).
+func (e *engine) advanceRaw() int {
+	if e.sharded != nil {
+		return e.sharded.Advance()
+	}
+	return e.store.Advance()
+}
+
+// epoch is the running epoch (identical across shards).
+func (e *engine) epoch() uint64 { return e.stores()[0].Epochs().Current() }
+
+// seal permanently retires the engine after a reshard cutover: tickers
+// stop and any further epoch advance on its stores panics. The frozen
+// state stays readable for cursors that were opened before the cutover.
+func (e *engine) seal() {
+	if e.sharded != nil {
+		e.sharded.Seal()
+		return
+	}
+	e.store.StopTicker()
+	e.store.Epochs().Seal()
+}
+
+// DB is a durable Masstree over simulated NVM: one store over one arena,
+// or — with Options.Shards > 1 — N independent shards behind the same API
+// with coordinated cross-shard checkpoints. DB.Reshard repartitions the
+// keyspace online (see reshard.go and DESIGN.md §13).
+type DB struct {
+	// eng is the live engine; swapped by Reshard's cutover. Resolve it
+	// through DB.engine (reads) or DB.writeEngine (mutations) — never by
+	// loading the pointer twice within one operation.
+	eng      atomic.Pointer[engine]
+	manifest *shard.Manifest // durable topology record: the reshard commit point
+	txns     *txn.Manager
+
+	// rawOpts is Options exactly as passed to Open, before defaults: a
+	// reshard re-derives the target's per-shard sizing from it (the
+	// post-defaults ArenaWords etc. are already divided by the old shard
+	// count and must not be divided again).
+	rawOpts Options
 
 	// Observability (see metrics.go and internal/obs): the phase tracer
 	// and the checkpoint stop-the-world histogram are created before the
 	// stores open, so recovery itself is captured; the registry that
-	// serves WriteMetrics builds lazily on first use.
-	trace   *obs.Tracer
-	stw     *obs.Histogram
-	phases  *obs.PhaseSet // sampled latency attribution; nil when disabled
-	regOnce sync.Once
-	reg     *obs.Registry
+	// serves WriteMetrics builds lazily on first use and is rebuilt after
+	// a reshard (its per-shard gauges are bound to a topology).
+	trace    *obs.Tracer
+	stw      *obs.Histogram
+	phases   *obs.PhaseSet // sampled latency attribution; nil when disabled
+	regMu    sync.Mutex
+	reg      *obs.Registry
+	extraReg []func(*obs.Registry) // replica gauges etc., replayed on rebuild
 
 	// Recorder state (see metrics.go): the periodic registry snapshotter
-	// behind MetricsHistory, started on demand.
-	recMu    sync.Mutex
-	recorder *obs.Recorder
+	// behind MetricsHistory, started on demand; recreated against the
+	// rebuilt registry after a reshard.
+	recMu       sync.Mutex
+	recorder    *obs.Recorder
+	recOn       bool
+	recInterval time.Duration
+	recCap      int
 
 	// Replication state (see replication.go): the change hub attaches
-	// lazily on first Snapshot/Changes use and dies with this DB instance.
+	// lazily on first Snapshot/Changes use and dies with this DB instance
+	// — or with the donor topology at a reshard cutover (subscribers see
+	// ErrStreamLost and re-bootstrap, exactly as after a primary crash).
 	replMu   sync.Mutex
 	replHub  *repl.Hub
 	snapHook func(point string) error // crash-injection test hook
+
+	// Reshard state (see reshard.go).
+	reshardMu   sync.Mutex
+	reshardHook func(point string) error // crash-injection test hook
+	rstate      reshardState
+}
+
+// engine resolves the live engine for a read. During a cutover's swap
+// window the gate blocks briefly; the returned engine is never gated.
+func (db *DB) engine() *engine {
+	for {
+		e := db.eng.Load()
+		if e.gate != nil {
+			<-e.gate
+			continue
+		}
+		return e
+	}
+}
+
+// writeEngine resolves the live engine for a mutation on worker w and
+// takes a write reference on it. The recheck after the increment closes
+// the race with a concurrent cutover: if the swap won, the reference is
+// dropped and the writer retries against the new engine — so a write can
+// never land on a donor after its final checkpoint. Pair with release.
+func (db *DB) writeEngine(w int) *engine {
+	for {
+		e := db.eng.Load()
+		if e.gate != nil {
+			<-e.gate
+			continue
+		}
+		e.wrefs[w].n.Add(1)
+		if db.eng.Load() == e {
+			return e
+		}
+		e.wrefs[w].n.Add(-1)
+	}
 }
 
 // newPhaseSet builds the attribution timer per Options.PhaseSampleEvery:
@@ -394,40 +619,54 @@ func newPhaseSet(opts Options) *obs.PhaseSet {
 	return obs.NewPhaseSet(opts.Workers, every)
 }
 
-// Open creates a DB over fresh simulated NVM.
+// shardConfig derives the shard.Config for opening a cluster with the
+// given (post-defaults) options at a topology version.
+func shardConfig(opts Options, topoVersion uint64, trace *obs.Tracer, stw *obs.Histogram, phases *obs.PhaseSet) shard.Config {
+	return shard.Config{
+		Shards:       opts.Shards,
+		Workers:      opts.Workers,
+		ArenaWords:   opts.ArenaWords,
+		HeapWords:    opts.HeapWords,
+		LogSegWords:  opts.LogSegWords,
+		TxnSegWords:  opts.TxnSegWords,
+		DisableInCLL: opts.DisableInCLL,
+		TopoVersion:  topoVersion,
+		NVM:          nvm.Config{FenceDelay: opts.FenceDelay},
+		Trace:        trace,
+		StopTheWorld: stw,
+		Phases:       phases,
+	}
+}
+
+// Open creates a DB over fresh simulated NVM. Invalid options (see
+// Options.Validate) panic with the wrapped typed error.
 func Open(opts Options) (*DB, RecoveryInfo) {
+	raw := opts
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	opts.setDefaults()
+	manifest := shard.NewManifest(opts.FenceDelay, 1, opts.Shards)
 	if opts.Shards > 1 {
 		trace := obs.NewTracer(obs.DefaultTraceEvents)
 		stw := new(obs.Histogram)
 		phases := newPhaseSet(opts)
-		s, sinfo := shard.Open(shard.Config{
-			Shards:       opts.Shards,
-			Workers:      opts.Workers,
-			ArenaWords:   opts.ArenaWords,
-			HeapWords:    opts.HeapWords,
-			LogSegWords:  opts.LogSegWords,
-			TxnSegWords:  opts.TxnSegWords,
-			DisableInCLL: opts.DisableInCLL,
-			NVM:          nvm.Config{FenceDelay: opts.FenceDelay},
-			Trace:        trace,
-			StopTheWorld: stw,
-			Phases:       phases,
-		})
-		db := &DB{sharded: s, opts: opts, trace: trace, stw: stw, phases: phases}
+		s, sinfo := shard.Open(shardConfig(opts, 1, trace, stw, phases))
+		db := &DB{manifest: manifest, rawOpts: raw, trace: trace, stw: stw, phases: phases}
+		db.eng.Store(newEngine(opts, nil, nil, s))
 		info := shardInfo(sinfo)
 		info.TxnsReplayed = db.initTxns()
 		db.traceTxnReplay(info.TxnsReplayed)
 		return db, info
 	}
 	arena := nvm.New(nvm.Config{Words: opts.ArenaWords, FenceDelay: opts.FenceDelay})
-	return attach(arena, opts, nil, nil, nil)
+	return attach(arena, opts, raw, manifest, nil, nil, nil)
 }
 
 // attach opens a single store over an existing arena. A nil trace builds a
 // fresh observability bundle (first Open); Reopen passes the crashed DB's
 // so the phase trace — and the attribution histograms — span the crash.
-func attach(arena *nvm.Arena, opts Options, trace *obs.Tracer, stw *obs.Histogram, phases *obs.PhaseSet) (*DB, RecoveryInfo) {
+func attach(arena *nvm.Arena, opts Options, raw Options, manifest *shard.Manifest, trace *obs.Tracer, stw *obs.Histogram, phases *obs.PhaseSet) (*DB, RecoveryInfo) {
 	if trace == nil {
 		trace = obs.NewTracer(obs.DefaultTraceEvents)
 		stw = new(obs.Histogram)
@@ -444,7 +683,8 @@ func attach(arena *nvm.Arena, opts Options, trace *obs.Tracer, stw *obs.Histogra
 		Phases:       phases,
 		Shard:        0,
 	})
-	db := &DB{arena: arena, store: store, opts: opts, trace: trace, stw: stw, phases: phases}
+	db := &DB{manifest: manifest, rawOpts: raw, trace: trace, stw: stw, phases: phases}
+	db.eng.Store(newEngine(opts, arena, store, nil))
 	info := RecoveryInfo{
 		Status:            status,
 		LogEntriesApplied: store.RecoveredLogEntries(),
@@ -463,21 +703,17 @@ func (db *DB) traceTxnReplay(n int) {
 }
 
 // currentEpoch is the running epoch (identical across shards).
-func (db *DB) currentEpoch() uint64 {
-	if db.sharded != nil {
-		return db.sharded.Stores()[0].Epochs().Current()
-	}
-	return db.store.Epochs().Current()
-}
+func (db *DB) currentEpoch() uint64 { return db.engine().epoch() }
 
 // initTxns builds the transaction manager over the open store(s), running
 // intent recovery; returns the number of transactions replayed.
 func (db *DB) initTxns() int {
+	e := db.eng.Load()
 	var replayed int
-	if db.sharded != nil {
-		db.txns, replayed = txn.ForCluster(db.sharded)
+	if e.sharded != nil {
+		db.txns, replayed = txn.ForCluster(e.sharded)
 	} else {
-		db.txns, replayed = txn.ForStore(db.store)
+		db.txns, replayed = txn.ForStore(e.store)
 	}
 	db.txns.Instrument(db.phases)
 	return replayed
@@ -501,44 +737,44 @@ func shardInfo(si shard.RecoveryInfo) RecoveryInfo {
 	return info
 }
 
-// Handle returns worker i's handle (i < Options.Workers).
-func (db *DB) Handle(i int) Handle {
-	if db.sharded != nil {
-		return workerHandle{db.sharded.Handle(i)}
-	}
-	return workerHandle{db.store.Handle(i)}
-}
+// Handle returns worker i's handle (i < Options.Workers). The handle
+// resolves the live engine per operation, so it stays valid across an
+// online reshard.
+func (db *DB) Handle(i int) Handle { return &dynHandle{db: db, w: i} }
 
 // Shards returns the shard count (1 for an unsharded DB).
-func (db *DB) Shards() int {
-	if db.sharded != nil {
-		return db.sharded.NumShards()
-	}
-	return 1
-}
+func (db *DB) Shards() int { return db.engine().topo.Shards }
+
+// TopoVersion returns the live topology version (1 until the first
+// completed reshard; see DB.Reshard).
+func (db *DB) TopoVersion() uint64 { return db.engine().topo.Version }
 
 // Get returns the uint64 view of the value stored under k.
 func (db *DB) Get(k []byte) (uint64, bool) {
-	if db.sharded != nil {
-		return db.sharded.Get(k)
+	e := db.engine()
+	if e.sharded != nil {
+		return e.sharded.Get(k)
 	}
-	return db.store.Get(k)
+	return e.store.Get(k)
 }
 
 // GetBytes returns a copy of the byte value stored under k.
 func (db *DB) GetBytes(k []byte) ([]byte, bool) {
-	if db.sharded != nil {
-		return db.sharded.GetBytes(k)
+	e := db.engine()
+	if e.sharded != nil {
+		return e.sharded.GetBytes(k)
 	}
-	return db.store.GetBytes(k)
+	return e.store.GetBytes(k)
 }
 
 // Put stores v under k; reports whether k was newly inserted.
 func (db *DB) Put(k []byte, v uint64) bool {
-	if db.sharded != nil {
-		return db.sharded.Put(k, v)
+	e := db.writeEngine(0)
+	defer e.release(0)
+	if e.sharded != nil {
+		return e.sharded.Put(k, v)
 	}
-	return db.store.Put(k, v)
+	return e.store.Put(k, v)
 }
 
 // PutBytes stores the byte value v under k; reports whether k was newly
@@ -547,18 +783,22 @@ func (db *DB) PutBytes(k []byte, v []byte) (bool, error) {
 	if err := core.ValidateKV(k, v); err != nil {
 		return false, err
 	}
-	if db.sharded != nil {
-		return db.sharded.PutBytes(k, v), nil
+	e := db.writeEngine(0)
+	defer e.release(0)
+	if e.sharded != nil {
+		return e.sharded.PutBytes(k, v), nil
 	}
-	return db.store.PutBytes(k, v), nil
+	return e.store.PutBytes(k, v), nil
 }
 
 // Delete removes k; reports whether it was present.
 func (db *DB) Delete(k []byte) bool {
-	if db.sharded != nil {
-		return db.sharded.Delete(k)
+	e := db.writeEngine(0)
+	defer e.release(0)
+	if e.sharded != nil {
+		return e.sharded.Delete(k)
 	}
-	return db.store.Delete(k)
+	return e.store.Delete(k)
 }
 
 // NewIter opens a cursor over the DB on worker 0's handle: bidirectional
@@ -568,10 +808,7 @@ func (db *DB) Delete(k []byte) bool {
 // k-way merged, so iteration order is identical to an unsharded cursor.
 // Concurrent workers should open their own cursor via Handle(i).NewIter.
 func (db *DB) NewIter(o IterOptions) Iterator {
-	if db.sharded != nil {
-		return db.sharded.Handle(0).NewIter(o)
-	}
-	return db.store.Handle(0).NewIter(o)
+	return db.engine().handles[0].NewIter(o)
 }
 
 // All is the range-over-func view of the whole DB in ascending key order:
@@ -639,18 +876,20 @@ func (db *DB) ScanBytes(start []byte, max int, fn func(k, v []byte) bool) int {
 // Len returns the number of live keys tracked this execution (transient;
 // call RebuildLen after a restart if an exact count is needed).
 func (db *DB) Len() int {
-	if db.sharded != nil {
-		return db.sharded.Len()
+	e := db.engine()
+	if e.sharded != nil {
+		return e.sharded.Len()
 	}
-	return db.store.Len()
+	return e.store.Len()
 }
 
 // RebuildLen recomputes Len with one full scan.
 func (db *DB) RebuildLen() int {
-	if db.sharded != nil {
-		return db.sharded.RebuildLen()
+	e := db.engine()
+	if e.sharded != nil {
+		return e.sharded.RebuildLen()
 	}
-	return db.store.RebuildLen()
+	return e.store.RebuildLen()
 }
 
 // Checkpoint ends the current epoch: quiesces workers, flushes the cache,
@@ -666,7 +905,7 @@ func (db *DB) Checkpoint() int {
 // in the background, like the paper's 64 ms timer (cluster-wide when
 // sharded, and always excluded against transaction commits).
 func (db *DB) StartCheckpointer() {
-	db.txns.StartTicker(db.opts.EpochInterval)
+	db.txns.StartTicker(db.engine().opts.EpochInterval)
 }
 
 // StopCheckpointer stops the background checkpointer.
@@ -679,10 +918,11 @@ func (db *DB) StopCheckpointer() {
 func (db *DB) Close() {
 	db.StopRecorder()
 	db.txns.StopTicker()
-	if db.sharded != nil {
-		db.sharded.Shutdown()
+	e := db.engine()
+	if e.sharded != nil {
+		e.sharded.Shutdown()
 	} else {
-		db.store.Shutdown()
+		e.store.Shutdown()
 	}
 	db.closeHub(true)
 }
@@ -696,31 +936,41 @@ func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
 	db.StopRecorder()
 	db.txns.StopTicker()
 	db.closeHub(false) // the volatile journal dies with the process
-	if db.sharded != nil {
-		db.sharded.SimulateCrash(persistFraction, seed)
+	db.manifest.Crash(persistFraction, seed)
+	e := db.engine()
+	if e.sharded != nil {
+		e.sharded.SimulateCrash(persistFraction, seed)
 		return
 	}
-	db.store.StopTicker()
-	db.arena.Crash(nvm.RandomPolicy(persistFraction, seed))
+	e.store.StopTicker()
+	e.arena.Crash(nvm.RandomPolicy(persistFraction, seed))
 }
 
 // Reopen recovers the DB from the arena contents after SimulateCrash (or
 // after Close, to model a clean restart). Sharded recovery runs per shard
-// in parallel.
+// in parallel. Recovery first revalidates the durable topology manifest:
+// the arena set being reopened must be the one the manifest says is live
+// (a crash on either side of a reshard cutover leaves exactly one side
+// both durable and named by the manifest — see DESIGN.md §13).
 func (db *DB) Reopen() (*DB, RecoveryInfo) {
-	if db.sharded != nil {
-		s, sinfo := db.sharded.Reopen()
+	e := db.engine()
+	if want := db.manifest.Recover(); !want.Equal(e.topo) {
+		panic(fmt.Sprintf("incll: durable topology manifest %+v does not name the open engine's topology %+v", want, e.topo))
+	}
+	if e.sharded != nil {
+		s, sinfo := e.sharded.Reopen()
 		// The shard config — tracer included — carries over, so the phase
 		// trace spans the crash: the recovery events land in the same ring
 		// the pre-crash checkpoints did.
-		db2 := &DB{sharded: s, opts: db.opts, trace: db.trace, stw: db.stw, phases: db.phases}
+		db2 := &DB{manifest: db.manifest, rawOpts: db.rawOpts, trace: db.trace, stw: db.stw, phases: db.phases}
+		db2.eng.Store(newEngine(e.opts, nil, nil, s))
 		info := shardInfo(sinfo)
 		info.TxnsReplayed = db2.initTxns()
 		db2.traceTxnReplay(info.TxnsReplayed)
 		return db2, info
 	}
-	db.arena.ResetReservations()
-	return attach(db.arena, db.opts, db.trace, db.stw, db.phases)
+	e.arena.ResetReservations()
+	return attach(e.arena, e.opts, db.rawOpts, db.manifest, db.trace, db.stw, db.phases)
 }
 
 // Stats exposes the store's counters (logging, InCLL usage, the value
@@ -733,29 +983,32 @@ func (db *DB) Reopen() (*DB, RecoveryInfo) {
 // call Stats again for fresh values, and use ShardStats for the (live)
 // per-shard view. Prefer DB.Metrics for a coherent typed snapshot.
 func (db *DB) Stats() *core.Stats {
-	if db.sharded != nil {
-		return db.sharded.Stats()
+	e := db.engine()
+	if e.sharded != nil {
+		return e.sharded.Stats()
 	}
-	return db.store.Stats()
+	return e.store.Stats()
 }
 
 // ShardStats returns shard i's live counters (i < Shards()). For an
 // unsharded DB, ShardStats(0) is Stats.
 func (db *DB) ShardStats(i int) *core.Stats {
-	if db.sharded != nil {
-		return db.sharded.ShardStore(i).Stats()
+	e := db.engine()
+	if e.sharded != nil {
+		return e.sharded.ShardStore(i).Stats()
 	}
-	return db.store.Stats()
+	return e.store.Stats()
 }
 
 // NVMStats exposes the simulated memory subsystem's counters (writebacks,
 // fences, flushed lines, crash outcomes), summed across arenas when
 // sharded.
 func (db *DB) NVMStats() nvm.StatsSnapshot {
-	if db.sharded != nil {
-		return db.sharded.NVMStats()
+	e := db.engine()
+	if e.sharded != nil {
+		return e.sharded.NVMStats()
 	}
-	return db.arena.Stats().Snapshot()
+	return e.arena.Stats().Snapshot()
 }
 
 // ---- transactions ----
@@ -888,6 +1141,9 @@ type TxnStats struct {
 	// Replayed is the number of committed transactions recovery re-applied
 	// at the last Open/Reopen.
 	Replayed int64
+	// Stale is the number of intent records recovery skipped because they
+	// committed under a topology a reshard has since retired.
+	Stale int64
 }
 
 // TxnStats returns the transaction counters.
@@ -897,5 +1153,6 @@ func (db *DB) TxnStats() TxnStats {
 		Committed: s.Committed.Load(),
 		Conflicts: s.Conflicts.Load(),
 		Replayed:  s.Replays.Load(),
+		Stale:     s.Stale.Load(),
 	}
 }

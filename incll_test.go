@@ -308,21 +308,45 @@ func TestFacadeTxnWithCheckpointerRunning(t *testing.T) {
 	}
 }
 
-func TestOptionsShardsClampedToBitmaskWidth(t *testing.T) {
-	// Regression: internal/txn encodes shard lock/write sets as uint64
-	// bitmasks, so Shards > 64 must clamp instead of silently aliasing
-	// commit ordering (or panicking in txn.New).
-	db, info := Open(Options{
-		Shards:      200,
+func TestOptionsShardsValidation(t *testing.T) {
+	// Shards beyond MaxShards used to clamp silently; now they are a typed
+	// validation error — Validate returns it, Open panics with it.
+	err := Options{Shards: MaxShards + 1}.Validate()
+	if !errors.Is(err, ErrTooManyShards) {
+		t.Fatalf("Validate() = %v, want ErrTooManyShards", err)
+	}
+	if err := (Options{Shards: MaxShards}).Validate(); err != nil {
+		t.Fatalf("Validate(MaxShards) = %v", err)
+	}
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrTooManyShards) {
+			t.Fatalf("Open panicked with %v, want ErrTooManyShards", r)
+		}
+	}()
+	Open(Options{Shards: MaxShards + 1})
+	t.Fatal("Open accepted Shards > MaxShards")
+}
+
+func TestOpenBeyond64ShardsAndCrashRecover(t *testing.T) {
+	// Regression for the old 64-shard ceiling: internal/txn encoded shard
+	// lock/write sets as one uint64 bitmask, so a wider cluster used to
+	// clamp. The generalized shard sets must open, commit cross-shard
+	// transactions on, crash, and recover a 128-shard cluster.
+	opts := Options{
+		Shards:      128,
+		Workers:     2,
 		ArenaWords:  1 << 16,
 		HeapWords:   1 << 15,
 		LogSegWords: 1 << 12,
 		TxnSegWords: 1 << 10,
-	})
-	if db.Shards() != MaxShards {
-		t.Fatalf("Shards() = %d, want clamp to %d", db.Shards(), MaxShards)
 	}
-	if len(info.Shards) != MaxShards {
+	db, info := Open(opts)
+	if db.Shards() != 128 {
+		t.Fatalf("Shards() = %d, want 128", db.Shards())
+	}
+	if len(info.Shards) != 128 {
 		t.Fatalf("%d shard recovery infos", len(info.Shards))
 	}
 	for i := uint64(0); i < 500; i++ {
@@ -333,14 +357,26 @@ func TestOptionsShardsClampedToBitmaskWidth(t *testing.T) {
 	tx.Put(Key(1), v+1)
 	tx.Put(Key(499), 7)
 	if err := tx.Commit(); err != nil {
-		t.Fatalf("commit on clamped cluster: %v", err)
+		t.Fatalf("commit on 128-shard cluster: %v", err)
 	}
 	if v, _ := db.Get(Key(1)); v != 2 {
 		t.Fatalf("key 1 = %d", v)
 	}
+	db.Checkpoint()
+	db.SimulateCrash(0.5, 128128)
+	db, rinfo := db.Reopen()
+	if len(rinfo.Shards) != 128 {
+		t.Fatalf("%d shard recovery infos after crash", len(rinfo.Shards))
+	}
+	if v, _ := db.Get(Key(1)); v != 2 {
+		t.Fatalf("key 1 = %d after recovery", v)
+	}
+	if v, _ := db.Get(Key(499)); v != 7 {
+		t.Fatalf("key 499 = %d after recovery", v)
+	}
 	n := db.Scan(nil, -1, func([]byte, uint64) bool { return true })
 	if n != 500 {
-		t.Fatalf("scan saw %d keys", n)
+		t.Fatalf("scan saw %d keys after recovery", n)
 	}
 	db.Close()
 }

@@ -104,6 +104,11 @@ type Manager struct {
 
 	advances atomic.Int64
 
+	// sealed is set when a reshard cutover retires this store (see Seal):
+	// its durable history is frozen as the donor of a completed topology
+	// change, and any further boundary would fork it.
+	sealed atomic.Bool
+
 	// Instrumentation (see Instrument). The tracer and histogram are
 	// nil-safe; prepStart carries the Prepare lock acquisition time to
 	// Commit so the full stop-the-world window can be measured. It is
@@ -306,6 +311,9 @@ func (m *Manager) Advance() int {
 // sharding coordinator prepares every store, records the global commit,
 // then commits every store). Returns the number of lines flushed.
 func (m *Manager) Prepare() int {
+	if m.sealed.Load() {
+		panic("epoch: advance on a sealed manager (the store was resharded away)")
+	}
 	if m.phases != nil {
 		// Advances are rare (one per epoch), so the wait for readers to
 		// drain is recorded always, not sampled.
@@ -392,6 +400,19 @@ func (m *Manager) StartTicker(interval time.Duration) {
 
 // StopTicker stops the background ticker, if running.
 func (m *Manager) StopTicker() { m.ticker.Stop() }
+
+// Seal freezes the manager after a reshard cutover: the store it drives
+// was the donor of a completed topology change and its durable history
+// must not grow past the cutover epoch. Reads (Enter/Exit) keep working
+// against the frozen state; a later Prepare/Advance panics. Used by the
+// reshard cutover (see internal/shard.Store.Seal and DESIGN.md §13).
+func (m *Manager) Seal() {
+	m.StopTicker()
+	m.sealed.Store(true)
+}
+
+// Sealed reports whether Seal froze this manager.
+func (m *Manager) Sealed() bool { return m.sealed.Load() }
 
 // Quiesce runs f with the world stopped, without advancing the epoch.
 // Used by the crash-injection framework to take consistent snapshots.

@@ -16,10 +16,19 @@
 //	word 0: seq       — cluster-wide commit sequence number (0 = virgin)
 //	word 1: epoch     — epoch the commit executed in
 //	word 2: meta      — content words (low 32) | generation (high 32)
-//	word 3: shardSet  — bitmask of shards the write set touches
+//	word 3: shardSet  — shard summary of the write set (see below)
 //	word 4: checksum  — FNV-1a over header fields and content words
 //	word 5: mark      — 0 while pending; == seq once committed
+//	word 6: topoVer   — topology version the commit executed under
 //	words 8…: ops     — see AppendIntent
+//
+// shardSet is informational (trace/debug): beyond 64 shards the bitset is
+// folded mod 64 into one word. Recovery never consults it — replay routes
+// each op by key through the live topology — but topoVer is load-bearing:
+// after a crash mid-reshard, recovery replays only records committed
+// under the topology the durable manifest says is live, so a replayed
+// write can never land on the wrong side of a cutover (see internal/txn
+// and DESIGN.md §13).
 //
 // The mark shares the header's cache line, so marking commits a record
 // with a single PCSO-atomic line write; its writeback+fence is the
@@ -40,6 +49,7 @@ const (
 	iShardSet = 3
 	iChecksum = 4
 	iMark     = 5
+	iTopoVer  = 6
 	iContent  = nvm.WordsPerLine // content starts on the second line
 
 	// op encoding, within content: the op header word carries the key
@@ -68,6 +78,9 @@ type IntentRecord struct {
 	Seq      uint64
 	Epoch    uint64
 	ShardSet uint64
+	// TopoVer is the topology version the transaction committed under;
+	// recovery skips records from a topology that is no longer live.
+	TopoVer uint64
 	// Committed reports whether the fenced commit mark reached NVM: a
 	// committed record is replayed if its epoch failed; an uncommitted one
 	// is ignored (the epoch rollback already undid any partial application).
@@ -181,7 +194,7 @@ func (l *IntentLog) IntentFits(ops []IntentOp) bool {
 // zero: the transaction is not yet committed. Returns the record's arena
 // offset, or ok=false if the segment is full (the caller must force an
 // epoch boundary, which resets the cursor, and retry).
-func (w *IntentWriter) AppendIntent(seq, epochNum, shardSet uint64, ops []IntentOp) (entry uint64, ok bool) {
+func (w *IntentWriter) AppendIntent(seq, epochNum, shardSet, topoVer uint64, ops []IntentOp) (entry uint64, ok bool) {
 	l := w.log
 	a := l.arena
 	content := intentContentWords(ops)
@@ -192,6 +205,7 @@ func (w *IntentWriter) AppendIntent(seq, epochNum, shardSet uint64, ops []Intent
 	e := w.base + w.cursor
 
 	sum := checksumSeed(seq, epochNum, content|l.generation<<32, shardSet)
+	sum = checksumStep(sum, topoVer)
 	pos := e + iContent
 	store := func(v uint64) {
 		a.Store(pos, v)
@@ -229,6 +243,7 @@ func (w *IntentWriter) AppendIntent(seq, epochNum, shardSet uint64, ops []Intent
 	a.Store(e+iEpoch, epochNum)
 	a.Store(e+iMeta, content|l.generation<<32)
 	a.Store(e+iShardSet, shardSet)
+	a.Store(e+iTopoVer, topoVer)
 	a.Store(e+iChecksum, sum)
 	a.Store(e+iSeq, seq)
 	a.WritebackRange(e, need)
@@ -283,7 +298,9 @@ func (l *IntentLog) ScanIntents() []IntentRecord {
 			}
 			epochNum := a.Load(e + iEpoch)
 			shardSet := a.Load(e + iShardSet)
+			topoVer := a.Load(e + iTopoVer)
 			sum := checksumSeed(seq, epochNum, meta, shardSet)
+			sum = checksumStep(sum, topoVer)
 			for j := uint64(0); j < content; j++ {
 				sum = checksumStep(sum, a.Load(e+iContent+j))
 			}
@@ -294,6 +311,7 @@ func (l *IntentLog) ScanIntents() []IntentRecord {
 				Seq:       seq,
 				Epoch:     epochNum,
 				ShardSet:  shardSet,
+				TopoVer:   topoVer,
 				Committed: a.Load(e+iMark) == seq,
 			}
 			pos := e + iContent

@@ -20,12 +20,12 @@ func intentFixture(t *testing.T, segWords uint64, writers int) (*nvm.Arena, *epo
 func TestIntentRoundTrip(t *testing.T) {
 	_, m, l := intentFixture(t, 1<<10, 2)
 	ops := []IntentOp{
-		{Key: []byte{1, 2, 3}, Val: []byte{77}},                                    // short key, short value
-		{Key: []byte{9, 8, 7, 6, 5, 4, 3, 2}, Val: []byte("an 18-byte payload")},   // word-exact key, multi-word value
-		{Key: []byte("a long key spanning words"), Delete: true},                   // multi-word delete
-		{Key: []byte{0xFF, 0, 0xAA, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Val: []byte{}},    // 12-byte key, empty value
+		{Key: []byte{1, 2, 3}, Val: []byte{77}},                                  // short key, short value
+		{Key: []byte{9, 8, 7, 6, 5, 4, 3, 2}, Val: []byte("an 18-byte payload")}, // word-exact key, multi-word value
+		{Key: []byte("a long key spanning words"), Delete: true},                 // multi-word delete
+		{Key: []byte{0xFF, 0, 0xAA, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Val: []byte{}},   // 12-byte key, empty value
 	}
-	entry, ok := l.Writer(1).AppendIntent(42, m.Current(), 0b101, ops)
+	entry, ok := l.Writer(1).AppendIntent(42, m.Current(), 0b101, 1, ops)
 	if !ok {
 		t.Fatal("append failed on an empty segment")
 	}
@@ -58,7 +58,7 @@ func TestIntentRoundTrip(t *testing.T) {
 
 func TestIntentRetireHidesRecords(t *testing.T) {
 	_, m, l := intentFixture(t, 1<<10, 1)
-	e, _ := l.Writer(0).AppendIntent(1, m.Current(), 1, []IntentOp{{Key: []byte{1}, Val: []byte{1}}})
+	e, _ := l.Writer(0).AppendIntent(1, m.Current(), 1, 1, []IntentOp{{Key: []byte{1}, Val: []byte{1}}})
 	l.MarkCommitted(e)
 	l.RetireIntents()
 	if recs := l.ScanIntents(); len(recs) != 0 {
@@ -69,21 +69,21 @@ func TestIntentRetireHidesRecords(t *testing.T) {
 func TestIntentSegmentFullAndCursorReset(t *testing.T) {
 	_, m, l := intentFixture(t, 2*nvm.WordsPerLine, 1) // room for exactly one small record
 	small := []IntentOp{{Key: []byte{1}, Val: []byte{1}}}
-	if _, ok := l.Writer(0).AppendIntent(1, m.Current(), 1, small); !ok {
+	if _, ok := l.Writer(0).AppendIntent(1, m.Current(), 1, 1, small); !ok {
 		t.Fatal("first append should fit")
 	}
-	if _, ok := l.Writer(0).AppendIntent(2, m.Current(), 1, small); ok {
+	if _, ok := l.Writer(0).AppendIntent(2, m.Current(), 1, 1, small); ok {
 		t.Fatal("second append should report a full segment")
 	}
 	m.Advance() // boundary resets the cursor
-	if _, ok := l.Writer(0).AppendIntent(3, m.Current(), 1, small); !ok {
+	if _, ok := l.Writer(0).AppendIntent(3, m.Current(), 1, 1, small); !ok {
 		t.Fatal("append after advance should fit again")
 	}
 }
 
 func TestIntentTornRecordIgnored(t *testing.T) {
 	a, m, l := intentFixture(t, 1<<10, 1)
-	e, _ := l.Writer(0).AppendIntent(7, m.Current(), 1, []IntentOp{{Key: []byte{1, 2, 3, 4}, Val: []byte{9}}})
+	e, _ := l.Writer(0).AppendIntent(7, m.Current(), 1, 1, []IntentOp{{Key: []byte{1, 2, 3, 4}, Val: []byte{9}}})
 	// Corrupt one content word, as a torn line would.
 	a.Store(e+iContent, a.Load(e+iContent)^0xDEAD)
 	if recs := l.ScanIntents(); len(recs) != 0 {

@@ -64,6 +64,16 @@ type BenchRecord struct {
 	LagEpochsMax    uint64  `json:"lag_epochs_max,omitempty"`
 	LagEpochsMean   float64 `json:"lag_epochs_mean,omitempty"`
 
+	// Reshard rows (Workload "RESHARD"): online split/merge under load.
+	// Reshard names the transition ("4to8"); OpsPerSec is the workload's
+	// sustained throughput while the reshard ran, BaseOpsPerSec the
+	// undisturbed baseline; CopyMBPerSec the bulk-copy rate into the
+	// target; CutoverPauseMS the writer-gated cutover window.
+	Reshard        string  `json:"reshard,omitempty"`
+	BaseOpsPerSec  float64 `json:"base_ops_per_sec,omitempty"`
+	CopyMBPerSec   float64 `json:"copy_mb_per_sec,omitempty"`
+	CutoverPauseMS float64 `json:"cutover_pause_ms,omitempty"`
+
 	// Phases is the sampled latency attribution over the measured phase
 	// (durable rows; see DESIGN.md §12), keyed by phase name.
 	Phases map[string]PhaseSummary `json:"phases,omitempty"`
@@ -265,6 +275,7 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 		fmt.Fprintln(w)
 	}
 	recs = append(recs, replRows(w, p)...)
+	recs = append(recs, reshardRows(w, p)...)
 	return recs
 }
 

@@ -51,11 +51,14 @@ func LoadBenchPath(path string) (BenchFile, error) {
 	return LoadBenchFile(fh)
 }
 
-// rowKey is the identity a record is matched on across files.
+// rowKey is the identity a record is matched on across files. Recomputed
+// at diff time from both files, so appending identity fields (like the
+// reshard transition) keeps old files comparable: rows on both sides gain
+// the same constant suffix.
 func rowKey(r BenchRecord) string {
-	return fmt.Sprintf("%s/%s/%s shards=%d txn=%s vs=%d scan=%s/%d/%s/rev=%v threads=%d tree=%d",
+	return fmt.Sprintf("%s/%s/%s shards=%d txn=%s vs=%d scan=%s/%d/%s/rev=%v threads=%d tree=%d resh=%s",
 		r.Workload, r.Mode, r.Dist, r.Shards, r.TxnMode, r.ValueSize,
-		r.ScanAPI, r.ScanLen, r.ScanDist, r.Reverse, r.Threads, r.TreeSize)
+		r.ScanAPI, r.ScanLen, r.ScanDist, r.Reverse, r.Threads, r.TreeSize, r.Reshard)
 }
 
 // DiffStatus classifies one compared metric.
@@ -169,6 +172,7 @@ func DiffBench(old, new BenchFile, tolerance float64) DiffReport {
 			{"txns_per_sec", or.TxnsPerSec, nr.TxnsPerSec},
 			{"mb_per_sec", or.MBPerSec, nr.MBPerSec},
 			{"restore_mb_per_sec", or.RestoreMBPerSec, nr.RestoreMBPerSec},
+			{"copy_mb_per_sec", or.CopyMBPerSec, nr.CopyMBPerSec},
 		} {
 			if or.Workload == "REPLICA" && m.name == "mb_per_sec" {
 				// Replica apply throughput is paced by the primary's write
@@ -196,6 +200,14 @@ func DiffBench(old, new BenchFile, tolerance float64) DiffReport {
 		if or.P99Micros > 0 && nr.P99Micros > or.P99Micros*(1+2*tolerance) {
 			rep.Rows = append(rep.Rows, DiffRow{
 				Key: key, Metric: "p99_us", Old: or.P99Micros, New: nr.P99Micros,
+				Status: DiffWarning,
+			})
+		}
+		// Cutover pause: higher is worse, advisory only (a single stall
+		// measurement on a small runner; same doubled tolerance as p99).
+		if or.CutoverPauseMS > 0 && nr.CutoverPauseMS > or.CutoverPauseMS*(1+2*tolerance) {
+			rep.Rows = append(rep.Rows, DiffRow{
+				Key: key, Metric: "cutover_pause_ms", Old: or.CutoverPauseMS, New: nr.CutoverPauseMS,
 				Status: DiffWarning,
 			})
 		}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"incll"
+	"incll/internal/core"
+)
+
+// Reshard measurements: online split/merge under YCSB-A-style write load.
+// The tracked numbers are the copy throughput into the target shard set
+// (snapshot plus tail, parallel per-shard arena allocation included), the
+// cutover pause (the only writer-visible stall), and the throughput dip —
+// sustained ops/s while the reshard runs versus an undisturbed baseline.
+
+// ReshardBenchResult reports one reshard measurement.
+type ReshardBenchResult struct {
+	From, To int
+
+	// CopiedMB and CopyMBPerSec measure the bulk copy into the target
+	// (copied key+value bytes over the reshard's non-cutover time).
+	CopiedMB     float64
+	CopyMBPerSec float64
+	// CutoverPauseMS is the writer-gated cutover window.
+	CutoverPauseMS float64
+	// BaseOpsPerSec is the workload's throughput before the reshard;
+	// ReshardOpsPerSec is its throughput while the reshard ran.
+	BaseOpsPerSec    float64
+	ReshardOpsPerSec float64
+	TookMS           float64
+}
+
+// RunReshardBench measures one online from→to reshard under concurrent
+// single-worker YCSB-A load (uniform keys, half puts, 128-byte values).
+func RunReshardBench(p Params, from, to int) ReshardBenchResult {
+	p.setDefaults()
+	opts := replOptions(from)
+	opts.EpochInterval = 4 * time.Millisecond
+	db, _ := incll.Open(opts)
+	defer db.Close()
+
+	tree := p.TreeSize / 4
+	val := make([]byte, 128)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for k := uint64(0); k < tree; k++ {
+		if _, err := db.PutBytes(core.EncodeUint64(k), val); err != nil {
+			panic(err)
+		}
+	}
+	db.Checkpoint()
+	db.StartCheckpointer()
+	defer db.StopCheckpointer()
+
+	// The load loop runs throughout; ops counts progress so distinct
+	// windows (baseline, reshard) measure sustained throughput.
+	var (
+		ops  atomic.Int64
+		stop atomic.Bool
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		h := db.Handle(1)
+		rng := newXorshift(uint64(p.Seed)*2654435761 + 7)
+		for i := 0; !stop.Load(); i++ {
+			k := core.EncodeUint64(rng.next() % tree)
+			if i&1 == 0 {
+				if _, err := h.PutBytes(k, val); err != nil {
+					panic(err)
+				}
+			} else {
+				h.GetBytes(k)
+			}
+			ops.Add(1)
+		}
+	}()
+
+	// Baseline window.
+	base0 := ops.Load()
+	t0 := time.Now()
+	time.Sleep(150 * time.Millisecond)
+	baseOps := float64(ops.Load()-base0) / time.Since(t0).Seconds()
+
+	// Reshard window.
+	r0 := ops.Load()
+	t1 := time.Now()
+	res, err := db.Reshard(to)
+	if err != nil {
+		panic(fmt.Sprintf("harness: reshard bench %d→%d: %v", from, to, err))
+	}
+	reshardOps := float64(ops.Load()-r0) / time.Since(t1).Seconds()
+	stop.Store(true)
+	<-done
+
+	copySecs := (res.Took - res.CutoverPause).Seconds()
+	if copySecs <= 0 {
+		copySecs = res.Took.Seconds()
+	}
+	copiedMB := float64(res.CopiedBytes) / 1e6
+	return ReshardBenchResult{
+		From:             from,
+		To:               to,
+		CopiedMB:         copiedMB,
+		CopyMBPerSec:     copiedMB / copySecs,
+		CutoverPauseMS:   float64(res.CutoverPause.Microseconds()) / 1000,
+		BaseOpsPerSec:    baseOps,
+		ReshardOpsPerSec: reshardOps,
+		TookMS:           float64(res.Took.Microseconds()) / 1000,
+	}
+}
+
+// reshardRows runs the tracked reshard matrix: a 4→8 split and an 8→4
+// merge under write load.
+func reshardRows(w io.Writer, p Params) []BenchRecord {
+	var recs []BenchRecord
+	for _, c := range []struct{ from, to int }{{4, 8}, {8, 4}} {
+		r := RunReshardBench(p, c.from, c.to)
+		rec := BenchRecord{
+			Workload:       "RESHARD",
+			Mode:           "INCLL",
+			Dist:           "uniform",
+			Shards:         c.from,
+			Reshard:        fmt.Sprintf("%dto%d", c.from, c.to),
+			TxnMode:        "none",
+			ValueSize:      128,
+			Threads:        1,
+			TreeSize:       p.TreeSize / 4,
+			OpsPerSec:      r.ReshardOpsPerSec,
+			BaseOpsPerSec:  r.BaseOpsPerSec,
+			MBPerSec:       r.CopyMBPerSec,
+			CopyMBPerSec:   r.CopyMBPerSec,
+			CutoverPauseMS: r.CutoverPauseMS,
+			ElapsedMS:      r.TookMS,
+		}
+		recs = append(recs, rec)
+		dip := 0.0
+		if r.BaseOpsPerSec > 0 {
+			dip = 100 * (1 - r.ReshardOpsPerSec/r.BaseOpsPerSec)
+		}
+		fmt.Fprintf(w, "%-8s INCLL  %d→%d %29.1f MB/s copy  pause %.2fms  load %0.f ops/s (dip %.0f%%)\n",
+			rec.Workload, c.from, c.to, r.CopyMBPerSec, r.CutoverPauseMS, r.ReshardOpsPerSec, dip)
+	}
+	return recs
+}

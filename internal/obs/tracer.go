@@ -48,6 +48,22 @@ const (
 	// EvFlightDumpFailed: a flight-recorder dump could not be written (the
 	// watchdog never fails the process; this event is the only residue).
 	EvFlightDumpFailed
+	// EvReshardStart: a reshard began. Epoch is the donor's current epoch,
+	// Arg the target shard count.
+	EvReshardStart
+	// EvReshardSnapshot: the reshard snapshot copy finished restoring into
+	// the target. Epoch is the snapshot anchor, Arg the keys copied.
+	EvReshardSnapshot
+	// EvReshardTail: the reshard tail applied one released donor epoch to
+	// the target. Epoch is the epoch applied, Arg the entries in it.
+	EvReshardTail
+	// EvReshardCutover: the topology manifest committed the new shard
+	// count — the reshard's durable point of no return. Epoch is the donor
+	// epoch at cutover, Arg the new topology version.
+	EvReshardCutover
+	// EvReshardDone: the reshard finished and the new topology serves all
+	// traffic. Arg is the new shard count.
+	EvReshardDone
 )
 
 // String returns the event kind's stable lower-snake name (also used in
@@ -76,6 +92,16 @@ func (k EventKind) String() string {
 		return "flight_dump"
 	case EvFlightDumpFailed:
 		return "flight_dump_failed"
+	case EvReshardStart:
+		return "reshard_start"
+	case EvReshardSnapshot:
+		return "reshard_snapshot"
+	case EvReshardTail:
+		return "reshard_tail"
+	case EvReshardCutover:
+		return "reshard_cutover"
+	case EvReshardDone:
+		return "reshard_done"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

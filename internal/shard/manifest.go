@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"incll/internal/nvm"
+)
+
+// Manifest is the DB-level durable topology record: one cache line in its
+// own tiny arena naming the live topology (version, shard count). It is
+// the reshard protocol's commit point — the analogue, one level up, of
+// the shard coordinator's epoch record:
+//
+//	word 0: magic
+//	word 1: topology version
+//	word 2: shard count
+//
+// All three words share one line, so the cutover commit (one Store of
+// each, writeback, fence) is atomic under PCSO: a crash observes either
+// the old topology or the new one, never a mix. A reshard makes the
+// target shard set durable first (its own coordinated checkpoint) and
+// only then commits the manifest; recovery reads the manifest to decide
+// which arena set — donor or target — is the live store. Every write is
+// fenced before Commit returns, so the line is always clean and survives
+// any crash policy.
+type Manifest struct {
+	arena *nvm.Arena
+	off   uint64
+}
+
+const (
+	mMagic   = 0
+	mVersion = 1
+	mShards  = 2
+
+	manifestMagic = 0x7090100c11a7 // topology manifest v1
+)
+
+// NewManifest creates a fresh durable manifest recording the initial
+// topology. fenceDelay matches the store arenas' emulated NVM latency, so
+// the cutover's one extra fenced write is not free in latency experiments.
+func NewManifest(fenceDelay time.Duration, version uint64, shards int) *Manifest {
+	// Two lines: the arena holds back its first line for its own header.
+	m := &Manifest{arena: nvm.New(nvm.Config{Words: 2 * nvm.WordsPerLine, FenceDelay: fenceDelay})}
+	m.off = m.arena.Reserve(nvm.WordsPerLine)
+	m.arena.Store(m.off+mMagic, manifestMagic)
+	m.commit(version, shards)
+	return m
+}
+
+// Commit durably records a new live topology: the reshard cutover's
+// single commit point. The caller must already have made the target shard
+// set durable (target checkpoint committed); after the fence here, a
+// crash recovers into the new topology.
+func (m *Manifest) Commit(version uint64, shards int) {
+	if v := m.arena.Load(m.off + mVersion); version <= v {
+		panic(fmt.Sprintf("shard: manifest commit would move the topology version backwards (%d -> %d)", v, version))
+	}
+	m.commit(version, shards)
+}
+
+func (m *Manifest) commit(version uint64, shards int) {
+	m.arena.Store(m.off+mVersion, version)
+	m.arena.Store(m.off+mShards, uint64(shards))
+	m.arena.Writeback(m.off)
+	m.arena.Fence()
+}
+
+// Version returns the durably recorded live topology version.
+func (m *Manifest) Version() uint64 { return m.arena.Load(m.off + mVersion) }
+
+// NumShards returns the durably recorded live shard count.
+func (m *Manifest) NumShards() int { return int(m.arena.Load(m.off + mShards)) }
+
+// Topology returns the durably recorded live topology.
+func (m *Manifest) Topology() Topology {
+	return Topology{Version: m.Version(), Shards: m.NumShards()}
+}
+
+// Crash injects the power failure into the manifest arena alongside the
+// store arenas. The record line is clean (every commit fences), so it
+// survives any policy — the point of the exercise is asserting exactly
+// that.
+func (m *Manifest) Crash(persistFraction float64, seed int64) {
+	m.arena.Crash(nvm.RandomPolicy(persistFraction, seed^0x10b0))
+}
+
+// Recover revalidates the manifest after a crash and returns the durable
+// topology it records.
+func (m *Manifest) Recover() Topology {
+	m.arena.ResetReservations()
+	m.off = m.arena.Reserve(nvm.WordsPerLine)
+	if m.arena.Load(m.off+mMagic) != manifestMagic {
+		panic("shard: topology manifest lost after crash (the record line is fenced at every commit and must survive)")
+	}
+	return m.Topology()
+}

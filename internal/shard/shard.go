@@ -44,6 +44,9 @@ type Config struct {
 	TxnSegWords uint64
 	// DisableInCLL switches every shard to the LOGGING ablation.
 	DisableInCLL bool
+	// TopoVersion stamps the store's place in its DB's reshard history
+	// (see Topology). 0 defaults to 1, the initial topology.
+	TopoVersion uint64
 	// NVM carries the rest of the per-arena cache model (fence latency,
 	// eviction); Words is overridden by ArenaWords.
 	NVM nvm.Config
@@ -76,6 +79,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.TxnSegWords == 0 {
 		c.TxnSegWords = 1 << 12
+	}
+	if c.TopoVersion == 0 {
+		c.TopoVersion = 1
 	}
 }
 
@@ -138,13 +144,23 @@ func Open(cfg Config) (*Store, RecoveryInfo) {
 	// adds per global checkpoint, and must not be free in the emulated-
 	// latency experiments.
 	coord := nvm.New(nvm.Config{Words: nvm.WordsPerLine * 2, FenceDelay: cfg.NVM.FenceDelay})
+	// Allocate the per-shard arenas in parallel: a fresh arena is a large
+	// zeroed allocation (~250 ms per shard at default sizes), and paying it
+	// serially made cold-target Restore and the reshard builder O(shards)
+	// where the work is embarrassingly parallel.
 	arenas := make([]*nvm.Arena, cfg.Shards)
+	var wg sync.WaitGroup
 	for i := range arenas {
-		ncfg := cfg.NVM
-		ncfg.Words = cfg.ArenaWords
-		ncfg.Seed = cfg.NVM.Seed + int64(i)*7919
-		arenas[i] = nvm.New(ncfg)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ncfg := cfg.NVM
+			ncfg.Words = cfg.ArenaWords
+			ncfg.Seed = cfg.NVM.Seed + int64(i)*7919
+			arenas[i] = nvm.New(ncfg)
+		}(i)
 	}
+	wg.Wait()
 	return attach(coord, arenas, cfg)
 }
 
@@ -225,6 +241,23 @@ func attach(coord *nvm.Arena, arenas []*nvm.Arena, cfg Config) (*Store, Recovery
 
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// Topology returns the store's epoch-versioned routing table.
+func (s *Store) Topology() Topology {
+	return Topology{Version: s.cfg.TopoVersion, Shards: len(s.shards)}
+}
+
+// Seal freezes the store after a reshard cutover donated its contents to
+// a new shard set: every shard's epoch manager is sealed, so a stray
+// advance on the retired store panics instead of silently forking the
+// durable history. Reads (and cursors opened before the cutover) keep
+// working against the frozen final state.
+func (s *Store) Seal() {
+	s.StopTicker()
+	for _, sh := range s.shards {
+		sh.Epochs().Seal()
+	}
+}
 
 // ShardStore returns shard i's underlying store (stats, introspection).
 func (s *Store) ShardStore(i int) *core.Store { return s.shards[i] }

@@ -1,0 +1,29 @@
+package shard
+
+// Topology is the epoch-versioned routing table of a cluster: a small
+// immutable value naming a shard count and the placement of every key in
+// it. The assignment is not stored as a table — placement is the pure
+// function Route (FNV-1a fold, scramble, mod Shards), so two processes
+// holding the same Topology derive the same assignment for every key —
+// but the Topology value is what makes routing *switchable*: the façade
+// publishes the current Topology behind one atomic pointer, every
+// operation resolves through one load of it, and a reshard cuts over by
+// swapping the pointer at a checkpoint commit (see DESIGN.md §13).
+//
+// Version orders topologies of one DB's history: the first Open is
+// version 1 and every completed reshard increments it. Transaction intent
+// records carry the version they committed under, so recovery can tell
+// which side of a cutover a replayed record belongs to.
+type Topology struct {
+	// Version is the topology's place in the DB's reshard history (≥ 1).
+	Version uint64
+	// Shards is the shard count this topology routes across.
+	Shards int
+}
+
+// Route returns the shard in [0, Shards) that owns key k under this
+// topology — the assignment function, evaluated at one key.
+func (t Topology) Route(k []byte) int { return Route(k, t.Shards) }
+
+// Equal reports whether two topologies are the same routing table.
+func (t Topology) Equal(o Topology) bool { return t.Version == o.Version && t.Shards == o.Shards }

@@ -16,17 +16,25 @@ func ForStore(s *core.Store) (*Manager, int) {
 // — and runs intent recovery, returning the number of transactions
 // replayed. Rebuild after every Reopen.
 func ForCluster(s *shard.Store) (*Manager, int) {
+	return New(ClusterConfig(s))
+}
+
+// ClusterConfig builds the Manager Config for a sharded cluster without
+// constructing the Manager — the shape a reshard cutover installs via
+// Manager.Cutover.
+func ClusterConfig(s *shard.Store) Config {
 	stores := make([]*core.Store, s.NumShards())
 	for i := range stores {
 		stores[i] = s.ShardStore(i)
 	}
-	n := s.NumShards()
-	return New(Config{
-		Stores:  stores,
-		Route:   func(k []byte) int { return shard.Route(k, n) },
-		Advance: s.Advance,
+	topo := s.Topology()
+	return Config{
+		Stores:      stores,
+		TopoVersion: topo.Version,
+		Route:       topo.Route,
+		Advance:     s.Advance,
 		NewIter: func(w int, o core.IterOptions) core.Cursor {
 			return s.Handle(w).NewIter(o)
 		},
-	})
+	}
 }

@@ -30,7 +30,7 @@ func (t *Txn) NewIter(o core.IterOptions) core.Cursor {
 		ops = append(ops, op)
 	}
 	sort.Slice(ops, func(i, j int) bool { return bytes.Compare(ops[i].Key, ops[j].Key) < 0 })
-	return &overlayIter{base: t.m.iter(t.worker, o), ops: ops}
+	return &overlayIter{base: t.m.topo.Load().iter(t.worker, o), ops: ops}
 }
 
 // Overlay cursor position states.

@@ -19,6 +19,12 @@ import (
 //	    whole window), so the epoch rollback already removed it.
 //	mark present, epoch committed        → ignore: the checkpoint that
 //	    committed the epoch also made every applied write durable.
+//	topology version not live            → skip (counted in Stats.Stale):
+//	    the record committed under a topology the durable manifest has
+//	    since retired. Its writes were migrated to the new shard set by
+//	    the reshard before the manifest committed, so replaying it here —
+//	    through the *new* router — would resurrect state the cutover
+//	    already carried over, onto the wrong shards.
 //	mark present, epoch failed           → replay: the rollback undid the
 //	    applied writes; re-apply the write set from the record.
 //
@@ -40,9 +46,18 @@ func (m *Manager) recover() int {
 		seq uint64
 		ops []extlog.IntentOp
 	}
+	st := m.topo.Load()
 	var todo []pending
-	for _, s := range m.stores {
+	for _, s := range st.stores {
 		for _, rec := range s.Intents().ScanIntents() {
+			if rec.TopoVer != st.version {
+				// Defensive: a reshard retires the donor arenas wholesale,
+				// so stale-topology records shouldn't normally survive
+				// into a scan — but if one does, replaying it through the
+				// live router would be wrong. Skip and count.
+				m.stats.Stale.Add(1)
+				continue
+			}
 			if rec.Committed && s.Epochs().IsFailed(rec.Epoch) {
 				todo = append(todo, pending{seq: rec.Seq, ops: rec.Ops})
 			}
@@ -54,7 +69,7 @@ func (m *Manager) recover() int {
 	sort.Slice(todo, func(a, b int) bool { return todo[a].seq < todo[b].seq })
 	for _, p := range todo {
 		for _, op := range p.ops {
-			s := m.stores[m.shardOf(op.Key)]
+			s := st.stores[st.shardOf(op.Key)]
 			if op.Delete {
 				s.Delete(op.Key)
 			} else {
@@ -62,8 +77,8 @@ func (m *Manager) recover() int {
 			}
 		}
 	}
-	m.advance()
-	for _, s := range m.stores {
+	st.advance()
+	for _, s := range st.stores {
 		s.Intents().RetireIntents()
 	}
 	m.stats.Replays.Add(int64(len(todo)))

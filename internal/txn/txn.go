@@ -26,6 +26,14 @@
 // the shard set, and recovery's replay decision consults the home shard's
 // epoch state, which the coordinator record made identical on every shard.
 //
+// Topology: the Manager routes, locks, and logs through one immutable
+// topoState loaded from an atomic pointer. An online reshard swaps that
+// pointer under the exclusive commit guard (Cutover), so every commit runs
+// start-to-finish under exactly one topology — the one it loads *after*
+// taking the guard shared — and intent records carry the topology version
+// they committed under, so recovery after a crash mid-reshard replays a
+// record only into the topology that is durably live (see DESIGN.md §13).
+//
 // Isolation: conflicting commits (overlapping shard sets) serialize on
 // per-shard commit locks, and Commit validates the transaction's read set
 // under those locks, returning ErrConflict when a read value changed since
@@ -38,7 +46,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,9 +80,14 @@ type InjectedCrash struct{ Point string }
 
 // Config assembles a Manager over one store or a sharded cluster.
 type Config struct {
-	// Stores is the shard list (length 1 for an unsharded store). At most
-	// 64 shards (the intent record's shard set is one word).
+	// Stores is the shard list (length 1 for an unsharded store). Clusters
+	// of up to 64 shards use the one-word inline ShardSet fast path;
+	// larger ones spill to a widened bitset — there is no hard ceiling
+	// here (the façade enforces its own).
 	Stores []*core.Store
+	// TopoVersion is the topology version the stores belong to (stamped
+	// into every intent record); 0 means 1, the first topology.
+	TopoVersion uint64
 	// Route maps a key to its shard index; nil means a single store. Must
 	// be the cluster's real router (shard.Route) so recovery re-applies
 	// every write on the shard that owns it.
@@ -96,28 +108,27 @@ type Stats struct {
 	Committed atomic.Int64 // transactions whose Commit succeeded
 	Conflicts atomic.Int64 // commits rejected by read validation
 	Replays   atomic.Int64 // intents re-applied by recovery (this Open)
+	Stale     atomic.Int64 // intents recovery skipped: committed under a topology no longer live
 }
 
 // Manager owns the transaction machinery for one store or cluster. One
 // Manager per open DB; rebuild it after every reopen (its New runs intent
 // recovery).
 type Manager struct {
-	stores  []*core.Store
-	route   func(k []byte) int
-	advance func() int
-	iter    func(worker int, o core.IterOptions) core.Cursor
+	// topo is the live topology: stores, router, advance, iterator
+	// factory, and the per-shard commit locks, all versioned together.
+	// Commit paths load it exactly once, after taking the commit guard
+	// shared — never before, or a reshard cutover (which swaps the pointer
+	// under the exclusive guard) could change the routing mid-commit and
+	// strand writes on a frozen donor shard.
+	topo atomic.Pointer[topoState]
 
-	// guard serializes commits against epoch advances: commits hold it
-	// shared for the whole intent→apply→mark window (so the epoch cannot
-	// change mid-commit, and multi-shard Enter cannot deadlock against the
-	// coordinated two-phase advance), advances hold it exclusively.
+	// guard serializes commits against epoch advances and topology
+	// cutovers: commits hold it shared for the whole intent→apply→mark
+	// window (so neither the epoch nor the topology can change mid-commit,
+	// and multi-shard Enter cannot deadlock against the coordinated
+	// two-phase advance), advances and Cutover hold it exclusively.
 	guard sync.RWMutex
-
-	// commitMu[i] serializes commits that touch shard i. Locks are taken
-	// in ascending shard order, so conflicting commits — which share at
-	// least one shard — are totally ordered, and that order matches their
-	// commit sequence numbers (seq is drawn while the locks are held).
-	commitMu []sync.Mutex
 
 	seq   atomic.Uint64
 	stats Stats
@@ -134,6 +145,51 @@ type Manager struct {
 	ticker epoch.Ticker
 }
 
+// topoState is one immutable topology epoch of the Manager: everything
+// whose meaning depends on the shard count, bundled so a cutover replaces
+// it all in one pointer swap.
+type topoState struct {
+	version uint64
+	stores  []*core.Store
+	route   func(k []byte) int
+	advance func() int
+	iter    func(worker int, o core.IterOptions) core.Cursor
+
+	// commitMu[i] serializes commits that touch shard i. Locks are taken
+	// in ascending shard order, so conflicting commits — which share at
+	// least one shard — are totally ordered, and that order matches their
+	// commit sequence numbers (seq is drawn while the locks are held).
+	commitMu []sync.Mutex
+}
+
+func (st *topoState) shardOf(k []byte) int { return st.route(k) }
+
+func newTopoState(cfg Config) *topoState {
+	st := &topoState{
+		version:  cfg.TopoVersion,
+		stores:   cfg.Stores,
+		route:    cfg.Route,
+		advance:  cfg.Advance,
+		iter:     cfg.NewIter,
+		commitMu: make([]sync.Mutex, len(cfg.Stores)),
+	}
+	if st.version == 0 {
+		st.version = 1
+	}
+	if st.route == nil {
+		st.route = func([]byte) int { return 0 }
+	}
+	if st.advance == nil {
+		st.advance = cfg.Stores[0].Advance
+	}
+	if st.iter == nil {
+		st.iter = func(w int, o core.IterOptions) core.Cursor {
+			return cfg.Stores[0].Handle(w).NewIter(o)
+		}
+	}
+	return st
+}
+
 // Instrument attaches the latency-attribution timer. nil detaches.
 func (m *Manager) Instrument(ph *obs.PhaseSet) { m.phases = ph }
 
@@ -146,28 +202,42 @@ func New(cfg Config) (*Manager, int) {
 	if len(cfg.Stores) == 0 {
 		panic("txn: no stores")
 	}
-	if len(cfg.Stores) > 64 {
-		panic("txn: at most 64 shards (intent shard set is one word)")
+	m := &Manager{}
+	m.topo.Store(newTopoState(cfg))
+	return m, m.recover()
+}
+
+// TopoVersion returns the live topology's version.
+func (m *Manager) TopoVersion() uint64 { return m.topo.Load().version }
+
+// Cutover atomically replaces the manager's topology — the transaction
+// layer's half of a reshard cutover. It takes the commit guard
+// exclusively, so when fn runs no commit is in flight and no advance can
+// interleave; fn is the reshard driver's critical section (final donor
+// checkpoint, change-stream drain, target checkpoint, manifest commit).
+// When fn reports commit=true, next is installed as the live topology
+// before the guard is released — every commit that starts afterwards
+// routes, locks, and logs intents under the new topology. commit=false
+// (a pre-manifest abort) leaves the old topology live. fn's error is
+// returned either way.
+func (m *Manager) Cutover(next Config, fn func() (commit bool, err error)) error {
+	m.guard.Lock()
+	defer m.guard.Unlock()
+	commit, err := fn()
+	if commit {
+		m.install(next)
 	}
-	m := &Manager{
-		stores:   cfg.Stores,
-		route:    cfg.Route,
-		advance:  cfg.Advance,
-		iter:     cfg.NewIter,
-		commitMu: make([]sync.Mutex, len(cfg.Stores)),
-	}
-	if m.route == nil {
-		m.route = func([]byte) int { return 0 }
-	}
-	if m.advance == nil {
-		m.advance = cfg.Stores[0].Advance
-	}
-	if m.iter == nil {
-		m.iter = func(w int, o core.IterOptions) core.Cursor {
-			return cfg.Stores[0].Handle(w).NewIter(o)
+	return err
+}
+
+func (m *Manager) install(cfg Config) {
+	st := newTopoState(cfg)
+	m.topo.Store(st)
+	if m.hook != nil {
+		for _, s := range st.stores {
+			s.Intents().Hook = m.hook
 		}
 	}
-	return m, m.recover()
 }
 
 // Stats returns the manager's counters.
@@ -179,7 +249,7 @@ func (m *Manager) Stats() *Stats { return &m.stats }
 // InjectedCrash. Never use outside tests.
 func (m *Manager) SetHook(h func(point string)) {
 	m.hook = h
-	for _, s := range m.stores {
+	for _, s := range m.topo.Load().stores {
 		s.Intents().Hook = h
 	}
 }
@@ -199,11 +269,11 @@ func (m *Manager) Advance() int {
 			m.phases.Observe(obs.PhaseGuardHold, time.Since(t1))
 			m.guard.Unlock()
 		}()
-		return m.advance()
+		return m.topo.Load().advance()
 	}
 	m.guard.Lock()
 	defer m.guard.Unlock()
-	return m.advance()
+	return m.topo.Load().advance()
 }
 
 // StartTicker advances epochs every interval in the background, like the
@@ -214,8 +284,6 @@ func (m *Manager) StartTicker(interval time.Duration) {
 
 // StopTicker stops the background ticker, if running.
 func (m *Manager) StopTicker() { m.ticker.Stop() }
-
-func (m *Manager) shardOf(k []byte) int { return m.route(k) }
 
 // readVal is one read-set observation (the full byte value, so validation
 // catches any change, not just changes visible through the uint64 view).
@@ -292,7 +360,12 @@ func (t *Txn) getBytes(k []byte) ([]byte, bool) {
 	if rv, ok := t.reads[string(k)]; ok {
 		return rv.val, rv.found
 	}
-	v, ok := t.m.stores[t.m.shardOf(k)].Handle(t.worker).GetBytes(k)
+	// Non-commit reads may route through a topology a concurrent cutover
+	// is about to retire — harmless: the frozen donor holds a committed
+	// snapshot, and Commit's validation re-reads under the *current*
+	// topology's locks, so any divergence surfaces as ErrConflict.
+	st := t.m.topo.Load()
+	v, ok := st.stores[st.shardOf(k)].Handle(t.worker).GetBytes(k)
 	t.reads[string(k)] = readVal{v, ok}
 	return v, ok
 }
@@ -382,20 +455,8 @@ func (t *Txn) Commit() error {
 // commit runs the protocol, retrying around a full intent segment (an
 // epoch boundary resets the cursors).
 func (m *Manager) commit(t *Txn) error {
-	var wset, lockSet uint64
-	for _, op := range t.writes {
-		wset |= 1 << uint(m.shardOf(op.Key))
-	}
-	lockSet = wset
-	for k := range t.reads {
-		lockSet |= 1 << uint(m.shardOf([]byte(k)))
-	}
-	home := bits.TrailingZeros64(wset)
-	if !m.stores[home].Intents().IntentFits(t.writes) {
-		return ErrTooLarge
-	}
 	for attempt := 0; attempt < 3; attempt++ {
-		done, err := m.tryCommit(t, wset, lockSet, home)
+		done, err := m.tryCommit(t)
 		if done {
 			return err
 		}
@@ -410,7 +471,8 @@ func (m *Manager) commit(t *Txn) error {
 // injected-crash unwind release exactly once, in reverse order.
 type commitLocks struct {
 	m        *Manager
-	lockSet  uint64
+	st       *topoState
+	lockSet  ShardSet
 	released bool
 }
 
@@ -419,21 +481,22 @@ func (cl *commitLocks) release() {
 		return
 	}
 	cl.released = true
-	for s := cl.lockSet; s != 0; {
-		i := bits.TrailingZeros64(s)
-		s &^= 1 << uint(i)
-		cl.m.stores[i].Epochs().Exit()
-		cl.m.commitMu[i].Unlock()
-	}
+	cl.lockSet.ForEach(func(i int) {
+		cl.st.stores[i].Epochs().Exit()
+		cl.st.commitMu[i].Unlock()
+	})
 	cl.m.guard.RUnlock()
 }
 
-// acquire takes the commit-window locks for the given shard set. Lock
-// order: commit guard (shared) → per-shard commit locks, ascending →
-// per-shard epoch guards. Advances take the commit guard exclusively, so
-// an epoch boundary can never interleave with the window, and the
-// multi-shard Enter cannot deadlock against a coordinated advance.
-func (m *Manager) acquire(lockSet uint64, w int) *commitLocks {
+// acquire takes the commit-window locks. Lock order: commit guard
+// (shared) → topology load → per-shard commit locks, ascending →
+// per-shard epoch guards. The topology is loaded only after the guard is
+// held — advances and reshard cutovers take the guard exclusively, so an
+// epoch boundary or a topology swap can never interleave with the window,
+// and the multi-shard Enter cannot deadlock against a coordinated
+// advance. sets computes which shards to lock from the topology the
+// window actually runs under.
+func (m *Manager) acquire(w int, sets func(st *topoState) ShardSet) (*commitLocks, *topoState) {
 	if m.phases.Sampled(w) {
 		// Sampled commit: split the entry latency into the shared-guard
 		// wait (blocked behind an epoch advance) and the per-shard
@@ -442,32 +505,34 @@ func (m *Manager) acquire(lockSet uint64, w int) *commitLocks {
 		m.guard.RLock()
 		t1 := time.Now()
 		m.phases.Observe(obs.PhaseGuardWait, t1.Sub(t0))
-		m.lockShards(lockSet)
+		st := m.topo.Load()
+		lockSet := sets(st)
+		m.lockShards(st, lockSet)
 		m.phases.Observe(obs.PhaseCommitLockWait, time.Since(t1))
-		return &commitLocks{m: m, lockSet: lockSet}
+		return &commitLocks{m: m, st: st, lockSet: lockSet}, st
 	}
 	m.guard.RLock()
-	m.lockShards(lockSet)
-	return &commitLocks{m: m, lockSet: lockSet}
+	st := m.topo.Load()
+	lockSet := sets(st)
+	m.lockShards(st, lockSet)
+	return &commitLocks{m: m, st: st, lockSet: lockSet}, st
 }
 
-func (m *Manager) lockShards(lockSet uint64) {
-	for s := lockSet; s != 0; {
-		i := bits.TrailingZeros64(s)
-		s &^= 1 << uint(i)
-		m.commitMu[i].Lock()
-		m.stores[i].Epochs().Enter()
-	}
+func (m *Manager) lockShards(st *topoState, lockSet ShardSet) {
+	lockSet.ForEach(func(i int) {
+		st.commitMu[i].Lock()
+		st.stores[i].Epochs().Enter()
+	})
 }
 
 // validateLocked re-reads the transaction's read set under the commit
 // locks and reports whether every observation still holds (full byte
 // comparison).
-func (m *Manager) validateLocked(t *Txn) bool {
+func (m *Manager) validateLocked(t *Txn, st *topoState) bool {
 	var buf []byte
 	for k, rv := range t.reads {
 		kb := []byte(k)
-		cur, ok := m.stores[m.shardOf(kb)].Handle(t.worker).AppendGetLocked(buf[:0], kb)
+		cur, ok := st.stores[st.shardOf(kb)].Handle(t.worker).AppendGetLocked(buf[:0], kb)
 		if ok != rv.found || !bytes.Equal(cur, rv.val) {
 			return false
 		}
@@ -480,12 +545,14 @@ func (m *Manager) validateLocked(t *Txn) bool {
 // of every read shard, every cached read must still hold — so the reads
 // together form one consistent committed snapshot.
 func (m *Manager) validateOnly(t *Txn) error {
-	var lockSet uint64
-	for k := range t.reads {
-		lockSet |= 1 << uint(m.shardOf([]byte(k)))
-	}
-	cl := m.acquire(lockSet, t.worker)
-	ok := m.validateLocked(t)
+	cl, st := m.acquire(t.worker, func(st *topoState) ShardSet {
+		lockSet := NewShardSet(len(st.stores))
+		for k := range t.reads {
+			lockSet.Add(st.shardOf([]byte(k)))
+		}
+		return lockSet
+	})
+	ok := m.validateLocked(t, st)
 	cl.release()
 	if !ok {
 		m.stats.Conflicts.Add(1)
@@ -496,9 +563,23 @@ func (m *Manager) validateOnly(t *Txn) error {
 
 // tryCommit runs one attempt: validate, intent, apply, mark. done=false
 // (only) when the intent segment is full and the caller should advance the
-// epoch and retry.
-func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, err error) {
-	cl := m.acquire(lockSet, t.worker)
+// epoch and retry. The write and lock sets are computed inside the commit
+// window, from the topology the window runs under.
+func (m *Manager) tryCommit(t *Txn) (done bool, err error) {
+	var wset ShardSet
+	cl, st := m.acquire(t.worker, func(st *topoState) ShardSet {
+		wset = NewShardSet(len(st.stores))
+		lockSet := NewShardSet(len(st.stores))
+		for _, op := range t.writes {
+			s := st.shardOf(op.Key)
+			wset.Add(s)
+			lockSet.Add(s)
+		}
+		for k := range t.reads {
+			lockSet.Add(st.shardOf([]byte(k)))
+		}
+		return lockSet
+	})
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(InjectedCrash); ok {
@@ -512,9 +593,15 @@ func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, 
 		}
 	}()
 
+	home := wset.Min()
+	if !st.stores[home].Intents().IntentFits(t.writes) {
+		cl.release()
+		return true, ErrTooLarge
+	}
+
 	// Validate the read set under the locks: conflicting commits are
 	// excluded, so a passing validation holds through the apply below.
-	if !m.validateLocked(t) {
+	if !m.validateLocked(t, st) {
 		cl.release()
 		m.stats.Conflicts.Add(1)
 		return true, ErrConflict
@@ -524,10 +611,12 @@ func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, 
 
 	// Sequence and intent. seq is drawn under the commit locks, so for
 	// conflicting transactions seq order equals commit order — the order
-	// recovery replays in.
+	// recovery replays in. The record carries the topology version, so a
+	// crash mid-reshard replays it only if this topology is still the
+	// durably live one.
 	seq := m.seq.Add(1)
-	epochNum := m.stores[home].Epochs().Current()
-	entry, ok := m.stores[home].Intents().Writer(t.worker).AppendIntent(seq, epochNum, wset, t.writes)
+	epochNum := st.stores[home].Epochs().Current()
+	entry, ok := st.stores[home].Intents().Writer(t.worker).AppendIntent(seq, epochNum, wset.Word(), st.version, t.writes)
 	if !ok {
 		cl.release()
 		return false, nil
@@ -538,7 +627,7 @@ func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, 
 	// the whole epoch — and with it every partial write — back, and the
 	// unmarked intent is ignored.
 	for i, op := range t.writes {
-		h := m.stores[m.shardOf(op.Key)].Handle(t.worker)
+		h := st.stores[st.shardOf(op.Key)].Handle(t.worker)
 		if op.Delete {
 			h.DeleteLocked(op.Key)
 		} else {
@@ -550,7 +639,7 @@ func (m *Manager) tryCommit(t *Txn, wset, lockSet uint64, home int) (done bool, 
 	}
 
 	// The fenced commit mark: the transaction's durability point.
-	m.stores[home].Intents().MarkCommitted(entry)
+	st.stores[home].Intents().MarkCommitted(entry)
 	m.point("commit-durable")
 
 	cl.release()

@@ -192,21 +192,34 @@ func (db *DB) DumpTrace(w io.Writer) error {
 	return db.trace.Dump(w)
 }
 
-// registry returns the DB's metric registry, building it on first use.
+// registry returns the DB's metric registry, building it on first use —
+// and rebuilding it after a reshard cutover dropped it (resetRegistry):
+// the per-shard series are bound to a topology.
 func (db *DB) registry() *obs.Registry {
-	db.regOnce.Do(func() {
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
+	if db.reg == nil {
 		db.reg = obs.NewRegistry()
 		db.register(db.reg)
-	})
+		for _, f := range db.extraReg {
+			f(db.reg)
+		}
+	}
 	return db.reg
+}
+
+// resetRegistry drops the built registry so the next scrape rebuilds it
+// against the live engine. Extra registrations (replica gauges) replay on
+// rebuild.
+func (db *DB) resetRegistry() {
+	db.regMu.Lock()
+	db.reg = nil
+	db.regMu.Unlock()
 }
 
 // stores lists the per-shard core stores (one entry when unsharded).
 func (db *DB) stores() []*core.Store {
-	if db.sharded != nil {
-		return db.sharded.Stores()
-	}
-	return []*core.Store{db.store}
+	return db.engine().stores()
 }
 
 // limboDepth sums the allocator limbo depth across shards.
@@ -280,6 +293,17 @@ func (db *DB) register(reg *obs.Registry) {
 	reg.Counter("incll_txn_replays_total", "Committed transactions re-applied by intent recovery.", "",
 		func() int64 { return db.TxnStats().Replayed })
 
+	reg.Gauge("incll_reshard_phase", "Live reshard phase (0 idle, 1 snapshot copy, 2 tail, 3 cutover).", "",
+		db.rstate.phase.Load)
+	reg.Gauge("incll_reshard_copied_bytes", "Bytes copied into the reshard target during the current/last snapshot phase.", "",
+		db.rstate.copiedBytes.Load)
+	reg.Gauge("incll_reshard_tail_lag_epochs", "Epochs the reshard tail trails the donor's released horizon.", "",
+		db.rstate.lagEpochs.Load)
+	reg.Counter("incll_reshard_cutovers_total", "Reshard cutovers durably committed on this DB instance.", "",
+		db.rstate.cutovers.Load)
+	reg.Gauge("incll_reshard_topology_version", "Live topology version (1 until the first completed reshard).", "",
+		func() int64 { return int64(db.TopoVersion()) })
+
 	hubGauge := func(read func(*repl.Hub) int64) func() int64 {
 		return func() int64 {
 			if h := db.hubIfAttached(); h != nil {
@@ -310,6 +334,8 @@ func (db *DB) register(reg *obs.Registry) {
 func (db *DB) StartRecorder(interval time.Duration, capacity int) {
 	db.recMu.Lock()
 	defer db.recMu.Unlock()
+	db.recInterval, db.recCap = interval, capacity
+	db.recOn = true
 	if db.recorder == nil {
 		db.recorder = obs.NewRecorder(db.registry(), interval, capacity)
 	}
@@ -321,8 +347,26 @@ func (db *DB) StartRecorder(interval time.Duration, capacity int) {
 func (db *DB) StopRecorder() {
 	db.recMu.Lock()
 	defer db.recMu.Unlock()
+	db.recOn = false
 	if db.recorder != nil {
 		db.recorder.Stop()
+	}
+}
+
+// restartRecorder rebinds a running recorder to the rebuilt registry
+// after a reshard cutover, preserving cadence and capacity. The recorded
+// history restarts: the old points belonged to the donor topology's
+// series set.
+func (db *DB) restartRecorder() {
+	db.recMu.Lock()
+	defer db.recMu.Unlock()
+	if db.recorder == nil {
+		return
+	}
+	db.recorder.Stop()
+	db.recorder = obs.NewRecorder(db.registry(), db.recInterval, db.recCap)
+	if db.recOn {
+		db.recorder.Start()
 	}
 }
 
@@ -352,11 +396,18 @@ func (db *DB) WriteMetricsHistory(w io.Writer) error {
 // Resync builds a fresh follower DB (fresh registry), so the series never
 // collide.
 func (db *DB) registerReplicaGauges(r *Replica) {
-	reg := db.registry()
-	reg.Gauge("incll_replica_applied_epoch", "Last released epoch the replica has fully applied and committed.", "",
-		func() int64 { return int64(r.AppliedEpoch()) })
-	reg.Gauge("incll_replica_lag_epochs", "Released epochs the replica has not yet applied.", "",
-		func() int64 { return int64(r.Lag().Epochs) })
-	reg.Gauge("incll_replica_lag_bytes", "Released change bytes the replica has not yet consumed.", "",
-		func() int64 { return int64(r.Lag().Bytes) })
+	f := func(reg *obs.Registry) {
+		reg.Gauge("incll_replica_applied_epoch", "Last released epoch the replica has fully applied and committed.", "",
+			func() int64 { return int64(r.AppliedEpoch()) })
+		reg.Gauge("incll_replica_lag_epochs", "Released epochs the replica has not yet applied.", "",
+			func() int64 { return int64(r.Lag().Epochs) })
+		reg.Gauge("incll_replica_lag_bytes", "Released change bytes the replica has not yet consumed.", "",
+			func() int64 { return int64(r.Lag().Bytes) })
+	}
+	db.regMu.Lock()
+	db.extraReg = append(db.extraReg, f)
+	if db.reg != nil {
+		f(db.reg)
+	}
+	db.regMu.Unlock()
 }

@@ -143,18 +143,16 @@ func (s *ChangeStream) PendingBytes() uint64 { return s.sub.PendingBytes() }
 // unblocking a concurrent Next.
 func (s *ChangeStream) Close() { s.sub.Close() }
 
-// hub returns the DB's change hub, attaching it on first use.
+// hub returns the DB's change hub, attaching it on first use. The hub is
+// bound to the live engine's stores; a reshard cutover closes it (its
+// subscribers see ErrStreamLost and re-bootstrap against the new
+// topology) and the next use attaches a fresh one.
 func (db *DB) hub() *repl.Hub {
 	db.replMu.Lock()
 	defer db.replMu.Unlock()
 	if db.replHub == nil {
-		var stores []*core.Store
-		if db.sharded != nil {
-			stores = db.sharded.Stores()
-		} else {
-			stores = []*core.Store{db.store}
-		}
-		db.replHub = repl.NewHub(stores, db.opts.ChangeJournalBytes)
+		e := db.engine()
+		db.replHub = repl.NewHub(e.stores(), e.opts.ChangeJournalBytes)
 		db.replHub.Instrument(db.trace)
 	}
 	return db.replHub
