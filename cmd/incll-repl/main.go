@@ -13,6 +13,15 @@
 //	incll-repl -mode restore  -i /tmp/db.snap -shards 4
 //	incll-repl -mode roundtrip -size 200000 -shards 4
 //	incll-repl -mode replica  -size 100000 -ops 400000
+//
+// The networked modes run the TCP replication tier across processes: a
+// serve-mode primary preloads, listens for followers, applies a write
+// load, and shuts down cleanly (followers drain the final epoch); a
+// connect-mode follower bootstraps over the wire, applies the live
+// stream, and reports its convergence.
+//
+//	incll-repl -mode serve   -listen 127.0.0.1:9090 -size 100000 -ops 400000
+//	incll-repl -mode follow  -connect 127.0.0.1:9090
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"time"
 
@@ -29,7 +39,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "roundtrip", "snapshot | restore | roundtrip | replica")
+	mode := flag.String("mode", "roundtrip", "snapshot | restore | roundtrip | replica | serve | follow")
 	size := flag.Uint64("size", 100_000, "primary preload size (keys)")
 	valueSize := flag.Int("valuesize", 128, "byte-value payload size")
 	shards := flag.Int("shards", 1, "primary shard count")
@@ -37,7 +47,10 @@ func main() {
 	ops := flag.Int("ops", 200_000, "replica mode: write ops against the primary")
 	out := flag.String("o", "", "snapshot output file (snapshot mode)")
 	in := flag.String("i", "", "snapshot input file (restore mode)")
-	interval := flag.Duration("interval", 8*time.Millisecond, "replica mode: primary checkpoint interval")
+	interval := flag.Duration("interval", 8*time.Millisecond, "replica/serve mode: primary checkpoint interval")
+	listen := flag.String("listen", "", "serve mode: replication listen address")
+	connect := flag.String("connect", "", "follow mode: primary replication address")
+	followers := flag.Int("followers", 1, "serve mode: followers to wait for before applying load")
 	flag.Parse()
 
 	if *restoreShards == 0 {
@@ -172,6 +185,74 @@ func main() {
 		fmt.Println("promoted replica verified equal to primary")
 		promoted.Close()
 		primary.Close()
+
+	case "serve":
+		if *listen == "" {
+			log.Fatal("-mode serve needs -listen ADDR")
+		}
+		opts := incll.Options{Shards: *shards, Workers: 2, EpochInterval: *interval}
+		primary, _ := incll.Open(opts)
+		preload(primary, *size, *valueSize)
+		primary.StartCheckpointer()
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := primary.ServeReplication(lis, incll.ReplServerOptions{Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serving replication on %s (%d keys preloaded)\n", rs.Addr(), *size)
+		for len(rs.Peers()) < *followers {
+			time.Sleep(50 * time.Millisecond)
+		}
+		h := primary.Handle(1)
+		t0 := time.Now()
+		last := t0
+		for i := 0; i < *ops; i++ {
+			h.Put(incll.Key(uint64(i)%*size), uint64(i))
+			if time.Since(last) > 250*time.Millisecond {
+				last = time.Now()
+				for _, p := range rs.Peers() {
+					fmt.Printf("  peer %s: acked epoch %d, lag %d epoch(s) / %d bytes, rtt %v\n",
+						p.ID, p.AckedEpoch, p.LagEpochs, p.LagBytes, p.RTT)
+				}
+			}
+		}
+		fmt.Printf("applied %d ops in %v; closing (followers drain the final epoch)\n",
+			*ops, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("  heartbeat rtt p99 %v across %d peer(s)\n", rs.HeartbeatRTT(0.99), len(rs.Peers()))
+		primary.Close()
+
+	case "follow":
+		if *connect == "" {
+			log.Fatal("-mode follow needs -connect ADDR")
+		}
+		t0 := time.Now()
+		fol, err := incll.FollowPrimary(*connect, incll.FollowerOptions{
+			Options: incll.Options{Shards: *restoreShards},
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("follow: %v", err)
+		}
+		bi := fol.BootstrapInfo()
+		el := time.Since(t0)
+		fmt.Printf("bootstrapped %d keys (%d bytes) in %v = %.1f MB/s, anchor epoch %d\n",
+			bi.Keys, bi.Bytes, el.Round(time.Millisecond), float64(bi.Bytes)/el.Seconds()/1e6, bi.AnchorEpoch)
+		// Stream until the primary goes away for good (clean close included:
+		// the client retries, so "down for 3s" is the end-of-run signal).
+		for {
+			time.Sleep(250 * time.Millisecond)
+			if down, d := fol.Down(); down && d > 3*time.Second {
+				break
+			}
+			fmt.Printf("  applied epoch %d, primary released %d, lag %d epoch(s)\n",
+				fol.AppliedEpoch(), fol.PrimaryReleased(), fol.Lag().Epochs)
+		}
+		fmt.Printf("stream ended at applied epoch %d; store holds %d keys\n",
+			fol.AppliedEpoch(), fol.DB().RebuildLen())
+		fol.Close()
 
 	default:
 		log.Fatalf("unknown mode %q", *mode)

@@ -9,19 +9,29 @@
 // fails and recovers the whole cluster atomically, and /stats reports the
 // per-shard traffic split next to the aggregate.
 //
-//	go run ./examples/kvserver -addr :8080 -shards 4
+// With -serve-repl the node also serves the replication protocol to
+// networked followers, and with -follow it runs as a read-only follower
+// of another kvserver, converging over TCP and serving watermark-gated
+// reads. Together they form a primary/follower cluster with manual
+// failover (POST /promote on a follower, POST /follow to re-point).
 //
-//	PUT  /kv/{key}?v=42     store a value
-//	GET  /kv/{key}          read a value
+//	go run ./examples/kvserver -addr :8080 -shards 4 -serve-repl :9090
+//	go run ./examples/kvserver -addr :8081 -follow 127.0.0.1:9090
+//
+//	PUT  /kv/{key}?v=42     store a value (primary only; echoes X-Incll-Epoch)
+//	GET  /kv/{key}          read a value (?minepoch=E gates on the watermark)
 //	GET  /range?start=k&n=10  ordered range read
 //	GET  /snapshot          stream a consistent online backup (see below)
+//	GET  /digest            order+byte digest of the full keyspace (cluster equality checks)
+//	POST /promote           follower only: become a standalone primary
+//	POST /follow?addr=A     become (or re-point) a follower of A's replication port
 //	POST /crash?persist=0.5 simulate a power failure + instant recovery
 //	POST /reshard?shards=8  online split/merge to a new shard count
 //	GET  /reshard           live reshard progress (phase, copy counters)
 //	GET  /stats             logging and persistence counters, per shard
 //	GET  /metrics           Prometheus text exposition (scrape me)
 //	GET  /metrics/history   ring of recent metric snapshots + rates (JSON)
-//	GET  /healthz           liveness: 200 "ok" while the store serves
+//	GET  /healthz           liveness + role/lag; ?ready = readiness probe
 //	GET  /trace             the phase trace: checkpoints, recoveries
 //	GET  /debug/vars        expvar, including the typed metrics snapshot
 //	GET  /debug/pprof/      Go profiling endpoints (with -pprof)
@@ -40,12 +50,15 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
@@ -59,8 +72,10 @@ import (
 )
 
 type server struct {
-	mu        sync.RWMutex // guards db swaps across simulated crashes
-	db        *incll.DB
+	mu        sync.RWMutex    // guards role/db swaps (crash, promote, follow)
+	db        *incll.DB       // primary store; nil while following
+	fol       *incll.Follower // non-nil while this node is a follower
+	rs        *incll.ReplServer
 	stopWatch func() // anomaly watchdog on the current db, nil when unarmed
 }
 
@@ -81,10 +96,40 @@ func (s *server) startObs(db *incll.DB, stw, op time.Duration) {
 	})
 }
 
+// withDB runs f against the node's current store — the primary DB, or a
+// follower's current bootstrap. The read lock pins the role for f's
+// lifetime (a follower's own reconnect swaps are safe behind Follower).
 func (s *server) withDB(f func(db *incll.DB)) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.fol != nil {
+		f(s.fol.DB())
+		return
+	}
 	f(s.db)
+}
+
+// follower returns the Follower while this node has that role.
+func (s *server) follower() *incll.Follower {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fol
+}
+
+// serveReplOn starts serving replication on addr (primary role).
+func (s *server) serveReplOn(db *incll.DB, addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	rs, err := db.ServeReplication(lis, incll.ReplServerOptions{Logf: log.Printf})
+	if err != nil {
+		lis.Close()
+		return err
+	}
+	s.rs = rs
+	log.Printf("serving replication on %s", rs.Addr())
+	return nil
 }
 
 func main() {
@@ -93,13 +138,36 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
 	anomalySTW := flag.Duration("anomaly-stw", 0, "dump a flight record when a checkpoint pause exceeds this (0 = off)")
 	anomalyOp := flag.Duration("anomaly-op", 0, "dump a flight record when windowed op p99 exceeds this (0 = off)")
+	serveRepl := flag.String("serve-repl", "", "serve the replication protocol to followers on this address (also used after /promote)")
+	follow := flag.String("follow", "", "start as a follower of this primary replication address")
+	replID := flag.String("repl-id", "", "follower identity on the primary (default: local address)")
+	readyLag := flag.Uint64("ready-lag", 64, "readiness threshold: /healthz?ready fails when follower lag exceeds this many epochs")
 	flag.Parse()
 
-	db, info := incll.Open(incll.Options{ArenaWords: (1 << 25) / uint64(max(*shards, 1)), Shards: *shards})
-	db.StartCheckpointer()
-	log.Printf("store opened (%v, %d shard(s)), checkpointing every 64ms", info.Status, db.Shards())
-	srv := &server{db: db}
-	srv.startObs(db, *anomalySTW, *anomalyOp)
+	opts := incll.Options{ArenaWords: (1 << 25) / uint64(max(*shards, 1)), Shards: *shards}
+	srv := &server{}
+	if *follow != "" {
+		fol, err := incll.FollowPrimary(*follow, incll.FollowerOptions{
+			Options: opts, ID: *replID, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("follow %s: %v", *follow, err)
+		}
+		srv.fol = fol
+		log.Printf("following %s: bootstrapped %d keys at epoch %d", *follow,
+			fol.BootstrapInfo().Keys, fol.AppliedEpoch())
+	} else {
+		db, info := incll.Open(opts)
+		db.StartCheckpointer()
+		log.Printf("store opened (%v, %d shard(s)), checkpointing every 64ms", info.Status, db.Shards())
+		srv.db = db
+		srv.startObs(db, *anomalySTW, *anomalyOp)
+		if *serveRepl != "" {
+			if err := srv.serveReplOn(db, *serveRepl); err != nil {
+				log.Fatalf("serve-repl %s: %v", *serveRepl, err)
+			}
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
@@ -108,29 +176,66 @@ func main() {
 			http.Error(w, "empty key", http.StatusBadRequest)
 			return
 		}
-		srv.withDB(func(db *incll.DB) {
-			switch r.Method {
-			case http.MethodPut, http.MethodPost:
-				v, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 64)
-				if err != nil {
-					http.Error(w, "bad value", http.StatusBadRequest)
-					return
-				}
-				inserted := db.Put(key, v)
-				fmt.Fprintf(w, "ok inserted=%v\n", inserted)
-			case http.MethodGet:
-				v, ok := db.Get(key)
-				if !ok {
-					http.NotFound(w, r)
-					return
-				}
-				fmt.Fprintf(w, "%d\n", v)
-			case http.MethodDelete:
-				fmt.Fprintf(w, "deleted=%v\n", db.Delete(key))
-			default:
-				http.Error(w, "method", http.StatusMethodNotAllowed)
+		srv.mu.RLock()
+		defer srv.mu.RUnlock()
+		fol := srv.fol
+		db := srv.db
+		if fol != nil {
+			db = fol.DB()
+		}
+		switch r.Method {
+		case http.MethodPut, http.MethodPost:
+			if fol != nil {
+				http.Error(w, "read-only follower; write to the primary", http.StatusConflict)
+				return
 			}
-		})
+			v, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 64)
+			if err != nil {
+				http.Error(w, "bad value", http.StatusBadRequest)
+				return
+			}
+			inserted := db.Put(key, v)
+			// The commit epoch E: a follower whose applied watermark has
+			// reached E is guaranteed to serve this write — pass it back
+			// as ?minepoch=E for read-your-writes on any follower.
+			w.Header().Set("X-Incll-Epoch", strconv.FormatUint(db.CurrentEpoch(), 10))
+			fmt.Fprintf(w, "ok inserted=%v\n", inserted)
+		case http.MethodGet:
+			if me := r.URL.Query().Get("minepoch"); me != "" && fol != nil {
+				need, err := strconv.ParseUint(me, 10, 64)
+				if err != nil {
+					http.Error(w, "bad minepoch", http.StatusBadRequest)
+					return
+				}
+				if have := fol.AppliedEpoch(); need > have {
+					// The watermark read rule: never serve a read the
+					// follower has not yet caught up to — fail typed and
+					// let the client retry (here or on another follower).
+					w.Header().Set("X-Incll-Applied", strconv.FormatUint(have, 10))
+					w.Header().Set("Retry-After", "1")
+					http.Error(w, fmt.Sprintf("replica lagging: need epoch %d, applied %d", need, have),
+						http.StatusServiceUnavailable)
+					return
+				}
+			}
+			if fol != nil {
+				w.Header().Set("X-Incll-Applied", strconv.FormatUint(fol.AppliedEpoch(), 10))
+			}
+			v, ok := db.Get(key)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprintf(w, "%d\n", v)
+		case http.MethodDelete:
+			if fol != nil {
+				http.Error(w, "read-only follower; write to the primary", http.StatusConflict)
+				return
+			}
+			fmt.Fprintf(w, "deleted=%v\n", db.Delete(key))
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
 	})
 	mux.HandleFunc("/range", func(w http.ResponseWriter, r *http.Request) {
 		start := []byte(r.URL.Query().Get("start"))
@@ -193,6 +298,15 @@ func main() {
 			return
 		}
 		defer srv.mu.Unlock()
+		if srv.fol != nil {
+			http.Error(w, "follower: kill the process instead (the store is a replica)", http.StatusConflict)
+			return
+		}
+		if srv.rs != nil {
+			// A simulated crash kills the replication server with the DB;
+			// the recovered instance serves it again on the same address.
+			srv.rs = nil
+		}
 		t0 := time.Now()
 		if srv.stopWatch != nil {
 			srv.stopWatch() // bound to the dying db instance
@@ -203,6 +317,11 @@ func main() {
 		ndb.StartCheckpointer()
 		srv.db = ndb
 		srv.startObs(ndb, *anomalySTW, *anomalyOp)
+		if *serveRepl != "" {
+			if err := srv.serveReplOn(ndb, *serveRepl); err != nil {
+				log.Printf("serve-repl after crash: %v", err)
+			}
+		}
 		fmt.Fprintf(w, "crashed and recovered in %v: %v, replayed %d pre-images\n",
 			time.Since(t0), info.Status, info.LogEntriesApplied)
 		for i, sr := range info.Shards {
@@ -229,6 +348,10 @@ func main() {
 		n, err := strconv.Atoi(r.URL.Query().Get("shards"))
 		if err != nil || n < 1 {
 			http.Error(w, "bad shards", http.StatusBadRequest)
+			return
+		}
+		if srv.follower() != nil {
+			http.Error(w, "follower: reshard the primary", http.StatusConflict)
 			return
 		}
 		srv.withDB(func(db *incll.DB) {
@@ -290,12 +413,139 @@ func main() {
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		// Liveness via a real read: a wedged store (not just a wedged mux)
-		// fails the probe. The key never exists; the probe is the lookup.
+		// Liveness vs readiness, split by the ?ready query:
+		//
+		//   - Liveness (default) answers "should this process be
+		//     restarted?" — 200 while the store can execute a read at
+		//     all, regardless of role or replication lag. A lagging
+		//     follower is alive; restarting it would only force a full
+		//     re-bootstrap and make the lag worse.
+		//   - Readiness (?ready) answers "should this node receive
+		//     traffic?" — a follower is ready only while connected to
+		//     its primary with replication lag at most -ready-lag
+		//     epochs; beyond that its reads are too stale to serve and
+		//     the probe fails with 503 so load balancers drain it. A
+		//     primary is always ready once it serves.
+		//
+		// Both probe via a real read: a wedged store (not just a wedged
+		// mux) fails. The key never exists; the probe is the lookup.
+		_, ready := r.URL.Query()["ready"]
+		srv.mu.RLock()
+		defer srv.mu.RUnlock()
+		role, applied, lag := "primary", uint64(0), uint64(0)
+		var db *incll.DB
+		if srv.fol != nil {
+			role = "follower"
+			applied = srv.fol.AppliedEpoch()
+			lag = srv.fol.Lag().Epochs
+			db = srv.fol.DB()
+			if ready {
+				if !srv.fol.Connected() {
+					http.Error(w, fmt.Sprintf("not ready: disconnected from primary (applied epoch %d)", applied),
+						http.StatusServiceUnavailable)
+					return
+				}
+				if lag > *readyLag {
+					http.Error(w, fmt.Sprintf("not ready: lag %d epochs exceeds %d", lag, *readyLag),
+						http.StatusServiceUnavailable)
+					return
+				}
+			}
+		} else {
+			db = srv.db
+			applied = db.ReleasedEpoch()
+		}
+		db.Get([]byte("\x00healthz\x00"))
+		fmt.Fprintf(w, "ok role=%s applied=%d lag=%d\n", role, applied, lag)
+	})
+	mux.HandleFunc("/digest", func(w http.ResponseWriter, r *http.Request) {
+		// An order- and byte-exact digest of the whole keyspace
+		// (length-prefixed FNV-1a over the ascending scan), for cheap
+		// cluster-equality checks: two nodes with equal digests hold
+		// byte-identical stores.
 		srv.withDB(func(db *incll.DB) {
-			db.Get([]byte("\x00healthz\x00"))
-			fmt.Fprintln(w, "ok")
+			h := fnv.New64a()
+			var n uint64
+			var lenb [8]byte
+			for k, v := range db.All() {
+				binary.LittleEndian.PutUint64(lenb[:], uint64(len(k)))
+				h.Write(lenb[:])
+				h.Write(k)
+				binary.LittleEndian.PutUint64(lenb[:], uint64(len(v)))
+				h.Write(lenb[:])
+				h.Write(v)
+				n++
+			}
+			fmt.Fprintf(w, "fnv=%016x keys=%d\n", h.Sum64(), n)
 		})
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		if srv.fol == nil {
+			http.Error(w, "already a primary", http.StatusConflict)
+			return
+		}
+		db, err := srv.fol.Promote()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		srv.fol = nil
+		srv.db = db
+		db.StartCheckpointer()
+		srv.startObs(db, *anomalySTW, *anomalyOp)
+		if *serveRepl != "" {
+			if err := srv.serveReplOn(db, *serveRepl); err != nil {
+				log.Printf("serve-repl after promote: %v", err)
+			}
+		}
+		log.Printf("promoted to primary at epoch %d", db.ReleasedEpoch())
+		fmt.Fprintf(w, "promoted role=primary epoch=%d\n", db.ReleasedEpoch())
+	})
+	mux.HandleFunc("/follow", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			http.Error(w, "need ?addr=host:port", http.StatusBadRequest)
+			return
+		}
+		// Follow the new primary first — only once its bootstrap succeeds
+		// is the old role torn down, so a bad address leaves the node as
+		// it was.
+		fol, err := incll.FollowPrimary(addr, incll.FollowerOptions{
+			Options: opts, ID: *replID, Logf: log.Printf,
+		})
+		if err != nil {
+			http.Error(w, fmt.Sprintf("follow %s: %v", addr, err), http.StatusBadGateway)
+			return
+		}
+		srv.mu.Lock()
+		old, oldFol, oldRS := srv.db, srv.fol, srv.rs
+		srv.db, srv.fol, srv.rs = nil, fol, nil
+		if srv.stopWatch != nil {
+			srv.stopWatch()
+			srv.stopWatch = nil
+		}
+		srv.mu.Unlock()
+		if oldRS != nil {
+			oldRS.Close()
+		}
+		if oldFol != nil {
+			oldFol.Close()
+		}
+		if old != nil {
+			old.Close()
+		}
+		log.Printf("now following %s from epoch %d", addr, fol.AppliedEpoch())
+		fmt.Fprintf(w, "following %s role=follower applied=%d\n", addr, fol.AppliedEpoch())
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		srv.withDB(func(db *incll.DB) {
@@ -310,6 +560,9 @@ func main() {
 	expvar.Publish("incll", expvar.Func(func() any {
 		srv.mu.RLock()
 		defer srv.mu.RUnlock()
+		if srv.fol != nil {
+			return srv.fol.DB().Metrics()
+		}
 		return srv.db.Metrics()
 	}))
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -355,7 +608,13 @@ func main() {
 	// write lock cannot be acquired while any handler still uses the DB:
 	// Close never races an in-flight request.
 	srv.mu.Lock()
-	srv.db.Close() // final checkpoint + durable clean-shutdown mark
+	if srv.fol != nil {
+		srv.fol.Close()
+	} else {
+		// Final checkpoint + durable clean-shutdown mark; any replication
+		// followers drain the final epoch before their connections close.
+		srv.db.Close()
+	}
 	srv.mu.Unlock()
 	log.Printf("store closed cleanly")
 }

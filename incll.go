@@ -77,6 +77,7 @@ import (
 	"incll/internal/nvm"
 	"incll/internal/obs"
 	"incll/internal/repl"
+	"incll/internal/replnet"
 	"incll/internal/shard"
 	"incll/internal/txn"
 )
@@ -571,6 +572,19 @@ type DB struct {
 	reshardMu   sync.Mutex
 	reshardHook func(point string) error // crash-injection test hook
 	rstate      reshardState
+
+	// Networked replication state (see replserve.go). closed makes
+	// Close/SimulateCrash idempotent and lets late API calls fail fast;
+	// the netCur pointer is what the once-registered incll_replnet_*
+	// gauges read through, so a stopped or replaced server reports zeros
+	// instead of dangling.
+	closed      atomic.Bool
+	netMu       sync.Mutex
+	netSrvs     []*ReplServer
+	netPeerIDs  map[string]bool
+	netGaugesOn bool
+	netCur      atomic.Pointer[replnet.Server]
+	netRTT      *obs.Histogram
 }
 
 // engine resolves the live engine for a read. During a cutover's swap
@@ -914,8 +928,25 @@ func (db *DB) StopCheckpointer() {
 }
 
 // Close checkpoints and durably marks a clean shutdown. Change-stream
-// subscribers drain the final epoch and then observe ErrStreamClosed.
+// subscribers drain the final epoch and then observe ErrStreamClosed;
+// networked followers receive the complete stream through the final
+// epoch and then a clean goodbye. Idempotent: concurrent or repeated
+// calls after the first are no-ops.
+//
+// Ordering matters here: replication listeners stop accepting first (no
+// new subscribers can race the shutdown), then the store's shutdown
+// checkpoint commits and the hub releases the final epoch — and only
+// after that are the peer connections drained and torn down, so the
+// final epoch is released before listener teardown and every live
+// follower sees it.
 func (db *DB) Close() {
+	if !db.closed.CompareAndSwap(false, true) {
+		return
+	}
+	srvs := db.replServers()
+	for _, rs := range srvs {
+		rs.srv.StopAccepting()
+	}
 	db.StopRecorder()
 	db.txns.StopTicker()
 	e := db.engine()
@@ -925,6 +956,10 @@ func (db *DB) Close() {
 		e.store.Shutdown()
 	}
 	db.closeHub(true)
+	for _, rs := range srvs {
+		rs.srv.Drain(5 * time.Second)
+		rs.srv.Close()
+	}
 }
 
 // SimulateCrash injects a power failure: each dirty cache line survives
@@ -933,6 +968,12 @@ func (db *DB) Close() {
 // together (independent per-shard survival policies derived from seed).
 // All handles must be quiescent.
 func (db *DB) SimulateCrash(persistFraction float64, seed int64) {
+	if !db.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, rs := range db.replServers() {
+		rs.srv.Close() // a crash kills connections hard: no drain, no goodbye
+	}
 	db.StopRecorder()
 	db.txns.StopTicker()
 	db.closeHub(false) // the volatile journal dies with the process

@@ -88,7 +88,7 @@ func TestLargeValueCrashAtEveryOp(t *testing.T) {
 	const keys = 6
 	type op struct {
 		k   uint64
-		n   int  // value size; -1 = delete
+		n   int // value size; -1 = delete
 		del bool
 	}
 	var script []op

@@ -57,12 +57,17 @@ type BenchRecord struct {
 	FlushedLines int64 `json:"flushed_lines,omitempty"`
 	Advances     int64 `json:"advances,omitempty"`
 
-	// Replication rows (Workload "SNAPSHOT" / "REPLICA"): snapshot and
-	// restore throughput, and replica lag under write load.
+	// Replication rows (Workload "SNAPSHOT" / "REPLICA" / "REPLNET"):
+	// snapshot and restore throughput, and replica lag under write load.
+	// REPLNET rows measure the TCP tier: MBPerSec is the follower's
+	// bootstrap transfer rate over loopback, the lag fields its
+	// steady-state apply debt, and HBRTTP99Micros the primary-observed
+	// heartbeat round-trip tail.
 	SnapshotBytes   int64   `json:"snapshot_bytes,omitempty"`
 	RestoreMBPerSec float64 `json:"restore_mb_per_sec,omitempty"`
 	LagEpochsMax    uint64  `json:"lag_epochs_max,omitempty"`
 	LagEpochsMean   float64 `json:"lag_epochs_mean,omitempty"`
+	HBRTTP99Micros  float64 `json:"hb_rtt_p99_us,omitempty"`
 
 	// Reshard rows (Workload "RESHARD"): online split/merge under load.
 	// Reshard names the transition ("4to8"); OpsPerSec is the workload's
@@ -275,6 +280,7 @@ func BenchSuite(w io.Writer, p Params) []BenchRecord {
 		fmt.Fprintln(w)
 	}
 	recs = append(recs, replRows(w, p)...)
+	recs = append(recs, replnetRows(w, p)...)
 	recs = append(recs, reshardRows(w, p)...)
 	return recs
 }
@@ -327,6 +333,40 @@ func replRows(w io.Writer, p Params) []BenchRecord {
 		}
 		fmt.Fprintf(w, "%-8s INCLL  shards=%d %38.1f MB/s applied  lag max/mean %d/%.2f epochs%s\n",
 			rec.Workload, shards, rec.MBPerSec, rec.LagEpochsMax, rec.LagEpochsMean, conv)
+	}
+	return recs
+}
+
+// replnetRows runs the networked replication matrix: a loopback-TCP
+// follower bootstrap plus a steady-state lag run at 1 and 4 shards.
+func replnetRows(w io.Writer, p Params) []BenchRecord {
+	rp := p
+	rp.TreeSize = p.TreeSize / 4
+	var recs []BenchRecord
+	for _, shards := range []int{1, 4} {
+		r := RunReplnetBench(rp, shards)
+		rec := BenchRecord{
+			Workload:       "REPLNET",
+			Mode:           "INCLL",
+			Dist:           "uniform",
+			Shards:         shards,
+			TxnMode:        "none",
+			Threads:        1,
+			TreeSize:       rp.TreeSize,
+			Ops:            int64(p.Ops),
+			MBPerSec:       r.BootstrapMBPerSec,
+			SnapshotBytes:  r.BootstrapBytes,
+			LagEpochsMax:   r.LagEpochsMax,
+			LagEpochsMean:  r.LagEpochsMean,
+			HBRTTP99Micros: float64(r.HeartbeatRTTP99.Nanoseconds()) / 1000,
+		}
+		recs = append(recs, rec)
+		conv := ""
+		if !r.Converged {
+			conv = "  DIVERGED"
+		}
+		fmt.Fprintf(w, "%-8s INCLL  shards=%d %38.1f MB/s bootstrap  lag max/mean %d/%.2f epochs  hb rtt p99 %.0fus%s\n",
+			rec.Workload, shards, rec.MBPerSec, rec.LagEpochsMax, rec.LagEpochsMean, rec.HBRTTP99Micros, conv)
 	}
 	return recs
 }

@@ -179,6 +179,12 @@ func DiffBench(old, new BenchFile, tolerance float64) DiffReport {
 				// rate, not a capacity measurement; informational only.
 				continue
 			}
+			if or.Workload == "REPLNET" && m.name == "mb_per_sec" {
+				// Loopback-TCP bootstrap throughput swings with the CI
+				// kernel's network stack and scheduler far past the gate
+				// tolerance; informational only.
+				continue
+			}
 			if m.old <= 0 || m.new <= 0 {
 				continue
 			}
@@ -200,6 +206,14 @@ func DiffBench(old, new BenchFile, tolerance float64) DiffReport {
 		if or.P99Micros > 0 && nr.P99Micros > or.P99Micros*(1+2*tolerance) {
 			rep.Rows = append(rep.Rows, DiffRow{
 				Key: key, Metric: "p99_us", Old: or.P99Micros, New: nr.P99Micros,
+				Status: DiffWarning,
+			})
+		}
+		// Heartbeat RTT tail: higher is worse, advisory only (loopback
+		// scheduling on a small runner swamps the protocol's own cost).
+		if or.HBRTTP99Micros > 0 && nr.HBRTTP99Micros > or.HBRTTP99Micros*(1+2*tolerance) {
+			rep.Rows = append(rep.Rows, DiffRow{
+				Key: key, Metric: "hb_rtt_p99_us", Old: or.HBRTTP99Micros, New: nr.HBRTTP99Micros,
 				Status: DiffWarning,
 			})
 		}

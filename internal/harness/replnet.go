@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"incll"
+	"incll/internal/core"
+)
+
+// Networked replication measurements: follower bootstrap throughput over
+// a real (loopback) TCP connection, steady-state apply lag under write
+// load, and heartbeat round-trip tail. These are the wire-tier
+// counterparts to repl.go's in-process snapshot and replica rows.
+
+// ReplnetResult reports one networked replication measurement.
+type ReplnetResult struct {
+	Shards int
+
+	// Bootstrap: the follower's full snapshot transfer over TCP.
+	BootstrapBytes    int64
+	BootstrapMBPerSec float64
+
+	// Steady state: epoch lag sampled while the primary runs YCSB-A-style
+	// write load with the checkpoint ticker on.
+	LagSamples    int
+	LagEpochsMax  uint64
+	LagEpochsMean float64
+
+	// HeartbeatRTTP99 is the primary-observed heartbeat round trip tail
+	// across the run.
+	HeartbeatRTTP99 time.Duration
+
+	Converged bool // follower equals primary after the final watermark wait
+}
+
+// RunReplnetBench stands up a TCP primary on loopback, bootstraps one
+// follower over the wire, then samples the follower's epoch lag while
+// the primary takes write load. The follower applies on its own
+// goroutines; the lag series is the steady-state replication debt a
+// watermark read would wait on.
+func RunReplnetBench(p Params, shards int) ReplnetResult {
+	p.setDefaults()
+	opts := replOptions(shards)
+	opts.EpochInterval = 4 * time.Millisecond
+	primary, _ := incll.Open(opts)
+	for k := uint64(0); k < p.TreeSize; k++ {
+		primary.Put(core.EncodeUint64(k), k)
+	}
+	primary.Checkpoint()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("harness: replnet bench: %v", err))
+	}
+	rs, err := primary.ServeReplication(lis, incll.ReplServerOptions{
+		Heartbeat: 5 * time.Millisecond,
+		DeadAfter: 10 * time.Second,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: replnet bench: %v", err))
+	}
+
+	t0 := time.Now()
+	fol, err := incll.FollowPrimary(rs.Addr().String(), incll.FollowerOptions{
+		Options: replOptions(shards),
+		ID:      "bench",
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: replnet bootstrap: %v", err))
+	}
+	bootSecs := time.Since(t0).Seconds()
+	bi := fol.BootstrapInfo()
+
+	res := ReplnetResult{
+		Shards:            shards,
+		BootstrapBytes:    bi.Bytes,
+		BootstrapMBPerSec: float64(bi.Bytes) / bootSecs / 1e6,
+	}
+
+	primary.StartCheckpointer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h := primary.Handle(1)
+		rng := newXorshift(uint64(p.Seed)*2654435761 + 3)
+		for i := 0; i < p.Ops; i++ {
+			k := core.EncodeUint64(rng.next() % p.TreeSize)
+			if i&1 == 0 {
+				h.Put(k, uint64(i))
+			} else {
+				h.Get(k)
+			}
+		}
+	}()
+
+	var lagSum uint64
+sample:
+	for {
+		select {
+		case <-done:
+			break sample
+		case <-time.After(2 * time.Millisecond):
+		}
+		lag := fol.Lag().Epochs
+		res.LagSamples++
+		lagSum += lag
+		if lag > res.LagEpochsMax {
+			res.LagEpochsMax = lag
+		}
+	}
+	primary.StopCheckpointer()
+	primary.Checkpoint()
+	if res.LagSamples > 0 {
+		res.LagEpochsMean = float64(lagSum) / float64(res.LagSamples)
+	}
+
+	// Converge on the final watermark, then verify by key count plus a
+	// sampled value sweep (the crash campaign owns the byte-exact check).
+	res.Converged = fol.WaitWatermark(primary.ReleasedEpoch(), 30*time.Second) == nil
+	if res.Converged {
+		if primary.RebuildLen() != fol.DB().RebuildLen() {
+			res.Converged = false
+		} else {
+			for k := uint64(0); k < p.TreeSize; k += 97 {
+				pv, pok := primary.Get(core.EncodeUint64(k))
+				fv, fok := fol.DB().Get(core.EncodeUint64(k))
+				if pok != fok || pv != fv {
+					res.Converged = false
+					break
+				}
+			}
+		}
+	}
+	res.HeartbeatRTTP99 = rs.HeartbeatRTT(0.99)
+	fol.Close()
+	primary.Close()
+	return res
+}

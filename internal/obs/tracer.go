@@ -64,6 +64,20 @@ const (
 	// EvReshardDone: the reshard finished and the new topology serves all
 	// traffic. Arg is the new shard count.
 	EvReshardDone
+	// EvNetPeerUp: a replication follower finished its snapshot bootstrap
+	// on the primary. Epoch is the bootstrap anchor, Dur the handshake +
+	// bootstrap time, Arg the connected-peer count after.
+	EvNetPeerUp
+	// EvNetPeerDown: a replication follower disconnected (or was declared
+	// dead). Epoch is its last acked epoch, Dur the session length, Arg
+	// the connected-peer count after.
+	EvNetPeerDown
+	// EvNetFollowerConnect: a networked follower completed a (re)connect
+	// bootstrap. Epoch is the anchor, Dur the bootstrap time.
+	EvNetFollowerConnect
+	// EvNetPromote: a networked follower was promoted to primary. Epoch
+	// is its applied watermark at promotion.
+	EvNetPromote
 )
 
 // String returns the event kind's stable lower-snake name (also used in
@@ -102,6 +116,14 @@ func (k EventKind) String() string {
 		return "reshard_cutover"
 	case EvReshardDone:
 		return "reshard_done"
+	case EvNetPeerUp:
+		return "net_peer_up"
+	case EvNetPeerDown:
+		return "net_peer_down"
+	case EvNetFollowerConnect:
+		return "net_follower_connect"
+	case EvNetPromote:
+		return "net_promote"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

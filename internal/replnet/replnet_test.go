@@ -1,0 +1,426 @@
+package replnet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incll/internal/core"
+	"incll/internal/obs"
+	"incll/internal/repl"
+)
+
+// fakeSource is a channel-backed BatchSource: the test side pushes
+// batches, the peer collector drains them, and Close unblocks Next like
+// a real subscription's does.
+type fakeSource struct {
+	ch       chan repl.Batch
+	endErr   error
+	released atomic.Uint64
+	done     chan struct{}
+	once     sync.Once
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{ch: make(chan repl.Batch, 64), endErr: repl.ErrStreamClosed, done: make(chan struct{})}
+}
+
+func (f *fakeSource) push(b repl.Batch) {
+	if b.Epoch > f.released.Load() {
+		f.released.Store(b.Epoch)
+	}
+	f.ch <- b
+}
+
+func (f *fakeSource) end(err error) {
+	f.endErr = err
+	close(f.ch)
+}
+
+func (f *fakeSource) Next() (repl.Batch, error) {
+	select {
+	case b, ok := <-f.ch:
+		if !ok {
+			return repl.Batch{}, f.endErr
+		}
+		return b, nil
+	case <-f.done:
+		return repl.Batch{}, repl.ErrStreamClosed
+	}
+}
+
+func (f *fakeSource) Released() uint64     { return f.released.Load() }
+func (f *fakeSource) PendingBytes() uint64 { return uint64(len(f.ch)) }
+func (f *fakeSource) Unpin()               {}
+func (f *fakeSource) Close()               { f.once.Do(func() { close(f.done) }) }
+
+// testBlob is the stand-in snapshot stream for transport-level tests:
+// the handoff property under test is only that the bootstrap reader
+// consumes exactly its bytes and the live phase resumes after them.
+var testBlob = []byte("snapshot-bootstrap-stand-in!")
+
+func testServer(t *testing.T, src func() BatchSource, anchor uint64, cfg Config) *Server {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Bootstrap = func(w io.Writer) (BatchSource, uint64, error) {
+		if _, err := w.Write(testBlob); err != nil {
+			return nil, 0, err
+		}
+		return src(), anchor, nil
+	}
+	s := Serve(lis, cfg)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func blobBootstrap(anchor uint64) func(io.Reader) (uint64, error) {
+	return func(r io.Reader) (uint64, error) {
+		got := make([]byte, len(testBlob))
+		if _, err := io.ReadFull(r, got); err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(got, testBlob) {
+			return 0, errors.New("bootstrap blob mismatch")
+		}
+		return anchor, nil
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func entry(epoch uint64, shard int, op core.ChangeOp, k, v string) repl.Entry {
+	return repl.Entry{Op: op, Epoch: epoch, Shard: shard, Key: []byte(k), Val: []byte(v)}
+}
+
+func TestBatchWireRoundtrip(t *testing.T) {
+	big := bytes.Repeat([]byte("v"), 100<<10) // forces multi-chunk splits
+	b := repl.Batch{
+		Epoch: 42,
+		Entries: []repl.Entry{
+			entry(40, 0, core.ChangePut, "a", "1"),
+			entry(41, 3, core.ChangePut, "big0", string(big)),
+			entry(41, 1, core.ChangeDelete, "gone", ""),
+			entry(42, 2, core.ChangePut, "big1", string(big)),
+			entry(42, 0, core.ChangePut, "big2", string(big)),
+			entry(42, 5, core.ChangePut, "z", "tail"),
+		},
+	}
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	mcw := newMconn(srv)
+	done := make(chan error, 1)
+	go func() {
+		if _, err := mcw.writeBatch(b); err != nil {
+			done <- err
+			return
+		}
+		done <- mcw.flush()
+	}()
+	mcr := newMconn(cli)
+	var got []repl.Entry
+	chunks := 0
+	for {
+		kind, p, err := mcr.readMsg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != msgBatch {
+			t.Fatalf("kind = %d, want batch", kind)
+		}
+		ck, err := parseBatch(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck.Horizon != 42 {
+			t.Fatalf("horizon = %d, want 42", ck.Horizon)
+		}
+		chunks++
+		for _, e := range ck.Entries {
+			got = append(got, repl.Entry{Op: e.Op, Epoch: e.Epoch, Shard: e.Shard,
+				Key: append([]byte(nil), e.Key...), Val: append([]byte(nil), e.Val...)})
+		}
+		if ck.Final {
+			break
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if chunks < 2 {
+		t.Fatalf("chunks = %d, want a multi-chunk split", chunks)
+	}
+	if len(got) != len(b.Entries) {
+		t.Fatalf("entries = %d, want %d", len(got), len(b.Entries))
+	}
+	for i := range got {
+		w := b.Entries[i]
+		if got[i].Op != w.Op || got[i].Epoch != w.Epoch || got[i].Shard != w.Shard ||
+			!bytes.Equal(got[i].Key, w.Key) || !bytes.Equal(got[i].Val, w.Val) {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+}
+
+func TestMessageMalformed(t *testing.T) {
+	// A valid heartbeat message to mutate.
+	valid := func() []byte {
+		var b bytes.Buffer
+		mc := &mconn{bw: bufio.NewWriter(&b)}
+		if err := mc.writeMsg(msgHeartbeat, appendHeartbeat(nil, 7, 9)); err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.flush(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"bad crc", func(b []byte) []byte { b[9] ^= 0xFF; return b }},
+		{"flipped payload", func(b []byte) []byte { b[msgHdrBytes] ^= 0xFF; return b }},
+		{"truncated payload", func(b []byte) []byte { return b[:msgHdrBytes+4] }},
+		{"huge length", func(b []byte) []byte {
+			b[5], b[6], b[7], b[8] = 0xFF, 0xFF, 0xFF, 0x7F
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.mutate(append([]byte(nil), valid...))
+			mc := &mconn{br: bufio.NewReader(bytes.NewReader(in))}
+			if _, _, err := mc.readMsg(); !errors.Is(err, ErrBadMessage) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("err = %v, want ErrBadMessage or unexpected EOF", err)
+			}
+		})
+	}
+}
+
+func TestServerClientStream(t *testing.T) {
+	src := newFakeSource()
+	rtt := &obs.Histogram{}
+	s := testServer(t, func() BatchSource { return src }, 5, Config{
+		Heartbeat: 10 * time.Millisecond,
+		RTT:       rtt,
+	})
+
+	var mu sync.Mutex
+	applied := map[string]string{}
+	var watermark uint64
+	c := Dial(ClientConfig{
+		Addr:      s.Addr().String(),
+		ID:        "f1",
+		Bootstrap: blobBootstrap(5),
+		Apply: func(horizon uint64, final bool, ents []repl.Entry) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, e := range ents {
+				if e.Epoch <= 5 {
+					return fmt.Errorf("entry at epoch %d leaked below the anchor", e.Epoch)
+				}
+				if e.Op == core.ChangeDelete {
+					delete(applied, string(e.Key))
+				} else {
+					applied[string(e.Key)] = string(e.Val)
+				}
+			}
+			if final {
+				watermark = horizon
+			}
+			return nil
+		},
+		DeadAfter: 500 * time.Millisecond,
+		Seed:      1,
+	})
+	defer c.Close()
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.AppliedEpoch(); got != 5 {
+		t.Fatalf("anchor applied = %d, want 5", got)
+	}
+
+	// A batch that overlaps the anchor: epochs ≤ 5 must be filtered out.
+	src.push(repl.Batch{Epoch: 6, Entries: []repl.Entry{
+		entry(5, 0, core.ChangePut, "stale", "snapshot-owned"),
+		entry(6, 0, core.ChangePut, "k1", "v1"),
+	}})
+	src.push(repl.Batch{Epoch: 7, Entries: []repl.Entry{
+		entry(7, 1, core.ChangePut, "k2", "v2"),
+		entry(7, 0, core.ChangeDelete, "k1", ""),
+	}})
+	waitFor(t, "batches applied", func() bool { return c.AppliedEpoch() == 7 })
+	mu.Lock()
+	if watermark != 7 || applied["k2"] != "v2" {
+		mu.Unlock()
+		t.Fatalf("watermark = %d applied = %v", watermark, applied)
+	}
+	if _, ok := applied["k1"]; ok {
+		mu.Unlock()
+		t.Fatal("delete not applied")
+	}
+	if _, ok := applied["stale"]; ok {
+		mu.Unlock()
+		t.Fatal("entry below the anchor applied")
+	}
+	mu.Unlock()
+
+	// Acks propagate the applied epoch back into the peer's status, and
+	// heartbeats measure RTT.
+	waitFor(t, "peer ack", func() bool {
+		st, ok := s.PeerStatus("f1")
+		return ok && st.AckedEpoch == 7
+	})
+	waitFor(t, "rtt sample", func() bool { return rtt.Count() > 0 })
+	if c.LagEpochs() != 0 {
+		t.Fatalf("lag = %d, want 0", c.LagEpochs())
+	}
+}
+
+func TestCleanCloseDrainsFinalEpoch(t *testing.T) {
+	src := newFakeSource()
+	s := testServer(t, func() BatchSource { return src }, 1, Config{Heartbeat: 10 * time.Millisecond})
+
+	var gotBye atomic.Bool
+	var final atomic.Uint64
+	c := Dial(ClientConfig{
+		Addr:      s.Addr().String(),
+		ID:        "f1",
+		Bootstrap: blobBootstrap(1),
+		Apply: func(horizon uint64, fin bool, ents []repl.Entry) error {
+			if fin {
+				final.Store(horizon)
+			}
+			return nil
+		},
+		DeadAfter: 500 * time.Millisecond,
+		Seed:      1,
+	})
+	defer c.Close()
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue the final epoch and close the stream before the client has
+	// acked: the sender must drain the queue, then say a clean goodbye.
+	src.push(repl.Batch{Epoch: 2, Entries: []repl.Entry{entry(2, 0, core.ChangePut, "last", "one")}})
+	src.end(repl.ErrStreamClosed)
+	s.Drain(5 * time.Second)
+	// Drain returns once the server side has flushed; the client applies
+	// asynchronously, so wait for the final epoch to land.
+	waitFor(t, "final epoch applied", func() bool { return final.Load() == 2 })
+	waitFor(t, "clean bye", func() bool {
+		gotBye.Store(errors.Is(c.Err(), ErrPrimaryClosed))
+		return gotBye.Load()
+	})
+}
+
+func TestReconnectAndDuplicateKick(t *testing.T) {
+	var srcs []*fakeSource
+	var smu sync.Mutex
+	s := testServer(t, func() BatchSource {
+		smu.Lock()
+		defer smu.Unlock()
+		src := newFakeSource()
+		srcs = append(srcs, src)
+		return src
+	}, 3, Config{Heartbeat: 10 * time.Millisecond, DeadAfter: 100 * time.Millisecond})
+
+	c := Dial(ClientConfig{
+		Addr:       s.Addr().String(),
+		ID:         "f1",
+		Bootstrap:  blobBootstrap(3),
+		Apply:      func(uint64, bool, []repl.Entry) error { return nil },
+		DeadAfter:  200 * time.Millisecond,
+		BackoffMin: 10 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+		Seed:       1,
+	})
+	defer c.Close()
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the stream server-side: the peer says bye(lost) and the
+	// client must come back with a fresh bootstrap on its own.
+	smu.Lock()
+	srcs[0].end(repl.ErrStreamLost)
+	smu.Unlock()
+	waitFor(t, "reconnect bootstrap", func() bool {
+		smu.Lock()
+		defer smu.Unlock()
+		return len(srcs) >= 2 && c.Connected()
+	})
+	if c.Reconnects() == 0 {
+		t.Fatal("reconnects = 0 after a lost stream")
+	}
+
+	// A second client with the same id kicks the first connection.
+	c2 := Dial(ClientConfig{
+		Addr:      s.Addr().String(),
+		ID:        "f1",
+		Bootstrap: blobBootstrap(3),
+		Apply:     func(uint64, bool, []repl.Entry) error { return nil },
+		DeadAfter: 200 * time.Millisecond,
+		Seed:      2,
+	})
+	defer c2.Close()
+	if err := c2.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "duplicate kick", func() bool { return s.Stats().Kicked >= 1 })
+}
+
+func TestPeerDeadlineTeardown(t *testing.T) {
+	src := newFakeSource()
+	s := testServer(t, func() BatchSource { return src }, 1, Config{
+		Heartbeat: 10 * time.Millisecond,
+		DeadAfter: 60 * time.Millisecond,
+	})
+
+	// A raw conn that handshakes and bootstraps but never acks: the
+	// server must declare it dead within the deadline and tear it down.
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	mc := newMconn(nc)
+	if err := mc.writeMsg(msgHello, appendHello(nil, "mute")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mc.readMsg(); err != nil { // welcome
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(mc.br, make([]byte, len(testBlob))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peer registered", func() bool { return s.Stats().Peers == 1 })
+	waitFor(t, "dead peer torn down", func() bool { return s.Stats().Peers == 0 })
+}

@@ -1,0 +1,648 @@
+package incll
+
+// Networked replication: the DB-level façade over internal/replnet.
+//
+//   - DB.ServeReplication turns a live DB into a replication primary: a
+//     TCP listener streaming each accepted follower a snapshot bootstrap
+//     and then the released change batches, with heartbeats and per-peer
+//     lag bookkeeping.
+//   - FollowPrimary runs a networked follower: it dials the primary,
+//     restores the snapshot into a fresh local DB, applies the live
+//     stream (checkpointing at released-batch boundaries, exactly like
+//     the in-process Replica loop), and reconnects with jittered
+//     exponential backoff — every reconnect is a full re-bootstrap,
+//     because the primary's change journal cannot replay from an
+//     arbitrary past epoch.
+//   - Follower reads are gated by the epoch watermark: a read that
+//     demands epoch E is served only when the follower's applied
+//     watermark has reached E; otherwise it fails with a typed LagError
+//     so the client can retry (read-your-writes: capture the commit
+//     epoch with DB.CurrentEpoch after a write, then pass it as the
+//     read's minimum epoch on any follower).
+//   - Failover: a follower whose primary stays silent past the
+//     heartbeat deadline reports Down; the operator (or kvserver's
+//     -promote flow) calls Promote, getting a standalone DB that can
+//     itself ServeReplication, and the old primary rejoins as a
+//     follower of the new one — a full resync, byte-identical on
+//     convergence.
+//
+// See DESIGN.md §14 for the wire handshake, the heartbeat/failover
+// state machine, and the watermark read rule.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"incll/internal/obs"
+	"incll/internal/repl"
+	"incll/internal/replnet"
+)
+
+// ErrReplicaLagging is the sentinel a watermark-gated follower read
+// fails with when the follower has not yet applied the requested epoch;
+// match with errors.Is and retry after the lag clears (the concrete
+// error is a *LagError carrying the epochs).
+var ErrReplicaLagging = errors.New("incll: follower watermark below requested epoch")
+
+// LagError reports a follower read rejected by the watermark rule: the
+// read demanded epoch Need but the follower has only applied Have.
+type LagError struct {
+	Need, Have uint64
+}
+
+func (e *LagError) Error() string {
+	return fmt.Sprintf("incll: follower watermark below requested epoch (need %d, have %d)", e.Need, e.Have)
+}
+
+// Is makes errors.Is(err, ErrReplicaLagging) match.
+func (e *LagError) Is(target error) bool { return target == ErrReplicaLagging }
+
+// CurrentEpoch returns the currently running (not yet committed) epoch.
+// Read it after a write completes for a conservative commit epoch E: the
+// write belongs to an epoch ≤ E, so any follower whose applied watermark
+// has reached E is guaranteed to serve that write (read-your-writes).
+func (db *DB) CurrentEpoch() uint64 { return db.currentEpoch() }
+
+// ReleasedEpoch returns the last globally committed epoch released to
+// the change stream — the horizon a fully caught-up follower has
+// applied. Activates the change journal on first use, like DB.Changes.
+func (db *DB) ReleasedEpoch() uint64 { return db.hub().Released() }
+
+// --- primary side ----------------------------------------------------------
+
+// ReplServerOptions tunes DB.ServeReplication; the zero value is ready
+// to use.
+type ReplServerOptions struct {
+	// Heartbeat is the idle-channel heartbeat interval (default 250ms);
+	// DeadAfter is how long a follower may go without acking before it
+	// is declared dead and disconnected (default 4× Heartbeat).
+	Heartbeat time.Duration
+	DeadAfter time.Duration
+	// QueueLen is the per-peer send-queue depth in batches (default 32).
+	QueueLen int
+	// Logf, if set, receives peer lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// PeerStatus is a point-in-time view of one connected follower.
+type PeerStatus = replnet.PeerStatus
+
+// ReplServer serves this DB's replication stream to networked followers.
+type ReplServer struct {
+	db  *DB
+	srv *replnet.Server
+}
+
+// ServeReplication starts serving this DB as a replication primary on
+// lis (which the server owns from here on). Each accepted follower gets
+// a consistent snapshot bootstrap — a pinned change subscription taken
+// before the scan, so nothing slips between snapshot and stream — and
+// then the released change batches as checkpoints commit. Followers that
+// lag past the journal budget are cut (they re-bootstrap); followers
+// that go silent past DeadAfter are disconnected. DB.Close stops
+// accepting first, releases the final epoch, and only then tears down
+// the peer connections, so a clean shutdown delivers the complete
+// stream to every live follower.
+func (db *DB) ServeReplication(lis net.Listener, o ReplServerOptions) (*ReplServer, error) {
+	if db.closed.Load() {
+		return nil, errors.New("incll: ServeReplication on a closed DB")
+	}
+	rs := &ReplServer{db: db}
+	cfg := replnet.Config{
+		Bootstrap: func(w io.Writer) (replnet.BatchSource, uint64, error) {
+			stream := db.changesPinned()
+			info, err := db.Snapshot(w)
+			if err != nil {
+				stream.Close()
+				return nil, 0, err
+			}
+			return stream.sub, info.AnchorEpoch, nil
+		},
+		Released:  func() uint64 { return db.hub().Released() },
+		Heartbeat: o.Heartbeat,
+		DeadAfter: o.DeadAfter,
+		QueueLen:  o.QueueLen,
+		OnPeer:    db.registerReplnetPeerGauges,
+		Trace:     db.trace,
+		RTT:       db.netRTTHist(),
+		Logf:      o.Logf,
+	}
+	rs.srv = replnet.Serve(lis, cfg)
+
+	db.netMu.Lock()
+	db.netSrvs = append(db.netSrvs, rs)
+	db.netMu.Unlock()
+	db.netCur.Store(rs.srv)
+	db.registerReplnetServerGauges()
+	return rs, nil
+}
+
+// Addr returns the replication listener's address.
+func (rs *ReplServer) Addr() net.Addr { return rs.srv.Addr() }
+
+// Peers returns a point-in-time status of every connected follower.
+func (rs *ReplServer) Peers() []PeerStatus { return rs.srv.PeersSnapshot() }
+
+// Stats returns the server's aggregate counters.
+func (rs *ReplServer) Stats() replnet.Stats { return rs.srv.Stats() }
+
+// HeartbeatRTT returns the q-quantile of observed heartbeat round trips
+// across this DB's replication peers.
+func (rs *ReplServer) HeartbeatRTT(q float64) time.Duration {
+	return time.Duration(rs.db.netRTTHist().Quantile(q))
+}
+
+// Close stops the replication server: no new followers, every peer
+// disconnected. The DB itself stays open. Idempotent.
+func (rs *ReplServer) Close() {
+	rs.srv.Close()
+	db := rs.db
+	db.netMu.Lock()
+	for i, s := range db.netSrvs {
+		if s == rs {
+			db.netSrvs = append(db.netSrvs[:i], db.netSrvs[i+1:]...)
+			break
+		}
+	}
+	db.netMu.Unlock()
+	db.netCur.CompareAndSwap(rs.srv, nil)
+}
+
+// netRTTHist lazily creates the DB-owned heartbeat RTT histogram (shared
+// across re-serves so the registered series never dangles).
+func (db *DB) netRTTHist() *obs.Histogram {
+	db.netMu.Lock()
+	defer db.netMu.Unlock()
+	if db.netRTT == nil {
+		db.netRTT = &obs.Histogram{}
+	}
+	return db.netRTT
+}
+
+// replServers snapshots the attached replication servers.
+func (db *DB) replServers() []*ReplServer {
+	db.netMu.Lock()
+	defer db.netMu.Unlock()
+	return append([]*ReplServer(nil), db.netSrvs...)
+}
+
+// registerReplnetServerGauges registers the primary-side incll_replnet_*
+// series once per DB; the series read through netCur, so they follow a
+// re-serve and report zeros while no server is attached.
+func (db *DB) registerReplnetServerGauges() {
+	db.netMu.Lock()
+	if db.netGaugesOn {
+		db.netMu.Unlock()
+		return
+	}
+	db.netGaugesOn = true
+	db.netMu.Unlock()
+
+	cur := func() *replnet.Server { return db.netCur.Load() }
+	stat := func(read func(replnet.Stats) int64) func() int64 {
+		return func() int64 {
+			s := cur()
+			if s == nil {
+				return 0
+			}
+			return read(s.Stats())
+		}
+	}
+	f := func(reg *obs.Registry) {
+		reg.Gauge("incll_replnet_peers",
+			"Currently connected replication followers.", "",
+			stat(func(s replnet.Stats) int64 { return int64(s.Peers) }))
+		reg.Counter("incll_replnet_accepts_total",
+			"Follower connections accepted by the replication server.", "",
+			stat(func(s replnet.Stats) int64 { return s.Accepts }))
+		reg.Counter("incll_replnet_kicked_total",
+			"Stale duplicate follower connections replaced by a reconnect.", "",
+			stat(func(s replnet.Stats) int64 { return s.Kicked }))
+		reg.Counter("incll_replnet_peer_errors_total",
+			"Followers torn down on error or missed ack deadline.", "",
+			stat(func(s replnet.Stats) int64 { return s.PeerErrs }))
+		reg.Counter("incll_replnet_sent_bytes_total",
+			"Replication payload bytes sent to followers (bootstrap and batches).", "",
+			stat(func(s replnet.Stats) int64 { return s.SentBytes }))
+		reg.Gauge("incll_replnet_max_peer_lag_epochs",
+			"Largest released-epoch lag across connected followers.", "",
+			func() int64 {
+				s := cur()
+				if s == nil {
+					return 0
+				}
+				var max uint64
+				for _, p := range s.PeersSnapshot() {
+					if p.LagEpochs > max {
+						max = p.LagEpochs
+					}
+				}
+				return int64(max)
+			})
+		reg.Gauge("incll_replnet_max_queue_depth",
+			"Deepest per-peer send queue (batches) across connected followers.", "",
+			func() int64 {
+				s := cur()
+				if s == nil {
+					return 0
+				}
+				var max int
+				for _, p := range s.PeersSnapshot() {
+					if p.QueueDepth > max {
+						max = p.QueueDepth
+					}
+				}
+				return int64(max)
+			})
+		reg.Histogram("incll_replnet_heartbeat_rtt_seconds",
+			"Heartbeat round-trip time to followers.", "", db.netRTTHist(), 1e-9)
+	}
+	db.regMu.Lock()
+	db.extraReg = append(db.extraReg, f)
+	if db.reg != nil {
+		f(db.reg)
+	}
+	db.regMu.Unlock()
+}
+
+// registerReplnetPeerGauges registers the labeled per-peer series the
+// first time each follower id connects. The series read through netCur
+// and report zeros while that peer is disconnected — a scrape always
+// sees a stable series set, never a panic from re-registration.
+func (db *DB) registerReplnetPeerGauges(id string) {
+	db.netMu.Lock()
+	if db.netPeerIDs == nil {
+		db.netPeerIDs = make(map[string]bool)
+	}
+	if db.netPeerIDs[id] {
+		db.netMu.Unlock()
+		return
+	}
+	db.netPeerIDs[id] = true
+	db.netMu.Unlock()
+
+	labels := obs.Labels("peer", id)
+	peer := func(read func(PeerStatus) int64) func() int64 {
+		return func() int64 {
+			s := db.netCur.Load()
+			if s == nil {
+				return 0
+			}
+			st, ok := s.PeerStatus(id)
+			if !ok {
+				return 0
+			}
+			return read(st)
+		}
+	}
+	f := func(reg *obs.Registry) {
+		reg.Gauge("incll_replnet_peer_lag_epochs",
+			"Released epochs this follower has not yet acked.", labels,
+			peer(func(p PeerStatus) int64 { return int64(p.LagEpochs) }))
+		reg.Gauge("incll_replnet_peer_lag_bytes",
+			"Released change bytes this follower has not yet consumed.", labels,
+			peer(func(p PeerStatus) int64 { return int64(p.LagBytes) }))
+		reg.Gauge("incll_replnet_peer_queue_depth",
+			"Batches waiting in this follower's send queue.", labels,
+			peer(func(p PeerStatus) int64 { return int64(p.QueueDepth) }))
+		reg.Gauge("incll_replnet_peer_acked_epoch",
+			"Last applied epoch this follower acked.", labels,
+			peer(func(p PeerStatus) int64 { return int64(p.AckedEpoch) }))
+	}
+	db.regMu.Lock()
+	db.extraReg = append(db.extraReg, f)
+	if db.reg != nil {
+		f(db.reg)
+	}
+	db.regMu.Unlock()
+}
+
+// --- follower side ---------------------------------------------------------
+
+// FollowerOptions tunes FollowPrimary; the zero value is ready to use.
+type FollowerOptions struct {
+	// Options sizes the follower's local store (any shard count —
+	// records route by key on restore).
+	Options Options
+	// ID identifies this follower to the primary (per-peer metrics key;
+	// a reconnect with the same id replaces the stale connection).
+	// Defaults to the connection's local address.
+	ID string
+	// DeadAfter is how long the stream may go silent before the primary
+	// is declared down and the follower starts reconnecting (default
+	// 2s). Failover policies compare Down()'s duration against their
+	// promotion deadline.
+	DeadAfter time.Duration
+	// ReconnectMin/ReconnectMax bound the jittered exponential reconnect
+	// backoff (defaults 50ms / 2s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// ReadyTimeout bounds how long FollowPrimary blocks for the first
+	// bootstrap (default 30s).
+	ReadyTimeout time.Duration
+	// Seed seeds the reconnect jitter (0 derives one from the clock).
+	Seed int64
+	// Logf, if set, receives session lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+var errFollowerDone = errors.New("incll: follower closed or promoted")
+
+// Follower is a networked replica: a local DB kept converging to a
+// remote primary over TCP. Its state is always the primary's at some
+// committed epoch boundary after each applied batch (the same loop
+// discipline as the in-process Replica); its applied watermark gates
+// reads for the read-your-writes contract. The follower DB's identity
+// changes across reconnects (every reconnect is a fresh snapshot
+// bootstrap) — take it through DB(), or read through GetBytes which
+// resolves the current one.
+type Follower struct {
+	addr string
+	o    FollowerOptions
+	cli  *replnet.Client
+
+	mu       sync.RWMutex
+	db       *DB
+	anchor   uint64
+	applied  uint64
+	bytes    uint64
+	bootInfo SnapshotInfo
+	promoted bool
+	closed   bool
+}
+
+// FollowPrimary starts a follower of the replication primary at addr
+// and blocks until its first snapshot bootstrap completes (bounded by
+// ReadyTimeout). The returned follower keeps itself converged in the
+// background and reconnects (with a full re-bootstrap) whenever the
+// connection, the stream, or the primary fails.
+func FollowPrimary(addr string, o FollowerOptions) (*Follower, error) {
+	if o.ReadyTimeout <= 0 {
+		o.ReadyTimeout = 30 * time.Second
+	}
+	f := &Follower{addr: addr, o: o}
+	f.cli = replnet.Dial(replnet.ClientConfig{
+		Addr:       addr,
+		ID:         o.ID,
+		Bootstrap:  f.netBootstrap,
+		Apply:      f.netApply,
+		DeadAfter:  o.DeadAfter,
+		BackoffMin: o.ReconnectMin,
+		BackoffMax: o.ReconnectMax,
+		Seed:       o.Seed,
+		Logf:       o.Logf,
+	})
+	if err := f.cli.WaitReady(o.ReadyTimeout); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// netBootstrap restores one snapshot stream into a fresh DB and swaps it
+// in as the follower's store. Called by the transport client on every
+// (re)connect.
+func (f *Follower) netBootstrap(r io.Reader) (uint64, error) {
+	f.mu.RLock()
+	done := f.closed || f.promoted
+	f.mu.RUnlock()
+	if done {
+		return 0, errFollowerDone
+	}
+	db, info, err := Restore(r, f.o.Options)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	if f.closed || f.promoted {
+		f.mu.Unlock()
+		db.Close()
+		return 0, errFollowerDone
+	}
+	old := f.db
+	f.db = db
+	f.anchor = info.AnchorEpoch
+	f.applied = info.AnchorEpoch
+	f.bootInfo = info
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	db.trace.Record(obs.EvNetFollowerConnect, -1, info.AnchorEpoch, 0, int64(info.Keys))
+	db.registerFollowerGauges(f)
+	return info.AnchorEpoch, nil
+}
+
+// netApply applies one batch chunk (entries already filtered above the
+// session anchor by the transport) and, on final chunks, checkpoints and
+// advances the watermark — the follower's durable state only ever sits
+// at released-batch boundaries, mirroring Replica.applyLoop.
+func (f *Follower) netApply(horizon uint64, final bool, ents []repl.Entry) error {
+	f.mu.RLock()
+	db := f.db
+	f.mu.RUnlock()
+	if db == nil {
+		return errFollowerDone
+	}
+	start := time.Now()
+	var nb uint64
+	for i := range ents {
+		e := &ents[i]
+		if e.Op == ChangeDelete {
+			db.Delete(e.Key)
+		} else {
+			if _, err := db.PutBytes(e.Key, e.Val); err != nil {
+				return err
+			}
+		}
+		nb += uint64(len(e.Key) + len(e.Val))
+	}
+	if final {
+		db.Checkpoint()
+		db.trace.Record(obs.EvReplicaApply, -1, horizon, time.Since(start), int64(nb))
+		f.mu.Lock()
+		f.applied = horizon
+		f.bytes += nb
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// DB returns the follower store for reads. The identity changes across
+// reconnects; prefer GetBytes, which resolves the current store and
+// enforces the watermark rule.
+func (f *Follower) DB() *DB {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.db
+}
+
+// AppliedEpoch returns the follower's applied watermark: its state
+// equals the primary's at this epoch's checkpoint commit.
+func (f *Follower) AppliedEpoch() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.applied
+}
+
+// BootstrapInfo describes the snapshot the current session bootstrapped
+// from.
+func (f *Follower) BootstrapInfo() SnapshotInfo {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.bootInfo
+}
+
+// PrimaryReleased returns the primary's released horizon as last heard.
+func (f *Follower) PrimaryReleased() uint64 { return f.cli.PrimaryReleased() }
+
+// Connected reports whether a live session is streaming right now.
+func (f *Follower) Connected() bool { return f.cli.Connected() }
+
+// Down reports whether the primary is currently unreachable and for how
+// long. Failover policy: promote when the duration passes your deadline.
+func (f *Follower) Down() (bool, time.Duration) {
+	d := f.cli.DownFor()
+	return d > 0, d
+}
+
+// Reconnects counts sessions ended (dial failures included).
+func (f *Follower) Reconnects() int64 { return f.cli.Reconnects() }
+
+// Lag reports how far the follower trails the primary's last-heard
+// released horizon.
+func (f *Follower) Lag() ReplicaLag {
+	f.mu.RLock()
+	applied := f.applied
+	f.mu.RUnlock()
+	rel := f.cli.PrimaryReleased()
+	lag := ReplicaLag{}
+	if rel > applied {
+		lag.Epochs = rel - applied
+	}
+	return lag
+}
+
+// GetBytes serves a watermark-gated read: if the follower has applied at
+// least minEpoch, the read is served from the local store; otherwise it
+// fails with a *LagError (errors.Is ErrReplicaLagging) and the caller
+// retries, here or on a less-lagged follower. Pass minEpoch 0 for a
+// plain local read at whatever the follower has.
+func (f *Follower) GetBytes(k []byte, minEpoch uint64) ([]byte, bool, error) {
+	f.mu.RLock()
+	db, applied := f.db, f.applied
+	f.mu.RUnlock()
+	if db == nil {
+		return nil, false, errFollowerDone
+	}
+	if minEpoch > applied {
+		return nil, false, &LagError{Need: minEpoch, Have: applied}
+	}
+	v, ok := db.GetBytes(k)
+	return v, ok, nil
+}
+
+// WaitWatermark blocks until the applied watermark reaches epoch or the
+// timeout elapses (returning the would-be LagError on timeout).
+func (f *Follower) WaitWatermark(epoch uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		f.mu.RLock()
+		applied, done := f.applied, f.closed || f.promoted
+		f.mu.RUnlock()
+		if applied >= epoch {
+			return nil
+		}
+		if done {
+			return errFollowerDone
+		}
+		if time.Now().After(deadline) {
+			return &LagError{Need: epoch, Have: applied}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Promote stops following and returns the follower store as a
+// standalone primary, exact at AppliedEpoch. Unlike the in-process
+// Replica.Promote there is no catch-up first — promotion happens
+// because the primary is gone; whatever it released but never delivered
+// is lost with it (the usual asynchronous-failover contract). The
+// Follower must not be used afterwards; the returned DB can
+// ServeReplication so the remaining followers (and the rejoining old
+// primary) resync to it.
+func (f *Follower) Promote() (*DB, error) {
+	f.cli.Close() // joins the apply loop: no write can land after this
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, errFollowerDone
+	}
+	if f.promoted {
+		return nil, errors.New("incll: follower already promoted")
+	}
+	f.promoted = true
+	db := f.db
+	f.db = nil
+	if db == nil {
+		return nil, errFollowerDone
+	}
+	db.trace.Record(obs.EvNetPromote, -1, f.applied, 0, 0)
+	return db, nil
+}
+
+// Close stops the follower and closes its local store. Idempotent; a
+// promoted follower's store is owned by the caller and left open.
+func (f *Follower) Close() {
+	f.cli.Close()
+	f.mu.Lock()
+	if f.closed || f.promoted {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	db := f.db
+	f.db = nil
+	f.mu.Unlock()
+	if db != nil {
+		db.Close()
+	}
+}
+
+// registerFollowerGauges registers the follower-side incll_replnet_*
+// series on a freshly bootstrapped follower DB (each reconnect builds a
+// new DB, so registration never collides).
+func (db *DB) registerFollowerGauges(f *Follower) {
+	g := func(reg *obs.Registry) {
+		reg.Gauge("incll_replnet_applied_epoch",
+			"Follower applied watermark (last released epoch fully applied).", "",
+			func() int64 { return int64(f.AppliedEpoch()) })
+		reg.Gauge("incll_replnet_primary_released_epoch",
+			"Primary released horizon as last heard by this follower.", "",
+			func() int64 { return int64(f.PrimaryReleased()) })
+		reg.Gauge("incll_replnet_lag_epochs",
+			"Released epochs this follower still trails the primary by.", "",
+			func() int64 { return int64(f.Lag().Epochs) })
+		reg.Counter("incll_replnet_reconnects_total",
+			"Follower sessions ended (each retried with backoff).", "",
+			func() int64 { return f.Reconnects() })
+		reg.Gauge("incll_replnet_connected",
+			"1 while a live session is streaming from the primary.", "",
+			func() int64 {
+				if f.Connected() {
+					return 1
+				}
+				return 0
+			})
+	}
+	db.regMu.Lock()
+	db.extraReg = append(db.extraReg, g)
+	if db.reg != nil {
+		g(db.reg)
+	}
+	db.regMu.Unlock()
+}
