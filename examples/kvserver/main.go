@@ -98,12 +98,13 @@ func (s *server) startObs(db *incll.DB, stw, op time.Duration) {
 
 // withDB runs f against the node's current store — the primary DB, or a
 // follower's current bootstrap. The read lock pins the role for f's
-// lifetime (a follower's own reconnect swaps are safe behind Follower).
+// lifetime; on a follower, View additionally pins the current bootstrap
+// generation so a mid-request reconnect cannot close the store under f.
 func (s *server) withDB(f func(db *incll.DB)) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.fol != nil {
-		f(s.fol.DB())
+		s.fol.View(f)
 		return
 	}
 	f(s.db)
@@ -179,10 +180,7 @@ func main() {
 		srv.mu.RLock()
 		defer srv.mu.RUnlock()
 		fol := srv.fol
-		db := srv.db
-		if fol != nil {
-			db = fol.DB()
-		}
+		db := srv.db // nil while following; follower reads pin via View below
 		switch r.Method {
 		case http.MethodPut, http.MethodPost:
 			if fol != nil {
@@ -221,12 +219,23 @@ func main() {
 			if fol != nil {
 				w.Header().Set("X-Incll-Applied", strconv.FormatUint(fol.AppliedEpoch(), 10))
 			}
-			v, ok := db.Get(key)
-			if !ok {
-				http.NotFound(w, r)
+			read := func(db *incll.DB) {
+				v, ok := db.Get(key)
+				if !ok {
+					http.NotFound(w, r)
+					return
+				}
+				fmt.Fprintf(w, "%d\n", v)
+			}
+			if fol != nil {
+				// View pins the current bootstrap generation: a reconnect
+				// swapping the follower store mid-read cannot close it here.
+				if fol.View(read) != nil {
+					http.Error(w, "follower closed", http.StatusServiceUnavailable)
+				}
 				return
 			}
-			fmt.Fprintf(w, "%d\n", v)
+			read(db)
 		case http.MethodDelete:
 			if fol != nil {
 				http.Error(w, "read-only follower; write to the primary", http.StatusConflict)
@@ -433,12 +442,11 @@ func main() {
 		srv.mu.RLock()
 		defer srv.mu.RUnlock()
 		role, applied, lag := "primary", uint64(0), uint64(0)
-		var db *incll.DB
+		probe := func(db *incll.DB) { db.Get([]byte("\x00healthz\x00")) }
 		if srv.fol != nil {
 			role = "follower"
 			applied = srv.fol.AppliedEpoch()
 			lag = srv.fol.Lag().Epochs
-			db = srv.fol.DB()
 			if ready {
 				if !srv.fol.Connected() {
 					http.Error(w, fmt.Sprintf("not ready: disconnected from primary (applied epoch %d)", applied),
@@ -451,11 +459,15 @@ func main() {
 					return
 				}
 			}
+			// View pins the store so a mid-probe reconnect swap is safe.
+			if srv.fol.View(probe) != nil {
+				http.Error(w, "follower closed", http.StatusServiceUnavailable)
+				return
+			}
 		} else {
-			db = srv.db
-			applied = db.ReleasedEpoch()
+			applied = srv.db.ReleasedEpoch()
+			probe(srv.db)
 		}
-		db.Get([]byte("\x00healthz\x00"))
 		fmt.Fprintf(w, "ok role=%s applied=%d lag=%d\n", role, applied, lag)
 	})
 	mux.HandleFunc("/digest", func(w http.ResponseWriter, r *http.Request) {
@@ -561,7 +573,9 @@ func main() {
 		srv.mu.RLock()
 		defer srv.mu.RUnlock()
 		if srv.fol != nil {
-			return srv.fol.DB().Metrics()
+			var m any
+			srv.fol.View(func(db *incll.DB) { m = db.Metrics() })
+			return m
 		}
 		return srv.db.Metrics()
 	}))

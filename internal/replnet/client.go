@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,8 +21,11 @@ type ClientConfig struct {
 	// Addr is the primary's replication address ("host:port").
 	Addr string
 	// ID identifies this follower to the primary; a reconnect with the
-	// same id kicks the stale previous connection. Defaults to the
-	// connection's local address.
+	// same id kicks the stale previous connection. Defaults to a stable
+	// per-client identity (hostname plus a random tag) — every session of
+	// one Client presents the same id, so the primary's per-peer
+	// bookkeeping stays bounded across reconnects and stale-connection
+	// kicking works for unnamed followers too.
 	ID string
 
 	// Dial overrides how the connection is made (tests inject partitions
@@ -134,9 +138,28 @@ func Dial(cfg ClientConfig) *Client {
 		done:  make(chan struct{}),
 		ready: make(chan struct{}),
 	}
+	if c.cfg.ID == "" {
+		c.cfg.ID = defaultID(c.rng)
+	}
 	c.downSince.Store(time.Now().UnixNano())
 	go c.run()
 	return c
+}
+
+// defaultID derives a stable identity for a client whose config named
+// none: one fixed id per Client, reused by every reconnect. An ephemeral
+// per-connection id (the old local-address default) made the primary's
+// seen-id registries grow without bound under reconnect churn and never
+// matched for stale-connection kicking.
+func defaultID(rng *rand.Rand) string {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "follower"
+	}
+	if len(host) > 64 {
+		host = host[:64]
+	}
+	return fmt.Sprintf("%s-%08x", host, rng.Uint32())
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -298,11 +321,7 @@ func (c *Client) session() (streamed bool, err error) {
 	if err := nc.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
 		return false, err
 	}
-	id := c.cfg.ID
-	if id == "" {
-		id = nc.LocalAddr().String()
-	}
-	if err := mc.writeMsg(msgHello, appendHello(nil, id)); err != nil {
+	if err := mc.writeMsg(msgHello, appendHello(nil, c.cfg.ID)); err != nil {
 		return false, err
 	}
 	if err := mc.flush(); err != nil {

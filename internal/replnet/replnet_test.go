@@ -130,7 +130,7 @@ func TestBatchWireRoundtrip(t *testing.T) {
 	mcw := newMconn(srv)
 	done := make(chan error, 1)
 	go func() {
-		if _, err := mcw.writeBatch(b); err != nil {
+		if _, err := mcw.writeBatch(b, 0); err != nil {
 			done <- err
 			return
 		}
@@ -392,6 +392,151 @@ func TestReconnectAndDuplicateKick(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, "duplicate kick", func() bool { return s.Stats().Kicked >= 1 })
+}
+
+// TestSlowBootstrapSurvivesAckDeadline is the regression for the
+// bootstrap/deadline interaction: the follower sends no ack until the
+// first post-bootstrap heartbeat, so a bootstrap longer than DeadAfter
+// must not read as a dead peer — the old behavior killed the peer right
+// after a successful bootstrap and the follower re-bootstrapped forever.
+func TestSlowBootstrapSurvivesAckDeadline(t *testing.T) {
+	src := newFakeSource()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boots atomic.Int64
+	s := Serve(lis, Config{
+		Heartbeat: 10 * time.Millisecond,
+		DeadAfter: 50 * time.Millisecond,
+		Bootstrap: func(w io.Writer) (BatchSource, uint64, error) {
+			boots.Add(1)
+			time.Sleep(250 * time.Millisecond) // a snapshot scan ≫ DeadAfter
+			if _, err := w.Write(testBlob); err != nil {
+				return nil, 0, err
+			}
+			return src, 1, nil
+		},
+	})
+	t.Cleanup(func() { s.Close() })
+
+	c := Dial(ClientConfig{
+		Addr:      s.Addr().String(),
+		ID:        "slow",
+		Bootstrap: blobBootstrap(1),
+		Apply:     func(uint64, bool, []repl.Entry) error { return nil },
+		DeadAfter: time.Second,
+		Seed:      1,
+	})
+	defer c.Close()
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Stay connected through several DeadAfter windows: the ack clock must
+	// have restarted after the bootstrap.
+	time.Sleep(250 * time.Millisecond)
+	if !c.Connected() {
+		t.Fatalf("follower disconnected after slow bootstrap: %v", c.Err())
+	}
+	if n := boots.Load(); n != 1 {
+		t.Fatalf("bootstraps = %d, want 1 (re-bootstrap loop)", n)
+	}
+	if st := s.Stats(); st.Peers != 1 || st.PeerErrs != 0 {
+		t.Fatalf("peers = %d peerErrs = %d, want 1 live peer and no errors", st.Peers, st.PeerErrs)
+	}
+}
+
+// TestWriteBatchExtendsDeadlinePerChunk pins the liveness contract of a
+// multi-chunk batch write: the deadline covers each chunk, not the whole
+// batch, so a transfer slower than one deadline still succeeds as long
+// as every chunk makes progress.
+func TestWriteBatchExtendsDeadlinePerChunk(t *testing.T) {
+	const chunkDeadline = 300 * time.Millisecond
+	big := bytes.Repeat([]byte("v"), 100<<10)
+	b := repl.Batch{Epoch: 9}
+	for i := 0; i < 12; i++ { // ~1.2MB → several chunks, ~19 64KB slabs
+		b.Entries = append(b.Entries, entry(9, 0, core.ChangePut, fmt.Sprintf("k%02d", i), string(big)))
+	}
+
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	go func() { // drain slowly: the whole batch takes ≫ one deadline
+		buf := make([]byte, 64<<10)
+		for {
+			time.Sleep(30 * time.Millisecond)
+			if _, err := io.ReadFull(cli, buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	mc := newMconn(srv)
+	start := time.Now()
+	if _, err := mc.writeBatch(b, chunkDeadline); err != nil {
+		t.Fatalf("writeBatch: %v", err)
+	}
+	if err := mc.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if took := time.Since(start); took < chunkDeadline {
+		t.Fatalf("batch transferred in %v; too fast to exercise deadline renewal (< %v)", took, chunkDeadline)
+	}
+}
+
+// TestDefaultIDStableAcrossReconnects checks an unnamed client presents
+// one identity for its whole lifetime: an id derived per connection (the
+// old local-address default) made the primary's seen-id registries grow
+// without bound and defeated same-id stale-connection kicking.
+func TestDefaultIDStableAcrossReconnects(t *testing.T) {
+	var srcs []*fakeSource
+	var smu sync.Mutex
+	s := testServer(t, func() BatchSource {
+		smu.Lock()
+		defer smu.Unlock()
+		src := newFakeSource()
+		srcs = append(srcs, src)
+		return src
+	}, 1, Config{Heartbeat: 10 * time.Millisecond})
+
+	c := Dial(ClientConfig{
+		Addr:       s.Addr().String(), // ID deliberately empty
+		Bootstrap:  blobBootstrap(1),
+		Apply:      func(uint64, bool, []repl.Entry) error { return nil },
+		DeadAfter:  500 * time.Millisecond,
+		BackoffMin: 10 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+		Seed:       1,
+	})
+	defer c.Close()
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	peerID := func() string {
+		ps := s.PeersSnapshot()
+		if len(ps) != 1 {
+			return ""
+		}
+		return ps[0].ID
+	}
+	var id1 string
+	waitFor(t, "first session registered", func() bool { id1 = peerID(); return id1 != "" })
+
+	// Lose the stream; the client reconnects as a fresh session.
+	smu.Lock()
+	srcs[0].end(repl.ErrStreamLost)
+	smu.Unlock()
+	waitFor(t, "reconnect bootstrap", func() bool {
+		smu.Lock()
+		defer smu.Unlock()
+		return len(srcs) >= 2 && c.Connected()
+	})
+	var id2 string
+	waitFor(t, "second session registered", func() bool { id2 = peerID(); return id2 != "" })
+	if id1 != id2 {
+		t.Fatalf("default id changed across reconnects: %q then %q", id1, id2)
+	}
 }
 
 func TestPeerDeadlineTeardown(t *testing.T) {

@@ -255,6 +255,11 @@ func (s *Server) handshake(nc net.Conn) {
 		return
 	}
 	nc.SetDeadline(time.Time{})
+	// The follower sends nothing during the bootstrap (its first ack
+	// answers the first heartbeat), so the ack deadline starts counting
+	// only now — a bootstrap longer than DeadAfter must not read as a
+	// dead peer.
+	pe.lastAck.Store(time.Now().UnixNano())
 
 	s.cfg.Trace.Record(obs.EvNetPeerUp, -1, pe.anchor, time.Since(pe.connectedAt), int64(len(s.PeersSnapshot())))
 	s.logf("replnet: peer %s (%s) bootstrapped at epoch %d", pe.id, pe.remote, pe.anchor)
@@ -488,8 +493,15 @@ func (pe *peer) collect() {
 }
 
 // send multiplexes the send queue and the heartbeat ticker onto the wire
-// and enforces the ack deadline. Runs until teardown.
+// and enforces the ack deadline. Runs until teardown. The first heartbeat
+// goes out immediately: the follower learns the released horizon right
+// after its bootstrap and its ack lands well before the first deadline
+// check.
 func (pe *peer) send() {
+	if err := pe.writeHeartbeat(); err != nil {
+		pe.kill(err)
+		return
+	}
 	tick := time.NewTicker(pe.srv.cfg.Heartbeat)
 	defer tick.Stop()
 	for {
@@ -520,10 +532,11 @@ func (pe *peer) send() {
 }
 
 func (pe *peer) writeBatch(b repl.Batch) error {
-	if err := pe.nc.SetWriteDeadline(time.Now().Add(pe.srv.cfg.DeadAfter)); err != nil {
-		return err
-	}
-	n, err := pe.mc.writeBatch(b)
+	// The write deadline is extended per chunk inside mconn.writeBatch: a
+	// large batch on a slow link is alive as long as every chunk lands
+	// within DeadAfter, however long the whole batch takes. The final
+	// flush rides on the last chunk's deadline.
+	n, err := pe.mc.writeBatch(b, pe.srv.cfg.DeadAfter)
 	pe.sentBytes.Add(n)
 	pe.srv.sentBytes.Add(n)
 	if err != nil {

@@ -55,6 +55,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"time"
 
 	"incll/internal/core"
 	"incll/internal/repl"
@@ -239,11 +240,19 @@ func parseAck(p []byte) (nonce int64, applied uint64, err error) {
 
 // writeBatch splits one released batch into chunk messages at the chunk
 // target and buffers them; only the last chunk carries the final flag.
-// Returns the payload bytes buffered.
-func (c *mconn) writeBatch(b repl.Batch) (int64, error) {
+// Returns the payload bytes buffered. A non-zero chunkDeadline extends the
+// connection's write deadline before every chunk: the liveness contract is
+// per chunk, not per batch, so a batch whose total transfer time exceeds
+// the deadline still goes through as long as each chunk makes progress.
+func (c *mconn) writeBatch(b repl.Batch, chunkDeadline time.Duration) (int64, error) {
 	var total int64
 	i := 0
 	for {
+		if chunkDeadline > 0 {
+			if err := c.nc.SetWriteDeadline(time.Now().Add(chunkDeadline)); err != nil {
+				return total, err
+			}
+		}
 		p := c.scratch[:0]
 		p = binary.LittleEndian.AppendUint64(p, b.Epoch)
 		p = append(p, 0)          // flags, patched below

@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incll/internal/obs"
@@ -330,7 +331,8 @@ type FollowerOptions struct {
 	Options Options
 	// ID identifies this follower to the primary (per-peer metrics key;
 	// a reconnect with the same id replaces the stale connection).
-	// Defaults to the connection's local address.
+	// Defaults to a stable per-follower identity (hostname plus a random
+	// tag), reused across reconnects.
 	ID string
 	// DeadAfter is how long the stream may go silent before the primary
 	// is declared down and the follower starts reconnecting (default
@@ -352,27 +354,65 @@ type FollowerOptions struct {
 
 var errFollowerDone = errors.New("incll: follower closed or promoted")
 
+// storeRef is one bootstrap generation of the follower store with a
+// reader refcount. A re-bootstrap swaps a new generation in and drops the
+// follower's own reference; the old store closes only when the last
+// in-flight reader releases it — never under an active read.
+type storeRef struct {
+	db   *DB
+	refs atomic.Int64
+}
+
+func newStoreRef(db *DB) *storeRef {
+	r := &storeRef{db: db}
+	r.refs.Store(1) // the Follower's own reference
+	return r
+}
+
+func (r *storeRef) release() {
+	if r.refs.Add(-1) == 0 {
+		r.db.Close()
+	}
+}
+
 // Follower is a networked replica: a local DB kept converging to a
 // remote primary over TCP. Its state is always the primary's at some
 // committed epoch boundary after each applied batch (the same loop
 // discipline as the in-process Replica); its applied watermark gates
 // reads for the read-your-writes contract. The follower DB's identity
 // changes across reconnects (every reconnect is a fresh snapshot
-// bootstrap) — take it through DB(), or read through GetBytes which
-// resolves the current one.
+// bootstrap) — read through GetBytes or pin a store for a longer
+// operation with View; both hold the current generation open for the
+// read's whole duration, so a concurrent re-bootstrap can never close
+// the store out from under it.
 type Follower struct {
 	addr string
 	o    FollowerOptions
 	cli  *replnet.Client
 
 	mu       sync.RWMutex
-	db       *DB
+	store    *storeRef
 	anchor   uint64
 	applied  uint64
 	bytes    uint64
 	bootInfo SnapshotInfo
 	promoted bool
 	closed   bool
+}
+
+// pin acquires the current store generation for a read; release it when
+// done. Acquiring under the read lock is what makes it safe: the swap in
+// netBootstrap drops the follower's own reference only after taking the
+// write lock, so a generation observed here still holds that reference
+// and cannot hit zero concurrently.
+func (f *Follower) pin() (*storeRef, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.store == nil {
+		return nil, false
+	}
+	f.store.refs.Add(1)
+	return f.store, true
 }
 
 // FollowPrimary starts a follower of the replication primary at addr
@@ -423,14 +463,16 @@ func (f *Follower) netBootstrap(r io.Reader) (uint64, error) {
 		db.Close()
 		return 0, errFollowerDone
 	}
-	old := f.db
-	f.db = db
+	old := f.store
+	f.store = newStoreRef(db)
 	f.anchor = info.AnchorEpoch
 	f.applied = info.AnchorEpoch
 	f.bootInfo = info
 	f.mu.Unlock()
 	if old != nil {
-		old.Close()
+		// Drop the follower's reference; the old store closes once the
+		// last in-flight reader releases its pin.
+		old.release()
 	}
 	db.trace.Record(obs.EvNetFollowerConnect, -1, info.AnchorEpoch, 0, int64(info.Keys))
 	db.registerFollowerGauges(f)
@@ -442,12 +484,12 @@ func (f *Follower) netBootstrap(r io.Reader) (uint64, error) {
 // advances the watermark — the follower's durable state only ever sits
 // at released-batch boundaries, mirroring Replica.applyLoop.
 func (f *Follower) netApply(horizon uint64, final bool, ents []repl.Entry) error {
-	f.mu.RLock()
-	db := f.db
-	f.mu.RUnlock()
-	if db == nil {
+	st, ok := f.pin()
+	if !ok {
 		return errFollowerDone
 	}
+	defer st.release()
+	db := st.db
 	start := time.Now()
 	var nb uint64
 	for i := range ents {
@@ -473,12 +515,33 @@ func (f *Follower) netApply(horizon uint64, final bool, ents []repl.Entry) error
 }
 
 // DB returns the follower store for reads. The identity changes across
-// reconnects; prefer GetBytes, which resolves the current store and
-// enforces the watermark rule.
+// reconnects, and a re-bootstrap may close the returned store while the
+// caller still holds it — safe only when no reconnect can be in flight
+// (tests, quiesced clusters). Live read paths should use GetBytes (which
+// also enforces the watermark rule) or View, both of which pin the
+// current generation open for the read's duration.
 func (f *Follower) DB() *DB {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return f.db
+	if f.store == nil {
+		return nil
+	}
+	return f.store.db
+}
+
+// View runs fn against the follower's current store, holding that
+// bootstrap generation open for fn's whole duration: a concurrent
+// re-bootstrap swaps in its new store without waiting, but the old one
+// is not closed until fn returns. Use for multi-read operations
+// (iteration, snapshot export, metrics collection) on a live follower.
+func (f *Follower) View(fn func(db *DB)) error {
+	st, ok := f.pin()
+	if !ok {
+		return errFollowerDone
+	}
+	defer st.release()
+	fn(st.db)
+	return nil
 }
 
 // AppliedEpoch returns the follower's applied watermark: its state
@@ -534,15 +597,19 @@ func (f *Follower) Lag() ReplicaLag {
 // plain local read at whatever the follower has.
 func (f *Follower) GetBytes(k []byte, minEpoch uint64) ([]byte, bool, error) {
 	f.mu.RLock()
-	db, applied := f.db, f.applied
+	st, applied := f.store, f.applied
+	if st != nil {
+		st.refs.Add(1) // pin under the read lock; see Follower.pin
+	}
 	f.mu.RUnlock()
-	if db == nil {
+	if st == nil {
 		return nil, false, errFollowerDone
 	}
+	defer st.release()
 	if minEpoch > applied {
 		return nil, false, &LagError{Need: minEpoch, Have: applied}
 	}
-	v, ok := db.GetBytes(k)
+	v, ok := st.db.GetBytes(k)
 	return v, ok, nil
 }
 
@@ -586,17 +653,22 @@ func (f *Follower) Promote() (*DB, error) {
 		return nil, errors.New("incll: follower already promoted")
 	}
 	f.promoted = true
-	db := f.db
-	f.db = nil
-	if db == nil {
+	st := f.store
+	f.store = nil
+	if st == nil {
 		return nil, errFollowerDone
 	}
+	// Ownership of the store transfers to the caller: the follower's
+	// reference is deliberately never released, so draining readers can
+	// not close the promoted DB out from under its new owner.
+	db := st.db
 	db.trace.Record(obs.EvNetPromote, -1, f.applied, 0, 0)
 	return db, nil
 }
 
-// Close stops the follower and closes its local store. Idempotent; a
-// promoted follower's store is owned by the caller and left open.
+// Close stops the follower and closes its local store (deferred past any
+// still-running pinned reader). Idempotent; a promoted follower's store
+// is owned by the caller and left open.
 func (f *Follower) Close() {
 	f.cli.Close()
 	f.mu.Lock()
@@ -605,11 +677,11 @@ func (f *Follower) Close() {
 		return
 	}
 	f.closed = true
-	db := f.db
-	f.db = nil
+	st := f.store
+	f.store = nil
 	f.mu.Unlock()
-	if db != nil {
-		db.Close()
+	if st != nil {
+		st.release()
 	}
 }
 

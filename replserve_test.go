@@ -145,6 +145,87 @@ func TestWatermarkReadRule(t *testing.T) {
 	}
 }
 
+// TestFollowerReadsSurviveRebootstrap is the use-after-close regression
+// (run under -race in CI): GetBytes and View pin the current bootstrap
+// generation, so a reconnect swapping in a fresh store must not close
+// the old one under an in-flight reader. The replication server is
+// bounced repeatedly while reader goroutines hammer the follower.
+func TestFollowerReadsSurviveRebootstrap(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	fillMatrix(t, db, 100, 1)
+	if _, err := db.PutBytes([]byte("pinned"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	db.Checkpoint()
+
+	lis := listenLoopback(t)
+	addr := lis.Addr().String()
+	srvOpts := ReplServerOptions{Heartbeat: 20 * time.Millisecond, DeadAfter: 5 * time.Second}
+	rs, err := db.ServeReplication(lis, srvOpts)
+	if err != nil {
+		t.Fatalf("ServeReplication: %v", err)
+	}
+	f := followT(t, addr, FollowerOptions{
+		ID:           "f1",
+		DeadAfter:    200 * time.Millisecond,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 20 * time.Millisecond,
+	})
+	defer f.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := []byte("pinned")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, ok, err := f.GetBytes(k, 0); err == nil && (!ok || string(v) != "v") {
+					t.Errorf("pinned read: v=%q ok=%v", v, ok)
+					return
+				}
+				f.View(func(db *DB) { db.GetBytes(k) })
+			}
+		}()
+	}
+
+	// Each bounce kills the session; the follower re-bootstraps into a
+	// fresh store, retiring the previous generation under the readers.
+	for i := 0; i < 3; i++ {
+		rs.Close()
+		var lis2 net.Listener
+		waitCond(t, "listener rebind", func() bool {
+			l, err := net.Listen("tcp", addr)
+			if err != nil {
+				return false
+			}
+			lis2 = l
+			return true
+		})
+		before := f.Reconnects()
+		if rs, err = db.ServeReplication(lis2, srvOpts); err != nil {
+			t.Fatalf("re-serve %d: %v", i, err)
+		}
+		waitCond(t, "follower re-bootstrapped", func() bool {
+			return f.Connected() && f.Reconnects() > before
+		})
+	}
+	close(stop)
+	wg.Wait()
+	rs.Close()
+
+	if v, ok, err := f.GetBytes([]byte("pinned"), 0); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("read after churn: v=%q ok=%v err=%v", v, ok, err)
+	}
+}
+
 // TestCloseDeliversFinalEpoch is the shutdown-hardening regression (run
 // under -race in CI): a primary with live networked followers and
 // in-process change subscribers is closed — concurrently, twice — and
