@@ -1,0 +1,272 @@
+// Command incll-top is a terminal dashboard for a kvserver cluster: it
+// polls each node's /cluster and /metrics/history endpoints and renders
+// one refreshing screen — role and epoch horizons per node, throughput
+// and checkpoint stop-the-world p99 from the metric history, and, on the
+// primary, the per-peer replication table with commit-to-apply
+// propagation latency (see DESIGN.md §15) and a lag sparkline.
+//
+// Usage:
+//
+//	incll-top -nodes 127.0.0.1:8080,127.0.0.1:8081,127.0.0.1:8082
+//	incll-top -nodes 127.0.0.1:8080 -once -json   # one machine-readable frame
+//
+// -once renders a single frame and exits (no screen clearing); -json
+// emits the frame as JSON instead of the human screen. Nodes that fail
+// to answer render as down rather than failing the whole frame, so the
+// dashboard stays useful mid-failover.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"incll"
+	"incll/internal/obs"
+)
+
+// nodeFrame is one node's slice of a dashboard frame.
+type nodeFrame struct {
+	Node    string               `json:"node"`
+	Err     string               `json:"error,omitempty"`
+	Cluster *incll.ClusterStatus `json:"cluster,omitempty"`
+
+	// Derived from /metrics/history.
+	OpsPerSec    float64   `json:"ops_per_sec"`
+	STWP99Micros float64   `json:"stw_p99_us"`
+	LagSeries    []float64 `json:"lag_series,omitempty"` // recent points, oldest first
+}
+
+// frame is one full dashboard refresh.
+type frame struct {
+	Time  time.Time   `json:"time"`
+	Nodes []nodeFrame `json:"nodes"`
+}
+
+const lagSeriesPoints = 30
+
+func main() {
+	nodes := flag.String("nodes", "127.0.0.1:8080", "comma-separated kvserver HTTP addresses to poll")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
+	once := flag.Bool("once", false, "render one frame and exit")
+	asJSON := flag.Bool("json", false, "emit frames as JSON instead of the screen")
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "incll-top: no nodes")
+		os.Exit(2)
+	}
+	cli := &http.Client{Timeout: *timeout}
+
+	for {
+		f := collect(cli, addrs)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(f)
+		} else {
+			if !*once {
+				fmt.Print("\x1b[H\x1b[2J") // home + clear
+			}
+			render(os.Stdout, f)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// collect fetches every node concurrently and assembles one frame.
+func collect(cli *http.Client, addrs []string) frame {
+	f := frame{Time: time.Now(), Nodes: make([]nodeFrame, len(addrs))}
+	var wg sync.WaitGroup
+	for i, a := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			f.Nodes[i] = fetchNode(cli, addr)
+		}(i, a)
+	}
+	wg.Wait()
+	return f
+}
+
+func fetchNode(cli *http.Client, addr string) nodeFrame {
+	nf := nodeFrame{Node: addr}
+	cs, err := fetchCluster(cli, addr)
+	if err != nil {
+		nf.Err = err.Error()
+		return nf
+	}
+	nf.Cluster = cs
+	// History is best-effort garnish: a node without a recorder (or a
+	// truncated response) still renders its /cluster row.
+	if hist, err := fetchHistory(cli, addr); err == nil {
+		nf.OpsPerSec, nf.STWP99Micros, nf.LagSeries = digestHistory(hist, cs.Role)
+	}
+	return nf
+}
+
+func fetchCluster(cli *http.Client, addr string) (*incll.ClusterStatus, error) {
+	resp, err := cli.Get("http://" + addr + "/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/cluster: %s", resp.Status)
+	}
+	cs := &incll.ClusterStatus{}
+	if err := json.NewDecoder(resp.Body).Decode(cs); err != nil {
+		return nil, fmt.Errorf("/cluster: %v", err)
+	}
+	return cs, nil
+}
+
+func fetchHistory(cli *http.Client, addr string) ([]obs.HistoryPoint, error) {
+	resp, err := cli.Get("http://" + addr + "/metrics/history")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics/history: %s", resp.Status)
+	}
+	var hist []obs.HistoryPoint
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+// digestHistory distills the dashboard numbers out of a node's metric
+// history: whole-store ops/s (summing the per-op/per-shard counter
+// rates), the stop-the-world p99 at the latest point, and the recent
+// replication-lag series for the sparkline (max peer lag on a primary,
+// own lag on a follower).
+func digestHistory(hist []obs.HistoryPoint, role string) (ops, stwP99us float64, lag []float64) {
+	if len(hist) == 0 {
+		return 0, 0, nil
+	}
+	last := hist[len(hist)-1]
+	for k, v := range last.Rates {
+		if strings.HasPrefix(k, "incll_ops_total") {
+			ops += v
+		}
+	}
+	stwP99us = last.Values["incll_checkpoint_stw_seconds_p99"] * 1e6
+	lagKey := "incll_replnet_max_peer_lag_epochs"
+	if role == "follower" {
+		lagKey = "incll_replnet_lag_epochs"
+	}
+	start := len(hist) - lagSeriesPoints
+	if start < 0 {
+		start = 0
+	}
+	for _, p := range hist[start:] {
+		if v, ok := p.Values[lagKey]; ok {
+			lag = append(lag, v)
+		}
+	}
+	return ops, stwP99us, lag
+}
+
+// sparkline renders a series as one rune per point, scaled to its max.
+func sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var maxV float64
+	for _, v := range series {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		i := 0
+		if maxV > 0 {
+			i = int(v / maxV * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}
+
+func render(w *os.File, f frame) {
+	fmt.Fprintf(w, "incll-top  %s  %d node(s)\n\n", f.Time.Format("15:04:05"), len(f.Nodes))
+	for _, n := range f.Nodes {
+		if n.Err != "" {
+			fmt.Fprintf(w, "%-22s DOWN  %s\n\n", n.Node, n.Err)
+			continue
+		}
+		cs := n.Cluster
+		fmt.Fprintf(w, "%-22s %-10s epoch=%d released=%d keys=%d shards=%d  %8.0f ops/s  stw_p99=%s\n",
+			n.Node, strings.ToUpper(cs.Role), cs.Epoch, cs.ReleasedEpoch, cs.Keys, cs.Shards,
+			n.OpsPerSec, us(n.STWP99Micros))
+		if cs.Role == "primary" && cs.CommitToApplyP99Micros > 0 {
+			fmt.Fprintf(w, "  propagation commit→apply p50=%s p99=%s", us(cs.CommitToApplyP50Micros), us(cs.CommitToApplyP99Micros))
+			if len(cs.Stages) > 0 {
+				keys := make([]string, 0, len(cs.Stages))
+				for k := range cs.Stages {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(w, "  %s_p99=%s", k, us(float64(cs.Stages[k].P99)/1e3))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		if len(cs.Peers) > 0 {
+			fmt.Fprintf(w, "  %-16s %10s %10s %6s %6s %10s %12s %12s\n",
+				"peer", "acked", "lag", "queue", "rtt", "c2a_p50", "c2a_p99", "samples")
+			for _, p := range cs.Peers {
+				fmt.Fprintf(w, "  %-16s %10d %10d %6d %6s %10s %12s %12d\n",
+					p.ID, p.AckedEpoch, p.LagEpochs, p.QueueDepth, us(p.RTTMicros),
+					us(p.CommitToApplyP50Micros), us(p.CommitToApplyP99Micros), p.CommitToApplySamples)
+			}
+		}
+		if fv := cs.Follower; fv != nil {
+			state := "connected"
+			if !fv.Connected {
+				state = fmt.Sprintf("DISCONNECTED %.0fms", fv.DownForMS)
+			}
+			fmt.Fprintf(w, "  following %s  %s  applied=%d primary_released=%d lag=%d reconnects=%d\n",
+				fv.PrimaryAddr, state, fv.AppliedEpoch, fv.PrimaryReleased, fv.LagEpochs, fv.Reconnects)
+		}
+		if len(n.LagSeries) > 0 {
+			fmt.Fprintf(w, "  lag %s\n", sparkline(n.LagSeries))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// us formats a microseconds quantity compactly (µs/ms/s).
+func us(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v < 1e3:
+		return fmt.Sprintf("%.0fµs", v)
+	case v < 1e6:
+		return fmt.Sprintf("%.1fms", v/1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v/1e6)
+	}
+}

@@ -31,6 +31,7 @@
 //	GET  /stats             logging and persistence counters, per shard
 //	GET  /metrics           Prometheus text exposition (scrape me)
 //	GET  /metrics/history   ring of recent metric snapshots + rates (JSON)
+//	GET  /cluster           cluster health: role, peers, propagation latency (JSON)
 //	GET  /healthz           liveness + role/lag; ?ready = readiness probe
 //	GET  /trace             the phase trace: checkpoints, recoveries
 //	GET  /debug/vars        expvar, including the typed metrics snapshot
@@ -40,9 +41,10 @@
 // checksummed frames anchored at a committed epoch — without pausing
 // writers (curl it while load runs; restore with incll.Restore or
 // `incll-repl -mode restore`). -pprof exposes /debug/pprof/ (CPU and heap
-// profiles, execution traces); -anomaly-stw / -anomaly-op arm the flight
-// recorder, which dumps trace+metrics+goroutines to a directory when a
-// checkpoint pause or the op tail latency breaches the threshold.
+// profiles, execution traces); -anomaly-stw / -anomaly-op / -anomaly-lag
+// arm the flight recorder, which dumps trace+metrics+goroutines+cluster
+// state to a directory when a checkpoint pause, the op tail latency, or a
+// replication peer's lag breaches the threshold.
 // SIGINT/SIGTERM shut down gracefully:
 // in-flight requests drain, then the store closes with a final durable
 // checkpoint, so the next start is a clean restart.
@@ -82,14 +84,15 @@ type server struct {
 // startObs arms the metric recorder (backing /metrics/history) and, when
 // thresholds were given, the anomaly watchdog on db. Called at open and
 // again after every /crash swap, since both are bound to one DB instance.
-func (s *server) startObs(db *incll.DB, stw, op time.Duration) {
+func (s *server) startObs(db *incll.DB, stw, op time.Duration, lag uint64) {
 	db.StartRecorder(time.Second, 600) // ten minutes of one-second points
-	if stw <= 0 && op <= 0 {
+	if stw <= 0 && op <= 0 && lag == 0 {
 		return
 	}
 	s.stopWatch = db.StartWatchdog(incll.WatchdogConfig{
 		STWThreshold:       stw,
 		OpLatencyThreshold: op,
+		LagThreshold:       lag,
 		OnDump: func(dir, reason string) {
 			log.Printf("anomaly (%s): flight record dumped to %s", reason, dir)
 		},
@@ -139,6 +142,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
 	anomalySTW := flag.Duration("anomaly-stw", 0, "dump a flight record when a checkpoint pause exceeds this (0 = off)")
 	anomalyOp := flag.Duration("anomaly-op", 0, "dump a flight record when windowed op p99 exceeds this (0 = off)")
+	anomalyLag := flag.Uint64("anomaly-lag", 0, "dump a flight record when any replication peer lags more than this many epochs (0 = off)")
 	serveRepl := flag.String("serve-repl", "", "serve the replication protocol to followers on this address (also used after /promote)")
 	follow := flag.String("follow", "", "start as a follower of this primary replication address")
 	replID := flag.String("repl-id", "", "follower identity on the primary (default: local address)")
@@ -155,6 +159,7 @@ func main() {
 			log.Fatalf("follow %s: %v", *follow, err)
 		}
 		srv.fol = fol
+		fol.StartRecorder(time.Second, 600) // survives re-bootstraps
 		log.Printf("following %s: bootstrapped %d keys at epoch %d", *follow,
 			fol.BootstrapInfo().Keys, fol.AppliedEpoch())
 	} else {
@@ -162,7 +167,7 @@ func main() {
 		db.StartCheckpointer()
 		log.Printf("store opened (%v, %d shard(s)), checkpointing every 64ms", info.Status, db.Shards())
 		srv.db = db
-		srv.startObs(db, *anomalySTW, *anomalyOp)
+		srv.startObs(db, *anomalySTW, *anomalyOp, *anomalyLag)
 		if *serveRepl != "" {
 			if err := srv.serveReplOn(db, *serveRepl); err != nil {
 				log.Fatalf("serve-repl %s: %v", *serveRepl, err)
@@ -325,7 +330,7 @@ func main() {
 		ndb, info := srv.db.Reopen()
 		ndb.StartCheckpointer()
 		srv.db = ndb
-		srv.startObs(ndb, *anomalySTW, *anomalyOp)
+		srv.startObs(ndb, *anomalySTW, *anomalyOp, *anomalyLag)
 		if *serveRepl != "" {
 			if err := srv.serveReplOn(ndb, *serveRepl); err != nil {
 				log.Printf("serve-repl after crash: %v", err)
@@ -510,7 +515,7 @@ func main() {
 		srv.fol = nil
 		srv.db = db
 		db.StartCheckpointer()
-		srv.startObs(db, *anomalySTW, *anomalyOp)
+		srv.startObs(db, *anomalySTW, *anomalyOp, *anomalyLag)
 		if *serveRepl != "" {
 			if err := srv.serveReplOn(db, *serveRepl); err != nil {
 				log.Printf("serve-repl after promote: %v", err)
@@ -558,6 +563,23 @@ func main() {
 		}
 		log.Printf("now following %s from epoch %d", addr, fol.AppliedEpoch())
 		fmt.Fprintf(w, "following %s role=follower applied=%d\n", addr, fol.AppliedEpoch())
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		// One node's cluster health document (DESIGN.md §15): role, epoch
+		// horizons, and — on a primary — the per-peer replication progress
+		// and commit-to-apply propagation latency. incll-top polls this.
+		srv.mu.RLock()
+		defer srv.mu.RUnlock()
+		w.Header().Set("Content-Type", "application/json")
+		var cs incll.ClusterStatus
+		if srv.fol != nil {
+			cs = srv.fol.ClusterStatus()
+		} else {
+			cs = srv.db.ClusterStatus()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(cs)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		srv.withDB(func(db *incll.DB) {

@@ -8,10 +8,13 @@ package incll
 //
 // A dump is a directory flight-<reason>-<nanos>/ containing:
 //
-//	trace.txt      the phase-trace ring (DumpTrace), oldest first
+//	trace.txt      the phase-trace ring (DumpTrace), oldest first, headed
+//	               by the triggering reason and measured value
 //	metrics.prom   the Prometheus exposition at dump time (WriteMetrics)
 //	metrics.json   the typed Metrics snapshot, attribution included
 //	goroutines.txt the full goroutine profile (what was blocked, where)
+//	cluster.json   the ClusterStatus document: peer table plus the
+//	               epoch-timeline tail (see DESIGN.md §15)
 //
 // The watchdog evaluates *windowed* p99s: each tick diffs the histogram's
 // bucket loads against the previous tick's, so one old spike cannot keep
@@ -40,6 +43,12 @@ type WatchdogConfig struct {
 	// sampled op ends with, so it tracks attributed op latency). 0 disables
 	// the check; it is also inert when attribution is off.
 	OpLatencyThreshold time.Duration
+	// LagThreshold triggers a dump when any connected replication peer
+	// trails the released horizon by more than this many epochs. 0
+	// disables the check; it is inert unless this DB is serving
+	// replication. Unlike the latency rules this is a level, not a
+	// window: lag is already a point-in-time gauge.
+	LagThreshold uint64
 	// Interval is the evaluation cadence (default 1s).
 	Interval time.Duration
 	// Cooldown suppresses further dumps after one fires (default 1m).
@@ -49,8 +58,8 @@ type WatchdogConfig struct {
 	// directory.
 	Dir string
 	// OnDump, if non-nil, is called after each dump with the dump
-	// directory and the triggering reason ("stw" or "op"). Called from the
-	// watchdog goroutine.
+	// directory and the triggering reason ("stw", "op", or "lag"). Called
+	// from the watchdog goroutine.
 	OnDump func(dir, reason string)
 }
 
@@ -109,24 +118,38 @@ func (db *DB) watchdogLoop(cfg WatchdogConfig, stopCh, done chan struct{}) {
 			return
 		case <-t.C:
 		}
-		reason := ""
+		reason, detail := "", ""
 		cur := db.stw.Bins()
 		if p99 := obs.BinsQuantile(obs.BinsSub(cur, stwBins), 0.99); cfg.STWThreshold > 0 && p99 > int64(cfg.STWThreshold) {
-			reason = "stw"
+			reason, detail = "stw", fmt.Sprintf("stw_p99=%v threshold=%v", time.Duration(p99), cfg.STWThreshold)
 		}
 		stwBins = cur
 		if descentHist != nil {
 			cur := descentHist.Bins()
 			if p99 := obs.BinsQuantile(obs.BinsSub(cur, descentBins), 0.99); cfg.OpLatencyThreshold > 0 && p99 > int64(cfg.OpLatencyThreshold) && reason == "" {
-				reason = "op"
+				reason, detail = "op", fmt.Sprintf("descent_p99=%v threshold=%v", time.Duration(p99), cfg.OpLatencyThreshold)
 			}
 			descentBins = cur
+		}
+		if cfg.LagThreshold > 0 && reason == "" {
+			if srv := db.netCur.Load(); srv != nil {
+				var worstID string
+				var worst uint64
+				for _, p := range srv.PeersSnapshot() {
+					if p.LagEpochs > worst {
+						worst, worstID = p.LagEpochs, p.ID
+					}
+				}
+				if worst > cfg.LagThreshold {
+					reason, detail = "lag", fmt.Sprintf("max_peer_lag_epochs=%d peer=%s threshold=%d", worst, worstID, cfg.LagThreshold)
+				}
+			}
 		}
 		if reason == "" || time.Since(lastDump) < cfg.Cooldown && !lastDump.IsZero() {
 			continue
 		}
 		lastDump = time.Now()
-		dir, err := db.DumpFlightRecord(cfg.Dir, reason)
+		dir, err := db.dumpFlightRecord(cfg.Dir, reason, detail)
 		if err != nil {
 			// Leave a trace event behind instead of failing: the watchdog
 			// runs unattended.
@@ -144,6 +167,13 @@ func (db *DB) watchdogLoop(cfg WatchdogConfig, stopCh, done chan struct{}) {
 // the dump directory it created. Usable directly (e.g. from a SIGQUIT
 // handler); the watchdog calls it on threshold breaches.
 func (db *DB) DumpFlightRecord(dir, reason string) (string, error) {
+	return db.dumpFlightRecord(dir, reason, "")
+}
+
+// dumpFlightRecord is DumpFlightRecord plus the watchdog's measured
+// detail string ("stw_p99=... threshold=..."), which goes in the
+// trace.txt header so the dump states what tripped it, not just why.
+func (db *DB) dumpFlightRecord(dir, reason, detail string) (string, error) {
 	out := filepath.Join(dir, fmt.Sprintf("flight-%s-%d", reason, time.Now().UnixNano()))
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return "", err
@@ -159,7 +189,20 @@ func (db *DB) DumpFlightRecord(dir, reason string) (string, error) {
 		}
 		return f.Close()
 	}
-	if err := writeFile("trace.txt", func(f *os.File) error { return db.DumpTrace(f) }); err != nil {
+	if err := writeFile("trace.txt", func(f *os.File) error {
+		if _, err := fmt.Fprintf(f, "# flight record reason=%s", reason); err != nil {
+			return err
+		}
+		if detail != "" {
+			if _, err := fmt.Fprintf(f, " %s", detail); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
+		return db.DumpTrace(f)
+	}); err != nil {
 		return "", err
 	}
 	if err := writeFile("metrics.prom", func(f *os.File) error { return db.WriteMetrics(f) }); err != nil {
@@ -177,5 +220,16 @@ func (db *DB) DumpFlightRecord(dir, reason string) (string, error) {
 	}); err != nil {
 		return "", err
 	}
+	// Cluster view: the peer table and the epoch-timeline tail at dump
+	// time, so replication stalls leading into the anomaly survive too.
+	cs := db.clusterStatus(flightTimelineTail)
+	if err := writeFile("cluster.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cs)
+	}); err != nil {
+		return "", err
+	}
+	db.trace.Record(obs.EvClusterDump, -1, db.currentEpoch(), 0, int64(len(cs.Peers)))
 	return out, nil
 }

@@ -585,6 +585,12 @@ type DB struct {
 	netGaugesOn bool
 	netCur      atomic.Pointer[replnet.Server]
 	netRTT      *obs.Histogram
+
+	// propTL is the epoch propagation timeline (DESIGN.md §15), created
+	// lazily on first use and DB-owned like netRTT: the stage and
+	// per-peer commit-to-apply histograms survive server re-serves and
+	// follower reconnects.
+	propTL atomic.Pointer[obs.EpochTimeline]
 }
 
 // engine resolves the live engine for a read. During a cutover's swap

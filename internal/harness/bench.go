@@ -61,13 +61,17 @@ type BenchRecord struct {
 	// snapshot and restore throughput, and replica lag under write load.
 	// REPLNET rows measure the TCP tier: MBPerSec is the follower's
 	// bootstrap transfer rate over loopback, the lag fields its
-	// steady-state apply debt, and HBRTTP99Micros the primary-observed
-	// heartbeat round-trip tail.
-	SnapshotBytes   int64   `json:"snapshot_bytes,omitempty"`
-	RestoreMBPerSec float64 `json:"restore_mb_per_sec,omitempty"`
-	LagEpochsMax    uint64  `json:"lag_epochs_max,omitempty"`
-	LagEpochsMean   float64 `json:"lag_epochs_mean,omitempty"`
-	HBRTTP99Micros  float64 `json:"hb_rtt_p99_us,omitempty"`
+	// steady-state apply debt, HBRTTP99Micros the primary-observed
+	// heartbeat round-trip tail, and the commit-to-apply fields the
+	// propagation-timeline quantiles (commit on the primary to the
+	// follower's durable-apply ack, single clock; DESIGN.md §15).
+	SnapshotBytes          int64   `json:"snapshot_bytes,omitempty"`
+	RestoreMBPerSec        float64 `json:"restore_mb_per_sec,omitempty"`
+	LagEpochsMax           uint64  `json:"lag_epochs_max,omitempty"`
+	LagEpochsMean          float64 `json:"lag_epochs_mean,omitempty"`
+	HBRTTP99Micros         float64 `json:"hb_rtt_p99_us,omitempty"`
+	CommitToApplyP50Micros float64 `json:"commit_to_apply_p50_us,omitempty"`
+	CommitToApplyP99Micros float64 `json:"commit_to_apply_p99_us,omitempty"`
 
 	// Reshard rows (Workload "RESHARD"): online split/merge under load.
 	// Reshard names the transition ("4to8"); OpsPerSec is the workload's
@@ -346,27 +350,30 @@ func replnetRows(w io.Writer, p Params) []BenchRecord {
 	for _, shards := range []int{1, 4} {
 		r := RunReplnetBench(rp, shards)
 		rec := BenchRecord{
-			Workload:       "REPLNET",
-			Mode:           "INCLL",
-			Dist:           "uniform",
-			Shards:         shards,
-			TxnMode:        "none",
-			Threads:        1,
-			TreeSize:       rp.TreeSize,
-			Ops:            int64(p.Ops),
-			MBPerSec:       r.BootstrapMBPerSec,
-			SnapshotBytes:  r.BootstrapBytes,
-			LagEpochsMax:   r.LagEpochsMax,
-			LagEpochsMean:  r.LagEpochsMean,
-			HBRTTP99Micros: float64(r.HeartbeatRTTP99.Nanoseconds()) / 1000,
+			Workload:               "REPLNET",
+			Mode:                   "INCLL",
+			Dist:                   "uniform",
+			Shards:                 shards,
+			TxnMode:                "none",
+			Threads:                1,
+			TreeSize:               rp.TreeSize,
+			Ops:                    int64(p.Ops),
+			MBPerSec:               r.BootstrapMBPerSec,
+			SnapshotBytes:          r.BootstrapBytes,
+			LagEpochsMax:           r.LagEpochsMax,
+			LagEpochsMean:          r.LagEpochsMean,
+			HBRTTP99Micros:         float64(r.HeartbeatRTTP99.Nanoseconds()) / 1000,
+			CommitToApplyP50Micros: float64(r.CommitToApplyP50.Nanoseconds()) / 1000,
+			CommitToApplyP99Micros: float64(r.CommitToApplyP99.Nanoseconds()) / 1000,
 		}
 		recs = append(recs, rec)
 		conv := ""
 		if !r.Converged {
 			conv = "  DIVERGED"
 		}
-		fmt.Fprintf(w, "%-8s INCLL  shards=%d %38.1f MB/s bootstrap  lag max/mean %d/%.2f epochs  hb rtt p99 %.0fus%s\n",
-			rec.Workload, shards, rec.MBPerSec, rec.LagEpochsMax, rec.LagEpochsMean, rec.HBRTTP99Micros, conv)
+		fmt.Fprintf(w, "%-8s INCLL  shards=%d %38.1f MB/s bootstrap  lag max/mean %d/%.2f epochs  hb rtt p99 %.0fus  c2a p50/p99 %.0f/%.0fus%s\n",
+			rec.Workload, shards, rec.MBPerSec, rec.LagEpochsMax, rec.LagEpochsMean, rec.HBRTTP99Micros,
+			rec.CommitToApplyP50Micros, rec.CommitToApplyP99Micros, conv)
 	}
 	return recs
 }

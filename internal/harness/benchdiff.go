@@ -217,6 +217,14 @@ func DiffBench(old, new BenchFile, tolerance float64) DiffReport {
 				Status: DiffWarning,
 			})
 		}
+		// Commit-to-apply propagation tail: higher is worse, advisory only
+		// (the ack leg rides the same noisy loopback as the heartbeat RTT).
+		if or.CommitToApplyP99Micros > 0 && nr.CommitToApplyP99Micros > or.CommitToApplyP99Micros*(1+2*tolerance) {
+			rep.Rows = append(rep.Rows, DiffRow{
+				Key: key, Metric: "commit_to_apply_p99_us", Old: or.CommitToApplyP99Micros, New: nr.CommitToApplyP99Micros,
+				Status: DiffWarning,
+			})
+		}
 		// Cutover pause: higher is worse, advisory only (a single stall
 		// measurement on a small runner; same doubled tolerance as p99).
 		if or.CutoverPauseMS > 0 && nr.CutoverPauseMS > or.CutoverPauseMS*(1+2*tolerance) {

@@ -34,13 +34,21 @@ type ReplResult struct {
 	Converged     bool // replica equals primary after final catch-up
 }
 
-// replOptions sizes a DB for the replication benches.
+// replOptions sizes a DB for the replication benches. The external log
+// segment is sized for the worst epoch a starved 1-CPU runner can
+// produce — a stalled checkpoint ticker stretches one epoch until it
+// touches (and once-per-epoch logs) every node in the shard, which
+// overflows the sharded default. 2^19 words is ~8x that whole-shard
+// footprint and still fits the per-shard arena beside the default heap
+// (a capacity setting only — row identity is unchanged).
 func replOptions(shards int) incll.Options {
 	perShard := uint64(1 << 23)
+	seg := uint64(1 << 20)
 	if shards > 1 {
 		perShard = 1 << 22
+		seg = 1 << 19
 	}
-	return incll.Options{Shards: shards, Workers: 2, ArenaWords: perShard}
+	return incll.Options{Shards: shards, Workers: 2, ArenaWords: perShard, LogSegWords: seg}
 }
 
 // RunSnapshotBench measures snapshot export and restore throughput over a

@@ -32,6 +32,12 @@ type ReplnetResult struct {
 	// across the run.
 	HeartbeatRTTP99 time.Duration
 
+	// Commit-to-apply propagation latency (checkpoint commit on the
+	// primary to the follower's durable-apply ack, single clock; see
+	// DESIGN.md §15) across the run's sampled epochs.
+	CommitToApplyP50 time.Duration
+	CommitToApplyP99 time.Duration
+
 	Converged bool // follower equals primary after the final watermark wait
 }
 
@@ -134,6 +140,9 @@ sample:
 		}
 	}
 	res.HeartbeatRTTP99 = rs.HeartbeatRTT(0.99)
+	prop := primary.Metrics().Propagation
+	res.CommitToApplyP50 = time.Duration(prop.CommitToApply.P50)
+	res.CommitToApplyP99 = time.Duration(prop.CommitToApply.P99)
 	fol.Close()
 	primary.Close()
 	return res

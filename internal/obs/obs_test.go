@@ -193,13 +193,25 @@ func TestLintCatchesViolations(t *testing.T) {
 		"no-inf":         "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
 		"bad-name":       "# TYPE 9x gauge\n9x 1\n",
 		"bad-value":      "# TYPE foo gauge\nfoo abc\n",
+		// A labeled family re-emitting HELP per label value: the classic
+		// per-peer registration bug the HELP-count rule exists for.
+		"dup-help": "# HELP g h\n# TYPE g gauge\n# HELP g h\ng{id=\"a\"} 1\ng{id=\"b\"} 2\n",
+		// Series of one family disagreeing on label keys.
+		"mixed-keys": "# HELP g h\n# TYPE g gauge\ng{a=\"x\",b=\"z\"} 1.5\ng 2\n",
+		// The reserved le label outside a histogram bucket.
+		"stray-le": "# HELP g h\n# TYPE g gauge\ng{le=\"1\"} 1\n",
 	}
 	for name, doc := range bad {
 		if err := CheckExposition(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: lint accepted bad exposition:\n%s", name, doc)
 		}
 	}
-	good := "# HELP g h\n# TYPE g gauge\ng{a=\"x\\\"y\",b=\"z\"} 1.5\ng 2\n"
+	good := "# HELP g h\n# TYPE g gauge\ng{a=\"x\\\"y\",b=\"z\"} 1.5\ng{a=\"q\",b=\"r\"} 2\n" +
+		"# HELP s_seconds h\n# TYPE s_seconds histogram\n" +
+		"s_seconds_bucket{id=\"p1\",le=\"1\"} 1\ns_seconds_bucket{id=\"p1\",le=\"+Inf\"} 1\n" +
+		"s_seconds_sum{id=\"p1\"} 0.5\ns_seconds_count{id=\"p1\"} 1\n" +
+		"s_seconds_bucket{id=\"p2\",le=\"1\"} 0\ns_seconds_bucket{id=\"p2\",le=\"+Inf\"} 0\n" +
+		"s_seconds_sum{id=\"p2\"} 0\ns_seconds_count{id=\"p2\"} 0\n"
 	if err := CheckExposition(strings.NewReader(good)); err != nil {
 		t.Errorf("lint rejected good exposition: %v", err)
 	}

@@ -30,6 +30,11 @@ type Exposition struct {
 	Samples []Sample
 	Types   map[string]string
 	Helps   map[string]string
+	// HelpCounts counts HELP lines per family. The format allows at most
+	// one; a labeled family that re-emits its HELP per label value (a
+	// classic per-peer registration bug) parses fine — the last line wins
+	// — so the count is kept for CheckExposition to reject.
+	HelpCounts map[string]int
 }
 
 // Find returns the samples named name (exact match, so histogram
@@ -74,7 +79,7 @@ outer:
 // ParseExposition parses Prometheus text exposition format, returning the
 // samples and metadata. Parse errors carry the 1-based line number.
 func ParseExposition(r io.Reader) (*Exposition, error) {
-	exp := &Exposition{Types: make(map[string]string), Helps: make(map[string]string)}
+	exp := &Exposition{Types: make(map[string]string), Helps: make(map[string]string), HelpCounts: make(map[string]int)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	lineNo := 0
@@ -117,6 +122,7 @@ func parseComment(line string, exp *Exposition) error {
 			help = fields[3]
 		}
 		exp.Helps[fields[2]] = help
+		exp.HelpCounts[fields[2]]++
 	case "TYPE":
 		if len(fields) != 4 {
 			return fmt.Errorf("malformed TYPE line %q", line)
@@ -300,22 +306,26 @@ func checkUnitSuffix(fam, typ string) error {
 }
 
 // CheckExposition parses and lints a scrape: every sample must belong to a
-// family with TYPE and non-empty HELP metadata, counters must end in
-// _total, family names must use Prometheus base units (_seconds, _bytes,
-// _ratio — never _ms, _kb, ...; _total only on counters; histograms carry
-// a unit suffix), histograms must have a +Inf bucket and matching
-// _sum/_count, label sets must not repeat within a family, and families
-// must not interleave.
+// family with TYPE and non-empty HELP metadata (emitted exactly once — a
+// labeled family repeating its HELP per label value is rejected), counters
+// must end in _total, family names must use Prometheus base units
+// (_seconds, _bytes, _ratio — never _ms, _kb, ...; _total only on
+// counters; histograms carry a unit suffix), histograms must have a +Inf
+// bucket and matching _sum/_count, label sets must not repeat within a
+// family, every series of a family must use the same label keys (the
+// bucket-only le aside), le must not appear outside histogram buckets,
+// and families must not interleave.
 func CheckExposition(r io.Reader) error {
 	exp, err := ParseExposition(r)
 	if err != nil {
 		return err
 	}
-	seen := make(map[string]bool)     // family → series started
-	series := make(map[string]bool)   // name{labels} → present
-	histInf := make(map[string]bool)  // histogram family → saw +Inf bucket
-	histParts := make(map[string]int) // histogram family → sum/count parts
-	var order []string                // family first-appearance order
+	seen := make(map[string]bool)      // family → series started
+	series := make(map[string]bool)    // name{labels} → present
+	histInf := make(map[string]bool)   // histogram family → saw +Inf bucket
+	histParts := make(map[string]int)  // histogram family → sum/count parts
+	famKeys := make(map[string]string) // family → canonical label key set
+	var order []string                 // family first-appearance order
 	lastFamily := ""
 	for _, s := range exp.Samples {
 		fam := baseName(s.Name, exp.Types)
@@ -329,6 +339,9 @@ func CheckExposition(r io.Reader) error {
 		if fam != lastFamily && !seen[fam] {
 			if strings.TrimSpace(exp.Helps[fam]) == "" {
 				return fmt.Errorf("family %s has no HELP text", fam)
+			}
+			if n := exp.HelpCounts[fam]; n > 1 {
+				return fmt.Errorf("family %s has %d HELP lines (one per family; repeated per label value?)", fam, n)
 			}
 			if err := checkUnitSuffix(fam, typ); err != nil {
 				return err
@@ -347,9 +360,23 @@ func CheckExposition(r io.Reader) error {
 			return fmt.Errorf("duplicate series %s", key)
 		}
 		series[key] = true
+		isBucket := typ == "histogram" && strings.HasSuffix(s.Name, "_bucket")
+		if !isBucket && s.Labels["le"] != "" {
+			return fmt.Errorf("series %s carries the reserved le label outside a histogram bucket", key)
+		}
+		// Label-name hygiene: every series of a family must present the
+		// same label keys (le excluded — it exists only on buckets), so a
+		// labeled family (per-peer, per-shard) can be aggregated across
+		// its values without holes.
+		ks := labelKeySet(s.Labels)
+		if prev, ok := famKeys[fam]; !ok {
+			famKeys[fam] = ks
+		} else if prev != ks {
+			return fmt.Errorf("family %s mixes label key sets {%s} and {%s}", fam, prev, ks)
+		}
 		if typ == "histogram" {
 			switch {
-			case strings.HasSuffix(s.Name, "_bucket"):
+			case isBucket:
 				if s.Labels["le"] == "" {
 					return fmt.Errorf("histogram bucket %s lacks le label", key)
 				}
@@ -372,6 +399,20 @@ func CheckExposition(r io.Reader) error {
 		}
 	}
 	return nil
+}
+
+// labelKeySet renders a sample's label keys (le excluded) sorted and
+// comma-joined, the family-consistency identity CheckExposition compares.
+func labelKeySet(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
 }
 
 func canonLabels(m map[string]string) string {

@@ -1,0 +1,386 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Epoch propagation tracing (see DESIGN.md §15): every released epoch's
+// lifecycle is stamped on the primary's own clock as it moves through the
+// replication pipeline —
+//
+//	checkpoint commit → journal release → per-peer enqueue
+//	  → first chunk on the wire → final chunk flushed → ack received
+//
+// All six stamps are taken by primary-side code (the release barrier in
+// internal/repl and the per-peer send/ack goroutines in internal/replnet),
+// so the intervals are single-clock and skew-free: "commit to apply" is
+// commit-stamp to ack-stamp on one machine, with the follower's apply and
+// the return trip folded into the last stage. The trade is deliberate —
+// a cross-clock decomposition of the follower's own apply time would need
+// clock sync the cluster does not have.
+//
+// The ring holds one entry per epoch, indexed epoch-modulo-capacity, and
+// every stamping method is nil-safe and O(1) (PeerAck is O(capacity),
+// called per ack, never per operation). The release-barrier stamps run
+// inside a stop-the-world window, so they take one short mutex and do no
+// allocation beyond the first peer slot append.
+
+// PropStage names one interval of the epoch propagation pipeline.
+type PropStage int
+
+const (
+	// StageReleaseWait: checkpoint commit (first shard hook) to the
+	// journal release barrier (all shards committed). Zero when unsharded.
+	StageReleaseWait PropStage = iota
+	// StageQueueWait: per-peer enqueue (the collector pulled the released
+	// batch) to the first chunk hitting the wire.
+	StageQueueWait
+	// StageWire: first chunk written to final chunk flushed.
+	StageWire
+	// StageApplyAck: final chunk flushed to the peer's ack received — the
+	// follower's apply + checkpoint + return trip, seen from the primary.
+	StageApplyAck
+	// NumPropStages bounds the stage enum.
+	NumPropStages
+)
+
+// String returns the stage's stable lower-snake name (the `stage` label
+// value of incll_replnet_propagation_stage_seconds).
+func (s PropStage) String() string {
+	switch s {
+	case StageReleaseWait:
+		return "release_wait"
+	case StageQueueWait:
+		return "queue_wait"
+	case StageWire:
+		return "wire"
+	case StageApplyAck:
+		return "apply_ack"
+	default:
+		return "unknown"
+	}
+}
+
+// PeerStamp is one peer's stamps for one epoch, unix nanoseconds on the
+// primary clock; zero means "not reached".
+type PeerStamp struct {
+	Peer      string `json:"peer"`
+	Enqueue   int64  `json:"enqueue_ns,omitempty"`
+	FirstSend int64  `json:"first_send_ns,omitempty"`
+	FinalSend int64  `json:"final_send_ns,omitempty"`
+	Ack       int64  `json:"ack_ns,omitempty"`
+}
+
+// TimelineEpoch is one epoch's full lifecycle record.
+type TimelineEpoch struct {
+	Epoch   uint64      `json:"epoch"`
+	Commit  int64       `json:"commit_ns,omitempty"`
+	Release int64       `json:"release_ns,omitempty"`
+	Peers   []PeerStamp `json:"peers,omitempty"`
+}
+
+// DefaultTimelineEpochs is the ring capacity NewEpochTimeline(0) provides
+// — about half a minute of epochs at the paper's 64 ms cadence.
+const DefaultTimelineEpochs = 512
+
+// EpochTimeline is the fixed-size per-epoch stamp ring plus the stage and
+// commit-to-apply histograms it feeds. A nil *EpochTimeline is valid and
+// discards every stamp, so instrumented layers never branch on "is
+// tracing on". Owned by the DB (not the replication server), so the
+// histograms survive server re-serves and peer reconnects.
+type EpochTimeline struct {
+	mu      sync.Mutex
+	ring    []TimelineEpoch
+	maxSeen uint64
+	sampled int64 // acked (epoch × peer) samples recorded
+
+	stages [NumPropStages]Histogram
+	all    Histogram // commit→ack across all peers
+
+	peersMu sync.Mutex
+	peers   map[string]*Histogram // commit→ack per peer id, stable across reconnects
+}
+
+// NewEpochTimeline returns a timeline holding the last capacity epochs
+// (0 means DefaultTimelineEpochs).
+func NewEpochTimeline(capacity int) *EpochTimeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineEpochs
+	}
+	return &EpochTimeline{
+		ring:  make([]TimelineEpoch, capacity),
+		peers: make(map[string]*Histogram),
+	}
+}
+
+// slot resolves epoch's ring entry under t.mu, evicting an older epoch
+// from the slot. Returns nil when the epoch has already been evicted by a
+// newer one (a very late stamp for an epoch the ring no longer remembers).
+func (t *EpochTimeline) slot(epoch uint64) *TimelineEpoch {
+	s := &t.ring[epoch%uint64(len(t.ring))]
+	if s.Epoch != epoch {
+		if s.Epoch > epoch {
+			return nil
+		}
+		*s = TimelineEpoch{Epoch: epoch}
+	}
+	return s
+}
+
+// peer resolves (appending if new) the peer's stamp slot within an entry.
+func (e *TimelineEpoch) peer(id string) *PeerStamp {
+	for i := range e.Peers {
+		if e.Peers[i].Peer == id {
+			return &e.Peers[i]
+		}
+	}
+	e.Peers = append(e.Peers, PeerStamp{Peer: id})
+	return &e.Peers[len(e.Peers)-1]
+}
+
+// Commit stamps epoch's checkpoint commit (first shard hook to reach it
+// wins). Safe on a nil timeline. Runs inside the stop-the-world window:
+// one mutex, no allocation.
+func (t *EpochTimeline) Commit(epoch uint64) {
+	if t == nil || epoch == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	if s := t.slot(epoch); s != nil && s.Commit == 0 {
+		s.Commit = now
+	}
+	if epoch > t.maxSeen {
+		t.maxSeen = epoch
+	}
+	t.mu.Unlock()
+}
+
+// ReleaseRange stamps the release barrier for every epoch in (from, to]
+// and records each one's release_wait stage. Stamps are clamped monotone
+// against the commit stamp so a wall-clock step can never produce a
+// negative stage.
+func (t *EpochTimeline) ReleaseRange(from, to uint64) {
+	if t == nil || to == 0 || to <= from {
+		return
+	}
+	if to-from > uint64(len(t.ring)) {
+		from = to - uint64(len(t.ring))
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	for e := from + 1; e <= to; e++ {
+		s := t.slot(e)
+		if s == nil || s.Release != 0 {
+			continue
+		}
+		rel := now
+		if s.Commit > rel {
+			rel = s.Commit
+		}
+		s.Release = rel
+		if s.Commit != 0 {
+			t.stages[StageReleaseWait].Record(rel - s.Commit)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// PeerEnqueue stamps the moment peer's collector pulled the released
+// batch whose horizon is epoch (batches may collapse several released
+// epochs; only the horizon epoch carries per-peer stamps).
+func (t *EpochTimeline) PeerEnqueue(peer string, epoch uint64) {
+	t.stampPeer(peer, epoch, func(p *PeerStamp, now, floor int64) {
+		if p.Enqueue == 0 {
+			p.Enqueue = maxi64(now, floor)
+		}
+	})
+}
+
+// PeerFirstSend stamps the first wire chunk of epoch's batch to peer.
+func (t *EpochTimeline) PeerFirstSend(peer string, epoch uint64) {
+	t.stampPeer(peer, epoch, func(p *PeerStamp, now, floor int64) {
+		if p.FirstSend == 0 {
+			p.FirstSend = maxi64(now, floor)
+		}
+	})
+}
+
+// PeerFinalSend stamps epoch's final chunk flushed to peer.
+func (t *EpochTimeline) PeerFinalSend(peer string, epoch uint64) {
+	t.stampPeer(peer, epoch, func(p *PeerStamp, now, floor int64) {
+		if p.FinalSend == 0 {
+			p.FinalSend = maxi64(now, floor)
+		}
+	})
+}
+
+// stampPeer is the common peer-stamp path: resolve the entry, resolve the
+// peer slot, apply the stamp clamped to the floor of every earlier stamp
+// so the recorded order is monotone even if the wall clock steps.
+func (t *EpochTimeline) stampPeer(peer string, epoch uint64, apply func(p *PeerStamp, now, floor int64)) {
+	if t == nil || epoch == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	if s := t.slot(epoch); s != nil {
+		p := s.peer(peer)
+		floor := maxi64(maxi64(s.Commit, s.Release), maxi64(p.Enqueue, p.FirstSend))
+		apply(p, now, floor)
+	}
+	t.mu.Unlock()
+}
+
+// PeerAck stamps peer's ack for every ring epoch ≤ applied whose final
+// chunk this peer has been sent, and records the queue_wait, wire,
+// apply_ack, and commit-to-apply histograms for each. Acks carry an
+// applied watermark (an ack for E acknowledges everything ≤ E), and a
+// heartbeat ack sweeps up epochs whose batch ack raced the final-send
+// stamp — so every sent epoch is eventually sampled exactly once.
+func (t *EpochTimeline) PeerAck(peer string, applied uint64) {
+	if t == nil || applied == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	type sample struct {
+		queue, wire, apply, total int64
+	}
+	var got []sample
+	t.mu.Lock()
+	for i := range t.ring {
+		s := &t.ring[i]
+		if s.Epoch == 0 || s.Epoch > applied {
+			continue
+		}
+		p := s.peer(peer)
+		if p.FinalSend == 0 || p.Ack != 0 {
+			continue
+		}
+		p.Ack = maxi64(now, p.FinalSend)
+		sm := sample{wire: p.FinalSend - p.FirstSend, apply: p.Ack - p.FinalSend, total: -1}
+		if p.Enqueue != 0 {
+			sm.queue = p.FirstSend - p.Enqueue
+		} else {
+			sm.queue = -1
+		}
+		if s.Commit != 0 {
+			sm.total = p.Ack - s.Commit
+		}
+		got = append(got, sm)
+		t.sampled++
+	}
+	t.mu.Unlock()
+	if len(got) == 0 {
+		return
+	}
+	var ph *Histogram
+	if peer != "" {
+		ph = t.PeerHist(peer)
+	}
+	for _, sm := range got {
+		if sm.queue >= 0 {
+			t.stages[StageQueueWait].Record(sm.queue)
+		}
+		t.stages[StageWire].Record(sm.wire)
+		t.stages[StageApplyAck].Record(sm.apply)
+		if sm.total >= 0 {
+			t.all.Record(sm.total)
+			if ph != nil {
+				ph.Record(sm.total)
+			}
+		}
+	}
+}
+
+// StageHist returns the stage's histogram (nanoseconds).
+func (t *EpochTimeline) StageHist(s PropStage) *Histogram {
+	if t == nil || s < 0 || s >= NumPropStages {
+		return nil
+	}
+	return &t.stages[s]
+}
+
+// AllHist returns the aggregate commit-to-apply histogram across peers.
+func (t *EpochTimeline) AllHist() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return &t.all
+}
+
+// PeerHist returns (creating on first use) the peer's commit-to-apply
+// histogram. The histogram is stable for the timeline's life: reconnects
+// and server re-serves keep accumulating into the same series.
+func (t *EpochTimeline) PeerHist(id string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	h := t.peers[id]
+	if h == nil {
+		h = &Histogram{}
+		t.peers[id] = h
+	}
+	return h
+}
+
+// PeerHists snapshots every per-peer commit-to-apply histogram.
+func (t *EpochTimeline) PeerHists() map[string]HistSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	if len(t.peers) == 0 {
+		return nil
+	}
+	out := make(map[string]HistSnapshot, len(t.peers))
+	for id, h := range t.peers {
+		out[id] = h.Snapshot()
+	}
+	return out
+}
+
+// Sampled returns how many (epoch × peer) ack samples were recorded.
+func (t *EpochTimeline) Sampled() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sampled
+}
+
+// Tail returns up to n most recent timeline entries, oldest first, deep
+// copied (callers may serialize them concurrently with stamping).
+func (t *EpochTimeline) Tail(n int) []TimelineEpoch {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TimelineEpoch, 0, len(t.ring))
+	for i := range t.ring {
+		if t.ring[i].Epoch != 0 {
+			e := t.ring[i]
+			e.Peers = append([]PeerStamp(nil), e.Peers...)
+			out = append(out, e)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -78,6 +78,11 @@ const (
 	// EvNetPromote: a networked follower was promoted to primary. Epoch
 	// is its applied watermark at promotion.
 	EvNetPromote
+	// EvClusterDump: a flight-recorder dump captured the cluster state
+	// (cluster.json: peer table + epoch-timeline tail). Epoch is the
+	// running epoch at dump time, Arg the connected-peer count — the
+	// event anchors the dump in the timeline for post-mortems.
+	EvClusterDump
 )
 
 // String returns the event kind's stable lower-snake name (also used in
@@ -124,6 +129,8 @@ func (k EventKind) String() string {
 		return "net_follower_connect"
 	case EvNetPromote:
 		return "net_promote"
+	case EvClusterDump:
+		return "cluster_dump"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

@@ -134,6 +134,12 @@ type Hub struct {
 	// because Instrument may race a ticker-driven commit hook.
 	cuts  atomic.Int64
 	trace atomic.Pointer[obs.Tracer]
+
+	// tline, when attached, receives the commit and release stamps of the
+	// epoch propagation trace (DESIGN.md §15). Same discipline as trace:
+	// an atomic pointer read on the commit-hook path, nil-safe methods,
+	// O(1) work inside the stop-the-world window.
+	tline atomic.Pointer[obs.EpochTimeline]
 }
 
 // DefaultJournalBytes is the default journal byte budget, applied on two
@@ -277,16 +283,22 @@ func (h *Hub) committed(i int, e uint64) {
 			break
 		}
 	}
+	// The first shard hook to reach e stamps the epoch's commit; the
+	// release stamp below closes the release_wait stage once the barrier
+	// passes it. Both stamps are on this (the primary's) clock.
+	h.tline.Load().Commit(e)
 	newRel := h.minCommit()
+	var oldRel uint64
 	for {
-		old := h.released.Load()
-		if newRel <= old {
+		oldRel = h.released.Load()
+		if newRel <= oldRel {
 			return
 		}
-		if h.released.CompareAndSwap(old, newRel) {
+		if h.released.CompareAndSwap(oldRel, newRel) {
 			break
 		}
 	}
+	h.tline.Load().ReleaseRange(oldRel, newRel)
 	h.trace.Load().Record(obs.EvJournalRelease, i, newRel, 0, int64(h.unreleased.Load()))
 	h.wakeAll()
 }
@@ -458,6 +470,15 @@ func (h *Hub) Released() uint64 { return h.released.Load() }
 // Instrument attaches a tracer for release-barrier events. Safe on a
 // live hub.
 func (h *Hub) Instrument(tr *obs.Tracer) { h.trace.Store(tr) }
+
+// InstrumentTimeline attaches the epoch propagation timeline the release
+// barrier stamps into. Safe to call while commit hooks run (an atomic
+// pointer swap); a nil timeline detaches nothing — pass the real one.
+func (h *Hub) InstrumentTimeline(tl *obs.EpochTimeline) {
+	if tl != nil {
+		h.tline.Store(tl)
+	}
+}
 
 // Subscribers returns the number of live subscriptions. Lock-free.
 func (h *Hub) Subscribers() int { return int(h.subCount.Load()) }

@@ -64,6 +64,12 @@ type Config struct {
 	Trace *obs.Tracer
 	RTT   *obs.Histogram
 
+	// Timeline, if set, receives the per-peer stamps of the epoch
+	// propagation trace (enqueue, first/final chunk send, ack — see
+	// DESIGN.md §15). All stamps are taken here on the primary, so the
+	// derived intervals are single-clock and skew-free.
+	Timeline *obs.EpochTimeline
+
 	// Logf, if set, receives peer lifecycle log lines.
 	Logf func(format string, args ...any)
 }
@@ -484,6 +490,9 @@ func (pe *peer) collect() {
 			pe.srcEnd <- err
 			return
 		}
+		// The enqueue stamp is taken before the (possibly blocking) queue
+		// push, so queue_wait includes backpressure from a full queue.
+		pe.srv.cfg.Timeline.PeerEnqueue(pe.id, b.Epoch)
 		select {
 		case pe.queue <- b:
 		case <-pe.stop:
@@ -536,6 +545,7 @@ func (pe *peer) writeBatch(b repl.Batch) error {
 	// large batch on a slow link is alive as long as every chunk lands
 	// within DeadAfter, however long the whole batch takes. The final
 	// flush rides on the last chunk's deadline.
+	pe.srv.cfg.Timeline.PeerFirstSend(pe.id, b.Epoch)
 	n, err := pe.mc.writeBatch(b, pe.srv.cfg.DeadAfter)
 	pe.sentBytes.Add(n)
 	pe.srv.sentBytes.Add(n)
@@ -543,7 +553,15 @@ func (pe *peer) writeBatch(b repl.Batch) error {
 		return err
 	}
 	pe.sentEpoch.Store(b.Epoch)
-	return pe.mc.flush()
+	if err := pe.mc.flush(); err != nil {
+		return err
+	}
+	// Final-send is stamped after the flush: the wire stage ends when the
+	// last chunk left this process, and the ack stamp (taken by the read
+	// goroutine, possibly racing) only fires for epochs whose final-send
+	// stamp exists — a raced ack is swept up by the next heartbeat ack.
+	pe.srv.cfg.Timeline.PeerFinalSend(pe.id, b.Epoch)
+	return nil
 }
 
 func (pe *peer) writeHeartbeat() error {
@@ -641,6 +659,7 @@ func (pe *peer) read() {
 		}
 		pe.lastAck.Store(time.Now().UnixNano())
 		pe.ackedEpoch.Store(applied)
+		pe.srv.cfg.Timeline.PeerAck(pe.id, applied)
 		if nonce != 0 {
 			rtt := time.Now().UnixNano() - nonce
 			if rtt >= 0 {

@@ -97,6 +97,30 @@ type Metrics struct {
 	// Phases is the sampled latency attribution, if enabled (see
 	// Options.PhaseSampleEvery and DESIGN.md §12).
 	Phases PhaseMetrics `json:"phases"`
+	// Propagation is the epoch propagation trace summary (replication
+	// pipeline stage latencies and per-peer commit-to-apply), all zeros
+	// until the node serves replication (see DESIGN.md §15).
+	Propagation PropagationMetrics `json:"propagation"`
+}
+
+// PropagationMetrics summarizes the epoch propagation timeline: how long
+// a committed epoch takes to move through each stage of the replication
+// pipeline, and the end-to-end commit-to-apply distribution per follower.
+// All intervals are stamped on the primary's own clock (single-clock,
+// skew-free); values are nanoseconds.
+type PropagationMetrics struct {
+	// Attached reports whether the timeline exists (the node attached a
+	// change hub or served replication at least once).
+	Attached bool `json:"attached"`
+	// SampledAcks counts the (epoch × peer) ack samples recorded.
+	SampledAcks int64 `json:"sampled_acks"`
+	// Stages maps stage name (release_wait, queue_wait, wire, apply_ack)
+	// to its latency summary.
+	Stages map[string]obs.HistSnapshot `json:"stages_ns,omitempty"`
+	// CommitToApply is the aggregate commit→ack distribution across peers.
+	CommitToApply obs.HistSnapshot `json:"commit_to_apply_ns"`
+	// PerPeer is the commit→ack distribution per follower id.
+	PerPeer map[string]obs.HistSnapshot `json:"per_peer_ns,omitempty"`
 }
 
 // PhaseMetrics is the latency-attribution extension of Metrics: where a
@@ -141,6 +165,18 @@ func (db *DB) Metrics() Metrics {
 			Enabled:     true,
 			SampleEvery: db.phases.SampleEvery(),
 			Hist:        db.phases.Snapshot(),
+		}
+	}
+	if tl := db.propTL.Load(); tl != nil {
+		m.Propagation = PropagationMetrics{
+			Attached:      true,
+			SampledAcks:   tl.Sampled(),
+			CommitToApply: tl.AllHist().Snapshot(),
+			PerPeer:       tl.PeerHists(),
+			Stages:        make(map[string]obs.HistSnapshot, obs.NumPropStages),
+		}
+		for st := obs.PropStage(0); st < obs.NumPropStages; st++ {
+			m.Propagation.Stages[st.String()] = tl.StageHist(st).Snapshot()
 		}
 	}
 	if h := db.hubIfAttached(); h != nil {

@@ -154,6 +154,7 @@ func (db *DB) hub() *repl.Hub {
 		e := db.engine()
 		db.replHub = repl.NewHub(e.stores(), e.opts.ChangeJournalBytes)
 		db.replHub.Instrument(db.trace)
+		db.replHub.InstrumentTimeline(db.propagation())
 	}
 	return db.replHub
 }

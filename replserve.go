@@ -130,6 +130,7 @@ func (db *DB) ServeReplication(lis net.Listener, o ReplServerOptions) (*ReplServ
 		OnPeer:    db.registerReplnetPeerGauges,
 		Trace:     db.trace,
 		RTT:       db.netRTTHist(),
+		Timeline:  db.propagation(),
 		Logf:      o.Logf,
 	}
 	rs.srv = replnet.Serve(lis, cfg)
@@ -182,6 +183,21 @@ func (db *DB) netRTTHist() *obs.Histogram {
 		db.netRTT = &obs.Histogram{}
 	}
 	return db.netRTT
+}
+
+// propagation returns the DB-owned epoch propagation timeline, creating
+// it on first use. The hub stamps commit/release into it; the replnet
+// server stamps the per-peer send/ack path. Like netRTT it outlives any
+// one server, so the registered histograms never dangle.
+func (db *DB) propagation() *obs.EpochTimeline {
+	if tl := db.propTL.Load(); tl != nil {
+		return tl
+	}
+	tl := obs.NewEpochTimeline(0)
+	if db.propTL.CompareAndSwap(nil, tl) {
+		return tl
+	}
+	return db.propTL.Load()
 }
 
 // replServers snapshots the attached replication servers.
@@ -261,6 +277,12 @@ func (db *DB) registerReplnetServerGauges() {
 			})
 		reg.Histogram("incll_replnet_heartbeat_rtt_seconds",
 			"Heartbeat round-trip time to followers.", "", db.netRTTHist(), 1e-9)
+		tl := db.propagation()
+		for st := obs.PropStage(0); st < obs.NumPropStages; st++ {
+			reg.Histogram("incll_replnet_propagation_stage_seconds",
+				"Epoch propagation latency by pipeline stage, single-clock on the primary (see DESIGN.md §15).",
+				obs.Labels("stage", st.String()), tl.StageHist(st), 1e-9)
+		}
 	}
 	db.regMu.Lock()
 	db.extraReg = append(db.extraReg, f)
@@ -313,6 +335,9 @@ func (db *DB) registerReplnetPeerGauges(id string) {
 		reg.Gauge("incll_replnet_peer_acked_epoch",
 			"Last applied epoch this follower acked.", labels,
 			peer(func(p PeerStatus) int64 { return int64(p.AckedEpoch) }))
+		reg.Histogram("incll_replnet_commit_to_apply_seconds",
+			"Checkpoint commit to this follower's durable-apply ack, stamped on the primary clock (see DESIGN.md §15).",
+			labels, db.propagation().PeerHist(id), 1e-9)
 	}
 	db.regMu.Lock()
 	db.extraReg = append(db.extraReg, f)
@@ -398,6 +423,32 @@ type Follower struct {
 	bootInfo SnapshotInfo
 	promoted bool
 	closed   bool
+
+	// Recorder arming, replayed onto every bootstrap generation (each
+	// reconnect builds a fresh DB, which would otherwise come up with no
+	// /metrics/history).
+	recOn       bool
+	recInterval time.Duration
+	recCap      int
+}
+
+// StartRecorder arms the metric recorder (the backing store for
+// MetricsHistory) on the follower's current store, and re-arms it on
+// every future re-bootstrap. Without this a follower node would lose
+// its history ring at each reconnect — incll-top's follower lag
+// sparkline reads it.
+func (f *Follower) StartRecorder(interval time.Duration, capacity int) {
+	f.mu.Lock()
+	f.recOn, f.recInterval, f.recCap = true, interval, capacity
+	st := f.store
+	if st != nil {
+		st.refs.Add(1)
+	}
+	f.mu.Unlock()
+	if st != nil {
+		st.db.StartRecorder(interval, capacity)
+		st.release()
+	}
 }
 
 // pin acquires the current store generation for a read; release it when
@@ -476,6 +527,12 @@ func (f *Follower) netBootstrap(r io.Reader) (uint64, error) {
 	}
 	db.trace.Record(obs.EvNetFollowerConnect, -1, info.AnchorEpoch, 0, int64(info.Keys))
 	db.registerFollowerGauges(f)
+	f.mu.RLock()
+	recOn, ri, rc := f.recOn, f.recInterval, f.recCap
+	f.mu.RUnlock()
+	if recOn {
+		db.StartRecorder(ri, rc)
+	}
 	return info.AnchorEpoch, nil
 }
 
